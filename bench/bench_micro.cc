@@ -1,0 +1,194 @@
+// M1: google-benchmark micro suite for the primitive operations behind the
+// cost model's alpha and beta constants and the O(mL) estimation bound:
+//
+//   * alpha  — VisitedSet::Insert (S2 dedup);
+//   * beta   — one distance computation per metric/dimension;
+//   * S1     — k-wise signature computation per family;
+//   * est.   — HLL update, 50-way merge + estimate (the paper's O(mL)).
+
+#include <benchmark/benchmark.h>
+
+#include "core/hybridlsh.h"
+#include "hll/kmv.h"
+#include "util/random.h"
+
+using namespace hybridlsh;
+
+namespace {
+
+// --- alpha: dedup ------------------------------------------------------------
+
+void BM_VisitedSetInsert(benchmark::State& state) {
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  util::VisitedSet visited(capacity);
+  util::Rng rng(1);
+  std::vector<uint32_t> ids(1 << 14);
+  for (auto& id : ids) {
+    id = static_cast<uint32_t>(rng.UniformInt(0, static_cast<int64_t>(capacity) - 1));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(visited.Insert(ids[i & (ids.size() - 1)]));
+    ++i;
+    if ((i & 0xffff) == 0) visited.Reset();  // keep the touched list bounded
+  }
+}
+BENCHMARK(BM_VisitedSetInsert)->Arg(60000)->Arg(350000);
+
+// --- beta: distances ---------------------------------------------------------
+
+void BM_L2Distance(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  util::Rng rng(2);
+  std::vector<float> a(dim), b(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    a[j] = static_cast<float>(rng.Gaussian());
+    b[j] = static_cast<float>(rng.Gaussian());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::L2Distance(a.data(), b.data(), dim));
+  }
+}
+BENCHMARK(BM_L2Distance)->Arg(32)->Arg(254);
+
+void BM_L1Distance(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<float> a(dim), b(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    a[j] = static_cast<float>(rng.Gaussian());
+    b[j] = static_cast<float>(rng.Gaussian());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::L1Distance(a.data(), b.data(), dim));
+  }
+}
+BENCHMARK(BM_L1Distance)->Arg(54);
+
+void BM_CosineDistance(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  util::Rng rng(4);
+  std::vector<float> a(dim), b(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    a[j] = static_cast<float>(rng.Gaussian());
+    b[j] = static_cast<float>(rng.Gaussian());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::CosineDistance(a.data(), b.data(), dim));
+  }
+}
+BENCHMARK(BM_CosineDistance)->Arg(254);
+
+void BM_HammingDistance64(benchmark::State& state) {
+  util::Rng rng(5);
+  const uint64_t a = rng.NextU64(), b = rng.NextU64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::HammingDistance(&a, &b, 1));
+  }
+}
+BENCHMARK(BM_HammingDistance64);
+
+// --- S1: signatures ----------------------------------------------------------
+
+void BM_SimHashSignature(benchmark::State& state) {
+  const size_t dim = 254, k = static_cast<size_t>(state.range(0));
+  lsh::SimHashFamily family(dim);
+  util::Rng rng(6);
+  const auto fns = family.Sample(k, &rng);
+  std::vector<float> x(dim);
+  for (auto& v : x) v = static_cast<float>(rng.Gaussian());
+  std::vector<int32_t> slots(k);
+  for (auto _ : state) {
+    family.Signature(fns, x.data(), slots);
+    benchmark::DoNotOptimize(slots.data());
+  }
+}
+BENCHMARK(BM_SimHashSignature)->Arg(20);
+
+void BM_PStableSignature(benchmark::State& state) {
+  const size_t dim = 54, k = static_cast<size_t>(state.range(0));
+  lsh::PStableFamily family = lsh::PStableFamily::L1(dim, 4.0);
+  util::Rng rng(7);
+  const auto fns = family.Sample(k, &rng);
+  std::vector<float> x(dim);
+  for (auto& v : x) v = static_cast<float>(rng.Gaussian());
+  std::vector<int32_t> slots(k);
+  for (auto _ : state) {
+    family.Signature(fns, x.data(), slots);
+    benchmark::DoNotOptimize(slots.data());
+  }
+}
+BENCHMARK(BM_PStableSignature)->Arg(8);
+
+// --- estimation: HLL ---------------------------------------------------------
+
+void BM_HllAddHash(benchmark::State& state) {
+  hll::HyperLogLog sketch(7);
+  util::Rng rng(8);
+  uint64_t h = rng.NextU64();
+  for (auto _ : state) {
+    sketch.AddHash(h);
+    h = h * 0x9e3779b97f4a7c15ULL + 1;  // cheap stream
+    benchmark::DoNotOptimize(sketch);
+  }
+}
+BENCHMARK(BM_HllAddHash);
+
+void BM_HllMerge50AndEstimate(benchmark::State& state) {
+  // The paper's O(mL) query overhead: merge 50 bucket sketches (m = 128)
+  // and estimate.
+  const int precision = static_cast<int>(state.range(0));
+  util::Rng rng(9);
+  std::vector<hll::HyperLogLog> buckets;
+  for (int t = 0; t < 50; ++t) {
+    hll::HyperLogLog sketch(precision);
+    for (int i = 0; i < 500; ++i) sketch.AddHash(rng.NextU64());
+    buckets.push_back(std::move(sketch));
+  }
+  hll::HyperLogLog merged(precision);
+  for (auto _ : state) {
+    merged.Clear();
+    for (const auto& bucket : buckets) {
+      benchmark::DoNotOptimize(merged.Merge(bucket));
+    }
+    benchmark::DoNotOptimize(merged.Estimate());
+  }
+}
+BENCHMARK(BM_HllMerge50AndEstimate)->Arg(5)->Arg(7)->Arg(10);
+
+void BM_KmvAddHash(benchmark::State& state) {
+  hll::KmvSketch sketch(128);
+  util::Rng rng(10);
+  uint64_t h = rng.NextU64();
+  for (auto _ : state) {
+    sketch.AddHash(h);
+    h = h * 0x9e3779b97f4a7c15ULL + 1;
+    benchmark::DoNotOptimize(sketch);
+  }
+}
+BENCHMARK(BM_KmvAddHash);
+
+// --- hashing -----------------------------------------------------------------
+
+void BM_Fmix64(benchmark::State& state) {
+  uint64_t v = 0x12345;
+  for (auto _ : state) {
+    v = util::Fmix64(v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_Fmix64);
+
+void BM_HashBytesSignature(benchmark::State& state) {
+  // Bucket-key derivation: hash a k-slot signature (k = 20 int32s).
+  int32_t slots[20];
+  for (int i = 0; i < 20; ++i) slots[i] = i * 77;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::HashBytes(slots, sizeof(slots), 42));
+  }
+}
+BENCHMARK(BM_HashBytesSignature);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Parallel batch execution of rNNR queries.
+//
+// The paper's experiments time a 100-query set; production services answer
+// query *streams*. BatchQuery shards a query set across worker threads,
+// each with its own HybridSearcher (searchers own per-query scratch and
+// must not be shared). The per-query hybrid decision is unchanged — only
+// the orchestration is parallel, so recall guarantees and the cost model
+// are unaffected.
+
+#ifndef HYBRIDLSH_CORE_BATCH_QUERY_H_
+#define HYBRIDLSH_CORE_BATCH_QUERY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/hybrid_searcher.h"
+
+namespace hybridlsh {
+namespace core {
+
+/// Result of one query in a batch.
+struct BatchResult {
+  std::vector<uint32_t> neighbors;
+  QueryStats stats;
+};
+
+/// Answers every query in `queries` (a container with size() and
+/// point(i) -> Index::Point) within `radius`, using `num_threads` workers.
+/// Results are positionally aligned with the query set. Each worker builds
+/// one HybridSearcher over (index, dataset) with `options`.
+template <typename Index, typename Dataset, typename QuerySet>
+std::vector<BatchResult> BatchQuery(const Index& index, const Dataset& dataset,
+                                    const QuerySet& queries, double radius,
+                                    const SearcherOptions& options,
+                                    size_t num_threads = 1) {
+  std::vector<BatchResult> results(queries.size());
+  if (queries.size() == 0) return results;
+  const size_t threads = std::max<size_t>(1, num_threads);
+
+  // Chunk the query range; one searcher per chunk (= per worker).
+  const size_t count = queries.size();
+  const size_t chunk = (count + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t lo = t * chunk;
+    const size_t hi = std::min(count, lo + chunk);
+    if (lo >= hi) break;
+    workers.emplace_back([&, lo, hi] {
+      HybridSearcher<Index, Dataset> searcher(&index, &dataset, options);
+      for (size_t q = lo; q < hi; ++q) {
+        searcher.Query(queries.point(q), radius, &results[q].neighbors,
+                       &results[q].stats);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  return results;
+}
+
+/// Aggregate view over a batch: strategy mix and output-size spread (the
+/// Figure 3 quantities, computed from a live batch instead of ground
+/// truth).
+struct BatchSummary {
+  size_t num_queries = 0;
+  size_t linear_calls = 0;
+  uint64_t total_collisions = 0;
+  double total_seconds = 0;
+  size_t min_output = 0;
+  size_t max_output = 0;
+  double avg_output = 0;
+
+  double pct_linear_calls() const {
+    return num_queries == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(linear_calls) /
+                     static_cast<double>(num_queries);
+  }
+};
+
+/// Summarizes a batch result set.
+inline BatchSummary Summarize(const std::vector<BatchResult>& results) {
+  BatchSummary summary;
+  summary.num_queries = results.size();
+  if (results.empty()) return summary;
+  summary.min_output = results[0].neighbors.size();
+  double total_output = 0;
+  for (const BatchResult& result : results) {
+    summary.linear_calls += result.stats.strategy == Strategy::kLinear;
+    summary.total_collisions += result.stats.collisions;
+    summary.total_seconds += result.stats.total_seconds;
+    summary.min_output = std::min(summary.min_output, result.neighbors.size());
+    summary.max_output = std::max(summary.max_output, result.neighbors.size());
+    total_output += static_cast<double>(result.neighbors.size());
+  }
+  summary.avg_output = total_output / static_cast<double>(results.size());
+  return summary;
+}
+
+}  // namespace core
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_CORE_BATCH_QUERY_H_

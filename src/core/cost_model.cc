@@ -1,0 +1,61 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+
+#include "util/bit_vector.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace hybridlsh {
+namespace core {
+
+double CostCalibrator::MeasureAlpha(size_t capacity, size_t ops, uint64_t seed,
+                                    int repetitions) {
+  HLSH_CHECK(capacity > 0 && ops > 0 && repetitions > 0);
+  // Pre-generate the id stream so the timed loop measures only the insert.
+  util::Rng rng(seed);
+  std::vector<uint32_t> ids(ops);
+  for (auto& id : ids) {
+    id = static_cast<uint32_t>(rng.UniformInt(0, static_cast<int64_t>(capacity) - 1));
+  }
+  util::VisitedSet visited(capacity);
+  double best = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    visited.Reset();
+    util::WallTimer timer;
+    for (uint32_t id : ids) visited.Insert(id);
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best / static_cast<double>(ops);
+}
+
+double CostCalibrator::MeasureBeta(
+    const std::function<double(size_t)>& distance_fn, size_t sample_size,
+    size_t ops, int repetitions) {
+  HLSH_CHECK(sample_size > 0 && ops > 0 && repetitions > 0);
+  double sink = 0.0;
+  double best = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    util::WallTimer timer;
+    for (size_t i = 0; i < ops; ++i) {
+      sink += distance_fn(i % sample_size);
+    }
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  // Keep the accumulated distances alive past optimization.
+  asm volatile("" : "+r"(sink));
+  return best / static_cast<double>(ops);
+}
+
+CostModel CostCalibrator::Calibrate(
+    const std::function<double(size_t)>& distance_fn, size_t sample_size,
+    size_t dedup_capacity, size_t ops, uint64_t seed) {
+  CostModel model;
+  model.alpha = MeasureAlpha(dedup_capacity, ops, seed);
+  // Distance computations are slower; fewer reps suffice for stable means.
+  model.beta = MeasureBeta(distance_fn, sample_size, std::max<size_t>(ops / 10, 1));
+  return model;
+}
+
+}  // namespace core
+}  // namespace hybridlsh

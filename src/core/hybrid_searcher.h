@@ -1,0 +1,253 @@
+// The hybrid search strategy (paper Algorithm 2) — the primary contribution.
+//
+// For each query the searcher:
+//   1. hashes the query into its L bucket keys (LSH step S1);
+//   2. reads the probed buckets' sizes (exact #collisions) and merges their
+//      HyperLogLog sketches to estimate candSize (Alg. 2 lines 1-2);
+//   3. evaluates LSHCost = alpha*#collisions + beta*candSize against
+//      LinearCost = beta*n (lines 3);
+//   4. answers with LSH-based search when LSHCost < LinearCost, with an
+//      exact linear scan otherwise (line 4).
+//
+// HybridSearcher is generic over the index (LshIndex<Family> or
+// CoveringLshIndex) and the dataset container; it owns the per-query
+// scratch (VisitedSet, merged HLL, key buffer), so create one searcher per
+// thread and reuse it across queries. It does not own the index or the
+// dataset.
+
+#ifndef HYBRIDLSH_CORE_HYBRID_SEARCHER_H_
+#define HYBRIDLSH_CORE_HYBRID_SEARCHER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "hll/hyperloglog.h"
+#include "util/bit_vector.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace hybridlsh {
+namespace core {
+
+/// Which execution path answered a query.
+enum class Strategy {
+  kLsh,
+  kLinear,
+};
+
+/// Stable display name ("lsh" / "linear").
+inline std::string_view StrategyName(Strategy strategy) {
+  return strategy == Strategy::kLsh ? "lsh" : "linear";
+}
+
+/// Per-query observability: everything Table 1 and Figures 2-3 report.
+struct QueryStats {
+  Strategy strategy = Strategy::kLsh;
+  /// Exact number of collisions in the probed buckets.
+  uint64_t collisions = 0;
+  /// candSize estimate from the merged HLLs.
+  double cand_estimate = 0.0;
+  /// Exact distinct candidate count (LSH path only; 0 on the linear path).
+  size_t cand_actual = 0;
+  /// Number of reported near neighbors.
+  size_t output_size = 0;
+  /// Model costs behind the decision.
+  double lsh_cost = 0.0;
+  double linear_cost = 0.0;
+  /// Wall seconds spent merging HLLs + estimating candSize (Table 1 %Cost).
+  double estimate_seconds = 0.0;
+  /// Wall seconds for the whole query (S1 + estimate + execution).
+  double total_seconds = 0.0;
+};
+
+/// Mutually exclusive execution modes (see Query()).
+enum class ForcedStrategy {
+  kAuto,        // the hybrid decision (default)
+  kAlwaysLsh,   // classic LSH-based search
+  kAlwaysLinear  // exact scan
+};
+
+/// Options for a HybridSearcher.
+struct SearcherOptions {
+  /// The calibrated or pinned (alpha, beta) constants.
+  CostModel cost_model;
+  /// Probes per table; > 1 enables multi-probe on indexes that support it.
+  size_t probes_per_table = 1;
+  /// Bypass the decision (used by the figure benches' LSH/Linear series).
+  ForcedStrategy forced = ForcedStrategy::kAuto;
+};
+
+/// Hybrid rNNR searcher over a built index and its dataset.
+///
+/// Index requirements: Point, QueryKeys, EstimateProbe, CollectCandidates,
+/// Distance, size(), MakeScratchSketch(). Dataset requirements: size(),
+/// point(i) -> Point. The dataset must be the one the index was built on.
+template <typename Index, typename Dataset>
+class HybridSearcher {
+ public:
+  using Point = typename Index::Point;
+
+  HybridSearcher(const Index* index, const Dataset* dataset,
+                 const SearcherOptions& options)
+      : index_(index),
+        dataset_(dataset),
+        options_(options),
+        visited_(dataset->size()),
+        merged_(index->MakeScratchSketch()) {
+    HLSH_CHECK(index->size() == dataset->size());
+    HLSH_CHECK(options.probes_per_table >= 1);
+  }
+
+  /// Reports all ids with Distance(point, query) <= radius, each with
+  /// probability >= 1 - delta (exactly, when the linear path is taken).
+  /// Results are appended to *out in unspecified order. `stats` is optional.
+  void Query(Point query, double radius, std::vector<uint32_t>* out,
+             QueryStats* stats = nullptr) {
+    QueryStats local_stats;
+    QueryStats* s = stats != nullptr ? stats : &local_stats;
+    *s = QueryStats{};
+    util::WallTimer total_timer;
+
+    if (options_.forced == ForcedStrategy::kAlwaysLinear) {
+      s->strategy = Strategy::kLinear;
+      s->linear_cost = options_.cost_model.LinearCost(dataset_->size());
+      ExecuteLinear(query, radius, out, s);
+      s->total_seconds = total_timer.ElapsedSeconds();
+      return;
+    }
+
+    // S1: bucket keys (home buckets, or the multi-probe sequence).
+    ComputeKeys(query);
+
+    // Alg. 2 lines 1-2: exact #collisions + candSize estimate via HLLs.
+    {
+      util::WallTimer estimate_timer;
+      const auto estimate = index_->EstimateProbe(keys_, &merged_);
+      s->collisions = estimate.collisions;
+      s->cand_estimate = estimate.cand_estimate;
+      s->estimate_seconds = estimate_timer.ElapsedSeconds();
+    }
+
+    // Alg. 2 lines 3-4: compare model costs, pick the strategy.
+    s->lsh_cost =
+        options_.cost_model.LshCost(s->collisions, s->cand_estimate);
+    s->linear_cost = options_.cost_model.LinearCost(dataset_->size());
+    const bool use_lsh = options_.forced == ForcedStrategy::kAlwaysLsh ||
+                         s->lsh_cost < s->linear_cost;
+
+    if (use_lsh) {
+      s->strategy = Strategy::kLsh;
+      ExecuteLsh(query, radius, out, s);
+    } else {
+      s->strategy = Strategy::kLinear;
+      ExecuteLinear(query, radius, out, s);
+    }
+    s->total_seconds = total_timer.ElapsedSeconds();
+  }
+
+  /// Classic LSH-based search (no decision, no estimation overhead beyond
+  /// stats collection).
+  void QueryLsh(Point query, double radius, std::vector<uint32_t>* out,
+                QueryStats* stats = nullptr) {
+    QueryStats local_stats;
+    QueryStats* s = stats != nullptr ? stats : &local_stats;
+    *s = QueryStats{};
+    util::WallTimer total_timer;
+    ComputeKeys(query);
+    s->strategy = Strategy::kLsh;
+    ExecuteLsh(query, radius, out, s);
+    s->total_seconds = total_timer.ElapsedSeconds();
+  }
+
+  /// Exact linear scan.
+  void QueryLinear(Point query, double radius, std::vector<uint32_t>* out,
+                   QueryStats* stats = nullptr) {
+    QueryStats local_stats;
+    QueryStats* s = stats != nullptr ? stats : &local_stats;
+    *s = QueryStats{};
+    util::WallTimer total_timer;
+    s->strategy = Strategy::kLinear;
+    ExecuteLinear(query, radius, out, s);
+    s->total_seconds = total_timer.ElapsedSeconds();
+  }
+
+  /// The decision inputs for a query without executing it (Alg. 2 lines
+  /// 1-3). Useful for inspecting the cost model.
+  QueryStats EstimateOnly(Point query) {
+    QueryStats s;
+    ComputeKeys(query);
+    util::WallTimer estimate_timer;
+    const auto estimate = index_->EstimateProbe(keys_, &merged_);
+    s.collisions = estimate.collisions;
+    s.cand_estimate = estimate.cand_estimate;
+    s.estimate_seconds = estimate_timer.ElapsedSeconds();
+    s.lsh_cost = options_.cost_model.LshCost(s.collisions, s.cand_estimate);
+    s.linear_cost = options_.cost_model.LinearCost(dataset_->size());
+    s.strategy = s.lsh_cost < s.linear_cost ? Strategy::kLsh : Strategy::kLinear;
+    return s;
+  }
+
+  const CostModel& cost_model() const { return options_.cost_model; }
+  const SearcherOptions& options() const { return options_; }
+
+ private:
+  // True when the index supports QueryKeysMultiProbe.
+  static constexpr bool kHasMultiProbe = requires(
+      const Index& index, Point p, size_t probes, std::vector<uint64_t>* keys) {
+    index.QueryKeysMultiProbe(p, probes, keys);
+  };
+
+  void ComputeKeys(Point query) {
+    if (options_.probes_per_table > 1) {
+      if constexpr (kHasMultiProbe) {
+        HLSH_CHECK(index_
+                       ->QueryKeysMultiProbe(query, options_.probes_per_table,
+                                             &keys_)
+                       .ok());
+        return;
+      } else {
+        HLSH_CHECK(false && "index does not support multi-probe");
+      }
+    }
+    index_->QueryKeys(query, &keys_);
+  }
+
+  // S2 + S3: dedup candidates, verify distances, report.
+  void ExecuteLsh(Point query, double radius, std::vector<uint32_t>* out,
+                  QueryStats* s) {
+    visited_.Reset();
+    s->collisions = index_->CollectCandidates(keys_, &visited_);
+    s->cand_actual = visited_.size();
+    for (uint32_t id : visited_.touched()) {
+      if (index_->Distance(dataset_->point(id), query) <= radius) {
+        out->push_back(id);
+        ++s->output_size;
+      }
+    }
+  }
+
+  void ExecuteLinear(Point query, double radius, std::vector<uint32_t>* out,
+                     QueryStats* s) {
+    const size_t n = dataset_->size();
+    for (size_t i = 0; i < n; ++i) {
+      if (index_->Distance(dataset_->point(i), query) <= radius) {
+        out->push_back(static_cast<uint32_t>(i));
+        ++s->output_size;
+      }
+    }
+  }
+
+  const Index* index_;
+  const Dataset* dataset_;
+  SearcherOptions options_;
+  util::VisitedSet visited_;
+  hll::HyperLogLog merged_;
+  std::vector<uint64_t> keys_;
+};
+
+}  // namespace core
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_CORE_HYBRID_SEARCHER_H_

@@ -1,0 +1,61 @@
+// Umbrella header: the full public API of the hybridlsh library.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   #include "core/hybridlsh.h"
+//   using namespace hybridlsh;
+//
+//   data::DenseDataset points = ...;                     // n x d, L2 metric
+//   lsh::PStableFamily family = lsh::PStableFamily::L2(d, /*w=*/2 * r);
+//   L2Index::Options options;
+//   options.radius = r;                                  // k auto-tuned
+//   auto index = L2Index::Build(family, points, options);
+//
+//   core::SearcherOptions searcher_options;
+//   searcher_options.cost_model = core::CostModel::FromRatio(6.0);
+//   L2Searcher searcher(&*index, &points, searcher_options);
+//
+//   std::vector<uint32_t> neighbors;
+//   core::QueryStats stats;
+//   searcher.Query(query, r, &neighbors, &stats);
+
+#ifndef HYBRIDLSH_CORE_HYBRIDLSH_H_
+#define HYBRIDLSH_CORE_HYBRIDLSH_H_
+
+#include "core/cost_model.h"
+#include "core/hybrid_searcher.h"
+#include "data/dataset.h"
+#include "data/io.h"
+#include "data/metric.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "hll/hyperloglog.h"
+#include "lsh/covering.h"
+#include "lsh/families.h"
+#include "lsh/fingerprint.h"
+#include "lsh/index.h"
+#include "lsh/params.h"
+
+namespace hybridlsh {
+
+/// Index aliases for the paper's four (metric, family) pairs + MinHash.
+using CosineIndex = lsh::LshIndex<lsh::SimHashFamily>;
+using L2Index = lsh::LshIndex<lsh::PStableFamily>;
+using L1Index = lsh::LshIndex<lsh::PStableFamily>;
+using HammingIndex = lsh::LshIndex<lsh::BitSamplingFamily>;
+using JaccardIndex = lsh::LshIndex<lsh::MinHashFamily>;
+
+/// Searcher aliases over the standard dataset containers.
+using CosineSearcher = core::HybridSearcher<CosineIndex, data::DenseDataset>;
+using L2Searcher = core::HybridSearcher<L2Index, data::DenseDataset>;
+using L1Searcher = core::HybridSearcher<L1Index, data::DenseDataset>;
+using HammingSearcher =
+    core::HybridSearcher<HammingIndex, data::BinaryDataset>;
+using JaccardSearcher =
+    core::HybridSearcher<JaccardIndex, data::SparseDataset>;
+using CoveringSearcher =
+    core::HybridSearcher<lsh::CoveringLshIndex, data::BinaryDataset>;
+
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_CORE_HYBRIDLSH_H_

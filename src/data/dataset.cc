@@ -1,0 +1,22 @@
+#include "data/dataset.h"
+
+namespace hybridlsh {
+namespace data {
+
+util::Status SparseDataset::Append(std::span<const uint32_t> sorted_ids) {
+  for (size_t i = 0; i < sorted_ids.size(); ++i) {
+    if (i > 0 && sorted_ids[i] <= sorted_ids[i - 1]) {
+      return util::Status::InvalidArgument(
+          "sparse point ids must be strictly increasing");
+    }
+    if (universe_ != 0 && sorted_ids[i] >= universe_) {
+      return util::Status::OutOfRange("sparse point id exceeds universe");
+    }
+  }
+  indices_.insert(indices_.end(), sorted_ids.begin(), sorted_ids.end());
+  offsets_.push_back(indices_.size());
+  return util::Status::Ok();
+}
+
+}  // namespace data
+}  // namespace hybridlsh

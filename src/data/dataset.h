@@ -1,0 +1,163 @@
+// Point-set containers: dense real vectors, packed binary codes, and sparse
+// binary sets.
+//
+// Every container exposes the same minimal surface the index templates rely
+// on — `size()`, `point(i)` returning the family's Point type, and a
+// dimension accessor — so LshIndex / HybridIndex work over any of them:
+//
+//   DenseDataset   point(i) -> const float*          (L1 / L2 / cosine)
+//   BinaryDataset  point(i) -> const uint64_t*       (Hamming on packed codes)
+//   SparseDataset  point(i) -> span<const uint32_t>  (Jaccard on id sets)
+
+#ifndef HYBRIDLSH_DATA_DATASET_H_
+#define HYBRIDLSH_DATA_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace data {
+
+/// Dense real-valued point set, one point per row.
+class DenseDataset {
+ public:
+  using Point = const float*;
+
+  DenseDataset() = default;
+
+  /// Adopts a row-major matrix of points.
+  explicit DenseDataset(util::FloatMatrix points) : points_(std::move(points)) {}
+
+  /// Creates an n x dim zero dataset.
+  DenseDataset(size_t n, size_t dim) : points_(n, dim) {}
+
+  size_t size() const { return points_.rows(); }
+  size_t dim() const { return points_.cols(); }
+  bool empty() const { return points_.empty(); }
+
+  Point point(size_t i) const { return points_.Row(i); }
+  float* mutable_point(size_t i) { return points_.MutableRow(i); }
+
+  const util::FloatMatrix& matrix() const { return points_; }
+  util::FloatMatrix& mutable_matrix() { return points_; }
+
+  /// Appends one point (dimension must match; sets dim on first append).
+  void Append(std::span<const float> point) { points_.AppendRow(point); }
+
+ private:
+  util::FloatMatrix points_;
+};
+
+/// Packed binary codes, `width_bits` bits per point in 64-bit words.
+/// This is the container for the paper's MNIST pipeline: points are reduced
+/// to 64-bit SimHash fingerprints and searched under Hamming distance.
+class BinaryDataset {
+ public:
+  using Point = const uint64_t*;
+
+  BinaryDataset() = default;
+
+  /// Creates n all-zero codes of `width_bits` bits each (must be > 0 and a
+  /// multiple is not required; the last word is partially used).
+  BinaryDataset(size_t n, size_t width_bits)
+      : n_(n),
+        width_bits_(width_bits),
+        words_per_code_((width_bits + 63) / 64),
+        words_(n * words_per_code_, 0) {
+    HLSH_CHECK(width_bits > 0);
+  }
+
+  size_t size() const { return n_; }
+  /// Bits per code (the Hamming-space dimension).
+  size_t width_bits() const { return width_bits_; }
+  /// 64-bit words per code.
+  size_t words_per_code() const { return words_per_code_; }
+  bool empty() const { return n_ == 0; }
+
+  Point point(size_t i) const {
+    HLSH_DCHECK(i < n_);
+    return words_.data() + i * words_per_code_;
+  }
+  uint64_t* mutable_point(size_t i) {
+    HLSH_DCHECK(i < n_);
+    return words_.data() + i * words_per_code_;
+  }
+
+  /// Returns bit `bit` of code i.
+  bool GetBit(size_t i, size_t bit) const {
+    HLSH_DCHECK(bit < width_bits_);
+    return (point(i)[bit >> 6] >> (bit & 63)) & 1;
+  }
+
+  /// Sets bit `bit` of code i to `value`.
+  void SetBit(size_t i, size_t bit, bool value) {
+    HLSH_DCHECK(bit < width_bits_);
+    uint64_t& word = mutable_point(i)[bit >> 6];
+    const uint64_t mask = uint64_t{1} << (bit & 63);
+    if (value) {
+      word |= mask;
+    } else {
+      word &= ~mask;
+    }
+  }
+
+  /// Appends one code (must point at words_per_code() words).
+  void Append(const uint64_t* code) {
+    HLSH_CHECK(width_bits_ > 0);
+    words_.insert(words_.end(), code, code + words_per_code_);
+    ++n_;
+  }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+ private:
+  size_t n_ = 0;
+  size_t width_bits_ = 0;
+  size_t words_per_code_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Sparse binary point set: each point is a strictly increasing sequence of
+/// feature ids (CSR layout). The container for Jaccard / MinHash.
+class SparseDataset {
+ public:
+  using Point = std::span<const uint32_t>;
+
+  SparseDataset() : offsets_{0} {}
+
+  /// Creates an empty dataset over feature ids [0, universe).
+  explicit SparseDataset(uint32_t universe) : universe_(universe), offsets_{0} {}
+
+  size_t size() const { return offsets_.size() - 1; }
+  /// Exclusive upper bound on feature ids (0 = unknown).
+  uint32_t universe() const { return universe_; }
+  bool empty() const { return size() == 0; }
+
+  Point point(size_t i) const {
+    HLSH_DCHECK(i + 1 < offsets_.size());
+    return {indices_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+
+  /// Appends one point. Ids must be strictly increasing and below the
+  /// universe bound when one was given.
+  util::Status Append(std::span<const uint32_t> sorted_ids);
+
+  /// Total number of stored ids across all points.
+  size_t num_entries() const { return indices_.size(); }
+
+ private:
+  uint32_t universe_ = 0;
+  std::vector<uint32_t> indices_;
+  std::vector<size_t> offsets_;
+};
+
+}  // namespace data
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_DATA_DATASET_H_

@@ -1,0 +1,226 @@
+#include "data/io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace hybridlsh {
+namespace data {
+namespace {
+
+util::Status CannotOpen(const std::string& path) {
+  return util::Status::NotFound("cannot open file: " + path);
+}
+
+}  // namespace
+
+util::Status WriteFvecs(const DenseDataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return CannotOpen(path);
+  const int32_t dim = static_cast<int32_t>(dataset.dim());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    out.write(reinterpret_cast<const char*>(dataset.point(i)),
+              static_cast<std::streamsize>(sizeof(float) * dataset.dim()));
+  }
+  if (!out) return util::Status::DataLoss("short write: " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<DenseDataset> ReadFvecs(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return CannotOpen(path);
+  util::FloatMatrix matrix;
+  std::vector<float> row;
+  int32_t dim = 0;
+  while (in.read(reinterpret_cast<char*>(&dim), sizeof(dim))) {
+    if (dim <= 0) {
+      return util::Status::DataLoss("fvecs row with non-positive dimension");
+    }
+    if (matrix.rows() > 0 && static_cast<size_t>(dim) != matrix.cols()) {
+      return util::Status::DataLoss("fvecs rows have inconsistent dimensions");
+    }
+    row.resize(static_cast<size_t>(dim));
+    if (!in.read(reinterpret_cast<char*>(row.data()),
+                 static_cast<std::streamsize>(sizeof(float) * row.size()))) {
+      return util::Status::DataLoss("fvecs file truncated mid-row");
+    }
+    matrix.AppendRow(row);
+  }
+  return DenseDataset(std::move(matrix));
+}
+
+util::Status WriteCsv(const DenseDataset& dataset, const std::string& path,
+                      int precision) {
+  std::ofstream out(path);
+  if (!out) return CannotOpen(path);
+  out.precision(precision);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const float* row = dataset.point(i);
+    for (size_t j = 0; j < dataset.dim(); ++j) {
+      if (j > 0) out << ',';
+      out << row[j];
+    }
+    out << '\n';
+  }
+  if (!out) return util::Status::DataLoss("short write: " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<DenseDataset> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return CannotOpen(path);
+  util::FloatMatrix matrix;
+  std::string line;
+  std::vector<float> row;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    row.clear();
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      const float value = std::strtof(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return util::Status::DataLoss("csv parse error at line " +
+                                      std::to_string(line_no));
+      }
+      row.push_back(value);
+    }
+    if (matrix.rows() > 0 && row.size() != matrix.cols()) {
+      return util::Status::DataLoss("csv rows have inconsistent widths");
+    }
+    matrix.AppendRow(row);
+  }
+  return DenseDataset(std::move(matrix));
+}
+
+namespace {
+
+// Parses one libsvm line into (index, value) pairs; indices are 1-based in
+// the file. Returns false on malformed syntax.
+bool ParseLibsvmLine(const std::string& line,
+                     std::vector<std::pair<uint32_t, float>>* features) {
+  features->clear();
+  std::stringstream ss(line);
+  std::string token;
+  ss >> token;  // label, discarded
+  while (ss >> token) {
+    const size_t colon = token.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    char* end = nullptr;
+    const long index = std::strtol(token.c_str(), &end, 10);
+    if (end != token.c_str() + colon || index <= 0) return false;
+    const float value = std::strtof(token.c_str() + colon + 1, &end);
+    if (end == token.c_str() + colon + 1) return false;
+    features->emplace_back(static_cast<uint32_t>(index), value);
+  }
+  return true;
+}
+
+}  // namespace
+
+util::StatusOr<DenseDataset> ReadLibsvmDense(const std::string& path,
+                                             size_t dim) {
+  if (dim == 0) return util::Status::InvalidArgument("dim must be positive");
+  std::ifstream in(path);
+  if (!in) return CannotOpen(path);
+  util::FloatMatrix matrix;
+  std::string line;
+  std::vector<std::pair<uint32_t, float>> features;
+  std::vector<float> row(dim);
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!ParseLibsvmLine(line, &features)) {
+      return util::Status::DataLoss("libsvm parse error at line " +
+                                    std::to_string(line_no));
+    }
+    std::fill(row.begin(), row.end(), 0.0f);
+    for (const auto& [index, value] : features) {
+      if (index > dim) {
+        return util::Status::OutOfRange("libsvm feature index " +
+                                        std::to_string(index) +
+                                        " exceeds dim at line " +
+                                        std::to_string(line_no));
+      }
+      row[index - 1] = value;
+    }
+    matrix.AppendRow(row);
+  }
+  return DenseDataset(std::move(matrix));
+}
+
+util::StatusOr<SparseDataset> ReadLibsvmSparse(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return CannotOpen(path);
+  SparseDataset dataset;
+  std::string line;
+  std::vector<std::pair<uint32_t, float>> features;
+  std::vector<uint32_t> ids;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!ParseLibsvmLine(line, &features)) {
+      return util::Status::DataLoss("libsvm parse error at line " +
+                                    std::to_string(line_no));
+    }
+    ids.clear();
+    for (const auto& [index, value] : features) {
+      if (value != 0.0f) ids.push_back(index - 1);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    HLSH_RETURN_IF_ERROR(dataset.Append(ids));
+  }
+  return dataset;
+}
+
+util::Status WriteCodes(const BinaryDataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return CannotOpen(path);
+  const uint64_t header[2] = {dataset.size(), dataset.width_bits()};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(dataset.words().data()),
+            static_cast<std::streamsize>(dataset.words().size() *
+                                         sizeof(uint64_t)));
+  if (!out) return util::Status::DataLoss("short write: " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<BinaryDataset> ReadCodes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return CannotOpen(path);
+  uint64_t header[2];
+  if (!in.read(reinterpret_cast<char*>(header), sizeof(header))) {
+    return util::Status::DataLoss("codes file has no header");
+  }
+  const uint64_t n = header[0];
+  const uint64_t width_bits = header[1];
+  if (width_bits == 0 || width_bits > (uint64_t{1} << 24)) {
+    return util::Status::DataLoss("codes header has invalid width");
+  }
+  BinaryDataset dataset(n, width_bits);
+  std::vector<uint64_t>& words = dataset.mutable_words();
+  if (!in.read(reinterpret_cast<char*>(words.data()),
+               static_cast<std::streamsize>(words.size() * sizeof(uint64_t)))) {
+    return util::Status::DataLoss("codes file truncated");
+  }
+  // Must now be at EOF.
+  char extra;
+  if (in.read(&extra, 1)) {
+    return util::Status::DataLoss("codes file has trailing bytes");
+  }
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace hybridlsh

@@ -1,0 +1,60 @@
+// Dataset file formats.
+//
+// The library can ingest the public datasets the paper uses when they are
+// available, and round-trips synthetic datasets to disk for reproducible
+// experiment reruns:
+//
+//   * fvecs / ivecs  — the TEXMEX format (SIFT et al.): per row, an int32
+//     dimension followed by that many float32 / int32 values.
+//   * libsvm         — sparse text rows "label idx:val idx:val ..." with
+//     1-based indices (CoverType and Webspam ship in this format).
+//   * csv            — comma-separated floats, one point per line.
+//   * codes          — packed binary codes: a 16-byte header
+//     [n:uint64][width_bits:uint64] followed by the code words.
+//
+// All readers validate sizes and return DataLoss/InvalidArgument on
+// malformed input instead of aborting.
+
+#ifndef HYBRIDLSH_DATA_IO_H_
+#define HYBRIDLSH_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace data {
+
+/// Writes a dense dataset in fvecs format.
+util::Status WriteFvecs(const DenseDataset& dataset, const std::string& path);
+
+/// Reads an fvecs file. All rows must share one dimension.
+util::StatusOr<DenseDataset> ReadFvecs(const std::string& path);
+
+/// Writes a dense dataset as CSV with `precision` significant digits.
+util::Status WriteCsv(const DenseDataset& dataset, const std::string& path,
+                      int precision = 9);
+
+/// Reads a CSV of floats; all rows must share one width.
+util::StatusOr<DenseDataset> ReadCsv(const std::string& path);
+
+/// Reads a libsvm file into a dense dataset of `dim` columns (features at
+/// 1-based indices above dim are rejected). Labels are discarded.
+util::StatusOr<DenseDataset> ReadLibsvmDense(const std::string& path,
+                                             size_t dim);
+
+/// Reads a libsvm file into a sparse dataset (feature presence only, values
+/// discarded; indices converted to 0-based).
+util::StatusOr<SparseDataset> ReadLibsvmSparse(const std::string& path);
+
+/// Writes packed binary codes.
+util::Status WriteCodes(const BinaryDataset& dataset, const std::string& path);
+
+/// Reads packed binary codes written by WriteCodes.
+util::StatusOr<BinaryDataset> ReadCodes(const std::string& path);
+
+}  // namespace data
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_DATA_IO_H_

@@ -1,0 +1,97 @@
+#include "data/metric.h"
+
+#include <bit>
+#include <cmath>
+
+namespace hybridlsh {
+namespace data {
+
+std::string_view MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL1:
+      return "L1";
+    case Metric::kL2:
+      return "L2";
+    case Metric::kCosine:
+      return "cosine";
+    case Metric::kHamming:
+      return "hamming";
+    case Metric::kJaccard:
+      return "jaccard";
+  }
+  return "unknown";
+}
+
+float DotProduct(const float* a, const float* b, size_t d) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < d; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float Norm(const float* a, size_t d) {
+  return std::sqrt(DotProduct(a, a, d));
+}
+
+float SquaredL2Distance(const float* a, const float* b, size_t d) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float L2Distance(const float* a, const float* b, size_t d) {
+  return std::sqrt(SquaredL2Distance(a, b, d));
+}
+
+float L1Distance(const float* a, const float* b, size_t d) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < d; ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+float CosineDistance(const float* a, const float* b, size_t d) {
+  float dot = 0.0f, norm_a = 0.0f, norm_b = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    dot += a[i] * b[i];
+    norm_a += a[i] * a[i];
+    norm_b += b[i] * b[i];
+  }
+  const float denom = std::sqrt(norm_a) * std::sqrt(norm_b);
+  if (denom == 0.0f) return 1.0f;
+  // Clamp for numerical safety: cos in [-1, 1].
+  float cos = dot / denom;
+  if (cos > 1.0f) cos = 1.0f;
+  if (cos < -1.0f) cos = -1.0f;
+  return 1.0f - cos;
+}
+
+uint32_t HammingDistance(const uint64_t* a, const uint64_t* b, size_t words) {
+  uint32_t total = 0;
+  for (size_t i = 0; i < words; ++i) {
+    total += static_cast<uint32_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+float JaccardDistance(std::span<const uint32_t> a, std::span<const uint32_t> b) {
+  if (a.empty() && b.empty()) return 0.0f;
+  size_t i = 0, j = 0, intersection = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t union_size = a.size() + b.size() - intersection;
+  return 1.0f - static_cast<float>(intersection) / static_cast<float>(union_size);
+}
+
+}  // namespace data
+}  // namespace hybridlsh

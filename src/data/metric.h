@@ -1,0 +1,64 @@
+// Distance functions for every metric the paper evaluates.
+//
+// The paper runs rNNR under four metrics, each paired with its LSH family
+// (§4): L2 (Corel, random-projection LSH), L1 (CoverType), cosine (Webspam,
+// SimHash), and Hamming on 64-bit SimHash fingerprints (MNIST, bit
+// sampling). Jaccard is included for the MinHash extension.
+//
+// These kernels are the beta-cost operation of the cost model (Eq. 1/2):
+// both the linear-scan baseline and LSH candidate verification call them,
+// so they are plain tight loops that the compiler auto-vectorizes.
+
+#ifndef HYBRIDLSH_DATA_METRIC_H_
+#define HYBRIDLSH_DATA_METRIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace hybridlsh {
+namespace data {
+
+/// Metric identifiers used to pair datasets with LSH families.
+enum class Metric {
+  kL1,
+  kL2,
+  kCosine,
+  kHamming,
+  kJaccard,
+};
+
+/// Stable display name ("L1", "L2", "cosine", "hamming", "jaccard").
+std::string_view MetricName(Metric metric);
+
+/// Dot product <a, b> over d dimensions.
+float DotProduct(const float* a, const float* b, size_t d);
+
+/// Euclidean norm of a.
+float Norm(const float* a, size_t d);
+
+/// L2 (Euclidean) distance.
+float L2Distance(const float* a, const float* b, size_t d);
+
+/// Squared L2 distance (avoids the sqrt when comparing against r^2).
+float SquaredL2Distance(const float* a, const float* b, size_t d);
+
+/// L1 (Manhattan) distance.
+float L1Distance(const float* a, const float* b, size_t d);
+
+/// Cosine distance 1 - cos(a, b), in [0, 2]. Zero vectors are treated as
+/// maximally distant (returns 1) so that queries never divide by zero.
+float CosineDistance(const float* a, const float* b, size_t d);
+
+/// Hamming distance between two packed bit codes of `words` 64-bit words.
+uint32_t HammingDistance(const uint64_t* a, const uint64_t* b, size_t words);
+
+/// Jaccard distance 1 - |A ∩ B| / |A ∪ B| between two strictly increasing
+/// id sequences. Two empty sets have distance 0.
+float JaccardDistance(std::span<const uint32_t> a, std::span<const uint32_t> b);
+
+}  // namespace data
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_DATA_METRIC_H_

@@ -1,0 +1,375 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace data {
+namespace {
+
+// Draws cluster sizes summing to n. skew = 0 gives equal sizes; skew > 0
+// gives Zipf-like sizes (cluster c gets weight (c+1)^-skew).
+std::vector<size_t> ClusterSizes(size_t n, size_t num_clusters, double skew,
+                                 util::Rng* rng) {
+  std::vector<double> weights(num_clusters);
+  double total = 0;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    weights[c] = std::pow(static_cast<double>(c + 1), -skew);
+    total += weights[c];
+  }
+  std::vector<size_t> sizes(num_clusters, 0);
+  size_t assigned = 0;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    sizes[c] = static_cast<size_t>(weights[c] / total * static_cast<double>(n));
+    assigned += sizes[c];
+  }
+  // Distribute the rounding remainder at random.
+  while (assigned < n) {
+    ++sizes[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(num_clusters) - 1))];
+    ++assigned;
+  }
+  return sizes;
+}
+
+void NormalizeRow(float* row, size_t dim) {
+  double norm = 0;
+  for (size_t j = 0; j < dim; ++j) norm += static_cast<double>(row[j]) * row[j];
+  norm = std::sqrt(norm);
+  if (norm == 0) {
+    row[0] = 1.0f;
+    return;
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    row[j] = static_cast<float>(row[j] / norm);
+  }
+}
+
+}  // namespace
+
+DenseDataset MakeGaussianMixture(const GaussianMixtureConfig& config) {
+  HLSH_CHECK(config.num_clusters >= 1);
+  util::Rng rng(config.seed);
+  const std::vector<size_t> sizes =
+      ClusterSizes(config.n, config.num_clusters, config.cluster_size_skew, &rng);
+
+  // Sample cluster centers and scales.
+  util::FloatMatrix centers(config.num_clusters, config.dim);
+  std::vector<double> scales(config.num_clusters);
+  const double log_lo = std::log(config.scale_min);
+  const double log_hi = std::log(config.scale_max);
+  for (size_t c = 0; c < config.num_clusters; ++c) {
+    for (size_t j = 0; j < config.dim; ++j) {
+      const double coord =
+          config.center_gaussian_sigma > 0
+              ? rng.Gaussian(0.0, config.center_gaussian_sigma)
+              : rng.Uniform(-config.center_box, config.center_box);
+      centers.Set(c, j, static_cast<float>(coord));
+    }
+    if (config.scale_by_rank && config.num_clusters > 1) {
+      // Cluster sizes descend with rank, so rank-0 (largest) is tightest.
+      const double t = static_cast<double>(c) /
+                       static_cast<double>(config.num_clusters - 1);
+      scales[c] = std::exp(log_lo + (log_hi - log_lo) * t);
+    } else {
+      scales[c] = std::exp(rng.Uniform(log_lo, log_hi));
+    }
+  }
+
+  DenseDataset dataset(config.n, config.dim);
+  size_t row = 0;
+  for (size_t c = 0; c < config.num_clusters; ++c) {
+    for (size_t i = 0; i < sizes[c]; ++i, ++row) {
+      float* out = dataset.mutable_point(row);
+      const float* center = centers.Row(c);
+      for (size_t j = 0; j < config.dim; ++j) {
+        double value = center[j] + rng.Gaussian(0.0, scales[c]);
+        if (config.quantize_step > 0) {
+          value = std::round(value / config.quantize_step) * config.quantize_step;
+        }
+        out[j] = static_cast<float>(value);
+      }
+    }
+  }
+  HLSH_CHECK(row == config.n);
+  return dataset;
+}
+
+DenseDataset MakeUniformCube(size_t n, size_t dim, uint64_t seed) {
+  util::Rng rng(seed);
+  DenseDataset dataset(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    float* out = dataset.mutable_point(i);
+    for (size_t j = 0; j < dim; ++j) out[j] = static_cast<float>(rng.NextDouble());
+  }
+  return dataset;
+}
+
+DenseDataset MakeCorelLike(size_t n, size_t dim, uint64_t seed) {
+  GaussianMixtureConfig config;
+  config.n = n;
+  config.dim = dim;
+  config.num_clusters = 80;
+  config.cluster_size_skew = 0.8;  // a few large clusters + a long tail
+  // With d = 32, intra-cluster L2 distances concentrate near
+  // sigma * sqrt(2d) ~ 8 * sigma (0.28..0.48 here) and cross-cluster
+  // distances near sqrt(2d) * center_sigma + cluster spread (~0.5..0.9):
+  // the paper's radius sweep 0.35..0.60 therefore moves from "own cluster
+  // core" to "several overlapping clusters", reproducing the Figure 2(d)
+  // crossover where LSH outputs explode.
+  config.scale_min = 0.035;
+  config.scale_max = 0.06;
+  config.center_gaussian_sigma = 0.05;  // overlapping color-histogram blobs
+  config.seed = seed;
+  return MakeGaussianMixture(config);
+}
+
+DenseDataset MakeCovtypeLike(size_t n, size_t dim, uint64_t seed) {
+  GaussianMixtureConfig config;
+  config.n = n;
+  config.dim = dim;
+  config.num_clusters = 60;
+  config.cluster_size_skew = 1.3;  // dominant cover types hold ~1/3 of rows
+  // Intra-cluster L1 distance concentrates near 1.13 * sigma * d ~ 61 *
+  // sigma: the paper's sweep 3000..4000 progressively swallows whole
+  // clusters. Scales follow rank so the *dominant* clusters are the dense
+  // ones — CoverType's dominant cover types contain masses of identical
+  // cartographic rows, the paper's worst case for LSH deduplication.
+  config.scale_min = 4.0;
+  config.scale_max = 80.0;
+  config.scale_by_rank = true;
+  config.center_box = 800.0;
+  // CoverType features are integers; quantizing collapses the tight
+  // dominant-cluster cores into exact duplicates.
+  config.quantize_step = 40.0;
+  config.seed = seed;
+  return MakeGaussianMixture(config);
+}
+
+DenseDataset MakeWebspamLike(const WebspamLikeConfig& config) {
+  HLSH_CHECK(config.dim >= 2);
+  util::Rng rng(config.seed);
+  DenseDataset dataset(config.n, config.dim);
+
+  // The mega-cluster center: a fixed random direction.
+  std::vector<float> center(config.dim);
+  for (size_t j = 0; j < config.dim; ++j) {
+    center[j] = static_cast<float>(rng.Gaussian());
+  }
+  NormalizeRow(center.data(), config.dim);
+
+  const size_t cluster_count =
+      static_cast<size_t>(config.cluster_fraction * static_cast<double>(config.n));
+  for (size_t i = 0; i < config.n; ++i) {
+    float* out = dataset.mutable_point(i);
+    if (i < cluster_count) {
+      // x = normalize(center + eps * u); pairwise cosine distances grow with
+      // the eps of both endpoints, creating a density gradient inside the
+      // cluster (a tight near-duplicate core plus a looser shell). The
+      // log-uniform draw concentrates points in the core.
+      const double eps = std::exp(
+          rng.Uniform(std::log(config.eps_min), std::log(config.eps_max)));
+      for (size_t j = 0; j < config.dim; ++j) {
+        out[j] = center[j] + static_cast<float>(eps * rng.Gaussian() /
+                                                std::sqrt(static_cast<double>(
+                                                    config.dim)));
+      }
+    } else {
+      // Diffuse background: random directions (near-orthogonal to
+      // everything in high dimension, cosine distance ~ 1).
+      for (size_t j = 0; j < config.dim; ++j) {
+        out[j] = static_cast<float>(rng.Gaussian());
+      }
+    }
+    NormalizeRow(out, config.dim);
+  }
+  return dataset;
+}
+
+DenseDataset MakeMnistLike(size_t n, size_t dim, size_t num_classes,
+                           uint64_t seed) {
+  util::Rng rng(seed);
+  // Class prototypes: sparse "ink" patterns with ~20% active pixels.
+  util::FloatMatrix prototypes(num_classes, dim);
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (size_t j = 0; j < dim; ++j) {
+      prototypes.Set(c, j, rng.Bernoulli(0.2) ? 1.0f : 0.0f);
+    }
+  }
+  DenseDataset dataset(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(num_classes) - 1));
+    float* out = dataset.mutable_point(i);
+    const float* proto = prototypes.Row(c);
+    for (size_t j = 0; j < dim; ++j) {
+      // Blur the prototype and flip a small fraction of pixels.
+      float v = proto[j] + static_cast<float>(rng.Gaussian(0.0, 0.15));
+      if (rng.Bernoulli(0.03)) v = 1.0f - v;
+      out[j] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+  return dataset;
+}
+
+BinaryDataset MakeRandomCodes(size_t n, size_t width_bits, uint64_t seed) {
+  util::Rng rng(seed);
+  BinaryDataset dataset(n, width_bits);
+  const size_t words = dataset.words_per_code();
+  const size_t tail_bits = width_bits % 64;
+  const uint64_t tail_mask =
+      tail_bits == 0 ? ~uint64_t{0} : ((uint64_t{1} << tail_bits) - 1);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t* code = dataset.mutable_point(i);
+    for (size_t w = 0; w < words; ++w) code[w] = rng.NextU64();
+    code[words - 1] &= tail_mask;  // keep unused high bits zero
+  }
+  return dataset;
+}
+
+SparseDataset MakeRandomSparse(size_t n, uint32_t universe, size_t avg_set_size,
+                               uint64_t seed) {
+  HLSH_CHECK(avg_set_size >= 1 && avg_set_size <= universe);
+  util::Rng rng(seed);
+  SparseDataset dataset(universe);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t target = std::max<size_t>(
+        1, std::min<size_t>(universe, static_cast<size_t>(rng.UniformInt(
+                                          1, 2 * static_cast<int64_t>(
+                                                     avg_set_size)))));
+    auto ids = rng.SampleWithoutReplacement(universe,
+                                            static_cast<uint32_t>(target));
+    std::sort(ids.begin(), ids.end());
+    HLSH_CHECK(dataset.Append(ids).ok());
+  }
+  return dataset;
+}
+
+std::vector<uint32_t> PlantNeighborsL2(DenseDataset* dataset, const float* query,
+                                       double radius, size_t count,
+                                       util::Rng* rng) {
+  HLSH_CHECK(radius > 0);
+  const size_t dim = dataset->dim();
+  std::vector<uint32_t> ids;
+  std::vector<float> point(dim);
+  for (size_t i = 0; i < count; ++i) {
+    // Random direction, distance uniform in (0.05r, 0.95r].
+    std::vector<double> dir(dim);
+    double norm = 0;
+    for (size_t j = 0; j < dim; ++j) {
+      dir[j] = rng->Gaussian();
+      norm += dir[j] * dir[j];
+    }
+    norm = std::sqrt(norm);
+    const double dist = radius * rng->Uniform(0.05, 0.95);
+    for (size_t j = 0; j < dim; ++j) {
+      point[j] = query[j] + static_cast<float>(dir[j] / norm * dist);
+    }
+    ids.push_back(static_cast<uint32_t>(dataset->size()));
+    dataset->Append(point);
+  }
+  return ids;
+}
+
+std::vector<uint32_t> PlantNeighborsL1(DenseDataset* dataset, const float* query,
+                                       double radius, size_t count,
+                                       util::Rng* rng) {
+  HLSH_CHECK(radius > 0);
+  const size_t dim = dataset->dim();
+  std::vector<uint32_t> ids;
+  std::vector<float> point(dim);
+  for (size_t i = 0; i < count; ++i) {
+    // Exponential spacings normalized to the simplex give a uniform
+    // direction on the L1 sphere; random signs pick the orthant.
+    std::vector<double> mags(dim);
+    double total = 0;
+    for (size_t j = 0; j < dim; ++j) {
+      mags[j] = -std::log(1.0 - rng->NextDouble());
+      total += mags[j];
+    }
+    const double dist = radius * rng->Uniform(0.05, 0.95);
+    for (size_t j = 0; j < dim; ++j) {
+      const double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+      point[j] = query[j] + static_cast<float>(sign * mags[j] / total * dist);
+    }
+    ids.push_back(static_cast<uint32_t>(dataset->size()));
+    dataset->Append(point);
+  }
+  return ids;
+}
+
+std::vector<uint32_t> PlantNeighborsCosine(DenseDataset* dataset,
+                                           const float* query, double radius,
+                                           size_t count, util::Rng* rng) {
+  HLSH_CHECK(radius > 0 && radius < 1);
+  const size_t dim = dataset->dim();
+  HLSH_CHECK(dim >= 2);
+  // Normalize the query direction.
+  std::vector<double> q_hat(dim);
+  double q_norm = 0;
+  for (size_t j = 0; j < dim; ++j) {
+    q_hat[j] = query[j];
+    q_norm += q_hat[j] * q_hat[j];
+  }
+  q_norm = std::sqrt(q_norm);
+  HLSH_CHECK(q_norm > 0);
+  for (size_t j = 0; j < dim; ++j) q_hat[j] /= q_norm;
+
+  std::vector<uint32_t> ids;
+  std::vector<float> point(dim);
+  for (size_t i = 0; i < count; ++i) {
+    // Random direction orthogonal to q (Gram-Schmidt).
+    std::vector<double> u(dim);
+    double dot = 0;
+    for (size_t j = 0; j < dim; ++j) {
+      u[j] = rng->Gaussian();
+      dot += u[j] * q_hat[j];
+    }
+    double u_norm = 0;
+    for (size_t j = 0; j < dim; ++j) {
+      u[j] -= dot * q_hat[j];
+      u_norm += u[j] * u[j];
+    }
+    u_norm = std::sqrt(u_norm);
+    HLSH_CHECK(u_norm > 0);
+    // Target cosine distance t in (0, radius); angle = arccos(1 - t).
+    const double t = radius * rng->Uniform(0.05, 0.95);
+    const double angle = std::acos(1.0 - t);
+    const double scale = rng->Uniform(0.5, 2.0);  // cosine ignores norms
+    for (size_t j = 0; j < dim; ++j) {
+      point[j] = static_cast<float>(
+          scale * (std::cos(angle) * q_hat[j] + std::sin(angle) * u[j] / u_norm));
+    }
+    ids.push_back(static_cast<uint32_t>(dataset->size()));
+    dataset->Append(point);
+  }
+  return ids;
+}
+
+std::vector<uint32_t> PlantNeighborsHamming(BinaryDataset* dataset,
+                                            const uint64_t* query,
+                                            uint32_t radius, size_t count,
+                                            util::Rng* rng) {
+  HLSH_CHECK(radius >= 1);
+  HLSH_CHECK(radius <= dataset->width_bits());
+  const size_t words = dataset->words_per_code();
+  std::vector<uint32_t> ids;
+  std::vector<uint64_t> code(words);
+  for (size_t i = 0; i < count; ++i) {
+    std::memcpy(code.data(), query, words * sizeof(uint64_t));
+    const uint32_t flips = static_cast<uint32_t>(
+        rng->UniformInt(1, static_cast<int64_t>(radius)));
+    const auto positions = rng->SampleWithoutReplacement(
+        static_cast<uint32_t>(dataset->width_bits()), flips);
+    for (uint32_t bit : positions) code[bit >> 6] ^= uint64_t{1} << (bit & 63);
+    ids.push_back(static_cast<uint32_t>(dataset->size()));
+    dataset->Append(code.data());
+  }
+  return ids;
+}
+
+}  // namespace data
+}  // namespace hybridlsh

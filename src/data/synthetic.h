@@ -1,0 +1,143 @@
+// Synthetic dataset generators reproducing the paper's four data regimes.
+//
+// The paper evaluates on Corel Images, CoverType, Webspam, and MNIST. Those
+// files are not available offline, so each generator below synthesizes a
+// point set with the same size, dimension, metric, and — most importantly —
+// the *local-density profile* that drives the paper's results (see
+// DESIGN.md §2 "Dataset substitutions"):
+//
+//   * MakeCorelLike    — smooth Gaussian mixture (L2; Figure 2d regime).
+//   * MakeCovtypeLike  — skewed, heavy-tailed mixture with integer-scale
+//                        features (L1; Figure 2c regime).
+//   * MakeWebspamLike  — one tight mega-cluster holding roughly half the
+//                        points plus a diffuse remainder, on the unit
+//                        sphere (cosine; Figures 2b and 3: max output
+//                        size ~ n/2 at tiny radii, min output ~ 0).
+//   * MakeMnistLike    — clustered near-binary vectors meant to be reduced
+//                        to 64-bit SimHash fingerprints and searched under
+//                        Hamming distance (Figure 2a regime).
+//
+// All generators are deterministic in the seed.
+
+#ifndef HYBRIDLSH_DATA_SYNTHETIC_H_
+#define HYBRIDLSH_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/metric.h"
+#include "util/random.h"
+
+namespace hybridlsh {
+namespace data {
+
+/// Configuration for the generic Gaussian-mixture generator.
+struct GaussianMixtureConfig {
+  size_t n = 10000;
+  size_t dim = 32;
+  size_t num_clusters = 50;
+  /// Per-cluster point counts follow a Zipf(s) distribution; 0 = uniform.
+  double cluster_size_skew = 0.0;
+  /// Cluster standard deviations are drawn log-uniformly from this range,
+  /// giving the "diverse local density patterns" of the paper's Figure 1.
+  double scale_min = 0.5;
+  double scale_max = 2.0;
+  /// If true, scales are assigned by cluster rank instead of at random:
+  /// the largest cluster gets scale_min, the smallest scale_max. Models
+  /// data whose dominant classes are dense/duplicated (CoverType).
+  bool scale_by_rank = false;
+  /// Cluster centers are uniform in [-center_box, center_box]^dim...
+  double center_box = 10.0;
+  /// ...unless this is > 0, in which case centers are N(0, sigma^2 I):
+  /// with small sigma the clusters overlap, so growing the search radius
+  /// sweeps from "own cluster" to "several clusters" (Corel's regime).
+  double center_gaussian_sigma = 0.0;
+  /// If > 0, every feature is rounded to a multiple of this step. Mimics
+  /// integer-valued data (CoverType), which collapses cluster cores into
+  /// exact duplicates — the paper's worst case for LSH deduplication.
+  double quantize_step = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Samples a Gaussian mixture per the config.
+DenseDataset MakeGaussianMixture(const GaussianMixtureConfig& config);
+
+/// Uniform points in [0, 1]^dim (featureless baseline for tests).
+DenseDataset MakeUniformCube(size_t n, size_t dim, uint64_t seed);
+
+/// Corel-Images-like set: n x dim smooth mixture, L2 regime.
+/// Defaults mirror the paper (n = 68,040, d = 32).
+DenseDataset MakeCorelLike(size_t n = 68040, size_t dim = 32, uint64_t seed = 1);
+
+/// CoverType-like set: skewed mixture with feature scales of order 100 so
+/// that interesting L1 radii fall near the paper's 3000-4000 range.
+/// Defaults mirror the paper (n = 581,012, d = 54).
+DenseDataset MakeCovtypeLike(size_t n = 581012, size_t dim = 54,
+                             uint64_t seed = 1);
+
+/// Configuration for the Webspam-like generator.
+struct WebspamLikeConfig {
+  size_t n = 350000;
+  size_t dim = 254;
+  /// Fraction of points inside the mega-cluster.
+  double cluster_fraction = 0.55;
+  /// Perturbation magnitudes within the mega-cluster, drawn log-uniformly
+  /// from [eps_min, eps_max]: the log draw concentrates mass at small eps,
+  /// giving a dense near-duplicate core (spam pages are copies of each
+  /// other) whose pairwise cosine distances straddle the paper's radius
+  /// range r in [0.05, 0.10].
+  double eps_min = 0.02;
+  double eps_max = 0.40;
+  uint64_t seed = 1;
+};
+
+/// Webspam-like set on the unit sphere under cosine distance.
+DenseDataset MakeWebspamLike(const WebspamLikeConfig& config = {});
+
+/// MNIST-like set: `num_classes` prototype clusters of near-binary pixel
+/// vectors. Defaults mirror the paper (n = 60,000, d = 780).
+DenseDataset MakeMnistLike(size_t n = 60000, size_t dim = 780,
+                           size_t num_classes = 10, uint64_t seed = 1);
+
+/// Random packed binary codes with each bit i.i.d. Bernoulli(1/2).
+BinaryDataset MakeRandomCodes(size_t n, size_t width_bits, uint64_t seed);
+
+/// Random sparse sets: each point samples `avg_set_size` ids (geometrically
+/// varied) from [0, universe). For MinHash / Jaccard tests.
+SparseDataset MakeRandomSparse(size_t n, uint32_t universe, size_t avg_set_size,
+                               uint64_t seed);
+
+// --- Planted neighbors -----------------------------------------------------
+// Appends `count` points at controlled distance <= radius (and > 0) from
+// `query`, so recall tests can assert on guaranteed-nonempty result sets.
+// Returns the ids of the appended points.
+
+/// L2: neighbors uniform in the radius ball (by scaled Gaussian direction).
+std::vector<uint32_t> PlantNeighborsL2(DenseDataset* dataset, const float* query,
+                                       double radius, size_t count,
+                                       util::Rng* rng);
+
+/// L1: neighbors at L1 distance uniform in (0, radius] (exponential-simplex
+/// direction with random signs).
+std::vector<uint32_t> PlantNeighborsL1(DenseDataset* dataset, const float* query,
+                                       double radius, size_t count,
+                                       util::Rng* rng);
+
+/// Cosine: neighbors at cosine distance uniform in (0, radius] (rotation of
+/// the query toward a random orthogonal direction). Requires radius < 1.
+std::vector<uint32_t> PlantNeighborsCosine(DenseDataset* dataset,
+                                           const float* query, double radius,
+                                           size_t count, util::Rng* rng);
+
+/// Hamming: appends codes obtained from `query` by flipping 1..radius
+/// distinct random bits.
+std::vector<uint32_t> PlantNeighborsHamming(BinaryDataset* dataset,
+                                            const uint64_t* query,
+                                            uint32_t radius, size_t count,
+                                            util::Rng* rng);
+
+}  // namespace data
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_DATA_SYNTHETIC_H_

@@ -1,0 +1,125 @@
+#include "data/transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace hybridlsh {
+namespace data {
+
+void NormalizeUnitL2(DenseDataset* dataset) {
+  const size_t dim = dataset->dim();
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    float* point = dataset->mutable_point(i);
+    const float norm = Norm(point, dim);
+    if (norm == 0.0f) continue;
+    for (size_t j = 0; j < dim; ++j) point[j] /= norm;
+  }
+}
+
+void AffineTransform::ApplyToPoint(float* point) const {
+  for (size_t j = 0; j < shift.size(); ++j) {
+    point[j] = (point[j] - shift[j]) * scale[j];
+  }
+}
+
+util::Status AffineTransform::Apply(DenseDataset* dataset) const {
+  if (dataset->dim() != dim()) {
+    return util::Status::InvalidArgument(
+        "transform dimension mismatches dataset");
+  }
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    ApplyToPoint(dataset->mutable_point(i));
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<AffineTransform> FitMinMax(const DenseDataset& dataset) {
+  if (dataset.empty()) {
+    return util::Status::InvalidArgument("cannot fit on an empty dataset");
+  }
+  const size_t dim = dataset.dim();
+  std::vector<float> lo(dim, 3.4e38f), hi(dim, -3.4e38f);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const float* point = dataset.point(i);
+    for (size_t j = 0; j < dim; ++j) {
+      lo[j] = std::min(lo[j], point[j]);
+      hi[j] = std::max(hi[j], point[j]);
+    }
+  }
+  AffineTransform transform;
+  transform.shift = lo;
+  transform.scale.resize(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    const float range = hi[j] - lo[j];
+    transform.scale[j] = range > 0 ? 1.0f / range : 0.0f;
+  }
+  return transform;
+}
+
+util::StatusOr<AffineTransform> FitStandardize(const DenseDataset& dataset) {
+  if (dataset.empty()) {
+    return util::Status::InvalidArgument("cannot fit on an empty dataset");
+  }
+  const size_t dim = dataset.dim();
+  std::vector<util::RunningStat> stats(dim);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const float* point = dataset.point(i);
+    for (size_t j = 0; j < dim; ++j) stats[j].Add(point[j]);
+  }
+  AffineTransform transform;
+  transform.shift.resize(dim);
+  transform.scale.resize(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    transform.shift[j] = static_cast<float>(stats[j].mean());
+    const double sd = stats[j].stddev();
+    transform.scale[j] = sd > 0 ? static_cast<float>(1.0 / sd) : 0.0f;
+  }
+  return transform;
+}
+
+util::StatusOr<std::vector<float>> DistanceQuantiles(
+    const DenseDataset& dataset, Metric metric,
+    const std::vector<double>& quantiles, size_t num_pairs, uint64_t seed) {
+  if (dataset.size() < 2) {
+    return util::Status::InvalidArgument("need at least two points");
+  }
+  if (metric != Metric::kL1 && metric != Metric::kL2 &&
+      metric != Metric::kCosine) {
+    return util::Status::InvalidArgument(
+        "DistanceQuantiles supports dense metrics (L1, L2, cosine)");
+  }
+  util::Rng rng(seed);
+  const size_t dim = dataset.dim();
+  const int64_t max_id = static_cast<int64_t>(dataset.size()) - 1;
+  std::vector<double> distances;
+  distances.reserve(num_pairs);
+  for (size_t p = 0; p < num_pairs; ++p) {
+    const size_t a = static_cast<size_t>(rng.UniformInt(0, max_id));
+    size_t b = static_cast<size_t>(rng.UniformInt(0, max_id));
+    if (a == b) b = (b + 1) % dataset.size();
+    switch (metric) {
+      case Metric::kL1:
+        distances.push_back(L1Distance(dataset.point(a), dataset.point(b), dim));
+        break;
+      case Metric::kL2:
+        distances.push_back(L2Distance(dataset.point(a), dataset.point(b), dim));
+        break;
+      default:
+        distances.push_back(
+            CosineDistance(dataset.point(a), dataset.point(b), dim));
+        break;
+    }
+  }
+  std::vector<float> out;
+  out.reserve(quantiles.size());
+  for (double q : quantiles) {
+    out.push_back(static_cast<float>(util::Percentile(distances, q)));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace hybridlsh

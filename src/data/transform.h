@@ -1,0 +1,63 @@
+// Dataset preprocessing transforms.
+//
+// Real ingestion pipelines condition vectors before indexing: cosine/
+// SimHash needs unit norms only for interpretability (SimHash itself is
+// scale-invariant), L2/L1 radii are usually calibrated on standardized or
+// min-max-scaled features, and distance-to-radius calibration needs
+// distance quantiles. Each transform here is deterministic, validated, and
+// returns parameters so the *same* transform can be applied to queries —
+// transforming the base set but not the queries is the classic rNNR bug.
+
+#ifndef HYBRIDLSH_DATA_TRANSFORM_H_
+#define HYBRIDLSH_DATA_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/metric.h"
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace data {
+
+/// Scales every point to unit L2 norm in place. Zero vectors are left
+/// untouched (cosine treats them as maximally distant already).
+void NormalizeUnitL2(DenseDataset* dataset);
+
+/// Per-dimension affine parameters produced by the fitting transforms.
+struct AffineTransform {
+  /// x' = (x - shift) * scale, per dimension.
+  std::vector<float> shift;
+  std::vector<float> scale;
+
+  size_t dim() const { return shift.size(); }
+
+  /// Applies to one point in place.
+  void ApplyToPoint(float* point) const;
+
+  /// Applies to every point; fails on dimension mismatch.
+  util::Status Apply(DenseDataset* dataset) const;
+};
+
+/// Fits a min-max scaler mapping each dimension of `dataset` onto [0, 1].
+/// Constant dimensions map to 0. Fails on an empty dataset.
+util::StatusOr<AffineTransform> FitMinMax(const DenseDataset& dataset);
+
+/// Fits a standardizer (zero mean, unit variance per dimension; constant
+/// dimensions get scale 0). Fails on an empty dataset.
+util::StatusOr<AffineTransform> FitStandardize(const DenseDataset& dataset);
+
+/// Estimates distance quantiles between random point pairs — the standard
+/// way to pick meaningful rNNR radii for an unfamiliar dataset (e.g. the
+/// 1% quantile as a "near" radius). Returns the quantile values aligned
+/// with `quantiles` (each in [0,1]). Uses `num_pairs` sampled pairs.
+util::StatusOr<std::vector<float>> DistanceQuantiles(
+    const DenseDataset& dataset, Metric metric,
+    const std::vector<double>& quantiles, size_t num_pairs = 10000,
+    uint64_t seed = 1);
+
+}  // namespace data
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_DATA_TRANSFORM_H_

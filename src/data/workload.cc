@@ -1,0 +1,151 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace hybridlsh {
+namespace data {
+
+DenseSplit SplitQueries(const DenseDataset& dataset, size_t num_queries,
+                        uint64_t seed) {
+  HLSH_CHECK(num_queries <= dataset.size());
+  util::Rng rng(seed);
+  auto query_ids = rng.SampleWithoutReplacement(
+      static_cast<uint32_t>(dataset.size()), static_cast<uint32_t>(num_queries));
+  std::sort(query_ids.begin(), query_ids.end());
+
+  DenseSplit split;
+  split.base = DenseDataset(dataset.size() - num_queries, dataset.dim());
+  split.queries = DenseDataset(num_queries, dataset.dim());
+  size_t base_row = 0, query_row = 0, next_query = 0;
+  const size_t bytes = dataset.dim() * sizeof(float);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (next_query < query_ids.size() && i == query_ids[next_query]) {
+      std::memcpy(split.queries.mutable_point(query_row++), dataset.point(i),
+                  bytes);
+      ++next_query;
+    } else {
+      std::memcpy(split.base.mutable_point(base_row++), dataset.point(i), bytes);
+    }
+  }
+  return split;
+}
+
+BinarySplit SplitQueriesBinary(const BinaryDataset& dataset, size_t num_queries,
+                               uint64_t seed) {
+  HLSH_CHECK(num_queries <= dataset.size());
+  util::Rng rng(seed);
+  auto query_ids = rng.SampleWithoutReplacement(
+      static_cast<uint32_t>(dataset.size()), static_cast<uint32_t>(num_queries));
+  std::unordered_set<uint32_t> query_set(query_ids.begin(), query_ids.end());
+
+  BinarySplit split;
+  split.base = BinaryDataset(0, dataset.width_bits());
+  split.queries = BinaryDataset(0, dataset.width_bits());
+  // Preserve original order for determinism.
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (query_set.count(static_cast<uint32_t>(i))) {
+      split.queries.Append(dataset.point(i));
+    } else {
+      split.base.Append(dataset.point(i));
+    }
+  }
+  return split;
+}
+
+std::vector<uint32_t> RangeScanDense(const DenseDataset& dataset,
+                                     const float* query, double radius,
+                                     Metric metric) {
+  std::vector<uint32_t> result;
+  const size_t d = dataset.dim();
+  switch (metric) {
+    case Metric::kL2: {
+      // Compare squared distances to avoid n square roots.
+      const double r2 = radius * radius;
+      for (size_t i = 0; i < dataset.size(); ++i) {
+        if (SquaredL2Distance(dataset.point(i), query, d) <= r2) {
+          result.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      break;
+    }
+    case Metric::kL1:
+      for (size_t i = 0; i < dataset.size(); ++i) {
+        if (L1Distance(dataset.point(i), query, d) <= radius) {
+          result.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      break;
+    case Metric::kCosine:
+      for (size_t i = 0; i < dataset.size(); ++i) {
+        if (CosineDistance(dataset.point(i), query, d) <= radius) {
+          result.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      break;
+    default:
+      HLSH_CHECK(false && "RangeScanDense supports L1, L2 and cosine only");
+  }
+  return result;
+}
+
+std::vector<uint32_t> RangeScanBinary(const BinaryDataset& dataset,
+                                      const uint64_t* query, uint32_t radius) {
+  std::vector<uint32_t> result;
+  const size_t words = dataset.words_per_code();
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (HammingDistance(dataset.point(i), query, words) <= radius) {
+      result.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return result;
+}
+
+std::vector<uint32_t> RangeScanSparse(const SparseDataset& dataset,
+                                      SparseDataset::Point query,
+                                      double radius) {
+  std::vector<uint32_t> result;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (JaccardDistance(dataset.point(i), query) <= radius) {
+      result.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<uint32_t>> GroundTruthDense(const DenseDataset& dataset,
+                                                    const DenseDataset& queries,
+                                                    double radius, Metric metric,
+                                                    size_t num_threads) {
+  std::vector<std::vector<uint32_t>> truth(queries.size());
+  util::ParallelFor(0, queries.size(), num_threads, [&](size_t q) {
+    truth[q] = RangeScanDense(dataset, queries.point(q), radius, metric);
+  });
+  return truth;
+}
+
+std::vector<std::vector<uint32_t>> GroundTruthBinary(
+    const BinaryDataset& dataset, const BinaryDataset& queries, uint32_t radius,
+    size_t num_threads) {
+  std::vector<std::vector<uint32_t>> truth(queries.size());
+  util::ParallelFor(0, queries.size(), num_threads, [&](size_t q) {
+    truth[q] = RangeScanBinary(dataset, queries.point(q), radius);
+  });
+  return truth;
+}
+
+double Recall(const std::vector<uint32_t>& reported,
+              const std::vector<uint32_t>& truth) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<uint32_t> reported_set(reported.begin(), reported.end());
+  size_t hits = 0;
+  for (uint32_t id : truth) hits += reported_set.count(id);
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace data
+}  // namespace hybridlsh

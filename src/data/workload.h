@@ -1,0 +1,75 @@
+// Query workloads and exact ground truth.
+//
+// The paper's protocol (§4): "For each dataset, we randomly remove 100
+// points and use it as the query set, and report the average of 5 runs of
+// algorithms on the query set." SplitQueries implements the removal;
+// GroundTruth computes the exact rNNR answer by (parallel) linear scan so
+// that recall and output-size plots (Figure 3 left) can be produced.
+
+#ifndef HYBRIDLSH_DATA_WORKLOAD_H_
+#define HYBRIDLSH_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/metric.h"
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace data {
+
+/// A dataset with `num_queries` points removed and used as queries.
+struct DenseSplit {
+  DenseDataset base;
+  DenseDataset queries;
+};
+
+/// Randomly removes `num_queries` points (paper protocol). Requires
+/// num_queries <= dataset.size().
+DenseSplit SplitQueries(const DenseDataset& dataset, size_t num_queries,
+                        uint64_t seed);
+
+/// Binary-code variant of SplitQueries.
+struct BinarySplit {
+  BinaryDataset base;
+  BinaryDataset queries;
+};
+BinarySplit SplitQueriesBinary(const BinaryDataset& dataset, size_t num_queries,
+                               uint64_t seed);
+
+/// Exact rNNR answer for one dense query by linear scan: ids of all points
+/// with distance(point, query) <= radius under `metric` (kL1, kL2 or
+/// kCosine), in increasing id order.
+std::vector<uint32_t> RangeScanDense(const DenseDataset& dataset,
+                                     const float* query, double radius,
+                                     Metric metric);
+
+/// Exact rNNR answer for one binary query under Hamming distance.
+std::vector<uint32_t> RangeScanBinary(const BinaryDataset& dataset,
+                                      const uint64_t* query, uint32_t radius);
+
+/// Exact rNNR answer for one sparse query under Jaccard distance.
+std::vector<uint32_t> RangeScanSparse(const SparseDataset& dataset,
+                                      SparseDataset::Point query, double radius);
+
+/// Ground truth for a dense query set, parallelized over queries.
+std::vector<std::vector<uint32_t>> GroundTruthDense(const DenseDataset& dataset,
+                                                    const DenseDataset& queries,
+                                                    double radius, Metric metric,
+                                                    size_t num_threads = 1);
+
+/// Ground truth for a binary query set, parallelized over queries.
+std::vector<std::vector<uint32_t>> GroundTruthBinary(
+    const BinaryDataset& dataset, const BinaryDataset& queries, uint32_t radius,
+    size_t num_threads = 1);
+
+/// Fraction of `truth` ids present in `reported` (1.0 when truth is empty).
+/// `reported` need not be sorted; `truth` must be the exact answer set.
+double Recall(const std::vector<uint32_t>& reported,
+              const std::vector<uint32_t>& truth);
+
+}  // namespace data
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_DATA_WORKLOAD_H_

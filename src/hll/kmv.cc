@@ -1,0 +1,59 @@
+#include "hll/kmv.h"
+
+#include <algorithm>
+
+namespace hybridlsh {
+namespace hll {
+
+KmvSketch::KmvSketch(size_t k) : k_(k) {
+  HLSH_CHECK(k >= 3);
+  heap_.reserve(k);
+}
+
+util::StatusOr<KmvSketch> KmvSketch::Create(size_t k) {
+  if (k < 3) {
+    return util::Status::InvalidArgument("KMV sketch requires k >= 3");
+  }
+  return KmvSketch(k);
+}
+
+bool KmvSketch::Contains(uint64_t hash) const {
+  return std::find(heap_.begin(), heap_.end(), hash) != heap_.end();
+}
+
+void KmvSketch::AddHash(uint64_t hash) {
+  if (heap_.size() < k_) {
+    if (Contains(hash)) return;
+    heap_.push_back(hash);
+    std::push_heap(heap_.begin(), heap_.end());
+    return;
+  }
+  if (hash >= heap_.front() || Contains(hash)) return;
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.back() = hash;
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+double KmvSketch::Estimate() const {
+  if (heap_.size() < k_) {
+    // Saw fewer than k distinct hashes: the sketch is lossless.
+    return static_cast<double>(heap_.size());
+  }
+  // Normalize the k-th minimum to (0, 1]; estimator (k-1)/U_(k).
+  const double kth = static_cast<double>(heap_.front());
+  const double normalized =
+      (kth + 1.0) / 18446744073709551616.0;  // 2^64, avoids division by zero
+  return static_cast<double>(k_ - 1) / normalized;
+}
+
+util::Status KmvSketch::Merge(const KmvSketch& other) {
+  if (k_ != other.k_) {
+    return util::Status::FailedPrecondition(
+        "cannot merge KMV sketches with different k");
+  }
+  for (uint64_t hash : other.heap_) AddHash(hash);
+  return util::Status::Ok();
+}
+
+}  // namespace hll
+}  // namespace hybridlsh

@@ -1,0 +1,108 @@
+// Covering LSH for Hamming distance (Pagh, SODA 2016): LSH *without false
+// negatives*, the second "future work" integration the paper names (§5).
+//
+// Construction: pick b = radius + 1 and a random map phi from bit
+// positions [D] to {0,1}^b. For every nonzero a in {0,1}^b define
+// h_a(x) = (x_i : <phi(i), a> = 1 over GF(2)) — i.e., table a masks the
+// code to the positions whose phi-vector has odd inner product with a.
+// That yields 2^(r+1) - 1 correlated tables.
+//
+// Guarantee: if Hamming(x, q) <= r, the differing positions D' span at
+// most r < b dimensions of GF(2)^b, so a nonzero vector a* orthogonal to
+// all of phi(D') exists; table a* masks out every differing bit and x
+// collides with q there — deterministically, for every query.
+//
+// The exponential table count is inherent to the scheme; Build rejects
+// radius > kMaxRadius. Buckets carry HLL sketches exactly like LshTable, so
+// the hybrid cost model runs on covering LSH unchanged — the combination
+// the paper proposes as future work (bench_covering_lsh).
+
+#ifndef HYBRIDLSH_LSH_COVERING_H_
+#define HYBRIDLSH_LSH_COVERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/metric.h"
+#include "hll/hyperloglog.h"
+#include "lsh/table.h"
+#include "util/bit_vector.h"
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace lsh {
+
+/// Covering LSH index over packed binary codes.
+class CoveringLshIndex {
+ public:
+  using Point = const uint64_t*;
+
+  /// Largest supported radius: 2^(12+1) - 1 = 8191 tables.
+  static constexpr uint32_t kMaxRadius = 12;
+
+  struct Options {
+    /// The radius r the no-false-negative guarantee must hold for.
+    uint32_t radius = 2;
+    int hll_precision = 7;
+    size_t small_bucket_threshold = LshTable::kThresholdAuto;
+    uint64_t seed = 1;
+    size_t num_build_threads = 1;
+  };
+
+  /// Builds the 2^(radius+1) - 1 masked tables over `dataset`.
+  static util::StatusOr<CoveringLshIndex> Build(
+      const data::BinaryDataset& dataset, const Options& options);
+
+  /// Bucket keys of a query, one per table.
+  void QueryKeys(Point code, std::vector<uint64_t>* keys) const;
+
+  /// Exact #collisions + candSize estimate via merged bucket HLLs.
+  struct ProbeEstimate {
+    uint64_t collisions = 0;
+    double cand_estimate = 0.0;
+  };
+  ProbeEstimate EstimateProbe(std::span<const uint64_t> keys,
+                              hll::HyperLogLog* scratch) const;
+
+  /// Dedups all probed ids into `visited`; returns exact #collisions.
+  uint64_t CollectCandidates(std::span<const uint64_t> keys,
+                             util::VisitedSet* visited) const;
+
+  /// Hamming distance between two codes of this index's width.
+  double Distance(Point a, Point b) const {
+    return data::HammingDistance(a, b, words_per_code_);
+  }
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  size_t size() const { return num_points_; }
+  uint32_t radius() const { return radius_; }
+  size_t width_bits() const { return width_bits_; }
+  int hll_precision() const { return hll_precision_; }
+
+  hll::HyperLogLog MakeScratchSketch() const {
+    return hll::HyperLogLog(hll_precision_);
+  }
+
+  /// Total heap bytes across tables.
+  size_t MemoryBytes() const;
+
+ private:
+  CoveringLshIndex() = default;
+
+  uint32_t radius_ = 0;
+  size_t width_bits_ = 0;
+  size_t words_per_code_ = 0;
+  size_t num_points_ = 0;
+  int hll_precision_ = 7;
+  uint64_t seed_ = 0;
+  // masks_[t] holds words_per_code_ words: table t keeps bit i iff
+  // <phi(i), a_t> = 1, where a_t = t + 1.
+  std::vector<std::vector<uint64_t>> masks_;
+  std::vector<LshTable> tables_;
+};
+
+}  // namespace lsh
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_LSH_COVERING_H_

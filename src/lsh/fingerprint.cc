@@ -1,0 +1,48 @@
+#include "lsh/fingerprint.h"
+
+#include <cstring>
+
+#include "data/metric.h"
+#include "util/random.h"
+
+namespace hybridlsh {
+namespace lsh {
+
+Fingerprinter::Fingerprinter(size_t dim, size_t width_bits, uint64_t seed)
+    : dim_(dim), width_bits_(width_bits), hyperplanes_(width_bits, dim) {
+  HLSH_CHECK(dim > 0);
+  HLSH_CHECK(width_bits > 0);
+  util::Rng rng(seed);
+  for (size_t i = 0; i < width_bits; ++i) {
+    float* row = hyperplanes_.MutableRow(i);
+    for (size_t j = 0; j < dim; ++j) {
+      row[j] = static_cast<float>(rng.Gaussian());
+    }
+  }
+}
+
+void Fingerprinter::TransformPoint(const float* point,
+                                   uint64_t* out_words) const {
+  std::memset(out_words, 0, words_per_code() * sizeof(uint64_t));
+  for (size_t bit = 0; bit < width_bits_; ++bit) {
+    if (data::DotProduct(hyperplanes_.Row(bit), point, dim_) >= 0.0f) {
+      out_words[bit >> 6] |= uint64_t{1} << (bit & 63);
+    }
+  }
+}
+
+util::StatusOr<data::BinaryDataset> Fingerprinter::Transform(
+    const data::DenseDataset& dataset) const {
+  if (dataset.dim() != dim_) {
+    return util::Status::InvalidArgument(
+        "dataset dimension does not match fingerprinter");
+  }
+  data::BinaryDataset codes(dataset.size(), width_bits_);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    TransformPoint(dataset.point(i), codes.mutable_point(i));
+  }
+  return codes;
+}
+
+}  // namespace lsh
+}  // namespace hybridlsh

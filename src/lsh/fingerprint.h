@@ -1,0 +1,52 @@
+// SimHash fingerprinting: dense vectors -> fixed-width binary codes.
+//
+// The paper's MNIST pipeline (§4): "we applied SimHash to obtain 64-bit
+// fingerprint vectors for MNIST and use bit sampling LSH for Hamming
+// distance". Fingerprinter samples `width_bits` random hyperplanes once and
+// then maps any number of points (base set and queries alike — the same
+// hyperplanes must be used for both) to packed codes where bit i is
+// sign(<a_i, x>).
+//
+// By the SimHash property, E[Hamming(f(x), f(y))] = width * angle(x,y) / pi,
+// so Hamming radii on fingerprints correspond to cosine radii on the
+// original vectors.
+
+#ifndef HYBRIDLSH_LSH_FINGERPRINT_H_
+#define HYBRIDLSH_LSH_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace lsh {
+
+/// Maps dense points to `width_bits` SimHash fingerprints.
+class Fingerprinter {
+ public:
+  /// Samples width_bits Gaussian hyperplanes over `dim` dimensions.
+  Fingerprinter(size_t dim, size_t width_bits, uint64_t seed);
+
+  /// Fingerprints one point into out_words (words_per_code() words).
+  void TransformPoint(const float* point, uint64_t* out_words) const;
+
+  /// Fingerprints a whole dataset. Dimension must match.
+  util::StatusOr<data::BinaryDataset> Transform(
+      const data::DenseDataset& dataset) const;
+
+  size_t dim() const { return dim_; }
+  size_t width_bits() const { return width_bits_; }
+  size_t words_per_code() const { return (width_bits_ + 63) / 64; }
+
+ private:
+  size_t dim_;
+  size_t width_bits_;
+  util::FloatMatrix hyperplanes_;  // width_bits x dim
+};
+
+}  // namespace lsh
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_LSH_FINGERPRINT_H_

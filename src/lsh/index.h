@@ -1,0 +1,457 @@
+// The classic multi-table LSH index with HLL-augmented buckets.
+//
+// LshIndex<Family> realizes the paper's Algorithm 1: L tables, each keyed
+// by a concatenation of k atomic hashes from `Family`, every bucket
+// carrying a HyperLogLog sketch of its ids. The query side exposes the
+// three LSH steps separately so that the hybrid layer (core/) can run the
+// cost estimate before deciding to execute:
+//
+//   S1  QueryKeys / QueryKeysMultiProbe — hash the query into bucket keys;
+//   (estimate)  EstimateProbe — #collisions exactly + candSize via merged
+//       HLLs (paper Alg. 2 lines 1-2), in O(mL) plus small-bucket folding;
+//   S2  CollectCandidates — dedup bucket contents into a VisitedSet;
+//   S3  (caller) verify candidate distances and report.
+//
+// The template parameter Family supplies the point type, the atomic hash
+// sampler, the paired metric, and multi-probe costs (see lsh/families.h).
+
+#ifndef HYBRIDLSH_LSH_INDEX_H_
+#define HYBRIDLSH_LSH_INDEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hll/hyperloglog.h"
+#include "lsh/families.h"
+#include "lsh/multi_probe.h"
+#include "lsh/params.h"
+#include "lsh/table.h"
+#include "util/bit_vector.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace hybridlsh {
+namespace lsh {
+
+/// Classic LSH index over a Family (see file comment).
+template <typename Family>
+class LshIndex {
+ public:
+  using Point = typename Family::Point;
+
+  struct Options {
+    /// Number of hash tables L. The paper's evaluation fixes L = 50.
+    int num_tables = 50;
+    /// Concatenation width k; 0 = derive from (radius, delta) via the
+    /// paper's rule AutoK (requires radius > 0).
+    int k = 0;
+    /// Per-point failure probability delta (used when k == 0).
+    double delta = 0.1;
+    /// Search radius used for parameter derivation when k == 0.
+    double radius = 0.0;
+    /// HLL precision b (m = 2^b registers per bucket sketch). Paper: b = 7.
+    int hll_precision = 7;
+    /// Small-bucket threshold; LshTable::kThresholdAuto = m.
+    size_t small_bucket_threshold = LshTable::kThresholdAuto;
+    /// Seed for sampling hash functions.
+    uint64_t seed = 1;
+    /// Threads for table construction (queries are single-threaded).
+    size_t num_build_threads = 1;
+  };
+
+  /// Summary of a built index.
+  struct Stats {
+    size_t num_points = 0;
+    int num_tables = 0;
+    int k = 0;
+    double p1_at_radius = 0.0;      // 0 when k was given explicitly
+    double recall_lower_bound = 0.0;  // 1-(1-p1^k)^L, 0 when k explicit
+    size_t total_buckets = 0;
+    size_t total_sketches = 0;
+    size_t memory_bytes = 0;
+    size_t sketch_bytes = 0;
+    double build_seconds = 0.0;
+  };
+
+  /// Result of the query-time cost estimation (paper Alg. 2, lines 1-2).
+  struct ProbeEstimate {
+    uint64_t collisions = 0;     // exact: sum of probed bucket sizes
+    double cand_estimate = 0.0;  // candSize estimate from merged HLLs
+  };
+
+  /// Builds an index over `dataset` (any container with size() and
+  /// point(i) -> Point). The dataset is not retained.
+  template <typename Dataset>
+  static util::StatusOr<LshIndex> Build(Family family, const Dataset& dataset,
+                                        const Options& options) {
+    if (options.num_tables < 1) {
+      return util::Status::InvalidArgument("num_tables must be >= 1");
+    }
+    if (options.hll_precision < hll::HyperLogLog::kMinPrecision ||
+        options.hll_precision > hll::HyperLogLog::kMaxPrecision) {
+      return util::Status::InvalidArgument("hll_precision out of range");
+    }
+    if (dataset.size() == 0) {
+      return util::Status::InvalidArgument("cannot index an empty dataset");
+    }
+    if (dataset.size() > static_cast<size_t>(UINT32_MAX)) {
+      return util::Status::InvalidArgument("dataset exceeds 2^32-1 points");
+    }
+
+    LshIndex index(std::move(family));
+    index.options_ = options;
+    index.stats_.num_points = dataset.size();
+    index.stats_.num_tables = options.num_tables;
+
+    // Derive k from the paper's rule when requested.
+    int k = options.k;
+    if (k == 0) {
+      if (options.radius <= 0.0) {
+        return util::Status::InvalidArgument(
+            "k == 0 (auto) requires a positive radius");
+      }
+      const double p1 = index.family_.CollisionProbability(options.radius);
+      auto auto_k = AutoK(p1, options.num_tables, options.delta);
+      if (!auto_k.ok()) return auto_k.status();
+      k = *auto_k;
+      index.stats_.p1_at_radius = p1;
+      index.stats_.recall_lower_bound =
+          RecallLowerBound(k, options.num_tables, p1);
+    } else if (k < 0) {
+      return util::Status::InvalidArgument("k must be >= 0");
+    }
+    index.stats_.k = k;
+    index.k_ = k;
+
+    util::WallTimer build_timer;
+    const size_t L = static_cast<size_t>(options.num_tables);
+
+    // Sample the k-wise functions of each table from decorrelated streams.
+    index.functions_.reserve(L);
+    for (size_t t = 0; t < L; ++t) {
+      util::Rng rng(util::HashU64(options.seed, t));
+      index.functions_.push_back(
+          index.family_.Sample(static_cast<size_t>(k), &rng));
+      index.table_seeds_.push_back(util::HashU64(options.seed ^ 0x5bd1e995, t));
+    }
+
+    // Hash all points and build each table (parallel across tables).
+    index.tables_.resize(L);
+    LshTable::Options table_options;
+    table_options.hll_precision = options.hll_precision;
+    table_options.small_bucket_threshold = options.small_bucket_threshold;
+    const size_t n = dataset.size();
+    util::ParallelFor(0, L, options.num_build_threads, [&](size_t t) {
+      std::vector<int32_t> slots(static_cast<size_t>(k));
+      std::vector<uint64_t> keys(n);
+      for (size_t i = 0; i < n; ++i) {
+        index.family_.Signature(index.functions_[t], dataset.point(i), slots);
+        keys[i] = index.KeyOf(slots, t);
+      }
+      index.tables_[t].Build(keys, table_options);
+    });
+
+    index.stats_.build_seconds = build_timer.ElapsedSeconds();
+    for (const LshTable& table : index.tables_) {
+      index.stats_.total_buckets += table.num_buckets();
+      index.stats_.total_sketches += table.num_sketches();
+      index.stats_.memory_bytes += table.MemoryBytes();
+      index.stats_.sketch_bytes += table.SketchBytes();
+    }
+    return index;
+  }
+
+  /// S1: the L home-bucket keys of a query.
+  void QueryKeys(Point query, std::vector<uint64_t>* keys) const {
+    const size_t L = tables_.size();
+    keys->resize(L);
+    std::vector<int32_t> slots(static_cast<size_t>(k_));
+    for (size_t t = 0; t < L; ++t) {
+      family_.Signature(functions_[t], query, slots);
+      (*keys)[t] = KeyOf(slots, t);
+    }
+  }
+
+  /// S1 with multi-probing: `probes_per_table` keys per table (home bucket
+  /// first, then perturbed buckets in increasing cost). The output holds
+  /// num_tables() * probes_per_table keys grouped by table; a table that
+  /// runs out of perturbations repeats its home key (harmless duplicates —
+  /// same bucket, same sketch). Unsupported for ProbeKind::kNone families.
+  util::Status QueryKeysMultiProbe(Point query, size_t probes_per_table,
+                                   std::vector<uint64_t>* keys) const {
+    if (probes_per_table == 0) {
+      return util::Status::InvalidArgument("probes_per_table must be >= 1");
+    }
+    if (family_.probe_kind() == ProbeKind::kNone) {
+      return util::Status::Unimplemented(
+          "multi-probe is not defined for this family");
+    }
+    const size_t L = tables_.size();
+    const size_t k = static_cast<size_t>(k_);
+    keys->assign(L * probes_per_table, 0);
+    std::vector<int32_t> slots(k);
+    std::vector<int32_t> perturbed(k);
+    std::vector<ProbeAtom> atoms;
+    std::vector<double> down(k), up(k);
+    for (size_t t = 0; t < L; ++t) {
+      atoms.clear();
+      if constexpr (HasTwoSidedCosts<Family>) {
+        if (family_.probe_kind() == ProbeKind::kTwoSided) {
+          family_.SignatureWithProbeCosts(functions_[t], query, slots, down, up);
+          for (uint32_t i = 0; i < k; ++i) {
+            atoms.push_back(ProbeAtom{i, -1, down[i]});
+            atoms.push_back(ProbeAtom{i, +1, up[i]});
+          }
+        }
+      }
+      if constexpr (HasFlipCosts<Family>) {
+        if (family_.probe_kind() == ProbeKind::kFlip) {
+          family_.SignatureWithProbeCosts(functions_[t], query, slots, down);
+          for (uint32_t i = 0; i < k; ++i) {
+            atoms.push_back(ProbeAtom{i, +1, down[i]});
+          }
+        }
+      }
+      uint64_t* out = keys->data() + t * probes_per_table;
+      out[0] = KeyOf(slots, t);
+      const auto sets = GenerateProbeSets(atoms, probes_per_table - 1);
+      for (size_t p = 0; p < probes_per_table - 1; ++p) {
+        if (p < sets.size()) {
+          perturbed.assign(slots.begin(), slots.end());
+          for (const ProbeAtom& atom : sets[p]) {
+            if (family_.probe_kind() == ProbeKind::kFlip) {
+              perturbed[atom.slot] ^= 1;
+            } else {
+              perturbed[atom.slot] += atom.delta;
+            }
+          }
+          out[1 + p] = KeyOf(perturbed, t);
+        } else {
+          out[1 + p] = out[0];
+        }
+      }
+    }
+    return util::Status::Ok();
+  }
+
+  /// Estimates #collisions (exact) and candSize (merged HLLs) for a set of
+  /// probe keys produced by QueryKeys*. `scratch` must have the index's HLL
+  /// precision; it is cleared first. Paper Alg. 2, lines 1-2.
+  ProbeEstimate EstimateProbe(std::span<const uint64_t> keys,
+                              hll::HyperLogLog* scratch) const {
+    HLSH_DCHECK(scratch->precision() == options_.hll_precision);
+    scratch->Clear();
+    ProbeEstimate estimate;
+    const size_t probes_per_table = keys.size() / tables_.size();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const size_t t = i / probes_per_table;
+      const LshTable::BucketView bucket = tables_[t].Lookup(keys[i]);
+      if (bucket.empty()) continue;
+      // Repeated home keys (multi-probe padding) would double-count
+      // collisions; skip exact duplicates within a table.
+      if (i % probes_per_table != 0 && keys[i] == keys[t * probes_per_table]) {
+        continue;
+      }
+      estimate.collisions += bucket.size();
+      if (bucket.sketch != nullptr) {
+        HLSH_CHECK(scratch->Merge(*bucket.sketch).ok());
+      } else {
+        // Small bucket: fold ids on demand (paper §3.2).
+        for (uint32_t id : bucket.ids) scratch->AddPoint(id);
+      }
+    }
+    estimate.cand_estimate = estimate.collisions == 0 ? 0.0 : scratch->Estimate();
+    return estimate;
+  }
+
+  /// S2: inserts every probed id into `visited` (deduplicating) and returns
+  /// the exact number of collisions. visited->touched() is then the
+  /// distinct candidate set for S3.
+  uint64_t CollectCandidates(std::span<const uint64_t> keys,
+                             util::VisitedSet* visited) const {
+    uint64_t collisions = 0;
+    const size_t probes_per_table = keys.size() / tables_.size();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const size_t t = i / probes_per_table;
+      if (i % probes_per_table != 0 && keys[i] == keys[t * probes_per_table]) {
+        continue;  // multi-probe padding duplicate
+      }
+      const LshTable::BucketView bucket = tables_[t].Lookup(keys[i]);
+      collisions += bucket.size();
+      for (uint32_t id : bucket.ids) visited->Insert(id);
+    }
+    return collisions;
+  }
+
+  /// Bucket access for inspection and tests.
+  LshTable::BucketView Bucket(size_t table, uint64_t key) const {
+    HLSH_DCHECK(table < tables_.size());
+    return tables_[table].Lookup(key);
+  }
+
+  /// Metric distance between two points (delegates to the family), so that
+  /// generic searchers can verify candidates without naming the family.
+  double Distance(Point a, Point b) const { return family_.Distance(a, b); }
+
+  const Family& family() const { return family_; }
+  int k() const { return k_; }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  size_t size() const { return stats_.num_points; }
+  int hll_precision() const { return options_.hll_precision; }
+  const Stats& stats() const { return stats_; }
+
+  /// Creates a scratch sketch compatible with EstimateProbe.
+  hll::HyperLogLog MakeScratchSketch() const {
+    return hll::HyperLogLog(options_.hll_precision);
+  }
+
+  /// Persists the whole index (family, sampled functions, tables with
+  /// their bucket sketches) to `path`. The dataset itself is NOT stored —
+  /// reload it separately and pair it with the loaded index.
+  util::Status Save(const std::string& path) const {
+    util::ByteWriter writer;
+    writer.WriteU64(kIndexMagic);
+    writer.WriteU32(kIndexVersion);
+    writer.WriteU32(Family::kFamilyTag);
+    family_.SaveFamily(&writer);
+    writer.WriteU32(static_cast<uint32_t>(k_));
+    writer.WriteU32(static_cast<uint32_t>(tables_.size()));
+    writer.WriteU32(static_cast<uint32_t>(options_.hll_precision));
+    writer.WriteU64(options_.small_bucket_threshold);
+    writer.WriteU64(options_.seed);
+    writer.WriteU64(stats_.num_points);
+    writer.WriteF64(stats_.p1_at_radius);
+    writer.WriteF64(stats_.recall_lower_bound);
+    writer.WriteU64(table_seeds_.size());
+    writer.WriteArray<uint64_t>(table_seeds_);
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      family_.SaveFunctions(functions_[t], &writer);
+      tables_[t].Serialize(&writer);
+    }
+    return util::WriteFileBytes(path, writer.bytes());
+  }
+
+  /// Loads an index written by Save. Rejects wrong-family files, truncated
+  /// payloads, and structurally invalid tables.
+  static util::StatusOr<LshIndex> Load(const std::string& path) {
+    auto bytes = util::ReadFileBytes(path);
+    if (!bytes.ok()) return bytes.status();
+    util::ByteReader reader(*bytes);
+
+    uint64_t magic = 0;
+    uint32_t version = 0, family_tag = 0;
+    HLSH_RETURN_IF_ERROR(reader.ReadU64(&magic));
+    if (magic != kIndexMagic) {
+      return util::Status::DataLoss("not a hybridlsh index file");
+    }
+    HLSH_RETURN_IF_ERROR(reader.ReadU32(&version));
+    if (version != kIndexVersion) {
+      return util::Status::DataLoss("unsupported index file version");
+    }
+    HLSH_RETURN_IF_ERROR(reader.ReadU32(&family_tag));
+    if (family_tag != Family::kFamilyTag) {
+      return util::Status::InvalidArgument(
+          "index file was built with a different LSH family");
+    }
+    auto family = Family::LoadFamily(&reader);
+    if (!family.ok()) return family.status();
+
+    LshIndex index(std::move(*family));
+    uint32_t k = 0, num_tables = 0, hll_precision = 0;
+    HLSH_RETURN_IF_ERROR(reader.ReadU32(&k));
+    HLSH_RETURN_IF_ERROR(reader.ReadU32(&num_tables));
+    HLSH_RETURN_IF_ERROR(reader.ReadU32(&hll_precision));
+    HLSH_RETURN_IF_ERROR(reader.ReadU64(&index.options_.small_bucket_threshold));
+    HLSH_RETURN_IF_ERROR(reader.ReadU64(&index.options_.seed));
+    HLSH_RETURN_IF_ERROR(reader.ReadU64(&index.stats_.num_points));
+    HLSH_RETURN_IF_ERROR(reader.ReadF64(&index.stats_.p1_at_radius));
+    HLSH_RETURN_IF_ERROR(reader.ReadF64(&index.stats_.recall_lower_bound));
+    if (hll_precision < hll::HyperLogLog::kMinPrecision ||
+        hll_precision > hll::HyperLogLog::kMaxPrecision || num_tables == 0) {
+      return util::Status::DataLoss("index header has invalid parameters");
+    }
+    index.k_ = static_cast<int>(k);
+    index.stats_.k = index.k_;
+    index.stats_.num_tables = static_cast<int>(num_tables);
+    index.options_.num_tables = static_cast<int>(num_tables);
+    index.options_.k = index.k_;
+    index.options_.hll_precision = static_cast<int>(hll_precision);
+
+    uint64_t num_seeds = 0;
+    HLSH_RETURN_IF_ERROR(reader.ReadU64(&num_seeds));
+    if (num_seeds != num_tables) {
+      return util::Status::DataLoss("table seed count mismatches tables");
+    }
+    HLSH_RETURN_IF_ERROR(
+        reader.ReadArray<uint64_t>(num_seeds, &index.table_seeds_));
+
+    index.functions_.reserve(num_tables);
+    index.tables_.reserve(num_tables);
+    for (uint32_t t = 0; t < num_tables; ++t) {
+      auto functions = index.family_.LoadFunctions(&reader);
+      if (!functions.ok()) return functions.status();
+      index.functions_.push_back(std::move(*functions));
+      auto table = LshTable::Deserialize(&reader);
+      if (!table.ok()) return table.status();
+      index.tables_.push_back(std::move(*table));
+    }
+    HLSH_RETURN_IF_ERROR(reader.ExpectEnd());
+
+    for (const LshTable& table : index.tables_) {
+      if (table.num_points() != index.stats_.num_points) {
+        return util::Status::DataLoss("table size mismatches point count");
+      }
+      index.stats_.total_buckets += table.num_buckets();
+      index.stats_.total_sketches += table.num_sketches();
+      index.stats_.memory_bytes += table.MemoryBytes();
+      index.stats_.sketch_bytes += table.SketchBytes();
+    }
+    return index;
+  }
+
+ private:
+  static constexpr uint64_t kIndexMagic = 0x31584449484c5348ULL;  // "HSLHIDX1"
+  static constexpr uint32_t kIndexVersion = 1;
+
+  explicit LshIndex(Family family) : family_(std::move(family)) {}
+
+  // Concept probes for the two probe-cost signatures.
+  template <typename F>
+  static constexpr bool HasTwoSidedCosts = requires(
+      const F& f, const typename F::Functions& fns, typename F::Point p,
+      std::span<int32_t> s, std::span<double> c) {
+    f.SignatureWithProbeCosts(fns, p, s, c, c);
+  };
+  template <typename F>
+  static constexpr bool HasFlipCosts = requires(
+      const F& f, const typename F::Functions& fns, typename F::Point p,
+      std::span<int32_t> s, std::span<double> c) {
+    f.SignatureWithProbeCosts(fns, p, s, c);
+  };
+
+  /// Reduces a k-slot signature to the 64-bit bucket key of table t.
+  /// Distinct signatures collide with probability ~2^-64; such a collision
+  /// only adds spurious candidates, which S3's distance check removes.
+  uint64_t KeyOf(std::span<const int32_t> slots, size_t table) const {
+    return util::HashBytes(slots.data(), slots.size() * sizeof(int32_t),
+                           table_seeds_[table]);
+  }
+
+  Family family_;
+  Options options_;
+  int k_ = 0;
+  std::vector<typename Family::Functions> functions_;
+  std::vector<uint64_t> table_seeds_;
+  std::vector<LshTable> tables_;
+  Stats stats_;
+};
+
+}  // namespace lsh
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_LSH_INDEX_H_

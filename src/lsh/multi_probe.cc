@@ -1,0 +1,80 @@
+#include "lsh/multi_probe.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace lsh {
+namespace {
+
+// A perturbation set as sorted indices into the cost-sorted atom array.
+struct HeapEntry {
+  double total_cost;
+  std::vector<uint32_t> indices;  // strictly increasing
+
+  bool operator>(const HeapEntry& other) const {
+    return total_cost > other.total_cost;
+  }
+};
+
+bool HasSlotConflict(const std::vector<uint32_t>& indices,
+                     std::span<const ProbeAtom> sorted_atoms) {
+  for (size_t i = 0; i < indices.size(); ++i) {
+    for (size_t j = i + 1; j < indices.size(); ++j) {
+      if (sorted_atoms[indices[i]].slot == sorted_atoms[indices[j]].slot) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ProbeSet> GenerateProbeSets(std::span<const ProbeAtom> atoms,
+                                        size_t max_sets) {
+  std::vector<ProbeSet> result;
+  if (atoms.empty() || max_sets == 0) return result;
+
+  // Sort atoms by cost ascending (Lv et al.'s pi ordering).
+  std::vector<ProbeAtom> sorted(atoms.begin(), atoms.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ProbeAtom& a, const ProbeAtom& b) { return a.cost < b.cost; });
+  const uint32_t pool = static_cast<uint32_t>(sorted.size());
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  heap.push(HeapEntry{sorted[0].cost, {0}});
+
+  while (!heap.empty() && result.size() < max_sets) {
+    HeapEntry top = heap.top();
+    heap.pop();
+
+    const uint32_t last = top.indices.back();
+    // Shift: replace the max index by its successor.
+    if (last + 1 < pool) {
+      HeapEntry shifted = top;
+      shifted.total_cost += sorted[last + 1].cost - sorted[last].cost;
+      shifted.indices.back() = last + 1;
+      heap.push(std::move(shifted));
+    }
+    // Expand: append the successor of the max index.
+    if (last + 1 < pool) {
+      HeapEntry expanded = top;
+      expanded.total_cost += sorted[last + 1].cost;
+      expanded.indices.push_back(last + 1);
+      heap.push(std::move(expanded));
+    }
+
+    if (HasSlotConflict(top.indices, sorted)) continue;
+    ProbeSet set;
+    set.reserve(top.indices.size());
+    for (uint32_t idx : top.indices) set.push_back(sorted[idx]);
+    result.push_back(std::move(set));
+  }
+  return result;
+}
+
+}  // namespace lsh
+}  // namespace hybridlsh

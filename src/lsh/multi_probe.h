@@ -1,0 +1,48 @@
+// Query-directed probing sequences (Lv, Josephson, Wang, Charikar, Li 2007).
+//
+// Multi-probe LSH examines several "close" buckets per table instead of
+// only the home bucket, trading probes for tables. The paper names
+// multi-probe schemes as the natural host for its hybrid strategy (§1, §5):
+// more probed buckets mean more collisions and more duplicates, so the
+// HLL-based candSize estimate matters even more. LshIndex merges bucket
+// sketches across probes exactly as it does across tables.
+//
+// This file implements the probing-sequence core: given perturbation
+// "atoms" (move slot s by delta at cost c), emit perturbation sets in
+// non-decreasing total-cost order using the heap algorithm of Lv et al.
+// (shift/expand over cost-sorted atoms). For projection families the atom
+// costs are the query's distances to the window boundaries; for SimHash
+// they are the hyperplane margins; for bit sampling they are uniform.
+
+#ifndef HYBRIDLSH_LSH_MULTI_PROBE_H_
+#define HYBRIDLSH_LSH_MULTI_PROBE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hybridlsh {
+namespace lsh {
+
+/// One candidate perturbation: move `slot` by `delta` at cost `cost`.
+struct ProbeAtom {
+  uint32_t slot = 0;
+  int8_t delta = 0;  // +1 / -1 for projections; +1 = flip for binary slots
+  double cost = 0.0;
+};
+
+/// A perturbation set: atoms applied together to form one probe.
+using ProbeSet = std::vector<ProbeAtom>;
+
+/// Emits up to `max_sets` perturbation sets in non-decreasing total cost.
+/// Sets never contain two atoms for the same slot (a slot cannot move both
+/// ways at once). The empty set (home bucket) is NOT emitted; callers probe
+/// the home bucket first. Returns fewer sets when the atom pool is
+/// exhausted.
+std::vector<ProbeSet> GenerateProbeSets(std::span<const ProbeAtom> atoms,
+                                        size_t max_sets);
+
+}  // namespace lsh
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_LSH_MULTI_PROBE_H_

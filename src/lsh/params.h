@@ -1,0 +1,60 @@
+// LSH parameter tuning: collision probabilities and the paper's k rule.
+//
+// The paper (§2) fixes the number of tables L and the failure probability
+// delta, then sets
+//
+//     k = ceil( log(1 - delta^(1/L)) / log p1 )
+//
+// where p1 is the collision probability of one atomic hash function at the
+// search radius r. This is the practical E2LSH setting; it guarantees that
+// a point at distance exactly r collides with the query in at least one of
+// the L tables with probability >= 1 - delta (up to the ceil rounding,
+// which the paper accepts; AutoK reproduces the paper's rounding and
+// RecallLowerBound reports the implied guarantee).
+//
+// Collision probability formulas per family:
+//   * bit sampling on D-bit codes [Indyk-Motwani]: p(r) = 1 - r/D
+//   * SimHash [Charikar] on cosine distance s:     p(s) = 1 - acos(1-s)/pi
+//   * 2-stable (Gaussian) projections, window w [Datar et al.]:
+//       p(r) = 1 - 2*Phi(-w/r) - (2r / (sqrt(2 pi) w)) (1 - e^{-w^2/2r^2})
+//   * 1-stable (Cauchy) projections, window w [Datar et al.]:
+//       p(r) = (2/pi) atan(w/r) - (r / (pi w)) ln(1 + (w/r)^2)
+//   * MinHash [Broder et al.] on Jaccard distance j: p(j) = 1 - j
+
+#ifndef HYBRIDLSH_LSH_PARAMS_H_
+#define HYBRIDLSH_LSH_PARAMS_H_
+
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace lsh {
+
+/// p(r) for one Gaussian (2-stable) projection with window w; L2 distance.
+/// Returns 1 for r <= 0.
+double GaussianCollisionProbability(double dist, double w);
+
+/// p(r) for one Cauchy (1-stable) projection with window w; L1 distance.
+/// Returns 1 for r <= 0.
+double CauchyCollisionProbability(double dist, double w);
+
+/// p(s) for one SimHash hyperplane; s = cosine distance in [0, 2].
+double SimHashCollisionProbability(double cosine_dist);
+
+/// p(r) for one sampled bit of a width_bits-bit code; Hamming distance.
+double BitSamplingCollisionProbability(double hamming_dist, double width_bits);
+
+/// p(j) for one MinHash function; j = Jaccard distance in [0, 1].
+double MinHashCollisionProbability(double jaccard_dist);
+
+/// The paper's k rule: ceil(log(1 - delta^(1/L)) / log p1), clamped to
+/// >= 1. Fails when p1 is not in (0, 1] or delta not in (0, 1) or L < 1.
+util::StatusOr<int> AutoK(double p1, int num_tables, double delta);
+
+/// Probability that a point at collision probability p1 per atomic hash is
+/// reported: 1 - (1 - p1^k)^L.
+double RecallLowerBound(int k, int num_tables, double p1);
+
+}  // namespace lsh
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_LSH_PARAMS_H_

@@ -1,0 +1,86 @@
+#include "lsh/planner.h"
+
+#include <cmath>
+
+namespace hybridlsh {
+namespace lsh {
+namespace {
+
+double HitProbability(double p, int k, int num_tables) {
+  const double per_table = std::pow(p, k);
+  return 1.0 - std::pow(1.0 - per_table, num_tables);
+}
+
+}  // namespace
+
+Plan EvaluatePlan(const PlannerInput& input, int k, int num_tables) {
+  Plan plan;
+  plan.k = k;
+  plan.num_tables = num_tables;
+
+  const double n = static_cast<double>(input.n);
+  const double f_near = input.near_fraction;
+  const double f_far = 1.0 - f_near;
+  const double p_near_k = std::pow(input.p_near, k);
+  const double p_far_k = std::pow(input.p_far, k);
+
+  plan.expected_recall = HitProbability(input.p_near, k, num_tables);
+  plan.expected_collisions =
+      static_cast<double>(num_tables) * n * (f_near * p_near_k + f_far * p_far_k);
+  plan.expected_candidates =
+      n * (f_near * HitProbability(input.p_near, k, num_tables) +
+           f_far * HitProbability(input.p_far, k, num_tables));
+  plan.expected_cost =
+      plan.expected_collisions + input.beta_over_alpha * plan.expected_candidates;
+  return plan;
+}
+
+util::StatusOr<Plan> PlanParameters(const PlannerInput& input) {
+  if (input.p_near <= 0.0 || input.p_near > 1.0 || input.p_far < 0.0 ||
+      input.p_far > 1.0) {
+    return util::Status::InvalidArgument(
+        "collision probabilities must lie in (0, 1]");
+  }
+  if (input.delta <= 0.0 || input.delta >= 1.0) {
+    return util::Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (input.near_fraction < 0.0 || input.near_fraction > 1.0) {
+    return util::Status::InvalidArgument("near_fraction must be in [0, 1]");
+  }
+  if (input.n == 0 || input.max_k < 1 || input.max_tables < 1) {
+    return util::Status::InvalidArgument("empty search space");
+  }
+
+  bool found = false;
+  Plan best;
+  for (int k = 1; k <= input.max_k; ++k) {
+    // Smallest L meeting the recall constraint for this k:
+    //   (1 - p_near^k)^L <= delta  =>  L >= log(delta) / log(1 - p_near^k).
+    const double per_table = std::pow(input.p_near, k);
+    int min_tables = 1;
+    if (per_table < 1.0) {
+      const double tables =
+          std::log(input.delta) / std::log(1.0 - per_table);
+      if (!(tables <= static_cast<double>(input.max_tables))) {
+        // Feasible L exceeds the bound; larger k only makes it worse.
+        break;
+      }
+      min_tables = std::max(1, static_cast<int>(std::ceil(tables - 1e-12)));
+    }
+    // Cost is increasing in L beyond the constraint (every extra table adds
+    // collisions and candidates), so L = min_tables is optimal for this k.
+    const Plan plan = EvaluatePlan(input, k, min_tables);
+    if (!found || plan.expected_cost < best.expected_cost) {
+      best = plan;
+      found = true;
+    }
+  }
+  if (!found) {
+    return util::Status::FailedPrecondition(
+        "no (k, L) within bounds meets the recall constraint");
+  }
+  return best;
+}
+
+}  // namespace lsh
+}  // namespace hybridlsh

@@ -1,0 +1,77 @@
+// Cost-based (k, L) parameter planning.
+//
+// The paper fixes L = 50 and derives k from (radius, delta) — simple, but
+// "tuning appropriate parameters k, L for a given dataset ... remains a
+// tedious process" (§2). This planner closes that loop with the paper's
+// own cost model: given the family's collision probabilities at the search
+// radius (p_near) and at a representative far distance (p_far), plus a
+// sample-estimated output density, it searches the (k, L) grid for the
+// plan that minimizes the expected per-query LSH cost
+//
+//   E[cost](k, L) = alpha * E[#collisions] + beta * E[candSize]
+//     E[#collisions] = L * n * (f_near * p_near^k + f_far * p_far^k)
+//     E[candSize]    = n * (f_near * P_hit(p_near) + f_far * P_hit(p_far))
+//     P_hit(p)       = 1 - (1 - p^k)^L
+//
+// subject to the recall constraint P_hit(p_near) >= 1 - delta. The paper's
+// (k, L=50) point is always a member of the searched grid, so the planned
+// cost is never worse than the paper rule's under the same model.
+
+#ifndef HYBRIDLSH_LSH_PLANNER_H_
+#define HYBRIDLSH_LSH_PLANNER_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace lsh {
+
+/// Workload description for the planner.
+struct PlannerInput {
+  /// Collision probability of one atomic hash at the search radius
+  /// (family.CollisionProbability(r)).
+  double p_near = 0.9;
+  /// Collision probability at a representative non-neighbor distance,
+  /// e.g. family.CollisionProbability(2 * r).
+  double p_far = 0.5;
+  /// Fraction of the dataset expected within the radius of a typical
+  /// query (estimate from a sample; the planner is robust to rough guesses).
+  double near_fraction = 0.01;
+  /// Dataset size.
+  size_t n = 100000;
+  /// Per-point failure probability.
+  double delta = 0.1;
+  /// Cost of a distance computation in units of one dedup operation.
+  double beta_over_alpha = 10.0;
+  /// Search bounds.
+  int max_k = 48;
+  int max_tables = 512;
+};
+
+/// A planned parameter choice with its model predictions.
+struct Plan {
+  int k = 0;
+  int num_tables = 0;
+  /// Model recall for points at exactly the radius: 1 - (1 - p_near^k)^L.
+  double expected_recall = 0.0;
+  /// Expected per-query LSH cost in alpha units under the model.
+  double expected_cost = 0.0;
+  /// Expected collisions and candidates behind the cost (diagnostics).
+  double expected_collisions = 0.0;
+  double expected_candidates = 0.0;
+};
+
+/// Model cost of a specific (k, L) under the input (exposed for tests and
+/// for evaluating the paper's fixed-L choice).
+Plan EvaluatePlan(const PlannerInput& input, int k, int num_tables);
+
+/// Finds the feasible (k, L) minimizing expected cost. Fails if the input
+/// is invalid (probabilities outside (0,1), p_near <= p_far being fine but
+/// p_near <= 0 not) or no feasible plan exists within the bounds.
+util::StatusOr<Plan> PlanParameters(const PlannerInput& input);
+
+}  // namespace lsh
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_LSH_PLANNER_H_

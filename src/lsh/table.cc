@@ -1,0 +1,164 @@
+#include "lsh/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hybridlsh {
+namespace lsh {
+
+void LshTable::Build(std::span<const uint64_t> keys, const Options& options) {
+  bucket_index_.clear();
+  offsets_.clear();
+  ids_.clear();
+  sketch_of_bucket_.clear();
+  sketches_.clear();
+  max_bucket_size_ = 0;
+
+  const size_t n = keys.size();
+  const size_t m = static_cast<size_t>(1) << options.hll_precision;
+  const size_t threshold = options.small_bucket_threshold == kThresholdAuto
+                               ? m
+                               : options.small_bucket_threshold;
+
+  // Sort point ids by bucket key to group buckets contiguously.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&keys](uint32_t a, uint32_t b) {
+    return keys[a] < keys[b] || (keys[a] == keys[b] && a < b);
+  });
+
+  ids_.reserve(n);
+  offsets_.push_back(0);
+  size_t i = 0;
+  while (i < n) {
+    const uint64_t key = keys[order[i]];
+    const size_t begin = i;
+    while (i < n && keys[order[i]] == key) ++i;
+    const size_t bucket_size = i - begin;
+
+    const uint32_t ordinal = static_cast<uint32_t>(offsets_.size() - 1);
+    bucket_index_.emplace(key, ordinal);
+    for (size_t j = begin; j < i; ++j) ids_.push_back(order[j]);
+    offsets_.push_back(ids_.size());
+    max_bucket_size_ = std::max(max_bucket_size_, bucket_size);
+
+    // Materialize a sketch only for large buckets (paper §3.2 trick).
+    if (bucket_size >= threshold) {
+      hll::HyperLogLog sketch(options.hll_precision);
+      for (size_t j = begin; j < i; ++j) sketch.AddPoint(order[j]);
+      sketch_of_bucket_.push_back(static_cast<int32_t>(sketches_.size()));
+      sketches_.push_back(std::move(sketch));
+    } else {
+      sketch_of_bucket_.push_back(-1);
+    }
+  }
+}
+
+LshTable::BucketView LshTable::Lookup(uint64_t key) const {
+  const auto it = bucket_index_.find(key);
+  if (it == bucket_index_.end()) return BucketView{};
+  const uint32_t ordinal = it->second;
+  BucketView view;
+  view.ids = {ids_.data() + offsets_[ordinal],
+              offsets_[ordinal + 1] - offsets_[ordinal]};
+  const int32_t sketch_idx = sketch_of_bucket_[ordinal];
+  view.sketch = sketch_idx >= 0 ? &sketches_[static_cast<size_t>(sketch_idx)]
+                                : nullptr;
+  return view;
+}
+
+size_t LshTable::MemoryBytes() const {
+  size_t total = ids_.size() * sizeof(uint32_t) +
+                 offsets_.size() * sizeof(size_t) +
+                 sketch_of_bucket_.size() * sizeof(int32_t) +
+                 bucket_index_.size() *
+                     (sizeof(uint64_t) + sizeof(uint32_t) + sizeof(void*));
+  total += SketchBytes();
+  return total;
+}
+
+size_t LshTable::SketchBytes() const {
+  size_t total = 0;
+  for (const auto& sketch : sketches_) total += sketch.MemoryBytes();
+  return total;
+}
+
+void LshTable::Serialize(util::ByteWriter* writer) const {
+  const size_t num_buckets = offsets_.empty() ? 0 : offsets_.size() - 1;
+  writer->WriteU64(num_buckets);
+  writer->WriteU64(ids_.size());
+  writer->WriteU64(max_bucket_size_);
+
+  // Bucket keys in ordinal order (inverted from the lookup map).
+  std::vector<uint64_t> keys(num_buckets, 0);
+  for (const auto& [key, ordinal] : bucket_index_) keys[ordinal] = key;
+  writer->WriteArray<uint64_t>(keys);
+  if (offsets_.empty()) {
+    // Never-built table: normalize to the canonical empty CSR.
+    writer->WriteArray<size_t>(std::vector<size_t>{0});
+  } else {
+    writer->WriteArray<size_t>(offsets_);
+  }
+  writer->WriteArray<uint32_t>(ids_);
+  writer->WriteArray<int32_t>(sketch_of_bucket_);
+
+  writer->WriteU64(sketches_.size());
+  for (const auto& sketch : sketches_) {
+    writer->WriteBlob(sketch.Serialize());
+  }
+}
+
+util::StatusOr<LshTable> LshTable::Deserialize(util::ByteReader* reader) {
+  LshTable table;
+  uint64_t num_buckets = 0, num_ids = 0, max_bucket = 0;
+  HLSH_RETURN_IF_ERROR(reader->ReadU64(&num_buckets));
+  HLSH_RETURN_IF_ERROR(reader->ReadU64(&num_ids));
+  HLSH_RETURN_IF_ERROR(reader->ReadU64(&max_bucket));
+  table.max_bucket_size_ = max_bucket;
+
+  std::vector<uint64_t> keys;
+  HLSH_RETURN_IF_ERROR(reader->ReadArray<uint64_t>(num_buckets, &keys));
+  HLSH_RETURN_IF_ERROR(
+      reader->ReadArray<size_t>(num_buckets == 0 ? 1 : num_buckets + 1,
+                                &table.offsets_));
+  HLSH_RETURN_IF_ERROR(reader->ReadArray<uint32_t>(num_ids, &table.ids_));
+  HLSH_RETURN_IF_ERROR(
+      reader->ReadArray<int32_t>(num_buckets, &table.sketch_of_bucket_));
+
+  // Validate CSR structure.
+  if (table.offsets_.front() != 0 || table.offsets_.back() != num_ids) {
+    return util::Status::DataLoss("table offsets do not bracket the ids");
+  }
+  for (size_t b = 1; b < table.offsets_.size(); ++b) {
+    if (table.offsets_[b] < table.offsets_[b - 1]) {
+      return util::Status::DataLoss("table offsets are not monotone");
+    }
+  }
+
+  uint64_t num_sketches = 0;
+  HLSH_RETURN_IF_ERROR(reader->ReadU64(&num_sketches));
+  table.sketches_.reserve(num_sketches);
+  std::vector<uint8_t> blob;
+  for (uint64_t s = 0; s < num_sketches; ++s) {
+    HLSH_RETURN_IF_ERROR(reader->ReadBlob(&blob));
+    auto sketch = hll::HyperLogLog::Deserialize(blob);
+    if (!sketch.ok()) return sketch.status();
+    table.sketches_.push_back(std::move(*sketch));
+  }
+  for (int32_t index : table.sketch_of_bucket_) {
+    if (index >= 0 && static_cast<uint64_t>(index) >= num_sketches) {
+      return util::Status::DataLoss("sketch index out of range");
+    }
+  }
+
+  table.bucket_index_.reserve(num_buckets);
+  for (uint64_t b = 0; b < num_buckets; ++b) {
+    if (!table.bucket_index_.emplace(keys[b], static_cast<uint32_t>(b)).second) {
+      return util::Status::DataLoss("duplicate bucket key");
+    }
+  }
+  return table;
+}
+
+}  // namespace lsh
+}  // namespace hybridlsh

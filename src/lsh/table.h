@@ -1,0 +1,95 @@
+// One LSH hash table with HyperLogLog-augmented buckets (paper Alg. 1).
+//
+// A table maps 64-bit bucket keys (hashed k-wise signatures) to buckets of
+// point ids. Each bucket additionally carries an HLL sketch of its ids so
+// that, at query time, merging the sketches of the L probed buckets
+// estimates the distinct candidate count candSize (paper Alg. 2, step 2).
+//
+// Space optimization (paper §3.2): buckets smaller than
+// `small_bucket_threshold` do not materialize a sketch — their few ids are
+// folded into the query-time merged HLL on demand, which costs O(bucket
+// size) hashing but saves m bytes per small bucket. The threshold defaults
+// to m (the register count), the break-even point the paper suggests.
+//
+// Storage is CSR-style: ids grouped by bucket in one contiguous array, so a
+// table adds O(n) ids + O(#buckets) index entries + sketches only for big
+// buckets.
+
+#ifndef HYBRIDLSH_LSH_TABLE_H_
+#define HYBRIDLSH_LSH_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "hll/hyperloglog.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace lsh {
+
+/// A single hash table of the classic LSH scheme, with bucket sketches.
+class LshTable {
+ public:
+  struct Options {
+    /// HLL precision b; every bucket sketch has m = 2^b registers.
+    int hll_precision = 7;
+    /// Buckets with fewer ids than this get no sketch (ids are folded into
+    /// the merged estimate on demand). kThresholdAuto = use m.
+    size_t small_bucket_threshold = kThresholdAuto;
+  };
+  static constexpr size_t kThresholdAuto = static_cast<size_t>(-1);
+
+  LshTable() = default;
+
+  /// Builds the table from per-point bucket keys: point id i belongs to the
+  /// bucket keyed keys[i]. Single pass; replaces any previous content.
+  void Build(std::span<const uint64_t> keys, const Options& options);
+
+  /// A view of one bucket. `sketch` is null for small buckets (fold `ids`
+  /// into the merged HLL instead).
+  struct BucketView {
+    std::span<const uint32_t> ids;
+    const hll::HyperLogLog* sketch = nullptr;
+
+    size_t size() const { return ids.size(); }
+    bool empty() const { return ids.empty(); }
+  };
+
+  /// Looks up the bucket for a key; returns an empty view when absent.
+  BucketView Lookup(uint64_t key) const;
+
+  /// Number of non-empty buckets.
+  size_t num_buckets() const { return bucket_index_.size(); }
+  /// Number of indexed points.
+  size_t num_points() const { return ids_.size(); }
+  /// Largest bucket size (0 when empty).
+  size_t max_bucket_size() const { return max_bucket_size_; }
+  /// Number of buckets that carry a materialized sketch.
+  size_t num_sketches() const { return sketches_.size(); }
+  /// Heap bytes for ids, offsets, index, and sketches.
+  size_t MemoryBytes() const;
+  /// Bytes used by HLL sketches alone (the paper's space overhead).
+  size_t SketchBytes() const;
+
+  /// Appends the table (buckets, ids, sketches) to the writer.
+  void Serialize(util::ByteWriter* writer) const;
+  /// Parses a table written by Serialize. Validates counts, offsets and
+  /// sketch payloads; returns DataLoss on malformed input.
+  static util::StatusOr<LshTable> Deserialize(util::ByteReader* reader);
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> bucket_index_;  // key -> bucket ordinal
+  std::vector<size_t> offsets_;                          // CSR offsets
+  std::vector<uint32_t> ids_;                            // grouped point ids
+  std::vector<int32_t> sketch_of_bucket_;  // ordinal -> sketch idx or -1
+  std::vector<hll::HyperLogLog> sketches_;
+  size_t max_bucket_size_ = 0;
+};
+
+}  // namespace lsh
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_LSH_TABLE_H_

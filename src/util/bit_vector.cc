@@ -1,0 +1,15 @@
+#include "util/bit_vector.h"
+
+#include <bit>
+
+namespace hybridlsh {
+namespace util {
+
+size_t BitVector::Count() const {
+  size_t total = 0;
+  for (uint64_t word : words_) total += static_cast<size_t>(std::popcount(word));
+  return total;
+}
+
+}  // namespace util
+}  // namespace hybridlsh

@@ -1,0 +1,132 @@
+// Dense bit vector and the duplicate-elimination set used on the LSH query
+// hot path.
+//
+// Step S2 of LSH-based search (paper §3.1) merges the L query buckets while
+// removing duplicates. The per-collision cost of that merge is the alpha
+// constant in the cost model, so the structure must be O(1) per probe with
+// a tiny constant: VisitedSet is a bit vector plus a touched-id list so that
+// clearing between queries is O(#touched), not O(n).
+
+#ifndef HYBRIDLSH_UTIL_BIT_VECTOR_H_
+#define HYBRIDLSH_UTIL_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace util {
+
+/// Fixed-size dense bit vector.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates a vector of `size` bits, all zero.
+  explicit BitVector(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  /// Number of bits.
+  size_t size() const { return size_; }
+
+  /// Returns bit i.
+  bool Get(size_t i) const {
+    HLSH_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Sets bit i to one.
+  void Set(size_t i) {
+    HLSH_DCHECK(i < size_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  /// Sets bit i to zero.
+  void Clear(size_t i) {
+    HLSH_DCHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  /// Sets bit i and returns its previous value (single word access).
+  bool TestAndSet(size_t i) {
+    HLSH_DCHECK(i < size_);
+    uint64_t& word = words_[i >> 6];
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    const bool was_set = (word & mask) != 0;
+    word |= mask;
+    return was_set;
+  }
+
+  /// Zeroes every bit. O(size/64).
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Number of one bits. O(size/64).
+  size_t Count() const;
+
+  /// Resizes to `size` bits; new bits are zero.
+  void Resize(size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Duplicate-elimination set over ids [0, capacity).
+///
+/// Insert() is the alpha-cost operation of the cost model: one bit probe
+/// plus, for first occurrences, a push onto the touched list. Reset() undoes
+/// only the touched bits, so a VisitedSet can be reused across queries with
+/// cost proportional to the previous candidate set, not to n.
+class VisitedSet {
+ public:
+  VisitedSet() = default;
+
+  /// Creates a set over ids [0, capacity).
+  explicit VisitedSet(size_t capacity) : bits_(capacity) {
+    touched_.reserve(64);
+  }
+
+  /// Capacity (exclusive upper bound on ids).
+  size_t capacity() const { return bits_.size(); }
+
+  /// Inserts id; returns true if it was newly inserted (first occurrence).
+  bool Insert(uint32_t id) {
+    if (bits_.TestAndSet(id)) return false;
+    touched_.push_back(id);
+    return true;
+  }
+
+  /// Whether id has been inserted since the last Reset().
+  bool Contains(uint32_t id) const { return bits_.Get(id); }
+
+  /// Ids inserted since the last Reset(), in first-occurrence order. The
+  /// LSH query path uses this directly as the distinct candidate list.
+  const std::vector<uint32_t>& touched() const { return touched_; }
+
+  /// Number of distinct ids inserted since the last Reset().
+  size_t size() const { return touched_.size(); }
+
+  /// Clears only the bits touched since the last Reset(). O(size()).
+  void Reset() {
+    for (uint32_t id : touched_) bits_.Clear(id);
+    touched_.clear();
+  }
+
+  /// Re-targets the set to a new capacity and clears it fully.
+  void Resize(size_t capacity) {
+    bits_.Resize(capacity);
+    touched_.clear();
+  }
+
+ private:
+  BitVector bits_;
+  std::vector<uint32_t> touched_;
+};
+
+}  // namespace util
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_UTIL_BIT_VECTOR_H_

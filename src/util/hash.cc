@@ -1,0 +1,59 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace hybridlsh {
+namespace util {
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  // MurmurHash64A, Austin Appleby, public domain.
+  constexpr uint64_t kMul = 0xc6a4a7935bd1e995ULL;
+  constexpr int kShift = 47;
+
+  uint64_t h = seed ^ (len * kMul);
+
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  const size_t num_blocks = len / 8;
+  for (size_t i = 0; i < num_blocks; ++i) {
+    uint64_t k;
+    std::memcpy(&k, bytes + i * 8, 8);
+    k *= kMul;
+    k ^= k >> kShift;
+    k *= kMul;
+    h ^= k;
+    h *= kMul;
+  }
+
+  const unsigned char* tail = bytes + num_blocks * 8;
+  switch (len & 7) {
+    case 7:
+      h ^= static_cast<uint64_t>(tail[6]) << 48;
+      [[fallthrough]];
+    case 6:
+      h ^= static_cast<uint64_t>(tail[5]) << 40;
+      [[fallthrough]];
+    case 5:
+      h ^= static_cast<uint64_t>(tail[4]) << 32;
+      [[fallthrough]];
+    case 4:
+      h ^= static_cast<uint64_t>(tail[3]) << 24;
+      [[fallthrough]];
+    case 3:
+      h ^= static_cast<uint64_t>(tail[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h ^= static_cast<uint64_t>(tail[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h ^= static_cast<uint64_t>(tail[0]);
+      h *= kMul;
+  }
+
+  h ^= h >> kShift;
+  h *= kMul;
+  h ^= h >> kShift;
+  return h;
+}
+
+}  // namespace util
+}  // namespace hybridlsh

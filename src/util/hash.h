@@ -1,0 +1,47 @@
+// Non-cryptographic 64-bit hashing.
+//
+// Used for (a) HyperLogLog element hashing — point ids must map to uniform
+// 64-bit values, (b) reducing concatenated LSH signatures to bucket keys,
+// and (c) hash-combining in containers. All functions are pure and
+// deterministic across platforms (no seeds from global state).
+
+#ifndef HYBRIDLSH_UTIL_HASH_H_
+#define HYBRIDLSH_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hybridlsh {
+namespace util {
+
+/// MurmurHash3's 64-bit finalizer ("fmix64"). A fast bijective mixer whose
+/// output bits are uniform for sequential inputs — exactly what HLL needs
+/// when hashing point ids 0..n-1.
+inline uint64_t Fmix64(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdULL;
+  key ^= key >> 33;
+  key *= 0xc4ceb9fe1a85ec53ULL;
+  key ^= key >> 33;
+  return key;
+}
+
+/// Hashes a 64-bit value under a seed. Distinct seeds give effectively
+/// independent hash functions (used to decorrelate HLL streams in tests).
+inline uint64_t HashU64(uint64_t value, uint64_t seed = 0) {
+  return Fmix64(value + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// Combines two 64-bit hashes (boost::hash_combine's 64-bit variant).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (Fmix64(v) + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
+}
+
+/// MurmurHash64A (Appleby) over a byte buffer. Used for hashing string keys
+/// and serialized LSH signatures that exceed one word.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+}  // namespace util
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_UTIL_HASH_H_

@@ -1,0 +1,14 @@
+#include "util/matrix.h"
+
+namespace hybridlsh {
+namespace util {
+
+void FloatMatrix::AppendRow(std::span<const float> row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  HLSH_CHECK(row.size() == cols_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+}  // namespace util
+}  // namespace hybridlsh

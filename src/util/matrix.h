@@ -1,0 +1,78 @@
+// Row-major dense float matrix — the in-memory layout for real-valued
+// point sets (one point per row).
+//
+// The layout is deliberately flat (single contiguous vector<float>) so that
+// linear scans stream sequentially and LSH projections can hand rows to
+// dot-product kernels without indirection.
+
+#ifndef HYBRIDLSH_UTIL_MATRIX_H_
+#define HYBRIDLSH_UTIL_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace util {
+
+/// Dense row-major matrix of 32-bit floats.
+class FloatMatrix {
+ public:
+  FloatMatrix() = default;
+
+  /// Creates a rows x cols matrix of zeros.
+  FloatMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Creates a matrix adopting `data` (size must equal rows*cols).
+  FloatMatrix(size_t rows, size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    HLSH_CHECK(data_.size() == rows_ * cols_);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Pointer to the start of row i.
+  const float* Row(size_t i) const {
+    HLSH_DCHECK(i < rows_);
+    return data_.data() + i * cols_;
+  }
+  float* MutableRow(size_t i) {
+    HLSH_DCHECK(i < rows_);
+    return data_.data() + i * cols_;
+  }
+
+  /// Row i as a span of cols() floats.
+  std::span<const float> RowSpan(size_t i) const { return {Row(i), cols_}; }
+
+  /// Element (i, j).
+  float At(size_t i, size_t j) const {
+    HLSH_DCHECK(j < cols_);
+    return Row(i)[j];
+  }
+  void Set(size_t i, size_t j, float value) {
+    HLSH_DCHECK(j < cols_);
+    MutableRow(i)[j] = value;
+  }
+
+  /// Flat storage (rows*cols floats, row-major).
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& mutable_data() { return data_; }
+
+  /// Appends one row (span size must equal cols(); sets cols on first row).
+  void AppendRow(std::span<const float> row);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace util
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_UTIL_MATRIX_H_

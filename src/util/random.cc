@@ -1,0 +1,94 @@
+#include "util/random.h"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+namespace hybridlsh {
+namespace util {
+
+void Xoshiro256ss::Jump() {
+  static constexpr uint64_t kJump[] = {0x180ec6d33cfd0abaULL,
+                                       0xd5a61266f0c9392cULL,
+                                       0xa9582618e03fc9aaULL,
+                                       0x39abdc4529b1661cULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t jump_word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump_word & (1ULL << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      (*this)();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  HLSH_DCHECK(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  // Debiased modulo (Lemire-style rejection).
+  const uint64_t threshold = (-range) % range;
+  uint64_t value;
+  do {
+    value = NextU64();
+  } while (value < threshold);
+  return lo + static_cast<int64_t>(value % range);
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  has_spare_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::Cauchy() {
+  // Inverse CDF: tan(pi * (u - 1/2)). Draw u in (0, 1) to avoid the poles.
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return std::tan(std::numbers::pi * (u - 0.5));
+}
+
+uint32_t Rng::GeometricHalf() {
+  const uint64_t word = NextU64();
+  if (word == 0) return 65;  // all 64 flips were tails
+  return static_cast<uint32_t>(std::countl_zero(word)) + 1;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  HLSH_CHECK(k <= n);
+  std::vector<uint32_t> pool(n);
+  for (uint32_t i = 0; i < n; ++i) pool[i] = i;
+  std::vector<uint32_t> out(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    const uint32_t j =
+        static_cast<uint32_t>(UniformInt(i, static_cast<int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+    out[i] = pool[i];
+  }
+  return out;
+}
+
+}  // namespace util
+}  // namespace hybridlsh

@@ -1,0 +1,155 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// The library never uses std::rand or global state: every randomized
+// component (LSH function sampling, synthetic data generation, HLL hashing
+// tests) takes an explicit 64-bit seed so that index builds and experiments
+// are exactly reproducible.
+//
+// Generators:
+//   * SplitMix64  — stateless-ish stream used for seeding, per Vigna.
+//   * Xoshiro256ss — xoshiro256** 1.0, the main generator (fast, 256-bit
+//     state, passes BigCrush), UniformRandomBitGenerator-compatible.
+//   * Rng — convenience facade with the distributions the library needs:
+//     uniforms, Gaussian (for 2-stable projections / SimHash), Cauchy (for
+//     1-stable projections), Geometric(1/2) (HyperLogLog register updates).
+
+#ifndef HYBRIDLSH_UTIL_RANDOM_H_
+#define HYBRIDLSH_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace util {
+
+/// SplitMix64 generator (Vigna, 2015). Primarily used to expand one user
+/// seed into many independent sub-seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator so it can drive <random> distributions.
+class Xoshiro256ss {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the 256-bit state from a single 64-bit seed via SplitMix64, as
+  /// recommended by the authors.
+  explicit Xoshiro256ss(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  result_type operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Advances the state by 2^128 steps; use to derive non-overlapping
+  /// parallel streams from one seed.
+  void Jump();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+/// Convenience facade bundling the distributions used across the library.
+/// Not thread-safe; create one Rng per thread (use Xoshiro256ss::Jump or
+/// distinct seeds to decorrelate).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() { return gen_(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() { return static_cast<double>(gen_() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal deviate (Marsaglia polar method with cached spare).
+  double Gaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Standard Cauchy deviate (the 1-stable distribution used by L1 LSH).
+  double Cauchy();
+
+  /// Cauchy deviate with the given location and scale.
+  double Cauchy(double location, double scale) {
+    return location + scale * Cauchy();
+  }
+
+  /// Geometric(1/2) value >= 1: the number of fair coin flips up to and
+  /// including the first head. This is exactly the HyperLogLog register
+  /// update distribution. Computed as (leading zeros of a uniform word) + 1,
+  /// capped at 65.
+  uint32_t GeometricHalf();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Returns k distinct indices drawn uniformly from [0, n). Requires
+  /// 0 <= k <= n. O(n) time, O(n) scratch (partial Fisher-Yates).
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// Access to the raw bit generator (for <random> interop in tests).
+  Xoshiro256ss& bit_generator() { return gen_; }
+
+ private:
+  Xoshiro256ss gen_;
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace util
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_UTIL_RANDOM_H_

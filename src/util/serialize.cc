@@ -1,0 +1,31 @@
+#include "util/serialize.h"
+
+#include <fstream>
+
+namespace hybridlsh {
+namespace util {
+
+util::Status WriteFileBytes(const std::string& path,
+                            std::span<const uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::NotFound("cannot open file: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return util::Status::DataLoss("short write: " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return util::Status::NotFound("cannot open file: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return util::Status::DataLoss("short read: " + path);
+  }
+  return bytes;
+}
+
+}  // namespace util
+}  // namespace hybridlsh

@@ -1,0 +1,79 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hybridlsh {
+namespace util {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const uint64_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(total);
+  count_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Summary Summary::Of(const std::vector<double>& values) {
+  Summary s;
+  RunningStat stat;
+  for (double v : values) stat.Add(v);
+  s.count = stat.count();
+  if (s.count == 0) return s;
+  s.mean = stat.mean();
+  s.stddev = stat.stddev();
+  s.min = stat.min();
+  s.max = stat.max();
+  s.p50 = Percentile(values, 0.5);
+  s.p90 = Percentile(values, 0.9);
+  return s;
+}
+
+std::string Summary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.6g sd=%.6g min=%.6g p50=%.6g p90=%.6g max=%.6g",
+                static_cast<unsigned long long>(count), mean, stddev, min, p50,
+                p90, max);
+  return std::string(buf);
+}
+
+}  // namespace util
+}  // namespace hybridlsh

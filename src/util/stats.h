@@ -1,0 +1,76 @@
+// Streaming and batch descriptive statistics for experiment reporting.
+//
+// RunningStat implements Welford's online algorithm (numerically stable
+// mean/variance in one pass); Summary renders the avg/max/min rows the
+// paper's tables and Figure 3 report.
+
+#ifndef HYBRIDLSH_UTIL_STATS_H_
+#define HYBRIDLSH_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hybridlsh {
+namespace util {
+
+/// One-pass mean/variance/min/max accumulator (Welford).
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations.
+  uint64_t count() const { return count_; }
+  /// Mean of the observations (0 if empty).
+  double mean() const { return mean_; }
+  /// Unbiased sample variance (0 if fewer than two observations).
+  double variance() const;
+  /// Square root of variance().
+  double stddev() const;
+  /// Smallest observation (+inf if empty).
+  double min() const { return min_; }
+  /// Largest observation (-inf if empty).
+  double max() const { return max_; }
+  /// Sum of the observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStat& other);
+
+  /// Resets to the empty state.
+  void Reset() { *this = RunningStat(); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e300 * 1e300;    // +inf without <limits> in a header
+  double max_ = -(1e300 * 1e300);  // -inf
+};
+
+/// Returns the p-quantile (0 <= p <= 1) of `values` by linear interpolation.
+/// Sorts a copy; O(n log n). Returns 0 for empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// Fixed-format descriptive summary of a sample.
+struct Summary {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+
+  /// Computes all fields from a sample.
+  static Summary Of(const std::vector<double>& values);
+
+  /// Renders "n=… mean=… sd=… min=… p50=… p90=… max=…".
+  std::string ToString() const;
+};
+
+}  // namespace util
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_UTIL_STATS_H_

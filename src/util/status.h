@@ -1,0 +1,175 @@
+// Lightweight error-handling primitives for the hybridlsh library.
+//
+// Library code does not throw exceptions (Google C++ style). Fallible
+// operations return Status or StatusOr<T>; programming errors are caught by
+// HLSH_CHECK / HLSH_DCHECK, which abort with a diagnostic.
+
+#ifndef HYBRIDLSH_UTIL_STATUS_H_
+#define HYBRIDLSH_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hybridlsh {
+namespace util {
+
+/// Canonical error space, modeled after absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kDataLoss,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+std::string_view StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail without a payload.
+///
+/// A Status is either OK (no message) or an error code plus a message that
+/// describes what went wrong. Statuses are cheap to copy and move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. An OK code must
+  /// not carry a message.
+  Status(StatusCode code, std::string_view message)
+      : code_(code), message_(message) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status DataLoss(std::string_view msg) {
+    return Status(StatusCode::kDataLoss, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(StatusCode::kUnimplemented, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// The result of an operation that produces a T or fails with a Status.
+///
+/// Accessing the value of a non-OK StatusOr aborts; check ok() first or use
+/// HLSH_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK: an OK StatusOr needs
+  /// a value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      std::fprintf(stderr, "StatusOr constructed from OK status without value\n");
+      std::abort();
+    }
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "StatusOr access on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace util
+}  // namespace hybridlsh
+
+/// Aborts with a diagnostic if `cond` is false. Enabled in all build modes;
+/// use for invariants whose violation would corrupt results.
+#define HLSH_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "HLSH_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Like HLSH_CHECK but compiled out in NDEBUG builds; use on hot paths.
+#ifdef NDEBUG
+#define HLSH_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define HLSH_DCHECK(cond) HLSH_CHECK(cond)
+#endif
+
+/// Propagates an error Status from the current function.
+#define HLSH_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::hybridlsh::util::Status _hlsh_status = (expr); \
+    if (!_hlsh_status.ok()) return _hlsh_status;    \
+  } while (0)
+
+#endif  // HYBRIDLSH_UTIL_STATUS_H_

@@ -1,0 +1,64 @@
+// Minimal fixed-size thread pool and a ParallelFor helper.
+//
+// Only index *construction* is parallelized (hashing n points into L tables
+// is embarrassingly parallel across tables); query execution stays
+// single-threaded to keep the cost model's alpha/beta constants meaningful,
+// matching the paper's per-query CPU-time measurements.
+
+#ifndef HYBRIDLSH_UTIL_THREAD_POOL_H_
+#define HYBRIDLSH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hybridlsh {
+namespace util {
+
+/// Fixed-size pool executing void() tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [begin, end) across up to `num_threads` threads in
+/// contiguous chunks. Blocks until all iterations complete. If num_threads
+/// <= 1 or the range is tiny, runs inline.
+void ParallelFor(size_t begin, size_t end, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace util
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_UTIL_THREAD_POOL_H_

@@ -1,0 +1,73 @@
+// Timing utilities for the benchmark harness and the cost-model calibrator.
+//
+// WallTimer measures wall-clock time (steady_clock); CpuTimer measures
+// process CPU time (CLOCK_PROCESS_CPUTIME_ID), matching the paper's
+// "CPU Time (s)" axis in Figure 2. Query execution is single-threaded, so
+// the two agree up to scheduler noise; benches report CPU time.
+
+#ifndef HYBRIDLSH_UTIL_TIMER_H_
+#define HYBRIDLSH_UTIL_TIMER_H_
+
+#include <chrono>
+#include <ctime>
+
+namespace hybridlsh {
+namespace util {
+
+/// Wall-clock stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process-CPU-time stopwatch. Starts on construction.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Now(); }
+
+  /// CPU seconds consumed by the process since construction / Restart().
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+
+  double start_;
+};
+
+/// Adds the scope's wall-clock duration to *sink on destruction.
+class ScopedWallTimer {
+ public:
+  explicit ScopedWallTimer(double* sink) : sink_(sink) {}
+  ~ScopedWallTimer() { *sink_ += timer_.ElapsedSeconds(); }
+
+  ScopedWallTimer(const ScopedWallTimer&) = delete;
+  ScopedWallTimer& operator=(const ScopedWallTimer&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace util
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_UTIL_TIMER_H_

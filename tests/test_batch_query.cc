@@ -1,0 +1,118 @@
+// Tests for core/batch_query.h: parallel batches must match sequential
+// hybrid queries exactly.
+
+#include "core/batch_query.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hybridlsh.h"
+
+namespace hybridlsh {
+namespace core {
+namespace {
+
+class BatchQueryTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kDim = 16;
+  static constexpr double kRadius = 0.4;
+
+  void SetUp() override {
+    const data::DenseDataset full = data::MakeCorelLike(4000, kDim, 41);
+    const data::DenseSplit split = data::SplitQueries(full, 30, 42);
+    dataset_ = split.base;
+    queries_ = split.queries;
+
+    L2Index::Options options;
+    options.num_tables = 30;
+    options.k = 7;
+    options.seed = 43;
+    options.num_build_threads = 4;
+    auto index = L2Index::Build(lsh::PStableFamily::L2(kDim, 2 * kRadius),
+                                dataset_, options);
+    HLSH_CHECK(index.ok());
+    index_ = std::make_unique<L2Index>(std::move(*index));
+
+    options_.cost_model = CostModel::FromRatio(6.0);
+  }
+
+  data::DenseDataset dataset_;
+  data::DenseDataset queries_;
+  std::unique_ptr<L2Index> index_;
+  SearcherOptions options_;
+};
+
+TEST_F(BatchQueryTest, MatchesSequentialSingleThread) {
+  const auto batch = BatchQuery(*index_, dataset_, queries_, kRadius, options_, 1);
+  ASSERT_EQ(batch.size(), queries_.size());
+
+  L2Searcher searcher(index_.get(), &dataset_, options_);
+  std::vector<uint32_t> expected;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    expected.clear();
+    QueryStats stats;
+    searcher.Query(queries_.point(q), kRadius, &expected, &stats);
+    EXPECT_EQ(batch[q].neighbors, expected) << "query " << q;
+    EXPECT_EQ(batch[q].stats.strategy, stats.strategy);
+  }
+}
+
+TEST_F(BatchQueryTest, ThreadCountDoesNotChangeResults) {
+  const auto batch1 = BatchQuery(*index_, dataset_, queries_, kRadius, options_, 1);
+  const auto batch4 = BatchQuery(*index_, dataset_, queries_, kRadius, options_, 4);
+  const auto batch16 =
+      BatchQuery(*index_, dataset_, queries_, kRadius, options_, 16);
+  ASSERT_EQ(batch1.size(), batch4.size());
+  ASSERT_EQ(batch1.size(), batch16.size());
+  for (size_t q = 0; q < batch1.size(); ++q) {
+    EXPECT_EQ(batch1[q].neighbors, batch4[q].neighbors);
+    EXPECT_EQ(batch1[q].neighbors, batch16[q].neighbors);
+    EXPECT_EQ(batch1[q].stats.strategy, batch4[q].stats.strategy);
+  }
+}
+
+TEST_F(BatchQueryTest, MoreThreadsThanQueries) {
+  // 30 queries, 64 threads: chunks beyond the range must be skipped.
+  const auto batch =
+      BatchQuery(*index_, dataset_, queries_, kRadius, options_, 64);
+  ASSERT_EQ(batch.size(), queries_.size());
+  const auto batch1 = BatchQuery(*index_, dataset_, queries_, kRadius, options_, 1);
+  for (size_t q = 0; q < batch.size(); ++q) {
+    EXPECT_EQ(batch[q].neighbors, batch1[q].neighbors);
+  }
+}
+
+TEST_F(BatchQueryTest, EmptyQuerySet) {
+  const data::DenseDataset empty_queries(0, kDim);
+  const auto batch =
+      BatchQuery(*index_, dataset_, empty_queries, kRadius, options_, 4);
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST_F(BatchQueryTest, SummaryAggregates) {
+  const auto batch = BatchQuery(*index_, dataset_, queries_, kRadius, options_, 4);
+  const BatchSummary summary = Summarize(batch);
+  EXPECT_EQ(summary.num_queries, queries_.size());
+  EXPECT_GE(summary.max_output, summary.min_output);
+  EXPECT_GE(summary.avg_output, static_cast<double>(summary.min_output));
+  EXPECT_LE(summary.avg_output, static_cast<double>(summary.max_output));
+  EXPECT_GE(summary.pct_linear_calls(), 0.0);
+  EXPECT_LE(summary.pct_linear_calls(), 100.0);
+  size_t linear = 0;
+  for (const auto& result : batch) {
+    linear += result.stats.strategy == Strategy::kLinear;
+  }
+  EXPECT_EQ(summary.linear_calls, linear);
+}
+
+TEST(BatchSummaryTest, EmptyBatch) {
+  const BatchSummary summary = Summarize({});
+  EXPECT_EQ(summary.num_queries, 0u);
+  EXPECT_EQ(summary.pct_linear_calls(), 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hybridlsh

@@ -1,0 +1,148 @@
+// Unit tests for util/bit_vector.h: BitVector and VisitedSet.
+
+#include "util/bit_vector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hybridlsh {
+namespace util {
+namespace {
+
+TEST(BitVectorTest, StartsAllZero) {
+  BitVector bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(bits.Get(i));
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(BitVectorTest, SetAndGet) {
+  BitVector bits(130);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Get(0));
+  EXPECT_TRUE(bits.Get(63));
+  EXPECT_TRUE(bits.Get(64));
+  EXPECT_TRUE(bits.Get(129));
+  EXPECT_FALSE(bits.Get(1));
+  EXPECT_FALSE(bits.Get(65));
+  EXPECT_EQ(bits.Count(), 4u);
+}
+
+TEST(BitVectorTest, ClearSingleBit) {
+  BitVector bits(64);
+  bits.Set(10);
+  bits.Set(11);
+  bits.Clear(10);
+  EXPECT_FALSE(bits.Get(10));
+  EXPECT_TRUE(bits.Get(11));
+}
+
+TEST(BitVectorTest, TestAndSetReportsPriorValue) {
+  BitVector bits(10);
+  EXPECT_FALSE(bits.TestAndSet(3));
+  EXPECT_TRUE(bits.TestAndSet(3));
+  EXPECT_TRUE(bits.Get(3));
+}
+
+TEST(BitVectorTest, ClearAll) {
+  BitVector bits(200);
+  for (size_t i = 0; i < 200; i += 3) bits.Set(i);
+  bits.ClearAll();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(BitVectorTest, ResizeZeroesEverything) {
+  BitVector bits(10);
+  bits.Set(5);
+  bits.Resize(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(BitVectorTest, CountAcrossWordBoundaries) {
+  BitVector bits(192);
+  for (size_t i = 0; i < 192; ++i) bits.Set(i);
+  EXPECT_EQ(bits.Count(), 192u);
+}
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector bits;
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(VisitedSetTest, InsertReturnsTrueOnFirstOccurrence) {
+  VisitedSet set(100);
+  EXPECT_TRUE(set.Insert(42));
+  EXPECT_FALSE(set.Insert(42));
+  EXPECT_TRUE(set.Insert(7));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(VisitedSetTest, ContainsTracksInserts) {
+  VisitedSet set(100);
+  EXPECT_FALSE(set.Contains(5));
+  set.Insert(5);
+  EXPECT_TRUE(set.Contains(5));
+}
+
+TEST(VisitedSetTest, TouchedPreservesFirstOccurrenceOrder) {
+  VisitedSet set(100);
+  set.Insert(9);
+  set.Insert(2);
+  set.Insert(9);  // duplicate, not re-added
+  set.Insert(55);
+  EXPECT_EQ(set.touched(), (std::vector<uint32_t>{9, 2, 55}));
+}
+
+TEST(VisitedSetTest, ResetClearsOnlyTouchedBits) {
+  VisitedSet set(1000);
+  for (uint32_t id : {1u, 500u, 999u}) set.Insert(id);
+  set.Reset();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_FALSE(set.Contains(500));
+  EXPECT_FALSE(set.Contains(999));
+  // Reusable after reset.
+  EXPECT_TRUE(set.Insert(500));
+}
+
+TEST(VisitedSetTest, ManyQueriesReuseWithoutLeakage) {
+  VisitedSet set(256);
+  for (int query = 0; query < 50; ++query) {
+    for (uint32_t id = 0; id < 256; id += 7) {
+      EXPECT_TRUE(set.Insert(id)) << "query " << query << " id " << id;
+    }
+    set.Reset();
+  }
+}
+
+TEST(VisitedSetTest, CapacityMatchesConstruction) {
+  VisitedSet set(123);
+  EXPECT_EQ(set.capacity(), 123u);
+}
+
+TEST(VisitedSetTest, ResizeClears) {
+  VisitedSet set(10);
+  set.Insert(3);
+  set.Resize(20);
+  EXPECT_EQ(set.capacity(), 20u);
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(VisitedSetTest, BoundaryIds) {
+  VisitedSet set(64);
+  EXPECT_TRUE(set.Insert(0));
+  EXPECT_TRUE(set.Insert(63));
+  EXPECT_FALSE(set.Insert(0));
+  EXPECT_FALSE(set.Insert(63));
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace hybridlsh

@@ -1,0 +1,88 @@
+// Tests for core/cost_model.h: the Eq. 1/2 arithmetic and the calibration
+// procedure (paper §4.2).
+
+#include "core/cost_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/metric.h"
+#include "data/synthetic.h"
+
+namespace hybridlsh {
+namespace core {
+namespace {
+
+TEST(CostModelTest, LshCostIsEquationOne) {
+  const CostModel model{2.0, 5.0};
+  // 2*100 + 5*30 = 350.
+  EXPECT_DOUBLE_EQ(model.LshCost(100, 30.0), 350.0);
+}
+
+TEST(CostModelTest, LinearCostIsEquationTwo) {
+  const CostModel model{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(model.LinearCost(1000), 5000.0);
+}
+
+TEST(CostModelTest, FromRatioSetsAlphaOne) {
+  const CostModel model = CostModel::FromRatio(10.0);
+  EXPECT_DOUBLE_EQ(model.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(model.beta, 10.0);
+  EXPECT_DOUBLE_EQ(model.Ratio(), 10.0);
+}
+
+TEST(CostModelTest, DecisionBoundary) {
+  // With beta/alpha = 10 and n = 1000: LinearCost = 10000. A query with
+  // 5000 collisions and 400 candidates costs 5000 + 4000 = 9000 -> LSH
+  // wins; with 700 candidates it costs 12000 -> linear wins.
+  const CostModel model = CostModel::FromRatio(10.0);
+  EXPECT_LT(model.LshCost(5000, 400), model.LinearCost(1000));
+  EXPECT_GT(model.LshCost(5000, 700), model.LinearCost(1000));
+}
+
+TEST(CostCalibratorTest, AlphaIsPositiveAndSmall) {
+  const double alpha = CostCalibrator::MeasureAlpha(100000, 200000, 1);
+  EXPECT_GT(alpha, 0.0);
+  EXPECT_LT(alpha, 1e-6);  // a bit-probe insert is well under a microsecond
+}
+
+TEST(CostCalibratorTest, BetaScalesWithDimension) {
+  const data::DenseDataset small = data::MakeUniformCube(1000, 8, 1);
+  const data::DenseDataset big = data::MakeUniformCube(1000, 512, 1);
+  const std::vector<float> query_small(8, 0.5f);
+  const std::vector<float> query_big(512, 0.5f);
+  const double beta_small = CostCalibrator::MeasureBeta(
+      [&](size_t i) {
+        return data::L2Distance(small.point(i), query_small.data(), 8);
+      },
+      small.size(), 50000);
+  const double beta_big = CostCalibrator::MeasureBeta(
+      [&](size_t i) {
+        return data::L2Distance(big.point(i), query_big.data(), 512);
+      },
+      big.size(), 50000);
+  EXPECT_GT(beta_small, 0.0);
+  // 64x the dimension must cost clearly more per distance (allowing lots of
+  // noise: just require 4x).
+  EXPECT_GT(beta_big, 4 * beta_small);
+}
+
+TEST(CostCalibratorTest, CalibrateProducesUsableModel) {
+  const data::DenseDataset dataset = data::MakeUniformCube(5000, 64, 2);
+  const std::vector<float> query(64, 0.5f);
+  const CostModel model = CostCalibrator::Calibrate(
+      [&](size_t i) {
+        return data::L2Distance(dataset.point(i), query.data(), 64);
+      },
+      dataset.size(), dataset.size(), 100000, 3);
+  EXPECT_GT(model.alpha, 0.0);
+  EXPECT_GT(model.beta, 0.0);
+  // A 64-dim float distance costs more than a bitvector insert.
+  EXPECT_GT(model.Ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hybridlsh

@@ -1,0 +1,139 @@
+// Tests for lsh/covering.h, most importantly the scheme's defining
+// property: ZERO false negatives for Hamming distance <= r. Unlike the
+// probabilistic recall of classic LSH, this holds deterministically for
+// every query, which makes it an exact (not statistical) test.
+
+#include "lsh/covering.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "data/workload.h"
+
+namespace hybridlsh {
+namespace lsh {
+namespace {
+
+using data::BinaryDataset;
+
+CoveringLshIndex::Options MakeOptions(uint32_t radius) {
+  CoveringLshIndex::Options options;
+  options.radius = radius;
+  options.seed = 11;
+  options.num_build_threads = 4;
+  return options;
+}
+
+TEST(CoveringLshTest, BuildValidatesOptions) {
+  const BinaryDataset dataset = data::MakeRandomCodes(100, 64, 1);
+  EXPECT_FALSE(CoveringLshIndex::Build(dataset, MakeOptions(0)).ok());
+  EXPECT_FALSE(CoveringLshIndex::Build(dataset, MakeOptions(13)).ok());
+  const BinaryDataset empty(0, 64);
+  EXPECT_FALSE(CoveringLshIndex::Build(empty, MakeOptions(2)).ok());
+  auto bad_precision = MakeOptions(2);
+  bad_precision.hll_precision = 30;
+  EXPECT_FALSE(CoveringLshIndex::Build(dataset, bad_precision).ok());
+}
+
+TEST(CoveringLshTest, TableCountIsExponential) {
+  const BinaryDataset dataset = data::MakeRandomCodes(100, 64, 1);
+  for (uint32_t r : {1u, 2u, 3u, 4u}) {
+    auto index = CoveringLshIndex::Build(dataset, MakeOptions(r));
+    ASSERT_TRUE(index.ok());
+    EXPECT_EQ(index->num_tables(), (1 << (r + 1)) - 1) << "r=" << r;
+    EXPECT_EQ(index->radius(), r);
+  }
+}
+
+class CoveringNoFalseNegatives : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CoveringNoFalseNegatives, EveryNeighborWithinRadiusIsFound) {
+  const uint32_t radius = GetParam();
+  BinaryDataset dataset = data::MakeRandomCodes(800, 64, radius);
+  util::Rng rng(radius * 7 + 1);
+
+  // Queries with planted neighbors at distance in [1, radius].
+  BinaryDataset queries(0, 64);
+  for (int q = 0; q < 10; ++q) {
+    const uint64_t query = dataset.point(static_cast<size_t>(q) * 70)[0];
+    data::PlantNeighborsHamming(&dataset, &query, radius, 5, &rng);
+    queries.Append(&query);
+  }
+
+  auto index = CoveringLshIndex::Build(dataset, MakeOptions(radius));
+  ASSERT_TRUE(index.ok());
+
+  util::VisitedSet visited(dataset.size());
+  std::vector<uint64_t> keys;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const auto truth = data::RangeScanBinary(dataset, queries.point(q), radius);
+    ASSERT_GE(truth.size(), 5u);
+    visited.Reset();
+    index->QueryKeys(queries.point(q), &keys);
+    index->CollectCandidates(keys, &visited);
+    for (uint32_t id : truth) {
+      EXPECT_TRUE(visited.Contains(id))
+          << "false negative at radius " << radius << ": id " << id
+          << " at distance "
+          << data::HammingDistance(dataset.point(id), queries.point(q), 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RadiusSweep, CoveringNoFalseNegatives,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(CoveringLshTest, WiderCodesAlsoCovered) {
+  const uint32_t radius = 3;
+  BinaryDataset dataset = data::MakeRandomCodes(400, 256, 5);
+  util::Rng rng(99);
+  std::vector<uint64_t> query(dataset.words_per_code());
+  for (size_t w = 0; w < query.size(); ++w) query[w] = dataset.point(10)[w];
+  data::PlantNeighborsHamming(&dataset, query.data(), radius, 8, &rng);
+
+  auto index = CoveringLshIndex::Build(dataset, MakeOptions(radius));
+  ASSERT_TRUE(index.ok());
+  util::VisitedSet visited(dataset.size());
+  std::vector<uint64_t> keys;
+  index->QueryKeys(query.data(), &keys);
+  index->CollectCandidates(keys, &visited);
+  const auto truth = data::RangeScanBinary(dataset, query.data(), radius);
+  for (uint32_t id : truth) EXPECT_TRUE(visited.Contains(id));
+}
+
+TEST(CoveringLshTest, EstimateProbeCollisionsMatchCollect) {
+  const BinaryDataset dataset = data::MakeRandomCodes(1000, 64, 2);
+  auto index = CoveringLshIndex::Build(dataset, MakeOptions(3));
+  ASSERT_TRUE(index.ok());
+  auto scratch = index->MakeScratchSketch();
+  util::VisitedSet visited(dataset.size());
+  std::vector<uint64_t> keys;
+  for (size_t q = 0; q < 10; ++q) {
+    index->QueryKeys(dataset.point(q * 100), &keys);
+    const auto estimate = index->EstimateProbe(keys, &scratch);
+    visited.Reset();
+    EXPECT_EQ(index->CollectCandidates(keys, &visited), estimate.collisions);
+    EXPECT_GE(estimate.cand_estimate, 0.0);
+  }
+}
+
+TEST(CoveringLshTest, DistanceIsHamming) {
+  const BinaryDataset dataset = data::MakeRandomCodes(10, 64, 2);
+  auto index = CoveringLshIndex::Build(dataset, MakeOptions(2));
+  ASSERT_TRUE(index.ok());
+  const uint64_t a = 0, b = 0xf;
+  EXPECT_DOUBLE_EQ(index->Distance(&a, &b), 4.0);
+}
+
+TEST(CoveringLshTest, MemoryAccounted) {
+  const BinaryDataset dataset = data::MakeRandomCodes(500, 64, 2);
+  auto index = CoveringLshIndex::Build(dataset, MakeOptions(2));
+  ASSERT_TRUE(index.ok());
+  EXPECT_GT(index->MemoryBytes(), 500u * 3u * sizeof(uint32_t));
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace hybridlsh

@@ -1,0 +1,143 @@
+// Unit tests for data/dataset.h containers.
+
+#include "data/dataset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hybridlsh {
+namespace data {
+namespace {
+
+TEST(DenseDatasetTest, DefaultIsEmpty) {
+  DenseDataset dataset;
+  EXPECT_TRUE(dataset.empty());
+  EXPECT_EQ(dataset.size(), 0u);
+}
+
+TEST(DenseDatasetTest, SizedConstruction) {
+  DenseDataset dataset(5, 3);
+  EXPECT_EQ(dataset.size(), 5u);
+  EXPECT_EQ(dataset.dim(), 3u);
+  EXPECT_EQ(dataset.point(4)[2], 0.0f);
+}
+
+TEST(DenseDatasetTest, AdoptsMatrix) {
+  util::FloatMatrix m(2, 2, {1, 2, 3, 4});
+  DenseDataset dataset(std::move(m));
+  EXPECT_EQ(dataset.point(1)[0], 3.0f);
+}
+
+TEST(DenseDatasetTest, MutablePointWritesThrough) {
+  DenseDataset dataset(2, 2);
+  dataset.mutable_point(1)[1] = 7.0f;
+  EXPECT_EQ(dataset.point(1)[1], 7.0f);
+}
+
+TEST(DenseDatasetTest, AppendGrows) {
+  DenseDataset dataset;
+  const std::vector<float> p{1, 2};
+  dataset.Append(p);
+  dataset.Append(p);
+  EXPECT_EQ(dataset.size(), 2u);
+  EXPECT_EQ(dataset.dim(), 2u);
+}
+
+TEST(BinaryDatasetTest, DefaultIsEmpty) {
+  BinaryDataset dataset;
+  EXPECT_TRUE(dataset.empty());
+}
+
+TEST(BinaryDatasetTest, WordLayout) {
+  BinaryDataset d64(3, 64), d65(3, 65), d128(3, 128);
+  EXPECT_EQ(d64.words_per_code(), 1u);
+  EXPECT_EQ(d65.words_per_code(), 2u);
+  EXPECT_EQ(d128.words_per_code(), 2u);
+}
+
+TEST(BinaryDatasetTest, SetAndGetBit) {
+  BinaryDataset dataset(2, 100);
+  dataset.SetBit(1, 0, true);
+  dataset.SetBit(1, 63, true);
+  dataset.SetBit(1, 64, true);
+  dataset.SetBit(1, 99, true);
+  EXPECT_TRUE(dataset.GetBit(1, 0));
+  EXPECT_TRUE(dataset.GetBit(1, 63));
+  EXPECT_TRUE(dataset.GetBit(1, 64));
+  EXPECT_TRUE(dataset.GetBit(1, 99));
+  EXPECT_FALSE(dataset.GetBit(1, 1));
+  EXPECT_FALSE(dataset.GetBit(0, 0));  // other row untouched
+  dataset.SetBit(1, 63, false);
+  EXPECT_FALSE(dataset.GetBit(1, 63));
+}
+
+TEST(BinaryDatasetTest, AppendGrows) {
+  BinaryDataset dataset(0, 64);
+  const uint64_t code = 0xdeadbeefULL;
+  dataset.Append(&code);
+  dataset.Append(&code);
+  EXPECT_EQ(dataset.size(), 2u);
+  EXPECT_EQ(dataset.point(1)[0], code);
+}
+
+TEST(BinaryDatasetTest, PointsAreContiguous) {
+  BinaryDataset dataset(3, 128);
+  EXPECT_EQ(dataset.point(1), dataset.point(0) + 2);
+  EXPECT_EQ(dataset.point(2), dataset.point(0) + 4);
+}
+
+TEST(SparseDatasetTest, DefaultIsEmpty) {
+  SparseDataset dataset;
+  EXPECT_TRUE(dataset.empty());
+  EXPECT_EQ(dataset.num_entries(), 0u);
+}
+
+TEST(SparseDatasetTest, AppendAndRead) {
+  SparseDataset dataset(100);
+  const std::vector<uint32_t> a{1, 5, 9};
+  const std::vector<uint32_t> b{2};
+  ASSERT_TRUE(dataset.Append(a).ok());
+  ASSERT_TRUE(dataset.Append(b).ok());
+  EXPECT_EQ(dataset.size(), 2u);
+  ASSERT_EQ(dataset.point(0).size(), 3u);
+  EXPECT_EQ(dataset.point(0)[1], 5u);
+  ASSERT_EQ(dataset.point(1).size(), 1u);
+  EXPECT_EQ(dataset.point(1)[0], 2u);
+  EXPECT_EQ(dataset.num_entries(), 4u);
+}
+
+TEST(SparseDatasetTest, AppendEmptyPoint) {
+  SparseDataset dataset(10);
+  ASSERT_TRUE(dataset.Append({}).ok());
+  EXPECT_EQ(dataset.size(), 1u);
+  EXPECT_TRUE(dataset.point(0).empty());
+}
+
+TEST(SparseDatasetTest, RejectsUnsortedIds) {
+  SparseDataset dataset(100);
+  const std::vector<uint32_t> bad{5, 1};
+  EXPECT_EQ(dataset.Append(bad).code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SparseDatasetTest, RejectsDuplicateIds) {
+  SparseDataset dataset(100);
+  const std::vector<uint32_t> bad{3, 3};
+  EXPECT_FALSE(dataset.Append(bad).ok());
+}
+
+TEST(SparseDatasetTest, RejectsIdsBeyondUniverse) {
+  SparseDataset dataset(10);
+  const std::vector<uint32_t> bad{3, 10};
+  EXPECT_EQ(dataset.Append(bad).code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(SparseDatasetTest, UnboundedUniverseAcceptsAnyId) {
+  SparseDataset dataset;  // universe 0 = unknown
+  const std::vector<uint32_t> ids{1000000};
+  EXPECT_TRUE(dataset.Append(ids).ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace hybridlsh

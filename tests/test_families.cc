@@ -1,0 +1,272 @@
+// Property tests for lsh/families.h: for every family, the *empirical*
+// collision rate of a single atomic hash function at a planted distance
+// must match CollisionProbability(distance). This is the LSH-sensitivity
+// property (Definition 2 of the paper) that all parameter tuning rests on.
+
+#include "lsh/families.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/metric.h"
+#include "util/random.h"
+
+namespace hybridlsh {
+namespace lsh {
+namespace {
+
+constexpr int kTrials = 4000;  // SE of a Bernoulli mean ~ 0.0079
+
+// Empirical collision rate of single-function signatures over fresh
+// function samples.
+template <typename Family>
+double EmpiricalCollisionRate(const Family& family, typename Family::Point a,
+                              typename Family::Point b, uint64_t seed) {
+  util::Rng rng(seed);
+  int collisions = 0;
+  int32_t slot_a, slot_b;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto fns = family.Sample(1, &rng);
+    family.Signature(fns, a, {&slot_a, 1});
+    family.Signature(fns, b, {&slot_b, 1});
+    collisions += (slot_a == slot_b);
+  }
+  return static_cast<double>(collisions) / kTrials;
+}
+
+// --- SimHash ---------------------------------------------------------------
+
+TEST(SimHashFamilyTest, CollisionRateMatchesTheoryAtPlantedAngles) {
+  const size_t dim = 24;
+  SimHashFamily family(dim);
+  util::Rng rng(7);
+  // Build a pair at a planted angle in a 2D subspace.
+  for (double cosine_dist : {0.05, 0.2, 0.5, 1.0, 1.5}) {
+    std::vector<float> a(dim, 0.0f), b(dim, 0.0f);
+    const double angle = std::acos(1.0 - cosine_dist);
+    a[0] = 1.0f;
+    b[0] = static_cast<float>(std::cos(angle));
+    b[1] = static_cast<float>(std::sin(angle));
+    const double expected = family.CollisionProbability(cosine_dist);
+    const double observed =
+        EmpiricalCollisionRate(family, a.data(), b.data(), 100 + cosine_dist);
+    EXPECT_NEAR(observed, expected, 0.035) << "cosine_dist=" << cosine_dist;
+  }
+}
+
+TEST(SimHashFamilyTest, SignatureIsScaleInvariant) {
+  SimHashFamily family(8);
+  util::Rng rng(1);
+  const auto fns = family.Sample(16, &rng);
+  std::vector<float> x(8), x2(8);
+  for (int j = 0; j < 8; ++j) {
+    x[j] = static_cast<float>(rng.Gaussian());
+    x2[j] = 3.5f * x[j];
+  }
+  std::vector<int32_t> sig(16), sig2(16);
+  family.Signature(fns, x.data(), sig);
+  family.Signature(fns, x2.data(), sig2);
+  EXPECT_EQ(sig, sig2);
+}
+
+TEST(SimHashFamilyTest, ProbeCostsMatchSignature) {
+  SimHashFamily family(8);
+  util::Rng rng(2);
+  const auto fns = family.Sample(8, &rng);
+  std::vector<float> x(8, 0.5f);
+  std::vector<int32_t> sig(8), sig2(8);
+  std::vector<double> costs(8);
+  family.Signature(fns, x.data(), sig);
+  family.SignatureWithProbeCosts(fns, x.data(), sig2, costs);
+  EXPECT_EQ(sig, sig2);
+  for (double c : costs) EXPECT_GE(c, 0.0);
+}
+
+TEST(SimHashFamilyTest, MetricAndProbeKind) {
+  SimHashFamily family(4);
+  EXPECT_EQ(family.metric(), data::Metric::kCosine);
+  EXPECT_EQ(family.probe_kind(), ProbeKind::kFlip);
+  const float a[] = {1, 0, 0, 0};
+  const float b[] = {0, 1, 0, 0};
+  EXPECT_FLOAT_EQ(family.Distance(a, b), 1.0f);
+}
+
+// --- PStable (Gaussian / L2) -------------------------------------------------
+
+TEST(PStableL2FamilyTest, CollisionRateMatchesTheory) {
+  const size_t dim = 16;
+  const double w = 4.0;
+  PStableFamily family = PStableFamily::L2(dim, w);
+  util::Rng rng(11);
+  for (double dist : {1.0, 2.0, 4.0, 8.0}) {
+    // Any direction works: 2-stable projections see only ||a-b||_2.
+    std::vector<float> a(dim), b(dim);
+    for (size_t j = 0; j < dim; ++j) a[j] = static_cast<float>(rng.Gaussian());
+    b = a;
+    b[3] += static_cast<float>(dist);
+    const double expected = family.CollisionProbability(dist);
+    const double observed =
+        EmpiricalCollisionRate(family, a.data(), b.data(), 200 + dist);
+    EXPECT_NEAR(observed, expected, 0.035) << "dist=" << dist;
+  }
+}
+
+TEST(PStableL1FamilyTest, CollisionRateMatchesTheory) {
+  const size_t dim = 16;
+  const double w = 4.0;
+  PStableFamily family = PStableFamily::L1(dim, w);
+  util::Rng rng(13);
+  for (double dist : {1.0, 2.0, 4.0, 8.0}) {
+    std::vector<float> a(dim), b(dim);
+    for (size_t j = 0; j < dim; ++j) a[j] = static_cast<float>(rng.Gaussian());
+    b = a;
+    // Spread the L1 distance over several coordinates.
+    b[0] += static_cast<float>(dist / 2);
+    b[5] -= static_cast<float>(dist / 4);
+    b[9] += static_cast<float>(dist / 4);
+    const double expected = family.CollisionProbability(dist);
+    const double observed =
+        EmpiricalCollisionRate(family, a.data(), b.data(), 300 + dist);
+    EXPECT_NEAR(observed, expected, 0.035) << "dist=" << dist;
+  }
+}
+
+TEST(PStableFamilyTest, FactoriesSetMetric) {
+  EXPECT_EQ(PStableFamily::L2(4, 1.0).metric(), data::Metric::kL2);
+  EXPECT_EQ(PStableFamily::L1(4, 1.0).metric(), data::Metric::kL1);
+  EXPECT_EQ(PStableFamily::L2(4, 1.0).kind(), StableKind::kGaussian);
+  EXPECT_EQ(PStableFamily::L1(4, 1.0).kind(), StableKind::kCauchy);
+}
+
+TEST(PStableFamilyTest, DistanceMatchesMetric) {
+  const float a[] = {0, 0};
+  const float b[] = {3, 4};
+  EXPECT_FLOAT_EQ(PStableFamily::L2(2, 1.0).Distance(a, b), 5.0f);
+  EXPECT_FLOAT_EQ(PStableFamily::L1(2, 1.0).Distance(a, b), 7.0f);
+}
+
+TEST(PStableFamilyTest, ProbeCostsArePositionsInWindow) {
+  PStableFamily family = PStableFamily::L2(4, 2.0);
+  util::Rng rng(3);
+  const auto fns = family.Sample(6, &rng);
+  const float x[] = {0.3f, -1.2f, 0.8f, 2.1f};
+  std::vector<int32_t> sig(6), sig2(6);
+  std::vector<double> down(6), up(6);
+  family.Signature(fns, x, sig);
+  family.SignatureWithProbeCosts(fns, x, sig2, down, up);
+  EXPECT_EQ(sig, sig2);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_GE(down[i], 0.0);
+    EXPECT_LT(down[i], 1.0);
+    EXPECT_NEAR(down[i] + up[i], 1.0, 1e-9);
+  }
+}
+
+TEST(PStableFamilyTest, SlotShiftsWithOffset) {
+  // Moving a point by exactly w along a projection direction shifts the
+  // slot by the projection of the move: verify slots differ for far points.
+  PStableFamily family = PStableFamily::L2(2, 1.0);
+  util::Rng rng(4);
+  const auto fns = family.Sample(8, &rng);
+  const float a[] = {0, 0};
+  const float b[] = {100, 100};
+  std::vector<int32_t> sig_a(8), sig_b(8);
+  family.Signature(fns, a, sig_a);
+  family.Signature(fns, b, sig_b);
+  EXPECT_NE(sig_a, sig_b);
+}
+
+// --- Bit sampling ------------------------------------------------------------
+
+TEST(BitSamplingFamilyTest, CollisionRateMatchesTheory) {
+  const size_t width = 64;
+  BitSamplingFamily family(width);
+  util::Rng rng(17);
+  for (uint32_t dist : {4u, 16u, 32u, 48u}) {
+    uint64_t a = rng.NextU64();
+    uint64_t b = a;
+    // Flip exactly `dist` low bits.
+    for (uint32_t i = 0; i < dist; ++i) b ^= uint64_t{1} << i;
+    const double expected = family.CollisionProbability(dist);
+    const double observed = EmpiricalCollisionRate(family, &a, &b, 400 + dist);
+    EXPECT_NEAR(observed, expected, 0.035) << "dist=" << dist;
+  }
+}
+
+TEST(BitSamplingFamilyTest, SignatureReadsBits) {
+  BitSamplingFamily family(128);
+  BitSamplingFamily::Functions fns;
+  fns.positions = {0, 63, 64, 127};
+  uint64_t code[2] = {(uint64_t{1} << 63) | 1, uint64_t{1} << 63};
+  std::vector<int32_t> sig(4);
+  family.Signature(fns, code, sig);
+  EXPECT_EQ(sig, (std::vector<int32_t>{1, 1, 0, 1}));
+}
+
+TEST(BitSamplingFamilyTest, DistanceIsHamming) {
+  BitSamplingFamily family(64);
+  const uint64_t a = 0, b = 0xff;
+  EXPECT_DOUBLE_EQ(family.Distance(&a, &b), 8.0);
+}
+
+TEST(BitSamplingFamilyTest, FlipCostsAreUniform) {
+  BitSamplingFamily family(64);
+  util::Rng rng(5);
+  const auto fns = family.Sample(4, &rng);
+  const uint64_t code = 42;
+  std::vector<int32_t> sig(4);
+  std::vector<double> costs(4);
+  family.SignatureWithProbeCosts(fns, &code, sig, costs);
+  for (double c : costs) EXPECT_EQ(c, 1.0);
+}
+
+// --- MinHash -----------------------------------------------------------------
+
+TEST(MinHashFamilyTest, CollisionRateMatchesTheory) {
+  MinHashFamily family;
+  // Jaccard distance 0.5: |A ∩ B| = 10, |A ∪ B| = 20.
+  std::vector<uint32_t> a, b;
+  for (uint32_t i = 0; i < 15; ++i) a.push_back(i);        // 0..14
+  for (uint32_t i = 5; i < 20; ++i) b.push_back(i);        // 5..19
+  const double j = data::JaccardDistance(a, b);
+  ASSERT_NEAR(j, 0.5, 1e-6);
+  const double expected = family.CollisionProbability(j);
+  const double observed = EmpiricalCollisionRate(
+      family, data::SparseDataset::Point(a), data::SparseDataset::Point(b), 19);
+  EXPECT_NEAR(observed, expected, 0.035);
+}
+
+TEST(MinHashFamilyTest, IdenticalSetsAlwaysCollide) {
+  MinHashFamily family;
+  std::vector<uint32_t> a{2, 7, 9, 40};
+  const double observed = EmpiricalCollisionRate(
+      family, data::SparseDataset::Point(a), data::SparseDataset::Point(a), 23);
+  EXPECT_DOUBLE_EQ(observed, 1.0);
+}
+
+TEST(MinHashFamilyTest, EmptySetsCollideOnlyWithEachOther) {
+  MinHashFamily family;
+  util::Rng rng(6);
+  const auto fns = family.Sample(3, &rng);
+  std::vector<uint32_t> empty, nonempty{1, 2};
+  std::vector<int32_t> sig_e(3), sig_n(3);
+  family.Signature(fns, empty, sig_e);
+  family.Signature(fns, nonempty, sig_n);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sig_e[i], std::numeric_limits<int32_t>::max());
+    EXPECT_NE(sig_e[i], sig_n[i]);
+  }
+}
+
+TEST(MinHashFamilyTest, DistanceIsJaccard) {
+  MinHashFamily family;
+  std::vector<uint32_t> a{1, 2, 3};
+  std::vector<uint32_t> b{2, 3, 4, 5};
+  EXPECT_FLOAT_EQ(family.Distance(a, b), 0.6f);
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace hybridlsh

@@ -1,0 +1,114 @@
+// Tests for lsh/fingerprint.h: the SimHash fingerprint pipeline used by
+// the paper's MNIST experiment (dense vectors -> 64-bit Hamming codes).
+
+#include "lsh/fingerprint.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/metric.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace hybridlsh {
+namespace lsh {
+namespace {
+
+TEST(FingerprinterTest, ShapeAndDeterminism) {
+  Fingerprinter fp(20, 64, 1);
+  EXPECT_EQ(fp.dim(), 20u);
+  EXPECT_EQ(fp.width_bits(), 64u);
+  EXPECT_EQ(fp.words_per_code(), 1u);
+
+  const data::DenseDataset dataset = data::MakeUniformCube(50, 20, 2);
+  auto a = fp.Transform(dataset);
+  auto b = fp.Transform(dataset);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->words(), b->words());
+  EXPECT_EQ(a->size(), 50u);
+  EXPECT_EQ(a->width_bits(), 64u);
+}
+
+TEST(FingerprinterTest, DifferentSeedsGiveDifferentCodes) {
+  const data::DenseDataset dataset = data::MakeUniformCube(10, 20, 2);
+  auto a = Fingerprinter(20, 64, 1).Transform(dataset);
+  auto b = Fingerprinter(20, 64, 2).Transform(dataset);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->words(), b->words());
+}
+
+TEST(FingerprinterTest, RejectsDimensionMismatch) {
+  Fingerprinter fp(20, 64, 1);
+  const data::DenseDataset wrong = data::MakeUniformCube(5, 8, 1);
+  EXPECT_EQ(fp.Transform(wrong).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(FingerprinterTest, IdenticalPointsHaveIdenticalCodes) {
+  Fingerprinter fp(16, 64, 3);
+  const std::vector<float> x{1, -2, 3, 0.5f, 1, -2, 3, 0.5f,
+                             1, -2, 3, 0.5f, 1, -2, 3, 0.5f};
+  uint64_t code_a, code_b;
+  fp.TransformPoint(x.data(), &code_a);
+  fp.TransformPoint(x.data(), &code_b);
+  EXPECT_EQ(code_a, code_b);
+}
+
+TEST(FingerprinterTest, OppositePointsHaveComplementaryCodes) {
+  Fingerprinter fp(16, 64, 3);
+  std::vector<float> x(16), neg(16);
+  util::Rng rng(5);
+  for (int j = 0; j < 16; ++j) {
+    x[j] = static_cast<float>(rng.Gaussian());
+    neg[j] = -x[j];
+  }
+  uint64_t code_x, code_neg;
+  fp.TransformPoint(x.data(), &code_x);
+  fp.TransformPoint(neg.data(), &code_neg);
+  // sign(<a,-x>) = -sign(<a,x>) except exactly-zero projections: distance
+  // should be 64 (or extremely close).
+  EXPECT_GE(data::HammingDistance(&code_x, &code_neg, 1), 63u);
+}
+
+TEST(FingerprinterTest, ExpectedHammingMatchesAngle) {
+  // E[Hamming] = width * angle / pi (the SimHash property). Check pairs at
+  // planted angles, averaged over many hyperplane draws (seeds).
+  const size_t dim = 12;
+  const size_t width = 256;  // more bits -> tighter concentration
+  for (double angle : {0.3, 0.8, 1.5}) {
+    std::vector<float> a(dim, 0.0f), b(dim, 0.0f);
+    a[0] = 1.0f;
+    b[0] = static_cast<float>(std::cos(angle));
+    b[1] = static_cast<float>(std::sin(angle));
+    double total = 0;
+    const int reps = 12;
+    for (int seed = 0; seed < reps; ++seed) {
+      Fingerprinter fp(dim, width, seed + 100);
+      std::vector<uint64_t> code_a(fp.words_per_code()), code_b(fp.words_per_code());
+      fp.TransformPoint(a.data(), code_a.data());
+      fp.TransformPoint(b.data(), code_b.data());
+      total += data::HammingDistance(code_a.data(), code_b.data(),
+                                     fp.words_per_code());
+    }
+    const double mean_dist = total / reps;
+    const double expected = width * angle / std::numbers::pi;
+    EXPECT_NEAR(mean_dist, expected, 0.12 * width) << "angle=" << angle;
+  }
+}
+
+TEST(FingerprinterTest, TailBitsBeyondWidthStayZero) {
+  Fingerprinter fp(8, 70, 9);  // 70 bits -> 2 words, 58 unused tail bits
+  const data::DenseDataset dataset = data::MakeUniformCube(20, 8, 3);
+  auto codes = fp.Transform(dataset);
+  ASSERT_TRUE(codes.ok());
+  for (size_t i = 0; i < codes->size(); ++i) {
+    EXPECT_EQ(codes->point(i)[1] >> 6, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace hybridlsh

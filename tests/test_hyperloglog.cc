@@ -1,0 +1,228 @@
+// Unit, property, and failure-injection tests for hll/hyperloglog.h.
+//
+// The paper's Table 1 depends on HLL delivering < 10% relative error at
+// m = 128; the parameterized sweeps here verify the error bound across
+// precisions and cardinalities.
+
+#include "hll/hyperloglog.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace hybridlsh {
+namespace hll {
+namespace {
+
+TEST(HyperLogLogTest, EmptyEstimateIsZero) {
+  HyperLogLog sketch(7);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 0.0);
+}
+
+TEST(HyperLogLogTest, PrecisionAccessors) {
+  HyperLogLog sketch(7);
+  EXPECT_EQ(sketch.precision(), 7);
+  EXPECT_EQ(sketch.num_registers(), 128u);
+  EXPECT_EQ(sketch.MemoryBytes(), 128u);
+  EXPECT_NEAR(sketch.StandardError(), 1.04 / std::sqrt(128.0), 1e-12);
+}
+
+TEST(HyperLogLogTest, CreateRejectsBadPrecision) {
+  EXPECT_FALSE(HyperLogLog::Create(3).ok());
+  EXPECT_FALSE(HyperLogLog::Create(19).ok());
+  EXPECT_TRUE(HyperLogLog::Create(4).ok());
+  EXPECT_TRUE(HyperLogLog::Create(18).ok());
+}
+
+TEST(HyperLogLogDeathTest, ConstructorAbortsOnBadPrecision) {
+  EXPECT_DEATH(HyperLogLog(2), "HLSH_CHECK");
+}
+
+TEST(HyperLogLogTest, SingleElement) {
+  HyperLogLog sketch(7);
+  sketch.AddPoint(12345);
+  EXPECT_NEAR(sketch.Estimate(), 1.0, 0.05);
+}
+
+TEST(HyperLogLogTest, UpdatesAreIdempotent) {
+  HyperLogLog once(7), thrice(7);
+  for (uint32_t id = 0; id < 500; ++id) {
+    once.AddPoint(id);
+    thrice.AddPoint(id);
+    thrice.AddPoint(id);
+    thrice.AddPoint(id);
+  }
+  EXPECT_EQ(once, thrice);
+}
+
+TEST(HyperLogLogTest, SmallRangeIsNearExact) {
+  // Linear counting makes tiny cardinalities very accurate.
+  HyperLogLog sketch(7);
+  for (uint32_t id = 0; id < 20; ++id) sketch.AddPoint(id);
+  EXPECT_NEAR(sketch.Estimate(), 20.0, 2.0);
+}
+
+TEST(HyperLogLogTest, ClearResetsEstimate) {
+  HyperLogLog sketch(7);
+  for (uint32_t id = 0; id < 1000; ++id) sketch.AddPoint(id);
+  sketch.Clear();
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 0.0);
+}
+
+TEST(HyperLogLogTest, MergeEqualsSketchOfUnion) {
+  // Register-wise max must be *exactly* the sketch of the union — this is
+  // the property that lets the paper treat L buckets as one stream.
+  HyperLogLog a(7), b(7), expected_union(7);
+  for (uint32_t id = 0; id < 3000; ++id) {
+    if (id % 2 == 0) a.AddPoint(id);
+    if (id % 3 == 0) b.AddPoint(id);
+    if (id % 2 == 0 || id % 3 == 0) expected_union.AddPoint(id);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a, expected_union);
+}
+
+TEST(HyperLogLogTest, MergeWithOverlapDoesNotDoubleCount) {
+  HyperLogLog a(7), b(7);
+  for (uint32_t id = 0; id < 2000; ++id) {
+    a.AddPoint(id);
+    b.AddPoint(id);  // same ids
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  const double est = a.Estimate();
+  EXPECT_NEAR(est, 2000.0, 2000.0 * 3 * a.StandardError());
+}
+
+TEST(HyperLogLogTest, MergeRejectsPrecisionMismatch) {
+  HyperLogLog a(6), b(7);
+  EXPECT_EQ(a.Merge(b).code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(HyperLogLogTest, MergeManyPartitionsMatchesWholeStream) {
+  // Partition 10k ids into 50 "buckets" (as the L hash tables do), merge,
+  // and compare against a sketch of the whole stream.
+  constexpr int kParts = 50;
+  std::vector<HyperLogLog> parts(kParts, HyperLogLog(7));
+  HyperLogLog whole(7);
+  for (uint32_t id = 0; id < 10000; ++id) {
+    parts[id % kParts].AddPoint(id);
+    whole.AddPoint(id);
+  }
+  HyperLogLog merged(7);
+  for (const auto& part : parts) ASSERT_TRUE(merged.Merge(part).ok());
+  EXPECT_EQ(merged, whole);
+}
+
+TEST(HyperLogLogTest, SerializeRoundTrip) {
+  HyperLogLog sketch(7);
+  for (uint32_t id = 0; id < 5000; ++id) sketch.AddPoint(id * 17);
+  const std::vector<uint8_t> bytes = sketch.Serialize();
+  EXPECT_EQ(bytes.size(), 1u + 128u);
+  auto restored = HyperLogLog::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, sketch);
+  EXPECT_DOUBLE_EQ(restored->Estimate(), sketch.Estimate());
+}
+
+TEST(HyperLogLogTest, DeserializeRejectsEmptyBuffer) {
+  EXPECT_EQ(HyperLogLog::Deserialize({}).status().code(),
+            util::StatusCode::kDataLoss);
+}
+
+TEST(HyperLogLogTest, DeserializeRejectsBadPrecision) {
+  std::vector<uint8_t> bytes{42};  // precision byte out of range
+  bytes.resize(1 + (1ull << 7), 0);
+  EXPECT_FALSE(HyperLogLog::Deserialize(bytes).ok());
+}
+
+TEST(HyperLogLogTest, DeserializeRejectsTruncatedBuffer) {
+  HyperLogLog sketch(7);
+  std::vector<uint8_t> bytes = sketch.Serialize();
+  bytes.pop_back();
+  EXPECT_EQ(HyperLogLog::Deserialize(bytes).status().code(),
+            util::StatusCode::kDataLoss);
+}
+
+TEST(HyperLogLogTest, DeserializeRejectsOversizedBuffer) {
+  HyperLogLog sketch(7);
+  std::vector<uint8_t> bytes = sketch.Serialize();
+  bytes.push_back(0);
+  EXPECT_FALSE(HyperLogLog::Deserialize(bytes).ok());
+}
+
+TEST(HyperLogLogTest, DeserializeRejectsCorruptRegister) {
+  HyperLogLog sketch(7);
+  std::vector<uint8_t> bytes = sketch.Serialize();
+  bytes[5] = 255;  // impossible rank for precision 7 (max 58)
+  EXPECT_EQ(HyperLogLog::Deserialize(bytes).status().code(),
+            util::StatusCode::kDataLoss);
+}
+
+TEST(HyperLogLogTest, PointHashIsStable) {
+  EXPECT_EQ(PointHash(7), PointHash(7));
+  EXPECT_NE(PointHash(7), PointHash(8));
+}
+
+// --- Parameterized accuracy sweep -----------------------------------------
+
+struct AccuracyCase {
+  int precision;
+  uint32_t cardinality;
+};
+
+class HllAccuracySweep : public ::testing::TestWithParam<AccuracyCase> {};
+
+TEST_P(HllAccuracySweep, RelativeErrorWithinBound) {
+  const auto [precision, cardinality] = GetParam();
+  util::Rng rng(precision * 1000003u + cardinality);
+  HyperLogLog sketch(precision);
+  for (uint32_t i = 0; i < cardinality; ++i) sketch.AddHash(rng.NextU64());
+  const double est = sketch.Estimate();
+  const double rel_err = std::abs(est - cardinality) / cardinality;
+  // 4 standard errors, plus 2% absolute slack for small-range transitions.
+  const double bound = 4.0 * sketch.StandardError() + 0.02;
+  EXPECT_LT(rel_err, bound) << "precision=" << precision
+                            << " cardinality=" << cardinality
+                            << " estimate=" << est;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HllAccuracySweep,
+    ::testing::Values(AccuracyCase{5, 100}, AccuracyCase{5, 1000},
+                      AccuracyCase{5, 10000}, AccuracyCase{6, 100},
+                      AccuracyCase{6, 1000}, AccuracyCase{6, 50000},
+                      AccuracyCase{7, 100}, AccuracyCase{7, 1000},
+                      AccuracyCase{7, 10000}, AccuracyCase{7, 100000},
+                      AccuracyCase{10, 1000}, AccuracyCase{10, 100000},
+                      AccuracyCase{12, 500000}),
+    [](const ::testing::TestParamInfo<AccuracyCase>& info) {
+      return "p" + std::to_string(info.param.precision) + "_n" +
+             std::to_string(info.param.cardinality);
+    });
+
+// Average relative error over repeated trials should be close to the
+// theoretical standard error (the paper observes ~6-7% at m = 128).
+TEST(HyperLogLogTest, MeanRelativeErrorNearTheory) {
+  constexpr int kTrials = 60;
+  constexpr uint32_t kCardinality = 20000;
+  util::Rng rng(99);
+  double total_rel_err = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    HyperLogLog sketch(7);
+    for (uint32_t i = 0; i < kCardinality; ++i) sketch.AddHash(rng.NextU64());
+    total_rel_err += std::abs(sketch.Estimate() - kCardinality) / kCardinality;
+  }
+  const double mean_rel_err = total_rel_err / kTrials;
+  // E|N(0,s)| = s*sqrt(2/pi) ~ 0.8 s; allow [0.3 s, 1.6 s].
+  const double s = 1.04 / std::sqrt(128.0);
+  EXPECT_GT(mean_rel_err, 0.3 * s);
+  EXPECT_LT(mean_rel_err, 1.6 * s);
+}
+
+}  // namespace
+}  // namespace hll
+}  // namespace hybridlsh

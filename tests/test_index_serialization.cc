@@ -1,0 +1,223 @@
+// Save/Load round-trip tests for LshIndex across every family, plus
+// failure injection on the index file format.
+//
+// The round-trip criterion is strict: the loaded index must produce
+// byte-identical query keys and cost estimates for every query — i.e., it
+// IS the same index, not a statistically equivalent one.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hybridlsh.h"
+
+namespace hybridlsh {
+namespace {
+
+class IndexSerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hybridlsh_idx_test_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  // Verifies Save+Load produces identical keys and probe estimates.
+  template <typename Index, typename Queries>
+  void ExpectIdenticalBehaviour(const Index& original, const Index& loaded,
+                                const Queries& queries) {
+    EXPECT_EQ(loaded.k(), original.k());
+    EXPECT_EQ(loaded.num_tables(), original.num_tables());
+    EXPECT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.stats().total_buckets, original.stats().total_buckets);
+    EXPECT_EQ(loaded.stats().total_sketches, original.stats().total_sketches);
+
+    auto scratch_a = original.MakeScratchSketch();
+    auto scratch_b = loaded.MakeScratchSketch();
+    std::vector<uint64_t> keys_a, keys_b;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      original.QueryKeys(queries.point(q), &keys_a);
+      loaded.QueryKeys(queries.point(q), &keys_b);
+      ASSERT_EQ(keys_a, keys_b) << "query " << q;
+      const auto est_a = original.EstimateProbe(keys_a, &scratch_a);
+      const auto est_b = loaded.EstimateProbe(keys_b, &scratch_b);
+      EXPECT_EQ(est_a.collisions, est_b.collisions);
+      EXPECT_DOUBLE_EQ(est_a.cand_estimate, est_b.cand_estimate);
+    }
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IndexSerializationTest, L2RoundTrip) {
+  const data::DenseDataset dataset = data::MakeCorelLike(2000, 16, 1);
+  L2Index::Options options;
+  options.num_tables = 20;
+  options.k = 6;
+  options.seed = 2;
+  auto index =
+      L2Index::Build(lsh::PStableFamily::L2(16, 1.0), dataset, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->Save(Path("l2.idx")).ok());
+  auto loaded = L2Index::Load(Path("l2.idx"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->family().kind(), lsh::StableKind::kGaussian);
+  EXPECT_DOUBLE_EQ(loaded->family().w(), 1.0);
+  ExpectIdenticalBehaviour(*index, *loaded, dataset);
+}
+
+TEST_F(IndexSerializationTest, L1RoundTrip) {
+  const data::DenseDataset dataset = data::MakeCovtypeLike(2000, 20, 3);
+  L1Index::Options options;
+  options.num_tables = 10;
+  options.k = 8;
+  options.seed = 4;
+  auto index =
+      L1Index::Build(lsh::PStableFamily::L1(20, 400.0), dataset, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->Save(Path("l1.idx")).ok());
+  auto loaded = L1Index::Load(Path("l1.idx"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->family().kind(), lsh::StableKind::kCauchy);
+  ExpectIdenticalBehaviour(*index, *loaded, dataset);
+}
+
+TEST_F(IndexSerializationTest, CosineRoundTrip) {
+  const data::DenseDataset dataset =
+      data::MakeWebspamLike({.n = 2000, .dim = 32, .seed = 5});
+  CosineIndex::Options options;
+  options.num_tables = 15;
+  options.k = 12;
+  options.seed = 6;
+  auto index = CosineIndex::Build(lsh::SimHashFamily(32), dataset, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->Save(Path("cos.idx")).ok());
+  auto loaded = CosineIndex::Load(Path("cos.idx"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->family().dim(), 32u);
+  ExpectIdenticalBehaviour(*index, *loaded, dataset);
+}
+
+TEST_F(IndexSerializationTest, HammingRoundTrip) {
+  const data::BinaryDataset dataset = data::MakeRandomCodes(3000, 64, 7);
+  HammingIndex::Options options;
+  options.num_tables = 25;
+  options.k = 10;
+  options.seed = 8;
+  auto index =
+      HammingIndex::Build(lsh::BitSamplingFamily(64), dataset, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->Save(Path("ham.idx")).ok());
+  auto loaded = HammingIndex::Load(Path("ham.idx"));
+  ASSERT_TRUE(loaded.ok());
+  ExpectIdenticalBehaviour(*index, *loaded, dataset);
+}
+
+TEST_F(IndexSerializationTest, MinHashRoundTrip) {
+  const data::SparseDataset dataset = data::MakeRandomSparse(1000, 500, 20, 9);
+  JaccardIndex::Options options;
+  options.num_tables = 10;
+  options.k = 4;
+  options.seed = 10;
+  auto index = JaccardIndex::Build(lsh::MinHashFamily(), dataset, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->Save(Path("jac.idx")).ok());
+  auto loaded = JaccardIndex::Load(Path("jac.idx"));
+  ASSERT_TRUE(loaded.ok());
+  ExpectIdenticalBehaviour(*index, *loaded, dataset);
+}
+
+TEST_F(IndexSerializationTest, LoadedIndexServesHybridQueries) {
+  // End-to-end: a loaded index plugged into a HybridSearcher answers with
+  // the same results as the original.
+  const size_t dim = 16;
+  const double radius = 0.4;
+  const data::DenseDataset dataset = data::MakeCorelLike(3000, dim, 11);
+  L2Index::Options options;
+  options.num_tables = 30;
+  options.k = 7;
+  options.seed = 12;
+  auto index = L2Index::Build(lsh::PStableFamily::L2(dim, 2 * radius), dataset,
+                              options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->Save(Path("hybrid.idx")).ok());
+  auto loaded = L2Index::Load(Path("hybrid.idx"));
+  ASSERT_TRUE(loaded.ok());
+
+  core::SearcherOptions searcher_options;
+  searcher_options.cost_model = core::CostModel::FromRatio(6.0);
+  L2Searcher original(&*index, &dataset, searcher_options);
+  L2Searcher restored(&*loaded, &dataset, searcher_options);
+  std::vector<uint32_t> out_a, out_b;
+  for (size_t q = 0; q < 20; ++q) {
+    out_a.clear();
+    out_b.clear();
+    original.Query(dataset.point(q * 100), radius, &out_a);
+    restored.Query(dataset.point(q * 100), radius, &out_b);
+    EXPECT_EQ(out_a, out_b) << "query " << q;
+  }
+}
+
+TEST_F(IndexSerializationTest, RejectsWrongFamily) {
+  const data::DenseDataset dataset = data::MakeCorelLike(500, 8, 13);
+  L2Index::Options options;
+  options.num_tables = 5;
+  options.k = 4;
+  auto index = L2Index::Build(lsh::PStableFamily::L2(8, 1.0), dataset, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->Save(Path("l2.idx")).ok());
+  // Loading a p-stable index as a SimHash index must fail cleanly.
+  EXPECT_EQ(CosineIndex::Load(Path("l2.idx")).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexSerializationTest, RejectsGarbageFile) {
+  std::ofstream out(Path("garbage.idx"), std::ios::binary);
+  out << "this is not an index";
+  out.close();
+  EXPECT_EQ(L2Index::Load(Path("garbage.idx")).status().code(),
+            util::StatusCode::kDataLoss);
+}
+
+TEST_F(IndexSerializationTest, RejectsTruncatedFile) {
+  const data::DenseDataset dataset = data::MakeCorelLike(500, 8, 14);
+  L2Index::Options options;
+  options.num_tables = 5;
+  options.k = 4;
+  auto index = L2Index::Build(lsh::PStableFamily::L2(8, 1.0), dataset, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->Save(Path("l2.idx")).ok());
+  const auto size = std::filesystem::file_size(Path("l2.idx"));
+  std::filesystem::resize_file(Path("l2.idx"), size / 2);
+  EXPECT_FALSE(L2Index::Load(Path("l2.idx")).ok());
+}
+
+TEST_F(IndexSerializationTest, RejectsTrailingGarbage) {
+  const data::DenseDataset dataset = data::MakeCorelLike(500, 8, 15);
+  L2Index::Options options;
+  options.num_tables = 5;
+  options.k = 4;
+  auto index = L2Index::Build(lsh::PStableFamily::L2(8, 1.0), dataset, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->Save(Path("l2.idx")).ok());
+  std::ofstream out(Path("l2.idx"), std::ios::binary | std::ios::app);
+  out << "extra";
+  out.close();
+  EXPECT_FALSE(L2Index::Load(Path("l2.idx")).ok());
+}
+
+TEST_F(IndexSerializationTest, MissingFileIsNotFound) {
+  EXPECT_EQ(L2Index::Load(Path("missing.idx")).status().code(),
+            util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hybridlsh

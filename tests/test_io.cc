@@ -1,0 +1,209 @@
+// Round-trip and failure-injection tests for data/io.h.
+
+#include "data/io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace hybridlsh {
+namespace data {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hybridlsh_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, FvecsRoundTrip) {
+  const DenseDataset original = MakeUniformCube(50, 7, 1);
+  ASSERT_TRUE(WriteFvecs(original, Path("d.fvecs")).ok());
+  auto restored = ReadFvecs(Path("d.fvecs"));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), original.size());
+  ASSERT_EQ(restored->dim(), original.dim());
+  EXPECT_EQ(restored->matrix().data(), original.matrix().data());
+}
+
+TEST_F(IoTest, FvecsMissingFileIsNotFound) {
+  EXPECT_EQ(ReadFvecs(Path("missing.fvecs")).status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, FvecsTruncatedFileIsDataLoss) {
+  const DenseDataset original = MakeUniformCube(10, 4, 1);
+  ASSERT_TRUE(WriteFvecs(original, Path("d.fvecs")).ok());
+  // Chop the last 3 bytes.
+  std::filesystem::resize_file(Path("d.fvecs"),
+                               std::filesystem::file_size(Path("d.fvecs")) - 3);
+  EXPECT_EQ(ReadFvecs(Path("d.fvecs")).status().code(),
+            util::StatusCode::kDataLoss);
+}
+
+TEST_F(IoTest, FvecsInconsistentDimsIsDataLoss) {
+  std::ofstream out(Path("bad.fvecs"), std::ios::binary);
+  const int32_t d1 = 2, d2 = 3;
+  const float vals[3] = {1, 2, 3};
+  out.write(reinterpret_cast<const char*>(&d1), 4);
+  out.write(reinterpret_cast<const char*>(vals), 8);
+  out.write(reinterpret_cast<const char*>(&d2), 4);
+  out.write(reinterpret_cast<const char*>(vals), 12);
+  out.close();
+  EXPECT_EQ(ReadFvecs(Path("bad.fvecs")).status().code(),
+            util::StatusCode::kDataLoss);
+}
+
+TEST_F(IoTest, FvecsNegativeDimIsDataLoss) {
+  std::ofstream out(Path("bad.fvecs"), std::ios::binary);
+  const int32_t d = -1;
+  out.write(reinterpret_cast<const char*>(&d), 4);
+  out.close();
+  EXPECT_FALSE(ReadFvecs(Path("bad.fvecs")).ok());
+}
+
+TEST_F(IoTest, CsvRoundTrip) {
+  const DenseDataset original = MakeUniformCube(20, 3, 2);
+  ASSERT_TRUE(WriteCsv(original, Path("d.csv")).ok());
+  auto restored = ReadCsv(Path("d.csv"));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 20u);
+  ASSERT_EQ(restored->dim(), 3u);
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(restored->point(i)[j], original.point(i)[j], 1e-6f);
+    }
+  }
+}
+
+TEST_F(IoTest, CsvSkipsEmptyLines) {
+  std::ofstream out(Path("d.csv"));
+  out << "1.0,2.0\n\n3.0,4.0\n";
+  out.close();
+  auto restored = ReadCsv(Path("d.csv"));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 2u);
+}
+
+TEST_F(IoTest, CsvRejectsGarbage) {
+  std::ofstream out(Path("d.csv"));
+  out << "1.0,abc\n";
+  out.close();
+  EXPECT_EQ(ReadCsv(Path("d.csv")).status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST_F(IoTest, CsvRejectsRaggedRows) {
+  std::ofstream out(Path("d.csv"));
+  out << "1,2,3\n4,5\n";
+  out.close();
+  EXPECT_FALSE(ReadCsv(Path("d.csv")).ok());
+}
+
+TEST_F(IoTest, LibsvmDenseParsesFeatures) {
+  std::ofstream out(Path("d.svm"));
+  out << "+1 1:0.5 3:2.5\n";
+  out << "-1 2:1.5\n";
+  out.close();
+  auto dataset = ReadLibsvmDense(Path("d.svm"), 3);
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_EQ(dataset->size(), 2u);
+  EXPECT_FLOAT_EQ(dataset->point(0)[0], 0.5f);
+  EXPECT_FLOAT_EQ(dataset->point(0)[1], 0.0f);
+  EXPECT_FLOAT_EQ(dataset->point(0)[2], 2.5f);
+  EXPECT_FLOAT_EQ(dataset->point(1)[1], 1.5f);
+}
+
+TEST_F(IoTest, LibsvmDenseRejectsIndexBeyondDim) {
+  std::ofstream out(Path("d.svm"));
+  out << "1 5:1.0\n";
+  out.close();
+  EXPECT_EQ(ReadLibsvmDense(Path("d.svm"), 3).status().code(),
+            util::StatusCode::kOutOfRange);
+}
+
+TEST_F(IoTest, LibsvmDenseRejectsMalformedPair) {
+  std::ofstream out(Path("d.svm"));
+  out << "1 :3\n";
+  out.close();
+  EXPECT_EQ(ReadLibsvmDense(Path("d.svm"), 3).status().code(),
+            util::StatusCode::kDataLoss);
+}
+
+TEST_F(IoTest, LibsvmDenseRejectsZeroDim) {
+  EXPECT_EQ(ReadLibsvmDense(Path("whatever"), 0).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, LibsvmSparseParsesPresence) {
+  std::ofstream out(Path("d.svm"));
+  out << "+1 3:1.0 1:2.0\n";  // unsorted on purpose
+  out << "-1 7:0.0\n";        // zero value dropped
+  out.close();
+  auto dataset = ReadLibsvmSparse(Path("d.svm"));
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_EQ(dataset->size(), 2u);
+  ASSERT_EQ(dataset->point(0).size(), 2u);
+  EXPECT_EQ(dataset->point(0)[0], 0u);  // 1-based 1 -> 0
+  EXPECT_EQ(dataset->point(0)[1], 2u);  // 1-based 3 -> 2
+  EXPECT_TRUE(dataset->point(1).empty());
+}
+
+TEST_F(IoTest, CodesRoundTrip) {
+  const BinaryDataset original = MakeRandomCodes(30, 96, 4);
+  ASSERT_TRUE(WriteCodes(original, Path("d.codes")).ok());
+  auto restored = ReadCodes(Path("d.codes"));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 30u);
+  EXPECT_EQ(restored->width_bits(), 96u);
+  EXPECT_EQ(restored->words(), original.words());
+}
+
+TEST_F(IoTest, CodesTruncatedIsDataLoss) {
+  const BinaryDataset original = MakeRandomCodes(30, 64, 4);
+  ASSERT_TRUE(WriteCodes(original, Path("d.codes")).ok());
+  std::filesystem::resize_file(Path("d.codes"),
+                               std::filesystem::file_size(Path("d.codes")) - 8);
+  EXPECT_EQ(ReadCodes(Path("d.codes")).status().code(),
+            util::StatusCode::kDataLoss);
+}
+
+TEST_F(IoTest, CodesTrailingBytesIsDataLoss) {
+  const BinaryDataset original = MakeRandomCodes(5, 64, 4);
+  ASSERT_TRUE(WriteCodes(original, Path("d.codes")).ok());
+  std::ofstream out(Path("d.codes"), std::ios::app | std::ios::binary);
+  out << "x";
+  out.close();
+  EXPECT_FALSE(ReadCodes(Path("d.codes")).ok());
+}
+
+TEST_F(IoTest, CodesEmptyFileIsDataLoss) {
+  std::ofstream(Path("d.codes")).close();
+  EXPECT_EQ(ReadCodes(Path("d.codes")).status().code(),
+            util::StatusCode::kDataLoss);
+}
+
+TEST_F(IoTest, CodesAbsurdWidthIsDataLoss) {
+  std::ofstream out(Path("d.codes"), std::ios::binary);
+  const uint64_t header[2] = {1, uint64_t{1} << 40};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.close();
+  EXPECT_FALSE(ReadCodes(Path("d.codes")).ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace hybridlsh

@@ -1,0 +1,122 @@
+// Unit and property tests for hll/kmv.h (the ablation comparator sketch).
+
+#include "hll/kmv.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace hybridlsh {
+namespace hll {
+namespace {
+
+TEST(KmvSketchTest, EmptyEstimateIsZero) {
+  KmvSketch sketch(64);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 0.0);
+  EXPECT_EQ(sketch.size(), 0u);
+}
+
+TEST(KmvSketchTest, CreateRejectsTinyK) {
+  EXPECT_FALSE(KmvSketch::Create(2).ok());
+  EXPECT_TRUE(KmvSketch::Create(3).ok());
+}
+
+TEST(KmvSketchDeathTest, ConstructorAbortsOnTinyK) {
+  EXPECT_DEATH(KmvSketch(1), "HLSH_CHECK");
+}
+
+TEST(KmvSketchTest, ExactBelowK) {
+  KmvSketch sketch(100);
+  for (uint32_t id = 0; id < 50; ++id) sketch.AddPoint(id);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 50.0);
+}
+
+TEST(KmvSketchTest, DuplicatesDoNotInflate) {
+  KmvSketch sketch(100);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (uint32_t id = 0; id < 50; ++id) sketch.AddPoint(id);
+  }
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 50.0);
+}
+
+TEST(KmvSketchTest, DuplicatesAboveKDoNotInflate) {
+  KmvSketch a(32), b(32);
+  for (uint32_t id = 0; id < 5000; ++id) a.AddPoint(id);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (uint32_t id = 0; id < 5000; ++id) b.AddPoint(id);
+  }
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+TEST(KmvSketchTest, AccuracyWithinBound) {
+  util::Rng rng(42);
+  constexpr size_t kK = 256;
+  constexpr uint32_t kN = 100000;
+  KmvSketch sketch(kK);
+  for (uint32_t i = 0; i < kN; ++i) sketch.AddHash(rng.NextU64());
+  const double rel_err = std::abs(sketch.Estimate() - kN) / kN;
+  // SE ~ 1/sqrt(k-2) ~ 6.3%; allow 4 SE.
+  EXPECT_LT(rel_err, 4.0 / std::sqrt(kK - 2.0));
+}
+
+TEST(KmvSketchTest, MergeMatchesUnion) {
+  util::Rng rng(7);
+  KmvSketch a(128), b(128), whole(128);
+  for (uint32_t i = 0; i < 20000; ++i) {
+    const uint64_t h = rng.NextU64();
+    if (i % 2 == 0) a.AddHash(h);
+    if (i % 3 == 0) b.AddHash(h);
+    if (i % 2 == 0 || i % 3 == 0) whole.AddHash(h);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_DOUBLE_EQ(a.Estimate(), whole.Estimate());
+}
+
+TEST(KmvSketchTest, MergeRejectsDifferentK) {
+  KmvSketch a(64), b(128);
+  EXPECT_EQ(a.Merge(b).code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(KmvSketchTest, MemoryBytesTracksRetained) {
+  KmvSketch sketch(64);
+  EXPECT_EQ(sketch.MemoryBytes(), 0u);
+  for (uint32_t id = 0; id < 10; ++id) sketch.AddPoint(id);
+  EXPECT_EQ(sketch.MemoryBytes(), 10 * sizeof(uint64_t));
+  for (uint32_t id = 10; id < 1000; ++id) sketch.AddPoint(id);
+  EXPECT_EQ(sketch.MemoryBytes(), 64 * sizeof(uint64_t));
+}
+
+TEST(KmvSketchTest, ClearResets) {
+  KmvSketch sketch(16);
+  for (uint32_t id = 0; id < 100; ++id) sketch.AddPoint(id);
+  sketch.Clear();
+  EXPECT_EQ(sketch.size(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 0.0);
+}
+
+class KmvAccuracySweep
+    : public ::testing::TestWithParam<std::pair<size_t, uint32_t>> {};
+
+TEST_P(KmvAccuracySweep, ErrorScalesWithK) {
+  const auto [k, n] = GetParam();
+  util::Rng rng(k * 31 + n);
+  KmvSketch sketch(k);
+  for (uint32_t i = 0; i < n; ++i) sketch.AddHash(rng.NextU64());
+  const double rel_err = std::abs(sketch.Estimate() - n) / n;
+  EXPECT_LT(rel_err, 4.0 / std::sqrt(static_cast<double>(k) - 2.0) + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KmvAccuracySweep,
+    ::testing::Values(std::make_pair<size_t, uint32_t>(32, 10000),
+                      std::make_pair<size_t, uint32_t>(64, 10000),
+                      std::make_pair<size_t, uint32_t>(128, 50000),
+                      std::make_pair<size_t, uint32_t>(256, 100000),
+                      std::make_pair<size_t, uint32_t>(512, 100000)));
+
+}  // namespace
+}  // namespace hll
+}  // namespace hybridlsh

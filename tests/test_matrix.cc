@@ -1,0 +1,86 @@
+// Unit tests for util/matrix.h.
+
+#include "util/matrix.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hybridlsh {
+namespace util {
+namespace {
+
+TEST(FloatMatrixTest, DefaultIsEmpty) {
+  FloatMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(FloatMatrixTest, ZeroInitialized) {
+  FloatMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) EXPECT_EQ(m.At(i, j), 0.0f);
+  }
+}
+
+TEST(FloatMatrixTest, SetAndAt) {
+  FloatMatrix m(2, 2);
+  m.Set(0, 1, 5.0f);
+  m.Set(1, 0, -2.5f);
+  EXPECT_EQ(m.At(0, 1), 5.0f);
+  EXPECT_EQ(m.At(1, 0), -2.5f);
+  EXPECT_EQ(m.At(0, 0), 0.0f);
+}
+
+TEST(FloatMatrixTest, AdoptsFlatVector) {
+  FloatMatrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.At(0, 2), 3.0f);
+  EXPECT_EQ(m.At(1, 0), 4.0f);
+}
+
+TEST(FloatMatrixDeathTest, AdoptRejectsWrongSize) {
+  EXPECT_DEATH(FloatMatrix(2, 3, std::vector<float>{1, 2}), "HLSH_CHECK");
+}
+
+TEST(FloatMatrixTest, RowPointersAreContiguous) {
+  FloatMatrix m(3, 2, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(m.Row(1), m.Row(0) + 2);
+  EXPECT_EQ(m.Row(2), m.Row(0) + 4);
+  EXPECT_EQ(m.Row(1)[1], 3.0f);
+}
+
+TEST(FloatMatrixTest, RowSpanHasColsExtent) {
+  FloatMatrix m(2, 5);
+  EXPECT_EQ(m.RowSpan(0).size(), 5u);
+}
+
+TEST(FloatMatrixTest, AppendRowGrows) {
+  FloatMatrix m;
+  const std::vector<float> r0{1, 2, 3};
+  const std::vector<float> r1{4, 5, 6};
+  m.AppendRow(r0);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.AppendRow(r1);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.At(1, 2), 6.0f);
+}
+
+TEST(FloatMatrixDeathTest, AppendRowRejectsWidthMismatch) {
+  FloatMatrix m(1, 3);
+  const std::vector<float> bad{1, 2};
+  EXPECT_DEATH(m.AppendRow(bad), "HLSH_CHECK");
+}
+
+TEST(FloatMatrixTest, MutableRowWritesThrough) {
+  FloatMatrix m(2, 2);
+  m.MutableRow(1)[0] = 9.0f;
+  EXPECT_EQ(m.At(1, 0), 9.0f);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace hybridlsh

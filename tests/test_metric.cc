@@ -1,0 +1,156 @@
+// Unit tests for data/metric.h.
+
+#include "data/metric.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hybridlsh {
+namespace data {
+namespace {
+
+TEST(MetricNameTest, AllNamed) {
+  EXPECT_EQ(MetricName(Metric::kL1), "L1");
+  EXPECT_EQ(MetricName(Metric::kL2), "L2");
+  EXPECT_EQ(MetricName(Metric::kCosine), "cosine");
+  EXPECT_EQ(MetricName(Metric::kHamming), "hamming");
+  EXPECT_EQ(MetricName(Metric::kJaccard), "jaccard");
+}
+
+TEST(DotProductTest, KnownValues) {
+  const float a[] = {1, 2, 3};
+  const float b[] = {4, -5, 6};
+  EXPECT_FLOAT_EQ(DotProduct(a, b, 3), 4 - 10 + 18);
+}
+
+TEST(NormTest, PythagoreanTriple) {
+  const float a[] = {3, 4};
+  EXPECT_FLOAT_EQ(Norm(a, 2), 5.0f);
+}
+
+TEST(L2DistanceTest, KnownValues) {
+  const float a[] = {0, 0};
+  const float b[] = {3, 4};
+  EXPECT_FLOAT_EQ(L2Distance(a, b, 2), 5.0f);
+  EXPECT_FLOAT_EQ(SquaredL2Distance(a, b, 2), 25.0f);
+}
+
+TEST(L2DistanceTest, IdenticalPointsAreZero) {
+  const float a[] = {1.5f, -2.5f, 3.5f};
+  EXPECT_FLOAT_EQ(L2Distance(a, a, 3), 0.0f);
+}
+
+TEST(L2DistanceTest, Symmetry) {
+  const float a[] = {1, 2, 3, 4};
+  const float b[] = {-4, 3, 0, 1};
+  EXPECT_FLOAT_EQ(L2Distance(a, b, 4), L2Distance(b, a, 4));
+}
+
+TEST(L1DistanceTest, KnownValues) {
+  const float a[] = {1, -2, 3};
+  const float b[] = {4, 2, 1};
+  EXPECT_FLOAT_EQ(L1Distance(a, b, 3), 3 + 4 + 2);
+}
+
+TEST(L1DistanceTest, DominatesL2) {
+  const float a[] = {0.3f, -1.7f, 2.2f, 0.0f};
+  const float b[] = {1.1f, 0.4f, -0.6f, 2.0f};
+  EXPECT_GE(L1Distance(a, b, 4), L2Distance(a, b, 4));
+}
+
+TEST(CosineDistanceTest, ParallelVectorsAreZero) {
+  const float a[] = {1, 2, 3};
+  const float b[] = {2, 4, 6};
+  EXPECT_NEAR(CosineDistance(a, b, 3), 0.0f, 1e-6f);
+}
+
+TEST(CosineDistanceTest, OrthogonalVectorsAreOne) {
+  const float a[] = {1, 0};
+  const float b[] = {0, 5};
+  EXPECT_FLOAT_EQ(CosineDistance(a, b, 2), 1.0f);
+}
+
+TEST(CosineDistanceTest, OppositeVectorsAreTwo) {
+  const float a[] = {1, 1};
+  const float b[] = {-2, -2};
+  EXPECT_NEAR(CosineDistance(a, b, 2), 2.0f, 1e-6f);
+}
+
+TEST(CosineDistanceTest, ZeroVectorIsDistanceOne) {
+  const float a[] = {0, 0};
+  const float b[] = {1, 2};
+  EXPECT_FLOAT_EQ(CosineDistance(a, b, 2), 1.0f);
+  EXPECT_FLOAT_EQ(CosineDistance(b, a, 2), 1.0f);
+  EXPECT_FLOAT_EQ(CosineDistance(a, a, 2), 1.0f);
+}
+
+TEST(CosineDistanceTest, ScaleInvariant) {
+  const float a[] = {0.5f, 1.25f, -0.75f};
+  const float b[] = {2.0f, -1.0f, 0.5f};
+  float a10[3], b10[3];
+  for (int i = 0; i < 3; ++i) {
+    a10[i] = 10 * a[i];
+    b10[i] = 0.1f * b[i];
+  }
+  EXPECT_NEAR(CosineDistance(a, b, 3), CosineDistance(a10, b10, 3), 1e-6f);
+}
+
+TEST(HammingDistanceTest, IdenticalCodesAreZero) {
+  const uint64_t a[] = {0xdeadbeefcafebabeULL, 0x0123456789abcdefULL};
+  EXPECT_EQ(HammingDistance(a, a, 2), 0u);
+}
+
+TEST(HammingDistanceTest, CountsBitDifferences) {
+  const uint64_t a[] = {0b1010, 0};
+  const uint64_t b[] = {0b0110, 1};
+  EXPECT_EQ(HammingDistance(a, b, 2), 3u);  // bits 2,3 in word 0; bit 0 in word 1
+}
+
+TEST(HammingDistanceTest, AllBitsDiffer) {
+  const uint64_t a[] = {0};
+  const uint64_t b[] = {~uint64_t{0}};
+  EXPECT_EQ(HammingDistance(a, b, 1), 64u);
+}
+
+TEST(JaccardDistanceTest, IdenticalSetsAreZero) {
+  const std::vector<uint32_t> a{1, 5, 9};
+  EXPECT_FLOAT_EQ(JaccardDistance(a, a), 0.0f);
+}
+
+TEST(JaccardDistanceTest, DisjointSetsAreOne) {
+  const std::vector<uint32_t> a{1, 2};
+  const std::vector<uint32_t> b{3, 4};
+  EXPECT_FLOAT_EQ(JaccardDistance(a, b), 1.0f);
+}
+
+TEST(JaccardDistanceTest, PartialOverlap) {
+  const std::vector<uint32_t> a{1, 2, 3};
+  const std::vector<uint32_t> b{2, 3, 4, 5};
+  // intersection 2, union 5 -> distance 0.6.
+  EXPECT_FLOAT_EQ(JaccardDistance(a, b), 0.6f);
+}
+
+TEST(JaccardDistanceTest, EmptySets) {
+  const std::vector<uint32_t> empty;
+  const std::vector<uint32_t> a{1};
+  EXPECT_FLOAT_EQ(JaccardDistance(empty, empty), 0.0f);
+  EXPECT_FLOAT_EQ(JaccardDistance(empty, a), 1.0f);
+  EXPECT_FLOAT_EQ(JaccardDistance(a, empty), 1.0f);
+}
+
+TEST(MetricPropertyTest, TriangleInequalityL2) {
+  // Spot-check the triangle inequality on pseudo-random triples.
+  const float pts[3][4] = {{0.1f, 2.0f, -1.0f, 0.5f},
+                           {1.3f, -0.7f, 0.2f, 2.2f},
+                           {-0.4f, 1.1f, 1.9f, -1.5f}};
+  const float ab = L2Distance(pts[0], pts[1], 4);
+  const float bc = L2Distance(pts[1], pts[2], 4);
+  const float ac = L2Distance(pts[0], pts[2], 4);
+  EXPECT_LE(ac, ab + bc + 1e-5f);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace hybridlsh

@@ -1,0 +1,128 @@
+// Tests for lsh/multi_probe.h: ordering, validity, and exhaustion of the
+// perturbation-set generator.
+
+#include "lsh/multi_probe.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hybridlsh {
+namespace lsh {
+namespace {
+
+double TotalCost(const ProbeSet& set) {
+  double total = 0;
+  for (const ProbeAtom& atom : set) total += atom.cost;
+  return total;
+}
+
+TEST(GenerateProbeSetsTest, EmptyAtomsGiveNoSets) {
+  EXPECT_TRUE(GenerateProbeSets({}, 10).empty());
+}
+
+TEST(GenerateProbeSetsTest, ZeroMaxSetsGiveNoSets) {
+  const std::vector<ProbeAtom> atoms{{0, +1, 0.5}};
+  EXPECT_TRUE(GenerateProbeSets(atoms, 0).empty());
+}
+
+TEST(GenerateProbeSetsTest, FlipAtomsEnumerateSubsetsInCostOrder) {
+  // Flip atoms with costs 0.1, 0.2, 0.4 over distinct slots: subsets in
+  // cost order are {a}=.1 {b}=.2 {ab}=.3 {c}=.4 {ac}=.5 {bc}=.6 {abc}=.7.
+  const std::vector<ProbeAtom> atoms{{0, +1, 0.1}, {1, +1, 0.2}, {2, +1, 0.4}};
+  const auto sets = GenerateProbeSets(atoms, 10);
+  ASSERT_EQ(sets.size(), 7u);
+  const std::vector<double> expected{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+  for (size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_NEAR(TotalCost(sets[i]), expected[i], 1e-9) << "set " << i;
+  }
+}
+
+TEST(GenerateProbeSetsTest, CostsAreNonDecreasing) {
+  std::vector<ProbeAtom> atoms;
+  for (uint32_t i = 0; i < 8; ++i) {
+    atoms.push_back({i, -1, 0.05 + 0.1 * i});
+    atoms.push_back({i, +1, 0.95 - 0.1 * i});
+  }
+  const auto sets = GenerateProbeSets(atoms, 40);
+  ASSERT_GT(sets.size(), 10u);
+  for (size_t i = 1; i < sets.size(); ++i) {
+    EXPECT_GE(TotalCost(sets[i]), TotalCost(sets[i - 1]) - 1e-9);
+  }
+}
+
+TEST(GenerateProbeSetsTest, NeverMovesOneSlotBothWays) {
+  std::vector<ProbeAtom> atoms;
+  for (uint32_t i = 0; i < 6; ++i) {
+    atoms.push_back({i, -1, 0.1 * (i + 1)});
+    atoms.push_back({i, +1, 1.0 - 0.1 * (i + 1)});
+  }
+  const auto sets = GenerateProbeSets(atoms, 100);
+  for (const ProbeSet& set : sets) {
+    std::set<uint32_t> slots;
+    for (const ProbeAtom& atom : set) {
+      EXPECT_TRUE(slots.insert(atom.slot).second)
+          << "slot " << atom.slot << " appears twice";
+    }
+  }
+}
+
+TEST(GenerateProbeSetsTest, TwoSidedKnownOrder) {
+  // Atoms sorted by cost: (s0,-1,.1) (s1,-1,.3) (s1,+1,.7) (s0,+1,.9).
+  // Valid sets in cost order: {.1} {.3} {.1,.3}=.4 {.7} {.1,.7}=.8 {.9} ...
+  const std::vector<ProbeAtom> atoms{
+      {0, -1, 0.1}, {1, -1, 0.3}, {1, +1, 0.7}, {0, +1, 0.9}};
+  const auto sets = GenerateProbeSets(atoms, 6);
+  ASSERT_GE(sets.size(), 5u);
+  EXPECT_NEAR(TotalCost(sets[0]), 0.1, 1e-9);
+  EXPECT_NEAR(TotalCost(sets[1]), 0.3, 1e-9);
+  EXPECT_NEAR(TotalCost(sets[2]), 0.4, 1e-9);
+  EXPECT_NEAR(TotalCost(sets[3]), 0.7, 1e-9);
+  EXPECT_NEAR(TotalCost(sets[4]), 0.8, 1e-9);
+  // {s1-, s1+} (cost 1.0) must never appear.
+  for (const auto& set : sets) {
+    if (set.size() == 2 && set[0].slot == set[1].slot) {
+      FAIL() << "conflicting set emitted";
+    }
+  }
+}
+
+TEST(GenerateProbeSetsTest, RespectsMaxSets) {
+  std::vector<ProbeAtom> atoms;
+  for (uint32_t i = 0; i < 10; ++i) atoms.push_back({i, +1, 0.1 * (i + 1)});
+  EXPECT_EQ(GenerateProbeSets(atoms, 5).size(), 5u);
+  EXPECT_EQ(GenerateProbeSets(atoms, 1).size(), 1u);
+}
+
+TEST(GenerateProbeSetsTest, ExhaustsSmallPools) {
+  // One atom: only one non-empty subset exists.
+  const std::vector<ProbeAtom> atoms{{0, +1, 0.5}};
+  EXPECT_EQ(GenerateProbeSets(atoms, 10).size(), 1u);
+}
+
+TEST(GenerateProbeSetsTest, FirstSetIsCheapestAtom) {
+  const std::vector<ProbeAtom> atoms{
+      {3, +1, 0.9}, {1, -1, 0.05}, {2, +1, 0.5}};
+  const auto sets = GenerateProbeSets(atoms, 1);
+  ASSERT_EQ(sets.size(), 1u);
+  ASSERT_EQ(sets[0].size(), 1u);
+  EXPECT_EQ(sets[0][0].slot, 1u);
+  EXPECT_EQ(sets[0][0].delta, -1);
+}
+
+TEST(GenerateProbeSetsTest, EqualCostsAreAllEmitted) {
+  // Uniform costs (bit-sampling case): all subsets appear, ordered by size.
+  const std::vector<ProbeAtom> atoms{{0, +1, 1.0}, {1, +1, 1.0}, {2, +1, 1.0}};
+  const auto sets = GenerateProbeSets(atoms, 7);
+  ASSERT_EQ(sets.size(), 7u);
+  EXPECT_EQ(sets[0].size(), 1u);
+  EXPECT_EQ(sets[1].size(), 1u);
+  EXPECT_EQ(sets[2].size(), 1u);
+  EXPECT_EQ(sets[6].size(), 3u);
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace hybridlsh

@@ -1,0 +1,260 @@
+// Unit and statistical property tests for util/random.h.
+//
+// Statistical assertions use generous tolerances (several standard errors)
+// so they are deterministic for the fixed seeds used here.
+
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hybridlsh {
+namespace util {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256ssTest, IsDeterministic) {
+  Xoshiro256ss a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256ssTest, JumpDecorrelatesStreams) {
+  Xoshiro256ss a(7);
+  Xoshiro256ss b(7);
+  b.Jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256ssTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256ss>);
+  EXPECT_EQ(Xoshiro256ss::min(), 0u);
+  EXPECT_EQ(Xoshiro256ss::max(), ~uint64_t{0});
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(42);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  // SE = 1/sqrt(12n) ~ 0.0009; allow 5 SE.
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(1);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of 3..7 hit in 1000 draws
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntNegativeRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(RngTest, UniformIntIsUnbiased) {
+  Rng rng(7);
+  // Chi-square over 10 cells, 100k draws: expected 10k per cell.
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(0, 9)];
+  double chi2 = 0;
+  for (int c : counts) {
+    const double diff = c - n / 10.0;
+    chi2 += diff * diff / (n / 10.0);
+  }
+  // 9 dof: P(chi2 > 27.9) ~ 0.001.
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(2024);
+  const int n = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);  // SE ~ 0.0022, 9 SE slack
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(5);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, GaussianTailProbability) {
+  Rng rng(77);
+  const int n = 100000;
+  int beyond2 = 0;
+  for (int i = 0; i < n; ++i) beyond2 += (std::abs(rng.Gaussian()) > 2.0);
+  // P(|Z| > 2) = 0.0455.
+  EXPECT_NEAR(beyond2 / static_cast<double>(n), 0.0455, 0.006);
+}
+
+TEST(RngTest, CauchyQuartilesAtPlusMinusOne) {
+  // Cauchy has no mean; test the quartiles instead (exactly -1 and +1).
+  Rng rng(31);
+  const int n = 100001;
+  std::vector<double> draws(n);
+  for (int i = 0; i < n; ++i) draws[i] = rng.Cauchy();
+  std::sort(draws.begin(), draws.end());
+  EXPECT_NEAR(draws[n / 4], -1.0, 0.05);
+  EXPECT_NEAR(draws[n / 2], 0.0, 0.03);
+  EXPECT_NEAR(draws[3 * n / 4], 1.0, 0.05);
+}
+
+TEST(RngTest, CauchyLocationScale) {
+  Rng rng(32);
+  const int n = 100001;
+  std::vector<double> draws(n);
+  for (int i = 0; i < n; ++i) draws[i] = rng.Cauchy(4.0, 3.0);
+  std::sort(draws.begin(), draws.end());
+  EXPECT_NEAR(draws[n / 2], 4.0, 0.1);          // median = location
+  EXPECT_NEAR(draws[3 * n / 4], 4.0 + 3.0, 0.2);  // Q3 = loc + scale
+}
+
+TEST(RngTest, GeometricHalfDistribution) {
+  Rng rng(55);
+  const int n = 1 << 20;
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < n; ++i) {
+    const uint32_t v = rng.GeometricHalf();
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 65u);
+    if (v <= 9) ++counts[v];
+  }
+  for (int k = 1; k <= 6; ++k) {
+    const double expected = n * std::pow(0.5, k);
+    EXPECT_NEAR(counts[k] / expected, 1.0, 0.05) << "k=" << k;
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(8);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(4);
+  const auto sample = rng.SampleWithoutReplacement(1000, 50);
+  ASSERT_EQ(sample.size(), 50u);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (uint32_t v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(4);
+  auto sample = rng.SampleWithoutReplacement(20, 20);
+  std::sort(sample.begin(), sample.end());
+  for (uint32_t i = 0; i < 20; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementEmpty) {
+  Rng rng(4);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+  EXPECT_TRUE(rng.SampleWithoutReplacement(0, 0).empty());
+}
+
+// Determinism across Rng facade: same seed, same stream of mixed calls.
+TEST(RngTest, FacadeIsDeterministic) {
+  Rng a(999), b(999);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+    EXPECT_EQ(a.Gaussian(), b.Gaussian());
+    EXPECT_EQ(a.Cauchy(), b.Cauchy());
+    EXPECT_EQ(a.GeometricHalf(), b.GeometricHalf());
+  }
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanStableAcrossSeeds) {
+  Rng rng(GetParam());
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST_P(RngSeedSweep, GaussianVarianceStableAcrossSeeds) {
+  Rng rng(GetParam());
+  const int n = 50000;
+  double sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 1234567, 0xdeadbeef,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace util
+}  // namespace hybridlsh

@@ -1,0 +1,140 @@
+// Unit tests for util/stats.h.
+
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hybridlsh {
+namespace util {
+namespace {
+
+TEST(RunningStatTest, EmptyDefaults) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatTest, KnownSample) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population var 4,
+  // sample var 32/7.
+  RunningStat s;
+  for (double v : {2, 4, 4, 4, 5, 5, 7, 9}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeMatchesCombinedStream) {
+  RunningStat left, right, all;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10;
+    (i < 40 ? left : right).Add(v);
+    all.Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptySides) {
+  RunningStat a, b;
+  a.Add(1);
+  a.Add(3);
+  a.Merge(b);  // empty right
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);  // empty left
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatTest, ResetRestoresEmptyState) {
+  RunningStat s;
+  s.Add(1);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStatTest, NumericallyStableOnLargeOffsets) {
+  // Naive sum-of-squares would lose precision at offset 1e9.
+  RunningStat s;
+  for (double v : {1e9 + 4, 1e9 + 7, 1e9 + 13, 1e9 + 16}) s.Add(v);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-6);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(PercentileTest, SingleValue) {
+  EXPECT_EQ(Percentile({42.0}, 0.0), 42.0);
+  EXPECT_EQ(Percentile({42.0}, 1.0), 42.0);
+}
+
+TEST(PercentileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Percentile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  // Sorted {10, 20}: p=0.5 -> 15.
+  EXPECT_DOUBLE_EQ(Percentile({20, 10}, 0.5), 15.0);
+}
+
+TEST(PercentileTest, ExtremesAreMinAndMax) {
+  std::vector<double> v{5, 1, 9, 3};
+  EXPECT_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_EQ(Percentile(v, 1.0), 9.0);
+}
+
+TEST(PercentileTest, ClampsOutOfRangeP) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_EQ(Percentile(v, -0.5), 1.0);
+  EXPECT_EQ(Percentile(v, 1.5), 3.0);
+}
+
+TEST(SummaryTest, OfEmpty) {
+  const Summary s = Summary::Of({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummaryTest, OfKnownSample) {
+  const Summary s = Summary::Of({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(SummaryTest, ToStringContainsFields) {
+  const Summary s = Summary::Of({1, 2, 3});
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("n=3"), std::string::npos);
+  EXPECT_NE(str.find("mean="), std::string::npos);
+  EXPECT_NE(str.find("p90="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace hybridlsh

@@ -1,0 +1,106 @@
+// Unit tests for util/status.h: Status, StatusOr, and the helper macros.
+
+#include "util/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hybridlsh {
+namespace util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::Ok().ok()); }
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::FailedPrecondition("fp").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("oor").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("ae").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::DataLoss("dl").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unimplemented("ui").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("int").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+  EXPECT_FALSE(Status::InvalidArgument("bad").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("missing bucket");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing bucket");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::DataLoss("x"));
+}
+
+TEST(StatusCodeNameTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOnlyPayload) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v(std::string("abc"));
+  EXPECT_EQ(v->size(), 3u);
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Passthrough(int x) {
+  HLSH_RETURN_IF_ERROR(FailsIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Passthrough(1).ok());
+  EXPECT_EQ(Passthrough(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckMacroTest, PassingCheckDoesNothing) {
+  HLSH_CHECK(1 + 1 == 2);
+  HLSH_DCHECK(true);
+  SUCCEED();
+}
+
+TEST(CheckMacroDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(HLSH_CHECK(false), "HLSH_CHECK failed");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace hybridlsh

@@ -1,0 +1,273 @@
+// Tests for data/synthetic.h: determinism, shape, and the density profiles
+// the paper's experiments depend on.
+
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/metric.h"
+#include "data/workload.h"
+
+namespace hybridlsh {
+namespace data {
+namespace {
+
+TEST(GaussianMixtureTest, ShapeMatchesConfig) {
+  GaussianMixtureConfig config;
+  config.n = 500;
+  config.dim = 8;
+  config.num_clusters = 5;
+  const DenseDataset dataset = MakeGaussianMixture(config);
+  EXPECT_EQ(dataset.size(), 500u);
+  EXPECT_EQ(dataset.dim(), 8u);
+}
+
+TEST(GaussianMixtureTest, DeterministicInSeed) {
+  GaussianMixtureConfig config;
+  config.n = 100;
+  config.dim = 4;
+  config.seed = 7;
+  const DenseDataset a = MakeGaussianMixture(config);
+  const DenseDataset b = MakeGaussianMixture(config);
+  EXPECT_EQ(a.matrix().data(), b.matrix().data());
+}
+
+TEST(GaussianMixtureTest, DifferentSeedsDiffer) {
+  GaussianMixtureConfig config;
+  config.n = 100;
+  config.dim = 4;
+  config.seed = 1;
+  const DenseDataset a = MakeGaussianMixture(config);
+  config.seed = 2;
+  const DenseDataset b = MakeGaussianMixture(config);
+  EXPECT_NE(a.matrix().data(), b.matrix().data());
+}
+
+TEST(GaussianMixtureTest, SkewProducesUnevenClusters) {
+  // With strong skew the first cluster must dominate. Verify indirectly:
+  // points are emitted cluster by cluster, so a heavily skewed config has
+  // many early points close together.
+  GaussianMixtureConfig config;
+  config.n = 2000;
+  config.dim = 4;
+  config.num_clusters = 10;
+  config.cluster_size_skew = 2.0;
+  config.scale_min = config.scale_max = 0.5;
+  config.center_box = 100.0;
+  const DenseDataset dataset = MakeGaussianMixture(config);
+  // First cluster holds >= 40% of mass under Zipf(2) over 10 clusters
+  // (weight 1 / sum ~ 1/1.55 ~ 0.65); check the first 40% of points are
+  // mutually close relative to the box size.
+  float max_dist = 0;
+  for (size_t i = 1; i < 800; i += 37) {
+    max_dist = std::max(max_dist,
+                        L2Distance(dataset.point(0), dataset.point(i), 4));
+  }
+  EXPECT_LT(max_dist, 20.0f);  // within one cluster, not across the 200-box
+}
+
+TEST(MakeUniformCubeTest, RangeAndShape) {
+  const DenseDataset dataset = MakeUniformCube(200, 5, 3);
+  EXPECT_EQ(dataset.size(), 200u);
+  EXPECT_EQ(dataset.dim(), 5u);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_GE(dataset.point(i)[j], 0.0f);
+      EXPECT_LT(dataset.point(i)[j], 1.0f);
+    }
+  }
+}
+
+TEST(MakeCorelLikeTest, DefaultsMirrorPaperShape) {
+  const DenseDataset dataset = MakeCorelLike(2000, 32, 1);
+  EXPECT_EQ(dataset.size(), 2000u);
+  EXPECT_EQ(dataset.dim(), 32u);
+}
+
+TEST(MakeCovtypeLikeTest, FeatureScaleSupportsPaperRadii) {
+  // The paper sweeps L1 radii 3000-4000 on CoverType; same-cluster pairs
+  // should often fall below 4000 while cross-cluster pairs exceed it.
+  const DenseDataset dataset = MakeCovtypeLike(5000, 54, 1);
+  std::vector<float> dists;
+  for (size_t i = 0; i < 200; ++i) {
+    dists.push_back(
+        L1Distance(dataset.point(i), dataset.point(i + 1), dataset.dim()));
+  }
+  std::sort(dists.begin(), dists.end());
+  EXPECT_LT(dists.front(), 4000.0f);  // some pairs within paper radii
+  // And the dataset is not degenerate: far pairs exist too.
+  float max_dist = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    max_dist = std::max(max_dist, L1Distance(dataset.point(i),
+                                             dataset.point(4999 - i), 54));
+  }
+  EXPECT_GT(max_dist, 4000.0f);
+}
+
+TEST(MakeWebspamLikeTest, PointsAreUnitNorm) {
+  WebspamLikeConfig config;
+  config.n = 500;
+  config.dim = 64;
+  const DenseDataset dataset = MakeWebspamLike(config);
+  for (size_t i = 0; i < dataset.size(); i += 17) {
+    EXPECT_NEAR(Norm(dataset.point(i), 64), 1.0f, 1e-4f);
+  }
+}
+
+TEST(MakeWebspamLikeTest, HasDenseCoreAndDiffuseBackground) {
+  // The paper's Figure 3 regime at r = 0.10: the maximum output size over a
+  // query sample approaches n/2 (the mega-cluster) while the minimum is
+  // near zero (background queries).
+  WebspamLikeConfig config;
+  config.n = 4000;
+  config.dim = 128;
+  config.cluster_fraction = 0.5;
+  const DenseDataset dataset = MakeWebspamLike(config);
+
+  size_t max_out = 0, min_out = dataset.size();
+  for (size_t q = 0; q < 40; ++q) {
+    const auto out =
+        RangeScanDense(dataset, dataset.point(q * 100), 0.10, Metric::kCosine);
+    max_out = std::max(max_out, out.size());
+    min_out = std::min(min_out, out.size());
+  }
+  EXPECT_GT(max_out, 1000u);  // approaches cluster_fraction * n = 2000
+  EXPECT_LT(min_out, 50u);    // background queries see almost nothing
+}
+
+TEST(MakeWebspamLikeTest, OutputSizeVariesInsideCluster) {
+  // Density gradient: different cluster members see very different output
+  // sizes at the same radius (max >> min), as in Figure 3 (left).
+  WebspamLikeConfig config;
+  config.n = 3000;
+  config.dim = 128;
+  const DenseDataset dataset = MakeWebspamLike(config);
+  size_t min_out = dataset.size(), max_out = 0;
+  for (size_t q = 0; q < 60; ++q) {
+    const auto out =
+        RangeScanDense(dataset, dataset.point(q * 40), 0.07, Metric::kCosine);
+    min_out = std::min(min_out, out.size());
+    max_out = std::max(max_out, out.size());
+  }
+  EXPECT_GT(max_out, 4 * std::max<size_t>(min_out, 1));
+}
+
+TEST(MakeMnistLikeTest, ValuesInUnitInterval) {
+  const DenseDataset dataset = MakeMnistLike(300, 100, 10, 1);
+  EXPECT_EQ(dataset.size(), 300u);
+  for (size_t i = 0; i < dataset.size(); i += 7) {
+    for (size_t j = 0; j < 100; ++j) {
+      EXPECT_GE(dataset.point(i)[j], 0.0f);
+      EXPECT_LE(dataset.point(i)[j], 1.0f);
+    }
+  }
+}
+
+TEST(MakeMnistLikeTest, HasClassStructure) {
+  // Same-class points (same prototype) should be closer on average than
+  // random pairs. With 2 classes and many points, nearest neighbors of a
+  // point are overwhelmingly same-class.
+  const DenseDataset dataset = MakeMnistLike(400, 100, 2, 3);
+  // Within the dataset, distances should be bimodal; verify spread.
+  float min_d = 1e9f, max_d = 0;
+  for (size_t i = 1; i < 100; ++i) {
+    const float d = L2Distance(dataset.point(0), dataset.point(i), 100);
+    min_d = std::min(min_d, d);
+    max_d = std::max(max_d, d);
+  }
+  EXPECT_LT(min_d, 0.7f * max_d);  // close same-class pairs exist
+}
+
+TEST(MakeRandomCodesTest, ShapeAndTailMask) {
+  const BinaryDataset codes = MakeRandomCodes(100, 70, 1);
+  EXPECT_EQ(codes.size(), 100u);
+  EXPECT_EQ(codes.width_bits(), 70u);
+  EXPECT_EQ(codes.words_per_code(), 2u);
+  // Bits beyond width must be zero.
+  for (size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(codes.point(i)[1] >> 6, 0u) << "row " << i;
+  }
+}
+
+TEST(MakeRandomCodesTest, BitsAreBalanced) {
+  const BinaryDataset codes = MakeRandomCodes(2000, 64, 5);
+  size_t ones = 0;
+  for (size_t i = 0; i < codes.size(); ++i) {
+    ones += static_cast<size_t>(__builtin_popcountll(codes.point(i)[0]));
+  }
+  const double frac = static_cast<double>(ones) / (2000.0 * 64.0);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+TEST(MakeRandomSparseTest, SortedAndInUniverse) {
+  const SparseDataset dataset = MakeRandomSparse(200, 1000, 20, 2);
+  EXPECT_EQ(dataset.size(), 200u);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const auto point = dataset.point(i);
+    EXPECT_GE(point.size(), 1u);
+    for (size_t j = 1; j < point.size(); ++j) {
+      EXPECT_LT(point[j - 1], point[j]);
+    }
+    EXPECT_LT(point.back(), 1000u);
+  }
+}
+
+TEST(PlantNeighborsL2Test, AllWithinRadius) {
+  util::Rng rng(1);
+  DenseDataset dataset = MakeUniformCube(100, 8, 1);
+  const std::vector<float> query(8, 0.5f);
+  const auto ids = PlantNeighborsL2(&dataset, query.data(), 0.3, 10, &rng);
+  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_EQ(dataset.size(), 110u);
+  for (uint32_t id : ids) {
+    const float d = L2Distance(dataset.point(id), query.data(), 8);
+    EXPECT_GT(d, 0.0f);
+    EXPECT_LE(d, 0.3f);
+  }
+}
+
+TEST(PlantNeighborsL1Test, AllWithinRadius) {
+  util::Rng rng(1);
+  DenseDataset dataset = MakeUniformCube(100, 8, 1);
+  const std::vector<float> query(8, 0.5f);
+  const auto ids = PlantNeighborsL1(&dataset, query.data(), 2.0, 10, &rng);
+  for (uint32_t id : ids) {
+    const float d = L1Distance(dataset.point(id), query.data(), 8);
+    EXPECT_GT(d, 0.0f);
+    EXPECT_LE(d, 2.0f);
+  }
+}
+
+TEST(PlantNeighborsCosineTest, AllWithinRadius) {
+  util::Rng rng(1);
+  DenseDataset dataset = MakeWebspamLike({.n = 100, .dim = 32, .seed = 1});
+  std::vector<float> query(32);
+  for (size_t j = 0; j < 32; ++j) query[j] = dataset.point(0)[j];
+  const auto ids = PlantNeighborsCosine(&dataset, query.data(), 0.2, 10, &rng);
+  for (uint32_t id : ids) {
+    const float d = CosineDistance(dataset.point(id), query.data(), 32);
+    EXPECT_GT(d, 0.0f);
+    EXPECT_LE(d, 0.2f + 1e-5f);
+  }
+}
+
+TEST(PlantNeighborsHammingTest, AllWithinRadius) {
+  util::Rng rng(1);
+  BinaryDataset dataset = MakeRandomCodes(50, 64, 1);
+  const uint64_t query = dataset.point(0)[0];
+  const auto ids = PlantNeighborsHamming(&dataset, &query, 5, 10, &rng);
+  EXPECT_EQ(dataset.size(), 60u);
+  for (uint32_t id : ids) {
+    const uint32_t d = HammingDistance(dataset.point(id), &query, 1);
+    EXPECT_GE(d, 1u);
+    EXPECT_LE(d, 5u);
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace hybridlsh

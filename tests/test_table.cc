@@ -1,0 +1,153 @@
+// Tests for lsh/table.h: bucket grouping, sketch materialization policy,
+// and the small-bucket on-demand trick.
+
+#include "lsh/table.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hybridlsh {
+namespace lsh {
+namespace {
+
+LshTable::Options SmallThreshold(size_t threshold) {
+  LshTable::Options options;
+  options.hll_precision = 7;
+  options.small_bucket_threshold = threshold;
+  return options;
+}
+
+TEST(LshTableTest, EmptyBuild) {
+  LshTable table;
+  table.Build({}, SmallThreshold(0));
+  EXPECT_EQ(table.num_buckets(), 0u);
+  EXPECT_EQ(table.num_points(), 0u);
+  EXPECT_TRUE(table.Lookup(42).empty());
+}
+
+TEST(LshTableTest, GroupsIdsByKey) {
+  // Points 0,2,4 -> key 10; 1,3 -> key 20; 5 -> key 30.
+  const std::vector<uint64_t> keys{10, 20, 10, 20, 10, 30};
+  LshTable table;
+  table.Build(keys, SmallThreshold(0));
+  EXPECT_EQ(table.num_buckets(), 3u);
+  EXPECT_EQ(table.num_points(), 6u);
+  EXPECT_EQ(table.max_bucket_size(), 3u);
+
+  auto bucket10 = table.Lookup(10);
+  std::vector<uint32_t> ids10(bucket10.ids.begin(), bucket10.ids.end());
+  std::sort(ids10.begin(), ids10.end());
+  EXPECT_EQ(ids10, (std::vector<uint32_t>{0, 2, 4}));
+
+  auto bucket30 = table.Lookup(30);
+  EXPECT_EQ(bucket30.size(), 1u);
+  EXPECT_EQ(bucket30.ids[0], 5u);
+}
+
+TEST(LshTableTest, LookupMissReturnsEmpty) {
+  const std::vector<uint64_t> keys{1, 1, 2};
+  LshTable table;
+  table.Build(keys, SmallThreshold(0));
+  const auto view = table.Lookup(999);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.sketch, nullptr);
+}
+
+TEST(LshTableTest, ThresholdZeroSketchesEverything) {
+  const std::vector<uint64_t> keys{1, 1, 2};
+  LshTable table;
+  table.Build(keys, SmallThreshold(0));
+  EXPECT_EQ(table.num_sketches(), 2u);
+  EXPECT_NE(table.Lookup(1).sketch, nullptr);
+  EXPECT_NE(table.Lookup(2).sketch, nullptr);
+}
+
+TEST(LshTableTest, ThresholdSkipsSmallBuckets) {
+  // Bucket 1 has 3 ids, bucket 2 has 1: threshold 2 sketches only bucket 1.
+  const std::vector<uint64_t> keys{1, 1, 1, 2};
+  LshTable table;
+  table.Build(keys, SmallThreshold(2));
+  EXPECT_EQ(table.num_sketches(), 1u);
+  EXPECT_NE(table.Lookup(1).sketch, nullptr);
+  EXPECT_EQ(table.Lookup(2).sketch, nullptr);
+}
+
+TEST(LshTableTest, AutoThresholdUsesRegisterCount) {
+  // m = 2^7 = 128: buckets below 128 ids get no sketch under kThresholdAuto.
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 127; ++i) keys.push_back(1);
+  for (int i = 0; i < 128; ++i) keys.push_back(2);
+  LshTable table;
+  LshTable::Options options;  // defaults: precision 7, auto threshold
+  table.Build(keys, options);
+  EXPECT_EQ(table.num_sketches(), 1u);
+  EXPECT_EQ(table.Lookup(1).sketch, nullptr);
+  EXPECT_NE(table.Lookup(2).sketch, nullptr);
+}
+
+TEST(LshTableTest, SketchEstimatesBucketSize) {
+  std::vector<uint64_t> keys(5000, 7);  // one big bucket
+  LshTable table;
+  table.Build(keys, SmallThreshold(0));
+  const auto view = table.Lookup(7);
+  ASSERT_NE(view.sketch, nullptr);
+  EXPECT_NEAR(view.sketch->Estimate(), 5000.0,
+              5000.0 * 4 * view.sketch->StandardError());
+}
+
+TEST(LshTableTest, SketchMatchesDirectConstruction) {
+  // The bucket sketch must be byte-identical to hashing the same ids into a
+  // fresh HLL — required for on-demand folding to agree with materialized
+  // sketches.
+  const std::vector<uint64_t> keys{5, 9, 5, 5, 9};
+  LshTable table;
+  table.Build(keys, SmallThreshold(0));
+  hll::HyperLogLog expected(7);
+  expected.AddPoint(0);
+  expected.AddPoint(2);
+  expected.AddPoint(3);
+  EXPECT_EQ(*table.Lookup(5).sketch, expected);
+}
+
+TEST(LshTableTest, RebuildReplacesContent) {
+  LshTable table;
+  table.Build(std::vector<uint64_t>{1, 1}, SmallThreshold(0));
+  table.Build(std::vector<uint64_t>{2}, SmallThreshold(0));
+  EXPECT_TRUE(table.Lookup(1).empty());
+  EXPECT_EQ(table.Lookup(2).size(), 1u);
+  EXPECT_EQ(table.num_points(), 1u);
+}
+
+TEST(LshTableTest, MemoryAccounting) {
+  std::vector<uint64_t> keys(1000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i % 10;
+  LshTable table;
+  table.Build(keys, SmallThreshold(0));
+  EXPECT_GT(table.MemoryBytes(), 1000 * sizeof(uint32_t));
+  EXPECT_EQ(table.SketchBytes(), 10u * 128u);  // 10 sketches at m=128
+  // No sketches -> no sketch bytes.
+  LshTable lean;
+  lean.Build(keys, SmallThreshold(SIZE_MAX));
+  EXPECT_EQ(lean.SketchBytes(), 0u);
+  EXPECT_LT(lean.MemoryBytes(), table.MemoryBytes());
+}
+
+TEST(LshTableTest, ManyDistinctKeys) {
+  std::vector<uint64_t> keys(500);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i * 1315423911ULL;
+  LshTable table;
+  table.Build(keys, SmallThreshold(0));
+  EXPECT_EQ(table.num_buckets(), 500u);
+  EXPECT_EQ(table.max_bucket_size(), 1u);
+  for (size_t i = 0; i < keys.size(); i += 53) {
+    const auto view = table.Lookup(keys[i]);
+    ASSERT_EQ(view.size(), 1u);
+    EXPECT_EQ(view.ids[0], i);
+  }
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace hybridlsh

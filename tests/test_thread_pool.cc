@@ -1,0 +1,93 @@
+// Unit tests for util/thread_pool.h.
+
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hybridlsh {
+namespace util {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) pool.Submit([&counter] { ++counter; });
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (wave + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&counter] { ++counter; });
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, 1000, 8, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ParallelFor(5, 5, 4, [](size_t) { FAIL(); });
+  ParallelFor(7, 3, 4, [](size_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(0, 10, 1, [&order](size_t i) { order.push_back(static_cast<int>(i)); });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // inline path preserves order
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int> counter{0};
+  ParallelFor(0, 3, 16, [&counter](size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  std::atomic<long> sum{0};
+  ParallelFor(100, 200, 4, [&sum](size_t i) { sum += static_cast<long>(i); });
+  long expected = 0;
+  for (long i = 100; i < 200; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace hybridlsh

@@ -1,0 +1,73 @@
+// Unit tests for util/timer.h.
+
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace hybridlsh {
+namespace util {
+namespace {
+
+// Spins the CPU for roughly the requested wall time.
+void BusyLoop(double seconds) {
+  WallTimer t;
+  double sink = 0;
+  while (t.ElapsedSeconds() < seconds) {
+    sink += 1.0;
+    asm volatile("" : "+r"(sink));  // keep the loop from being optimized out
+  }
+}
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer t;
+  const double a = t.ElapsedSeconds();
+  const double b = t.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(WallTimerTest, MeasuresBusyWork) {
+  WallTimer t;
+  BusyLoop(0.02);
+  EXPECT_GE(t.ElapsedSeconds(), 0.02);
+  EXPECT_LT(t.ElapsedSeconds(), 2.0);  // sanity upper bound
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer t;
+  BusyLoop(0.02);
+  t.Restart();
+  EXPECT_LT(t.ElapsedSeconds(), 0.02);
+}
+
+TEST(CpuTimerTest, AdvancesUnderCpuLoad) {
+  CpuTimer t;
+  BusyLoop(0.05);
+  EXPECT_GT(t.ElapsedSeconds(), 0.01);
+}
+
+TEST(CpuTimerTest, RestartResets) {
+  CpuTimer t;
+  BusyLoop(0.02);
+  t.Restart();
+  EXPECT_LT(t.ElapsedSeconds(), 0.02);
+}
+
+TEST(ScopedWallTimerTest, AccumulatesIntoSink) {
+  double sink = 0;
+  {
+    ScopedWallTimer scoped(&sink);
+    BusyLoop(0.01);
+  }
+  EXPECT_GE(sink, 0.01);
+  const double first = sink;
+  {
+    ScopedWallTimer scoped(&sink);
+    BusyLoop(0.01);
+  }
+  EXPECT_GE(sink, first + 0.01);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace hybridlsh

@@ -1,0 +1,162 @@
+// Tests for data/transform.h.
+
+#include "data/transform.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace hybridlsh {
+namespace data {
+namespace {
+
+TEST(NormalizeUnitL2Test, AllPointsUnitNorm) {
+  DenseDataset dataset = MakeGaussianMixture(
+      {.n = 100, .dim = 8, .num_clusters = 3, .seed = 1});
+  NormalizeUnitL2(&dataset);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_NEAR(Norm(dataset.point(i), 8), 1.0f, 1e-5f);
+  }
+}
+
+TEST(NormalizeUnitL2Test, ZeroVectorUntouched) {
+  DenseDataset dataset(2, 3);
+  dataset.mutable_point(1)[0] = 5.0f;
+  NormalizeUnitL2(&dataset);
+  EXPECT_EQ(dataset.point(0)[0], 0.0f);  // zero row stays zero
+  EXPECT_NEAR(dataset.point(1)[0], 1.0f, 1e-6f);
+}
+
+TEST(NormalizeUnitL2Test, PreservesDirections) {
+  DenseDataset dataset(1, 2);
+  dataset.mutable_point(0)[0] = 3.0f;
+  dataset.mutable_point(0)[1] = 4.0f;
+  NormalizeUnitL2(&dataset);
+  EXPECT_NEAR(dataset.point(0)[0], 0.6f, 1e-6f);
+  EXPECT_NEAR(dataset.point(0)[1], 0.8f, 1e-6f);
+}
+
+TEST(FitMinMaxTest, MapsOntoUnitInterval) {
+  DenseDataset dataset = MakeGaussianMixture(
+      {.n = 500, .dim = 6, .num_clusters = 4, .seed = 2});
+  auto transform = FitMinMax(dataset);
+  ASSERT_TRUE(transform.ok());
+  ASSERT_TRUE(transform->Apply(&dataset).ok());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_GE(dataset.point(i)[j], -1e-6f);
+      EXPECT_LE(dataset.point(i)[j], 1.0f + 1e-6f);
+    }
+  }
+}
+
+TEST(FitMinMaxTest, ConstantDimensionMapsToZero) {
+  DenseDataset dataset(3, 2);
+  for (size_t i = 0; i < 3; ++i) {
+    dataset.mutable_point(i)[0] = 7.0f;  // constant
+    dataset.mutable_point(i)[1] = static_cast<float>(i);
+  }
+  auto transform = FitMinMax(dataset);
+  ASSERT_TRUE(transform.ok());
+  ASSERT_TRUE(transform->Apply(&dataset).ok());
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(dataset.point(i)[0], 0.0f);
+  EXPECT_EQ(dataset.point(2)[1], 1.0f);
+}
+
+TEST(FitMinMaxTest, EmptyDatasetFails) {
+  const DenseDataset empty(0, 4);
+  EXPECT_FALSE(FitMinMax(empty).ok());
+}
+
+TEST(FitStandardizeTest, ZeroMeanUnitVariance) {
+  DenseDataset dataset = MakeGaussianMixture(
+      {.n = 2000, .dim = 4, .num_clusters = 2, .seed = 3});
+  auto transform = FitStandardize(dataset);
+  ASSERT_TRUE(transform.ok());
+  ASSERT_TRUE(transform->Apply(&dataset).ok());
+  for (size_t j = 0; j < 4; ++j) {
+    double sum = 0, sum_sq = 0;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      sum += dataset.point(i)[j];
+      sum_sq += static_cast<double>(dataset.point(i)[j]) * dataset.point(i)[j];
+    }
+    const double mean = sum / dataset.size();
+    const double var = sum_sq / dataset.size() - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-3);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(FitStandardizeTest, SameTransformAppliesToQueries) {
+  // The core contract: fit on base, apply to base AND queries.
+  const DenseDataset original = MakeUniformCube(200, 3, 4);
+  DenseDataset base = original;
+  DenseDataset query(1, 3);
+  for (size_t j = 0; j < 3; ++j) {
+    query.mutable_point(0)[j] = original.point(7)[j];
+  }
+  auto transform = FitStandardize(base);
+  ASSERT_TRUE(transform.ok());
+  ASSERT_TRUE(transform->Apply(&base).ok());
+  ASSERT_TRUE(transform->Apply(&query).ok());
+  // The transformed query must coincide with transformed base point 7.
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(query.point(0)[j], base.point(7)[j]);
+  }
+}
+
+TEST(AffineTransformTest, DimensionMismatchFails) {
+  const DenseDataset dataset = MakeUniformCube(10, 4, 5);
+  auto transform = FitMinMax(dataset);
+  ASSERT_TRUE(transform.ok());
+  DenseDataset wrong(5, 7);
+  EXPECT_EQ(transform->Apply(&wrong).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(DistanceQuantilesTest, QuantilesAreMonotone) {
+  const DenseDataset dataset = MakeCorelLike(3000, 16, 6);
+  auto quantiles = DistanceQuantiles(dataset, Metric::kL2,
+                                     {0.01, 0.1, 0.5, 0.9}, 5000, 7);
+  ASSERT_TRUE(quantiles.ok());
+  ASSERT_EQ(quantiles->size(), 4u);
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_LE((*quantiles)[i - 1], (*quantiles)[i]);
+  }
+  EXPECT_GT((*quantiles)[0], 0.0f);
+}
+
+TEST(DistanceQuantilesTest, CosineBounded) {
+  DenseDataset dataset =
+      MakeWebspamLike({.n = 1000, .dim = 32, .seed = 8});
+  auto quantiles =
+      DistanceQuantiles(dataset, Metric::kCosine, {0.0, 1.0}, 2000, 9);
+  ASSERT_TRUE(quantiles.ok());
+  EXPECT_GE((*quantiles)[0], 0.0f);
+  EXPECT_LE((*quantiles)[1], 2.0f);
+}
+
+TEST(DistanceQuantilesTest, DeterministicInSeed) {
+  const DenseDataset dataset = MakeUniformCube(500, 8, 10);
+  auto a = DistanceQuantiles(dataset, Metric::kL1, {0.5}, 1000, 11);
+  auto b = DistanceQuantiles(dataset, Metric::kL1, {0.5}, 1000, 11);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)[0], (*b)[0]);
+}
+
+TEST(DistanceQuantilesTest, RejectsTinyDatasets) {
+  const DenseDataset dataset(1, 4);
+  EXPECT_FALSE(DistanceQuantiles(dataset, Metric::kL2, {0.5}).ok());
+}
+
+TEST(DistanceQuantilesTest, RejectsNonDenseMetrics) {
+  const DenseDataset dataset = MakeUniformCube(10, 4, 12);
+  EXPECT_FALSE(DistanceQuantiles(dataset, Metric::kHamming, {0.5}).ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace hybridlsh

@@ -1,0 +1,164 @@
+// Tests for data/workload.h: query splitting, exact range scans, ground
+// truth, and recall.
+
+#include "data/workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace hybridlsh {
+namespace data {
+namespace {
+
+TEST(SplitQueriesTest, SizesAddUp) {
+  const DenseDataset dataset = MakeUniformCube(1000, 4, 1);
+  const DenseSplit split = SplitQueries(dataset, 100, 7);
+  EXPECT_EQ(split.base.size(), 900u);
+  EXPECT_EQ(split.queries.size(), 100u);
+  EXPECT_EQ(split.base.dim(), 4u);
+  EXPECT_EQ(split.queries.dim(), 4u);
+}
+
+TEST(SplitQueriesTest, PartitionIsExact) {
+  const DenseDataset dataset = MakeUniformCube(50, 2, 2);
+  const DenseSplit split = SplitQueries(dataset, 10, 3);
+  // Every original point appears exactly once across base + queries.
+  std::multiset<std::pair<float, float>> original, recombined;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    original.insert({dataset.point(i)[0], dataset.point(i)[1]});
+  }
+  for (size_t i = 0; i < split.base.size(); ++i) {
+    recombined.insert({split.base.point(i)[0], split.base.point(i)[1]});
+  }
+  for (size_t i = 0; i < split.queries.size(); ++i) {
+    recombined.insert({split.queries.point(i)[0], split.queries.point(i)[1]});
+  }
+  EXPECT_EQ(original, recombined);
+}
+
+TEST(SplitQueriesTest, DeterministicInSeed) {
+  const DenseDataset dataset = MakeUniformCube(100, 3, 1);
+  const DenseSplit a = SplitQueries(dataset, 20, 5);
+  const DenseSplit b = SplitQueries(dataset, 20, 5);
+  EXPECT_EQ(a.queries.matrix().data(), b.queries.matrix().data());
+}
+
+TEST(SplitQueriesBinaryTest, SizesAddUp) {
+  const BinaryDataset dataset = MakeRandomCodes(200, 64, 1);
+  const BinarySplit split = SplitQueriesBinary(dataset, 20, 3);
+  EXPECT_EQ(split.base.size(), 180u);
+  EXPECT_EQ(split.queries.size(), 20u);
+}
+
+TEST(RangeScanDenseTest, L2FindsExactBall) {
+  DenseDataset dataset(0, 2);
+  dataset.Append(std::vector<float>{0, 0});     // dist 0
+  dataset.Append(std::vector<float>{3, 4});     // dist 5
+  dataset.Append(std::vector<float>{1, 0});     // dist 1
+  dataset.Append(std::vector<float>{10, 10});   // far
+  const std::vector<float> query{0, 0};
+  const auto result = RangeScanDense(dataset, query.data(), 5.0, Metric::kL2);
+  EXPECT_EQ(result, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(RangeScanDenseTest, BoundaryIsInclusive) {
+  DenseDataset dataset(0, 1);
+  dataset.Append(std::vector<float>{2.0f});
+  const std::vector<float> query{0.0f};
+  EXPECT_EQ(RangeScanDense(dataset, query.data(), 2.0, Metric::kL2).size(), 1u);
+  EXPECT_EQ(RangeScanDense(dataset, query.data(), 1.999, Metric::kL2).size(),
+            0u);
+}
+
+TEST(RangeScanDenseTest, L1AndL2Differ) {
+  DenseDataset dataset(0, 2);
+  dataset.Append(std::vector<float>{1, 1});  // L2 = 1.41, L1 = 2
+  const std::vector<float> query{0, 0};
+  EXPECT_EQ(RangeScanDense(dataset, query.data(), 1.5, Metric::kL2).size(), 1u);
+  EXPECT_EQ(RangeScanDense(dataset, query.data(), 1.5, Metric::kL1).size(), 0u);
+}
+
+TEST(RangeScanDenseTest, CosineMetric) {
+  DenseDataset dataset(0, 2);
+  dataset.Append(std::vector<float>{1, 0});      // dist 0
+  dataset.Append(std::vector<float>{1, 0.1f});   // tiny angle
+  dataset.Append(std::vector<float>{0, 1});      // dist 1
+  const std::vector<float> query{1, 0};
+  const auto result =
+      RangeScanDense(dataset, query.data(), 0.05, Metric::kCosine);
+  EXPECT_EQ(result, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(RangeScanBinaryTest, FindsWithinHammingRadius) {
+  BinaryDataset dataset(0, 64);
+  const uint64_t base = 0xff00ff00ff00ff00ULL;
+  uint64_t c0 = base;           // dist 0
+  uint64_t c1 = base ^ 0b111;   // dist 3
+  uint64_t c2 = base ^ ((uint64_t{1} << 40) - 1);  // dist 40-ish
+  dataset.Append(&c0);
+  dataset.Append(&c1);
+  dataset.Append(&c2);
+  const auto result = RangeScanBinary(dataset, &base, 3);
+  EXPECT_EQ(result, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(RangeScanSparseTest, FindsWithinJaccardRadius) {
+  SparseDataset dataset(100);
+  ASSERT_TRUE(dataset.Append(std::vector<uint32_t>{1, 2, 3}).ok());
+  ASSERT_TRUE(dataset.Append(std::vector<uint32_t>{1, 2, 4}).ok());   // J dist 0.5
+  ASSERT_TRUE(dataset.Append(std::vector<uint32_t>{50, 60}).ok());    // J dist 1
+  const std::vector<uint32_t> query{1, 2, 3};
+  const auto result = RangeScanSparse(dataset, query, 0.5);
+  EXPECT_EQ(result, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(GroundTruthDenseTest, MatchesPerQueryScan) {
+  const DenseDataset dataset = MakeCorelLike(2000, 8, 1);
+  const DenseSplit split = SplitQueries(dataset, 10, 2);
+  const auto truth =
+      GroundTruthDense(split.base, split.queries, 0.5, Metric::kL2, 4);
+  ASSERT_EQ(truth.size(), 10u);
+  for (size_t q = 0; q < 10; ++q) {
+    EXPECT_EQ(truth[q], RangeScanDense(split.base, split.queries.point(q), 0.5,
+                                       Metric::kL2));
+  }
+}
+
+TEST(GroundTruthBinaryTest, MatchesPerQueryScan) {
+  const BinaryDataset dataset = MakeRandomCodes(500, 64, 1);
+  const BinarySplit split = SplitQueriesBinary(dataset, 5, 2);
+  const auto truth = GroundTruthBinary(split.base, split.queries, 20, 4);
+  ASSERT_EQ(truth.size(), 5u);
+  for (size_t q = 0; q < 5; ++q) {
+    EXPECT_EQ(truth[q], RangeScanBinary(split.base, split.queries.point(q), 20));
+  }
+}
+
+TEST(RecallTest, PerfectRecall) {
+  EXPECT_DOUBLE_EQ(Recall({3, 1, 2}, {1, 2, 3}), 1.0);
+}
+
+TEST(RecallTest, PartialRecall) {
+  EXPECT_DOUBLE_EQ(Recall({1, 2}, {1, 2, 3, 4}), 0.5);
+}
+
+TEST(RecallTest, EmptyTruthIsPerfect) {
+  EXPECT_DOUBLE_EQ(Recall({5, 6}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(Recall({}, {}), 1.0);
+}
+
+TEST(RecallTest, ExtraReportedIdsDoNotHurt) {
+  EXPECT_DOUBLE_EQ(Recall({1, 2, 3, 99, 100}, {1, 2, 3}), 1.0);
+}
+
+TEST(RecallTest, ZeroRecall) {
+  EXPECT_DOUBLE_EQ(Recall({9, 8}, {1, 2}), 0.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace hybridlsh
