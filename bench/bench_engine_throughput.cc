@@ -1,0 +1,91 @@
+// Serving-engine throughput: batch QPS versus shard count and pool size.
+//
+// Unlike the figure benches (paper reproduction, per-query CPU time), this
+// measures the engine/ layer as a service: a Corel-like L2 workload is
+// answered in one QueryBatch call through the type-erased facade, sweeping
+// num_shards x num_threads. Each row is one JSON object on its own line —
+// the repo's machine-readable bench format for tracking the perf
+// trajectory:
+//
+//   {"bench":"engine_throughput","metric":"L2","n":17010,...,"qps":1234.5}
+//
+// Comment lines (starting with '#') carry the human-readable context and
+// are not part of the JSON stream.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "engine/search_engine.h"
+
+using namespace hybridlsh;
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::GetScale(argc, argv);
+  std::printf("# Engine throughput: batch QPS vs (shards, threads), "
+              "Corel-like L2 workload through the SearchEngine facade\n");
+  bench::PrintScaleNote(scale);
+
+  const double radius = 0.45;
+  const data::DenseDataset full =
+      data::MakeCorelLike(scale.N(68040, 4), 32, /*seed=*/311);
+  const data::DenseSplit split =
+      data::SplitQueries(full, scale.num_queries, /*seed=*/312);
+  // A serving batch repeats the query set so the timed region is long
+  // enough to amortize fan-out overheads.
+  const size_t batch_repeats = scale.full ? 10 : 4;
+  data::DenseDataset batch(0, split.queries.dim());
+  for (size_t r = 0; r < batch_repeats; ++r) {
+    for (size_t q = 0; q < split.queries.size(); ++q) {
+      batch.Append({split.queries.point(q), split.queries.dim()});
+    }
+  }
+  std::printf("# n=%zu batch=%zu d=32 L=50 k=7 radius=%.2f beta/alpha=6\n",
+              split.base.size(), batch.size(), radius);
+
+  for (size_t num_shards : {1, 2, 4, 8}) {
+    for (size_t num_threads : {1, 2, 4, 8}) {
+      engine::EngineOptions options;
+      options.num_shards = num_shards;
+      options.num_threads = num_threads;
+      options.num_tables = 50;
+      options.k = 7;
+      options.radius = radius;  // w = 2r
+      options.seed = 313;
+      options.searcher.cost_model = core::CostModel::FromRatio(6.0);
+
+      auto built = engine::BuildEngine(data::Metric::kL2, &split.base, options);
+      HLSH_CHECK(built.ok());
+      engine::SearchEngine& engine = **built;
+
+      // Warmup pass (allocates per-worker scratch), then the timed pass.
+      HLSH_CHECK(engine.QueryBatch(batch, radius).ok());
+      double wall_seconds = 0;
+      auto results = engine.QueryBatch(batch, radius, &wall_seconds);
+      HLSH_CHECK(results.ok());
+
+      size_t lsh_shards = 0, linear_shards = 0;
+      double total_output = 0;
+      for (const engine::ShardedBatchResult& result : *results) {
+        lsh_shards += result.stats.lsh_shards;
+        linear_shards += result.stats.linear_shards;
+        total_output += static_cast<double>(result.neighbors.size());
+      }
+      const double qps =
+          wall_seconds > 0
+              ? static_cast<double>(results->size()) / wall_seconds
+              : 0.0;
+      std::printf(
+          "{\"bench\":\"engine_throughput\",\"metric\":\"L2\","
+          "\"n\":%zu,\"dim\":32,\"batch\":%zu,\"radius\":%.2f,"
+          "\"shards\":%zu,\"threads\":%zu,"
+          "\"build_seconds\":%.4f,\"wall_seconds\":%.4f,\"qps\":%.1f,"
+          "\"avg_output\":%.1f,\"pct_linear_shards\":%.1f}\n",
+          split.base.size(), results->size(), radius, num_shards, num_threads,
+          engine.stats().build_seconds, wall_seconds, qps,
+          total_output / static_cast<double>(results->size()),
+          100.0 * static_cast<double>(linear_shards) /
+              static_cast<double>(lsh_shards + linear_shards));
+    }
+  }
+  return 0;
+}

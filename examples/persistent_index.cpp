@@ -80,14 +80,17 @@ int main() {
   // 4. Serve the 64-query batch across 8 threads.
   core::SearcherOptions sopts;
   sopts.cost_model = core::CostModel::FromRatio(6.0);
-  const auto batch = core::BatchQuery(*loaded, split.base, split.queries,
-                                      radius, sopts, /*num_threads=*/8);
-  const core::BatchSummary summary = core::Summarize(batch);
+  double wall_seconds = 0;
+  const auto batch =
+      core::BatchQuery(*loaded, split.base, split.queries, radius, sopts,
+                       /*num_threads=*/8, &wall_seconds);
+  const core::BatchSummary summary = core::Summarize(batch, wall_seconds);
   std::printf(
-      "batch: %zu queries, outputs avg %.1f [min %zu, max %zu], %.1f%% via "
-      "linear scan\n",
-      summary.num_queries, summary.avg_output, summary.min_output,
-      summary.max_output, summary.pct_linear_calls());
+      "batch: %zu queries in %.3fs wall (%.0f QPS), outputs avg %.1f "
+      "[min %zu, max %zu], %.1f%% via linear scan\n",
+      summary.num_queries, summary.wall_seconds, summary.qps(),
+      summary.avg_output, summary.min_output, summary.max_output,
+      summary.pct_linear_calls());
 
   // Spot-check recall against exact ground truth.
   double recall = 0;

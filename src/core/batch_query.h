@@ -1,21 +1,29 @@
-// Parallel batch execution of rNNR queries.
+// Pooled batch execution of rNNR queries.
 //
 // The paper's experiments time a 100-query set; production services answer
-// query *streams*. BatchQuery shards a query set across worker threads,
-// each with its own HybridSearcher (searchers own per-query scratch and
-// must not be shared). The per-query hybrid decision is unchanged — only
+// query *streams*. BatchRunner owns one HybridSearcher per pool worker
+// (searchers own per-query scratch and must not be shared) and drains each
+// batch through a persistent util::ThreadPool with dynamic query
+// distribution — no threads are spawned per batch, and worker scratch is
+// reused across batches. The per-query hybrid decision is unchanged — only
 // the orchestration is parallel, so recall guarantees and the cost model
 // are unaffected.
+//
+// The BatchQuery free function remains as a one-shot convenience for tests
+// and benches; serving call sites should hold a BatchRunner (or the
+// sharded engine, engine/sharded_engine.h, which pools the same way).
 
 #ifndef HYBRIDLSH_CORE_BATCH_QUERY_H_
 #define HYBRIDLSH_CORE_BATCH_QUERY_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
-#include <thread>
 #include <vector>
 
 #include "core/hybrid_searcher.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace hybridlsh {
 namespace core {
@@ -26,37 +34,69 @@ struct BatchResult {
   QueryStats stats;
 };
 
-/// Answers every query in `queries` (a container with size() and
-/// point(i) -> Index::Point) within `radius`, using `num_threads` workers.
-/// Results are positionally aligned with the query set. Each worker builds
-/// one HybridSearcher over (index, dataset) with `options`.
+/// Executes query batches against one (index, dataset) pair on a caller-
+/// provided persistent pool. Holds one HybridSearcher per pool worker,
+/// created once and reused across Run calls. Not thread-safe: one runner =
+/// one logical caller (parallelism is internal).
+template <typename Index, typename Dataset>
+class BatchRunner {
+ public:
+  /// The pool, index, and dataset must outlive the runner.
+  BatchRunner(const Index* index, const Dataset* dataset,
+              const SearcherOptions& options, util::ThreadPool* pool)
+      : pool_(pool) {
+    HLSH_CHECK(pool != nullptr);
+    searchers_.reserve(pool->num_threads());
+    for (size_t w = 0; w < pool->num_threads(); ++w) {
+      searchers_.emplace_back(index, dataset, options);
+    }
+  }
+
+  /// Answers every query in `queries` (a container with size() and
+  /// point(i) -> Index::Point) within `radius`. Queries are distributed
+  /// dynamically across the pool's workers; results are positionally
+  /// aligned with the query set. `wall_seconds` (optional) receives the
+  /// batch wall time.
+  template <typename QuerySet>
+  std::vector<BatchResult> Run(const QuerySet& queries, double radius,
+                               double* wall_seconds = nullptr) {
+    std::vector<BatchResult> results(queries.size());
+    util::WallTimer timer;
+    if (queries.size() > 0) {
+      const size_t num_workers = std::min(searchers_.size(), queries.size());
+      std::atomic<size_t> next{0};
+      util::ParallelForOn(pool_, 0, num_workers, [&](size_t w) {
+        HybridSearcher<Index, Dataset>& searcher = searchers_[w];
+        for (size_t q = next.fetch_add(1); q < queries.size();
+             q = next.fetch_add(1)) {
+          searcher.Query(queries.point(q), radius, &results[q].neighbors,
+                         &results[q].stats);
+        }
+      });
+    }
+    if (wall_seconds != nullptr) *wall_seconds = timer.ElapsedSeconds();
+    return results;
+  }
+
+  size_t num_workers() const { return searchers_.size(); }
+
+ private:
+  util::ThreadPool* pool_;
+  std::vector<HybridSearcher<Index, Dataset>> searchers_;
+};
+
+/// One-shot convenience: builds a transient pool + runner and executes a
+/// single batch with `num_threads` workers. Repeated call sites should keep
+/// a BatchRunner over a persistent pool instead.
 template <typename Index, typename Dataset, typename QuerySet>
 std::vector<BatchResult> BatchQuery(const Index& index, const Dataset& dataset,
                                     const QuerySet& queries, double radius,
                                     const SearcherOptions& options,
-                                    size_t num_threads = 1) {
-  std::vector<BatchResult> results(queries.size());
-  if (queries.size() == 0) return results;
-  const size_t threads = std::max<size_t>(1, num_threads);
-
-  // Chunk the query range; one searcher per chunk (= per worker).
-  const size_t count = queries.size();
-  const size_t chunk = (count + threads - 1) / threads;
-  std::vector<std::thread> workers;
-  for (size_t t = 0; t < threads; ++t) {
-    const size_t lo = t * chunk;
-    const size_t hi = std::min(count, lo + chunk);
-    if (lo >= hi) break;
-    workers.emplace_back([&, lo, hi] {
-      HybridSearcher<Index, Dataset> searcher(&index, &dataset, options);
-      for (size_t q = lo; q < hi; ++q) {
-        searcher.Query(queries.point(q), radius, &results[q].neighbors,
-                       &results[q].stats);
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
-  return results;
+                                    size_t num_threads = 1,
+                                    double* wall_seconds = nullptr) {
+  util::ThreadPool pool(std::max<size_t>(1, num_threads));
+  BatchRunner<Index, Dataset> runner(&index, &dataset, options, &pool);
+  return runner.Run(queries, radius, wall_seconds);
 }
 
 /// Aggregate view over a batch: strategy mix and output-size spread (the
@@ -66,7 +106,13 @@ struct BatchSummary {
   size_t num_queries = 0;
   size_t linear_calls = 0;
   uint64_t total_collisions = 0;
+  /// Sum of per-query total_seconds across all workers — aggregate CPU
+  /// time, NOT elapsed time (concurrent workers overlap). Use wall_seconds
+  /// for throughput.
   double total_seconds = 0;
+  /// Elapsed wall time of the batch, as reported by BatchRunner::Run.
+  /// 0 when Summarize was not given a measurement.
+  double wall_seconds = 0;
   size_t min_output = 0;
   size_t max_output = 0;
   double avg_output = 0;
@@ -77,12 +123,23 @@ struct BatchSummary {
                : 100.0 * static_cast<double>(linear_calls) /
                      static_cast<double>(num_queries);
   }
+
+  /// Queries per second of elapsed time (0 without a wall measurement).
+  double qps() const {
+    return wall_seconds <= 0
+               ? 0.0
+               : static_cast<double>(num_queries) / wall_seconds;
+  }
 };
 
-/// Summarizes a batch result set.
-inline BatchSummary Summarize(const std::vector<BatchResult>& results) {
+/// Summarizes a batch result set. Pass the wall time captured by
+/// BatchRunner::Run to get throughput; the per-query sum alone cannot
+/// provide it.
+inline BatchSummary Summarize(const std::vector<BatchResult>& results,
+                              double wall_seconds = 0.0) {
   BatchSummary summary;
   summary.num_queries = results.size();
+  summary.wall_seconds = wall_seconds;
   if (results.empty()) return summary;
   summary.min_output = results[0].neighbors.size();
   double total_output = 0;

@@ -79,6 +79,30 @@ struct SearcherOptions {
   ForcedStrategy forced = ForcedStrategy::kAuto;
 };
 
+/// S1 for any index: the home-bucket keys, or the multi-probe sequence when
+/// probes_per_table > 1. Shared by HybridSearcher and the sharded engine so
+/// the probing policy cannot diverge between the monolithic and sharded
+/// paths. Aborts if probing is requested on an index without multi-probe
+/// support.
+template <typename Index>
+void ComputeProbeKeys(const Index& index, typename Index::Point query,
+                      size_t probes_per_table, std::vector<uint64_t>* keys) {
+  constexpr bool kHasMultiProbe =
+      requires(const Index& i, typename Index::Point p, size_t probes,
+               std::vector<uint64_t>* out) {
+        i.QueryKeysMultiProbe(p, probes, out);
+      };
+  if (probes_per_table > 1) {
+    if constexpr (kHasMultiProbe) {
+      HLSH_CHECK(index.QueryKeysMultiProbe(query, probes_per_table, keys).ok());
+      return;
+    } else {
+      HLSH_CHECK(false && "index does not support multi-probe");
+    }
+  }
+  index.QueryKeys(query, keys);
+}
+
 /// Hybrid rNNR searcher over a built index and its dataset.
 ///
 /// Index requirements: Point, QueryKeys, EstimateProbe, CollectCandidates,
@@ -98,6 +122,13 @@ class HybridSearcher {
         merged_(index->MakeScratchSketch()) {
     HLSH_CHECK(index->size() == dataset->size());
     HLSH_CHECK(options.probes_per_table >= 1);
+    if constexpr (requires { index->id_base(); }) {
+      // A range-offset index (lsh/index.h Options::id_base) stores global
+      // ids outside [0, size()), which would index past visited_ and the
+      // dataset here. Such indexes belong to engine::ShardedEngine, whose
+      // scratch spans the parent id space.
+      HLSH_CHECK(index->id_base() == 0);
+    }
   }
 
   /// Reports all ids with Distance(point, query) <= radius, each with
@@ -193,25 +224,8 @@ class HybridSearcher {
   const SearcherOptions& options() const { return options_; }
 
  private:
-  // True when the index supports QueryKeysMultiProbe.
-  static constexpr bool kHasMultiProbe = requires(
-      const Index& index, Point p, size_t probes, std::vector<uint64_t>* keys) {
-    index.QueryKeysMultiProbe(p, probes, keys);
-  };
-
   void ComputeKeys(Point query) {
-    if (options_.probes_per_table > 1) {
-      if constexpr (kHasMultiProbe) {
-        HLSH_CHECK(index_
-                       ->QueryKeysMultiProbe(query, options_.probes_per_table,
-                                             &keys_)
-                       .ok());
-        return;
-      } else {
-        HLSH_CHECK(false && "index does not support multi-probe");
-      }
-    }
-    index_->QueryKeys(query, &keys_);
+    ComputeProbeKeys(*index_, query, options_.probes_per_table, &keys_);
   }
 
   // S2 + S3: dedup candidates, verify distances, report.

@@ -1,0 +1,48 @@
+// Zero-copy contiguous view over a dataset's id range [base, base + size).
+//
+// The sharded engine builds each shard's LshIndex over a slice of the full
+// dataset instead of copying points: the slice renumbers ids to 0..size-1
+// for the index builder, while the index's Options::id_base puts global ids
+// back into the buckets (see lsh/table.h). Works with any container that
+// models the dataset surface (size(), point(i)).
+
+#ifndef HYBRIDLSH_ENGINE_DATASET_SLICE_H_
+#define HYBRIDLSH_ENGINE_DATASET_SLICE_H_
+
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace engine {
+
+/// Non-owning view of `count` consecutive points starting at `base`.
+template <typename Dataset>
+class DatasetSlice {
+ public:
+  using Point = typename Dataset::Point;
+
+  DatasetSlice(const Dataset* parent, size_t base, size_t count)
+      : parent_(parent), base_(base), count_(count) {
+    HLSH_CHECK(parent != nullptr);
+    HLSH_CHECK(base + count <= parent->size());
+  }
+
+  size_t size() const { return count_; }
+  size_t base() const { return base_; }
+
+  Point point(size_t i) const {
+    HLSH_DCHECK(i < count_);
+    return parent_->point(base_ + i);
+  }
+
+ private:
+  const Dataset* parent_;
+  size_t base_;
+  size_t count_;
+};
+
+}  // namespace engine
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_ENGINE_DATASET_SLICE_H_

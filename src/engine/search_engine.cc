@@ -1,0 +1,204 @@
+// Registry and built-in factories for the type-erased SearchEngine facade.
+
+#include "engine/search_engine.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "lsh/families.h"
+
+namespace hybridlsh {
+namespace engine {
+
+namespace {
+
+// -- Registry ---------------------------------------------------------------
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<data::Metric, EngineFactory>& Registry() {
+  static std::map<data::Metric, EngineFactory> registry;
+  return registry;
+}
+
+// -- Shared factory plumbing ------------------------------------------------
+
+/// Mirrors the family-independent EngineOptions fields into the per-family
+/// ShardedEngine options.
+template <typename Engine>
+typename Engine::Options ToEngineOptions(const EngineOptions& options) {
+  typename Engine::Options engine_options;
+  engine_options.num_shards = options.num_shards;
+  engine_options.num_threads = options.num_threads;
+  engine_options.index.num_tables = options.num_tables;
+  engine_options.index.k = options.k;
+  engine_options.index.delta = options.delta;
+  engine_options.index.radius = options.radius;
+  engine_options.index.hll_precision = options.hll_precision;
+  engine_options.index.seed = options.seed;
+  engine_options.searcher = options.searcher;
+  return engine_options;
+}
+
+template <typename Family, typename Dataset>
+util::StatusOr<std::unique_ptr<SearchEngine>> Adapt(
+    Family family, const Dataset& dataset, const EngineOptions& options) {
+  using Engine = ShardedEngine<Family, Dataset>;
+  auto engine =
+      Engine::Build(std::move(family), dataset, ToEngineOptions<Engine>(options));
+  if (!engine.ok()) return engine.status();
+  return std::unique_ptr<SearchEngine>(
+      new ShardedEngineAdapter<Family, Dataset>(std::move(*engine)));
+}
+
+/// Pulls the container a factory needs out of the variant, or fails with a
+/// metric-specific message.
+template <typename Dataset>
+util::StatusOr<const Dataset*> Expect(AnyDataset dataset, const char* want) {
+  if (const auto* const* held = std::get_if<const Dataset*>(&dataset)) {
+    if (*held == nullptr) {
+      return util::Status::InvalidArgument("dataset pointer is null");
+    }
+    return *held;
+  }
+  return util::Status::InvalidArgument(
+      std::string("this metric requires a ") + want + " dataset");
+}
+
+/// The p-stable quantization window: explicit, or the paper's radius-tied
+/// default (w = 4r for L1, 2r for L2; §4.1).
+util::StatusOr<double> PStableW(const EngineOptions& options,
+                                double radius_multiple) {
+  if (options.pstable_w > 0) return options.pstable_w;
+  if (options.radius > 0) return radius_multiple * options.radius;
+  return util::Status::InvalidArgument(
+      "kL1/kL2 engines need pstable_w > 0 or radius > 0 to derive it");
+}
+
+// -- Built-in factories, one per paper pairing ------------------------------
+
+util::StatusOr<std::unique_ptr<SearchEngine>> BuildCosine(
+    AnyDataset dataset, const EngineOptions& options) {
+  auto dense = Expect<data::DenseDataset>(dataset, "dense");
+  if (!dense.ok()) return dense.status();
+  return Adapt(lsh::SimHashFamily((*dense)->dim()), **dense, options);
+}
+
+util::StatusOr<std::unique_ptr<SearchEngine>> BuildL2(
+    AnyDataset dataset, const EngineOptions& options) {
+  auto dense = Expect<data::DenseDataset>(dataset, "dense");
+  if (!dense.ok()) return dense.status();
+  auto w = PStableW(options, 2.0);
+  if (!w.ok()) return w.status();
+  return Adapt(lsh::PStableFamily::L2((*dense)->dim(), *w), **dense, options);
+}
+
+util::StatusOr<std::unique_ptr<SearchEngine>> BuildL1(
+    AnyDataset dataset, const EngineOptions& options) {
+  auto dense = Expect<data::DenseDataset>(dataset, "dense");
+  if (!dense.ok()) return dense.status();
+  auto w = PStableW(options, 4.0);
+  if (!w.ok()) return w.status();
+  return Adapt(lsh::PStableFamily::L1((*dense)->dim(), *w), **dense, options);
+}
+
+util::StatusOr<std::unique_ptr<SearchEngine>> BuildHamming(
+    AnyDataset dataset, const EngineOptions& options) {
+  auto binary = Expect<data::BinaryDataset>(dataset, "binary");
+  if (!binary.ok()) return binary.status();
+  return Adapt(lsh::BitSamplingFamily((*binary)->width_bits()), **binary,
+               options);
+}
+
+util::StatusOr<std::unique_ptr<SearchEngine>> BuildJaccard(
+    AnyDataset dataset, const EngineOptions& options) {
+  auto sparse = Expect<data::SparseDataset>(dataset, "sparse");
+  if (!sparse.ok()) return sparse.status();
+  return Adapt(lsh::MinHashFamily(), **sparse, options);
+}
+
+void EnsureBuiltins() {
+  static const bool registered = [] {
+    std::map<data::Metric, EngineFactory>& registry = Registry();
+    registry[data::Metric::kCosine] = &BuildCosine;
+    registry[data::Metric::kL2] = &BuildL2;
+    registry[data::Metric::kL1] = &BuildL1;
+    registry[data::Metric::kHamming] = &BuildHamming;
+    registry[data::Metric::kJaccard] = &BuildJaccard;
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
+// -- SearchEngine defaults: every overload rejects --------------------------
+
+util::Status SearchEngine::WrongPointType(const char* got) const {
+  return util::Status::InvalidArgument(
+      std::string("engine for metric ") + std::string(MetricName(metric())) +
+      " does not accept " + got + " queries");
+}
+
+util::Status SearchEngine::Query(const float*, double, std::vector<uint32_t>*,
+                                 ShardedQueryStats*) {
+  return WrongPointType("dense float");
+}
+
+util::Status SearchEngine::Query(const uint64_t*, double,
+                                 std::vector<uint32_t>*, ShardedQueryStats*) {
+  return WrongPointType("packed binary");
+}
+
+util::Status SearchEngine::Query(std::span<const uint32_t>, double,
+                                 std::vector<uint32_t>*, ShardedQueryStats*) {
+  return WrongPointType("sparse id-set");
+}
+
+util::StatusOr<std::vector<ShardedBatchResult>> SearchEngine::QueryBatch(
+    const data::DenseDataset&, double, double*) {
+  return WrongPointType("dense float");
+}
+
+util::StatusOr<std::vector<ShardedBatchResult>> SearchEngine::QueryBatch(
+    const data::BinaryDataset&, double, double*) {
+  return WrongPointType("packed binary");
+}
+
+util::StatusOr<std::vector<ShardedBatchResult>> SearchEngine::QueryBatch(
+    const data::SparseDataset&, double, double*) {
+  return WrongPointType("sparse id-set");
+}
+
+// -- Registry API -----------------------------------------------------------
+
+void RegisterEngineFactory(data::Metric metric, EngineFactory factory) {
+  HLSH_CHECK(factory != nullptr);
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry()[metric] = factory;
+}
+
+util::StatusOr<std::unique_ptr<SearchEngine>> BuildEngine(
+    data::Metric metric, AnyDataset dataset, const EngineOptions& options) {
+  EnsureBuiltins();
+  EngineFactory factory = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto it = Registry().find(metric);
+    if (it != Registry().end()) factory = it->second;
+  }
+  if (factory == nullptr) {
+    return util::Status::NotFound(
+        std::string("no engine factory registered for metric ") +
+        std::string(MetricName(metric)));
+  }
+  return factory(dataset, options);
+}
+
+}  // namespace engine
+}  // namespace hybridlsh

@@ -1,0 +1,242 @@
+// Type-erased serving facade over ShardedEngine<Family>.
+//
+// Everything below engine/ is compile-time generic: callers name
+// LshIndex<Family> and the dataset container in their types, which is right
+// for benches but wrong for a server that picks the metric from a request
+// or a config file. SearchEngine is the runtime boundary: one virtual
+// interface that any (family, dataset) pair adapts into, so examples,
+// benches, and future server code hold a std::unique_ptr<SearchEngine>
+// instead of propagating <Family, Dataset> template parameters.
+//
+// Points cross the type-erased boundary through one typed overload per
+// representation (dense floats, packed binary codes, sparse id sets). An
+// engine implements the overload matching its family's Point type and
+// rejects the others with InvalidArgument — a server routing requests by
+// metric always knows which representation its payload is in.
+//
+// Construction goes through a registry keyed by data::Metric:
+//
+//   auto engine = BuildEngine(data::Metric::kL2, &dataset, options);
+//   (*engine)->Query(query, radius, &ids);
+//
+// The five paper pairings are pre-registered; RegisterEngineFactory lets
+// new families plug in without touching this file.
+
+#ifndef HYBRIDLSH_ENGINE_SEARCH_ENGINE_H_
+#define HYBRIDLSH_ENGINE_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/metric.h"
+#include "engine/sharded_engine.h"
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace engine {
+
+/// Family-independent build parameters, mirrored into the per-family
+/// LshIndex<Family>::Options by the registry factories.
+struct EngineOptions {
+  /// Sharding and pool size (see ShardedEngine<Family>::Options).
+  size_t num_shards = 1;
+  size_t num_threads = 0;  // 0 = one per shard
+
+  /// Index parameters shared by all shards (lsh/index.h Options).
+  int num_tables = 50;
+  int k = 0;  // 0 = auto from (radius, delta)
+  double delta = 0.1;
+  /// Search radius: parameter derivation for k == 0, and the w default for
+  /// the p-stable families.
+  double radius = 0.0;
+  int hll_precision = 7;
+  uint64_t seed = 1;
+
+  /// Quantization window for kL1 / kL2 (PStableFamily). 0 = the paper's
+  /// defaults in terms of `radius`: w = 4r (L1), w = 2r (L2).
+  double pstable_w = 0.0;
+
+  /// Cost model, multi-probe width, and forced-strategy escape hatch.
+  core::SearcherOptions searcher;
+};
+
+/// Runtime-polymorphic handle to a built sharded engine (see file comment).
+///
+/// Thread-safety matches ShardedEngine: one engine = one logical caller;
+/// internal parallelism (shard fan-out, batch workers) is the engine's own.
+class SearchEngine {
+ public:
+  virtual ~SearchEngine() = default;
+
+  virtual data::Metric metric() const = 0;
+  /// The adapted family's kFamilyTag (e.g. "SIMH", "PSTB").
+  virtual uint32_t family_tag() const = 0;
+  virtual size_t size() const = 0;
+  virtual size_t num_shards() const = 0;
+  virtual size_t num_threads() const = 0;
+  virtual const EngineStats& stats() const = 0;
+
+  // --- Single queries, one typed overload per point representation. ------
+  // The overload matching the engine's family succeeds and appends global
+  // ids to *out; the others return InvalidArgument. Defaults here reject
+  // everything; adapters override exactly one.
+
+  /// Dense float vector (kL1, kL2, kCosine engines).
+  virtual util::Status Query(const float* query, double radius,
+                             std::vector<uint32_t>* out,
+                             ShardedQueryStats* stats = nullptr);
+  /// Packed binary code (kHamming engines).
+  virtual util::Status Query(const uint64_t* query, double radius,
+                             std::vector<uint32_t>* out,
+                             ShardedQueryStats* stats = nullptr);
+  /// Sparse increasing id set (kJaccard engines).
+  virtual util::Status Query(std::span<const uint32_t> query, double radius,
+                             std::vector<uint32_t>* out,
+                             ShardedQueryStats* stats = nullptr);
+
+  // --- Batches, one typed overload per dataset container. ---------------
+  // Pooled execution with per-worker scratch reuse (ShardedEngine::
+  // QueryBatch); results are positionally aligned with the query set.
+  // `wall_seconds` (optional) receives the batch wall time.
+
+  virtual util::StatusOr<std::vector<ShardedBatchResult>> QueryBatch(
+      const data::DenseDataset& queries, double radius,
+      double* wall_seconds = nullptr);
+  virtual util::StatusOr<std::vector<ShardedBatchResult>> QueryBatch(
+      const data::BinaryDataset& queries, double radius,
+      double* wall_seconds = nullptr);
+  virtual util::StatusOr<std::vector<ShardedBatchResult>> QueryBatch(
+      const data::SparseDataset& queries, double radius,
+      double* wall_seconds = nullptr);
+
+ protected:
+  /// The InvalidArgument produced by every non-matching overload.
+  util::Status WrongPointType(const char* got) const;
+};
+
+/// Adapts a built ShardedEngine<Family, Dataset> into the facade. Only the
+/// Query / QueryBatch overloads matching the family's Point type and the
+/// dataset container answer; the rest fall through to the rejecting base.
+template <typename Family,
+          typename Dataset =
+              typename DefaultDataset<typename Family::Point>::type>
+class ShardedEngineAdapter final : public SearchEngine {
+ public:
+  using Engine = ShardedEngine<Family, Dataset>;
+  using Point = typename Engine::Point;
+
+  explicit ShardedEngineAdapter(Engine engine) : engine_(std::move(engine)) {}
+
+  data::Metric metric() const override {
+    return engine_.shard_index(0).family().metric();
+  }
+  uint32_t family_tag() const override { return Family::kFamilyTag; }
+  size_t size() const override { return engine_.size(); }
+  size_t num_shards() const override { return engine_.num_shards(); }
+  size_t num_threads() const override { return engine_.num_threads(); }
+  const EngineStats& stats() const override { return engine_.stats(); }
+
+  /// The adapted engine, for callers that do know the concrete type.
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+
+  using SearchEngine::Query;
+  using SearchEngine::QueryBatch;
+
+  util::Status Query(const float* query, double radius,
+                     std::vector<uint32_t>* out,
+                     ShardedQueryStats* stats) override {
+    if constexpr (std::is_same_v<Point, const float*>) {
+      engine_.Query(query, radius, out, stats);
+      return util::Status::Ok();
+    } else {
+      return WrongPointType("dense float");
+    }
+  }
+
+  util::Status Query(const uint64_t* query, double radius,
+                     std::vector<uint32_t>* out,
+                     ShardedQueryStats* stats) override {
+    if constexpr (std::is_same_v<Point, const uint64_t*>) {
+      engine_.Query(query, radius, out, stats);
+      return util::Status::Ok();
+    } else {
+      return WrongPointType("packed binary");
+    }
+  }
+
+  util::Status Query(std::span<const uint32_t> query, double radius,
+                     std::vector<uint32_t>* out,
+                     ShardedQueryStats* stats) override {
+    if constexpr (std::is_same_v<Point, std::span<const uint32_t>>) {
+      engine_.Query(query, radius, out, stats);
+      return util::Status::Ok();
+    } else {
+      return WrongPointType("sparse id-set");
+    }
+  }
+
+  util::StatusOr<std::vector<ShardedBatchResult>> QueryBatch(
+      const data::DenseDataset& queries, double radius,
+      double* wall_seconds) override {
+    return BatchImpl(queries, radius, wall_seconds, "dense float");
+  }
+
+  util::StatusOr<std::vector<ShardedBatchResult>> QueryBatch(
+      const data::BinaryDataset& queries, double radius,
+      double* wall_seconds) override {
+    return BatchImpl(queries, radius, wall_seconds, "packed binary");
+  }
+
+  util::StatusOr<std::vector<ShardedBatchResult>> QueryBatch(
+      const data::SparseDataset& queries, double radius,
+      double* wall_seconds) override {
+    return BatchImpl(queries, radius, wall_seconds, "sparse id-set");
+  }
+
+ private:
+  template <typename QuerySet>
+  util::StatusOr<std::vector<ShardedBatchResult>> BatchImpl(
+      const QuerySet& queries, double radius, double* wall_seconds,
+      const char* got) {
+    if constexpr (std::is_same_v<QuerySet, Dataset>) {
+      return engine_.QueryBatch(queries, radius, wall_seconds);
+    } else {
+      return WrongPointType(got);
+    }
+  }
+
+  Engine engine_;
+};
+
+/// The dataset containers an engine factory can be handed. A factory whose
+/// family reads a different container rejects with InvalidArgument.
+using AnyDataset = std::variant<const data::DenseDataset*,
+                                const data::BinaryDataset*,
+                                const data::SparseDataset*>;
+
+/// Builds a fully-typed engine behind the facade. Signature shared by the
+/// built-in factories and external registrations.
+using EngineFactory = util::StatusOr<std::unique_ptr<SearchEngine>> (*)(
+    AnyDataset dataset, const EngineOptions& options);
+
+/// Registers (or replaces) the factory serving `metric`. The five paper
+/// pairings are pre-registered: kCosine/kL2/kL1 over DenseDataset, kHamming
+/// over BinaryDataset, kJaccard over SparseDataset.
+void RegisterEngineFactory(data::Metric metric, EngineFactory factory);
+
+/// Builds an engine through the registry. The dataset must outlive the
+/// returned engine (it is retained by pointer, not copied).
+util::StatusOr<std::unique_ptr<SearchEngine>> BuildEngine(
+    data::Metric metric, AnyDataset dataset, const EngineOptions& options);
+
+}  // namespace engine
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_ENGINE_SEARCH_ENGINE_H_

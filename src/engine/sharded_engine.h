@@ -1,0 +1,436 @@
+// Shard-parallel serving engine over id-range partitions of one dataset.
+//
+// ShardedEngine<Family> splits the dataset into S disjoint contiguous id
+// ranges, builds one LshIndex<Family> per range (in parallel, on the
+// engine's persistent util::ThreadPool), and answers a query by fanning out
+// across shards and concatenating results. Each shard runs the paper's full
+// Algorithm-2 hybrid decision *locally*, with LinearCost(shard_n) instead
+// of LinearCost(n) — so a small or dense shard can independently fall back
+// to an exact scan of its range while the others stay on LSH.
+//
+// Shards share the hash-function seed: table t of every shard samples the
+// same k-wise functions and bucket-key seed as a monolithic index built
+// with the same Options. A bucket of the monolithic index is therefore the
+// exact union of the shards' corresponding buckets, which gives the
+// engine's equivalence guarantee: with the same (seed, k, L), the union of
+// per-shard LSH candidate sets equals the monolithic candidate set, and
+// forced-LSH / forced-linear results are identical to the single-index
+// path for any shard count (tests/test_sharded_engine.cc).
+//
+// Shard indexes are built over DatasetSlice views with Options::id_base set
+// to the range start, so buckets and sketches carry *global* ids directly —
+// no per-result offset translation on the query hot path.
+//
+// Thread-safety: Build is a static factory; the returned engine's Query and
+// QueryBatch reuse internal scratch and must not be called concurrently
+// with each other (one engine = one logical caller, like HybridSearcher).
+
+#ifndef HYBRIDLSH_ENGINE_SHARDED_ENGINE_H_
+#define HYBRIDLSH_ENGINE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/hybrid_searcher.h"
+#include "data/dataset.h"
+#include "engine/dataset_slice.h"
+#include "lsh/index.h"
+#include "util/bit_vector.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace hybridlsh {
+namespace engine {
+
+/// Default dataset container for a family's Point type (so that
+/// ShardedEngine<Family> works without naming the container).
+template <typename Point>
+struct DefaultDataset;
+template <>
+struct DefaultDataset<const float*> {
+  using type = data::DenseDataset;
+};
+template <>
+struct DefaultDataset<const uint64_t*> {
+  using type = data::BinaryDataset;
+};
+template <>
+struct DefaultDataset<std::span<const uint32_t>> {
+  using type = data::SparseDataset;
+};
+
+/// Aggregate per-query observability across the shard fan-out.
+struct ShardedQueryStats {
+  /// Shards queried (== engine num_shards()).
+  size_t num_shards = 0;
+  /// How many shards answered with LSH-based search vs. exact scan.
+  size_t lsh_shards = 0;
+  size_t linear_shards = 0;
+  /// Sums of the per-shard Algorithm-2 quantities.
+  uint64_t collisions = 0;
+  double cand_estimate = 0.0;
+  size_t cand_actual = 0;
+  size_t output_size = 0;
+  /// Wall seconds for the whole fan-out (not the per-shard sum).
+  double total_seconds = 0.0;
+  /// Per-shard detail, indexed by shard ordinal.
+  std::vector<core::QueryStats> per_shard;
+};
+
+/// One query's result in a batch.
+struct ShardedBatchResult {
+  std::vector<uint32_t> neighbors;
+  ShardedQueryStats stats;
+};
+
+/// Build/serve summary of an engine.
+struct EngineStats {
+  size_t num_points = 0;
+  size_t num_shards = 0;
+  size_t num_threads = 0;
+  double build_seconds = 0.0;   // wall time of the parallel shard build
+  size_t memory_bytes = 0;      // summed over shard indexes
+  size_t sketch_bytes = 0;
+};
+
+/// Shard-parallel hybrid-LSH engine (see file comment).
+template <typename Family,
+          typename Dataset =
+              typename DefaultDataset<typename Family::Point>::type>
+class ShardedEngine {
+ public:
+  using Index = lsh::LshIndex<Family>;
+  using Point = typename Family::Point;
+
+  struct Options {
+    /// Number of id-range shards S. Clamped to the dataset size so that no
+    /// shard is empty; shard s covers a contiguous range of n/S (+1 for the
+    /// first n mod S shards) ids.
+    size_t num_shards = 1;
+    /// Worker threads in the engine's persistent pool (shard builds, query
+    /// fan-out, batch execution). 0 = one per shard.
+    size_t num_threads = 0;
+    /// Per-shard index parameters. `id_base` is overwritten per shard and
+    /// `num_build_threads` is ignored (shard builds already saturate the
+    /// pool); everything else — including `seed` — is shared by all shards,
+    /// which is what makes the engine candidate-equivalent to a monolithic
+    /// index (see file comment).
+    typename Index::Options index;
+    /// Cost model, multi-probe width, and forced-strategy escape hatch.
+    /// The hybrid decision runs per shard with LinearCost(shard_n).
+    core::SearcherOptions searcher;
+  };
+
+  /// Builds all shards in parallel. The dataset is retained by pointer and
+  /// must outlive the engine.
+  static util::StatusOr<ShardedEngine> Build(Family family,
+                                             const Dataset& dataset,
+                                             const Options& options) {
+    if (options.num_shards < 1) {
+      return util::Status::InvalidArgument("num_shards must be >= 1");
+    }
+    if (dataset.size() == 0) {
+      return util::Status::InvalidArgument("cannot build over an empty dataset");
+    }
+    // Mirror the monolithic LshIndex::Build guard on the full dataset:
+    // shard.base is stored as a uint32_t id_base, so a larger n would wrap
+    // global ids instead of failing.
+    if (dataset.size() > static_cast<size_t>(UINT32_MAX)) {
+      return util::Status::InvalidArgument("dataset exceeds 2^32-1 points");
+    }
+    HLSH_CHECK(options.searcher.probes_per_table >= 1);
+
+    ShardedEngine engine;
+    engine.options_ = options;
+    engine.dataset_ = &dataset;
+    const size_t n = dataset.size();
+    const size_t num_shards = std::min(options.num_shards, n);
+    const size_t num_threads =
+        options.num_threads > 0 ? options.num_threads : num_shards;
+    engine.pool_ = std::make_unique<util::ThreadPool>(num_threads);
+
+    // Balanced contiguous partition: n/S per shard, remainder spread left.
+    engine.shards_.resize(num_shards);
+    {
+      const size_t per_shard = n / num_shards;
+      const size_t remainder = n % num_shards;
+      size_t base = 0;
+      for (size_t s = 0; s < num_shards; ++s) {
+        engine.shards_[s].base = base;
+        engine.shards_[s].size = per_shard + (s < remainder ? 1 : 0);
+        base += engine.shards_[s].size;
+      }
+      HLSH_CHECK(base == n);
+    }
+
+    // Build every shard's index on the pool.
+    util::WallTimer build_timer;
+    std::vector<util::Status> statuses(num_shards, util::Status::Ok());
+    util::ParallelForOn(engine.pool_.get(), 0, num_shards, [&](size_t s) {
+      Shard& shard = engine.shards_[s];
+      typename Index::Options index_options = options.index;
+      index_options.id_base = static_cast<uint32_t>(shard.base);
+      index_options.num_build_threads = 1;
+      const DatasetSlice<Dataset> slice(&dataset, shard.base, shard.size);
+      auto built = Index::Build(family, slice, index_options);
+      if (!built.ok()) {
+        statuses[s] = built.status();
+        return;
+      }
+      shard.index = std::make_unique<Index>(std::move(*built));
+    });
+    for (const util::Status& status : statuses) {
+      if (!status.ok()) return status;
+    }
+
+    engine.stats_.num_points = n;
+    engine.stats_.num_shards = num_shards;
+    engine.stats_.num_threads = num_threads;
+    engine.stats_.build_seconds = build_timer.ElapsedSeconds();
+    for (const Shard& shard : engine.shards_) {
+      engine.stats_.memory_bytes += shard.index->stats().memory_bytes;
+      engine.stats_.sketch_bytes += shard.index->stats().sketch_bytes;
+    }
+
+    // Fan-out scratch: one per shard (single-query path). Batch scratch is
+    // created lazily, one per pool worker.
+    engine.fanout_scratch_.reserve(num_shards);
+    engine.fanout_out_.resize(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      engine.fanout_scratch_.push_back(engine.MakeScratch());
+    }
+    return engine;
+  }
+
+  /// Answers one query with a parallel fan-out across shards: every id with
+  /// Distance(point, query) <= radius is reported with the same per-shard
+  /// guarantees as HybridSearcher. Results are appended to *out grouped by
+  /// shard (ascending id ranges); ids are global.
+  void Query(Point query, double radius, std::vector<uint32_t>* out,
+             ShardedQueryStats* stats = nullptr) {
+    ShardedQueryStats local_stats;
+    ShardedQueryStats* s = stats != nullptr ? stats : &local_stats;
+    ResetStats(s);
+    util::WallTimer timer;
+
+    util::ParallelForOn(pool_.get(), 0, shards_.size(), [&](size_t i) {
+      fanout_out_[i].clear();
+      QueryShard(shards_[i], query, radius, &fanout_scratch_[i],
+                 &fanout_out_[i], &s->per_shard[i]);
+    });
+
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      out->insert(out->end(), fanout_out_[i].begin(), fanout_out_[i].end());
+    }
+    FoldStats(s);
+    s->total_seconds = timer.ElapsedSeconds();
+  }
+
+  /// Answers a whole query set (any container with size() and point(i)) on
+  /// the pool: queries are distributed dynamically across workers, each
+  /// worker owns one reusable scratch and runs every shard of its query
+  /// sequentially. Results are positionally aligned with the query set.
+  /// `wall_seconds` (optional) receives the batch wall time.
+  template <typename QuerySet>
+  std::vector<ShardedBatchResult> QueryBatch(const QuerySet& queries,
+                                             double radius,
+                                             double* wall_seconds = nullptr) {
+    std::vector<ShardedBatchResult> results(queries.size());
+    util::WallTimer timer;
+    if (queries.size() > 0) {
+      EnsureBatchScratch();
+      const size_t num_workers =
+          std::min(batch_scratch_.size(), queries.size());
+      std::atomic<size_t> next{0};
+      util::ParallelForOn(pool_.get(), 0, num_workers, [&](size_t w) {
+        Scratch& scratch = batch_scratch_[w];
+        for (size_t q = next.fetch_add(1); q < queries.size();
+             q = next.fetch_add(1)) {
+          ShardedBatchResult& result = results[q];
+          ResetStats(&result.stats);
+          util::WallTimer query_timer;
+          for (const Shard& shard : shards_) {
+            QueryShard(shard, queries.point(q), radius, &scratch,
+                       &result.neighbors,
+                       &result.stats.per_shard[&shard - shards_.data()]);
+          }
+          FoldStats(&result.stats);
+          result.stats.total_seconds = query_timer.ElapsedSeconds();
+        }
+      });
+    }
+    if (wall_seconds != nullptr) *wall_seconds = timer.ElapsedSeconds();
+    return results;
+  }
+
+  /// Span-of-points convenience overload (used by the type-erased facade).
+  std::vector<ShardedBatchResult> QueryBatch(std::span<const Point> queries,
+                                             double radius,
+                                             double* wall_seconds = nullptr) {
+    struct SpanSet {
+      std::span<const Point> points;
+      size_t size() const { return points.size(); }
+      Point point(size_t i) const { return points[i]; }
+    };
+    return QueryBatch(SpanSet{queries}, radius, wall_seconds);
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_threads() const { return pool_->num_threads(); }
+  size_t size() const { return stats_.num_points; }
+  const EngineStats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+  const Dataset& dataset() const { return *dataset_; }
+
+  /// Shard inspection for tests: the index and id range of shard s.
+  const Index& shard_index(size_t s) const { return *shards_[s].index; }
+  std::pair<size_t, size_t> shard_range(size_t s) const {
+    return {shards_[s].base, shards_[s].base + shards_[s].size};
+  }
+
+ private:
+  struct Shard {
+    size_t base = 0;
+    size_t size = 0;
+    std::unique_ptr<Index> index;  // pointer keeps Shard movable/defaultable
+  };
+
+  /// Per-worker query scratch. VisitedSet spans the *global* id space —
+  /// shard buckets store global ids, so no translation is needed anywhere.
+  struct Scratch {
+    util::VisitedSet visited;
+    hll::HyperLogLog merged;
+    std::vector<uint64_t> keys;
+  };
+
+  ShardedEngine() : stats_() {}
+
+  Scratch MakeScratch() const {
+    return Scratch{util::VisitedSet(dataset_->size()),
+                   shards_[0].index->MakeScratchSketch(), {}};
+  }
+
+  void EnsureBatchScratch() {
+    if (!batch_scratch_.empty()) return;
+    batch_scratch_.reserve(pool_->num_threads());
+    for (size_t w = 0; w < pool_->num_threads(); ++w) {
+      batch_scratch_.push_back(MakeScratch());
+    }
+  }
+
+  void ResetStats(ShardedQueryStats* s) const {
+    *s = ShardedQueryStats{};
+    s->num_shards = shards_.size();
+    s->per_shard.resize(shards_.size());
+  }
+
+  /// Sums the per-shard stats into the aggregate fields.
+  void FoldStats(ShardedQueryStats* s) const {
+    for (const core::QueryStats& shard : s->per_shard) {
+      if (shard.strategy == core::Strategy::kLsh) {
+        ++s->lsh_shards;
+      } else {
+        ++s->linear_shards;
+      }
+      s->collisions += shard.collisions;
+      s->cand_estimate += shard.cand_estimate;
+      s->cand_actual += shard.cand_actual;
+      s->output_size += shard.output_size;
+    }
+  }
+
+  /// The paper's Algorithm 2 on one shard: estimate, decide against
+  /// LinearCost(shard_n), execute. Appends global ids to *out.
+  void QueryShard(const Shard& shard, Point query, double radius,
+                  Scratch* scratch, std::vector<uint32_t>* out,
+                  core::QueryStats* st) const {
+    *st = core::QueryStats{};
+    util::WallTimer total_timer;
+    const core::CostModel& model = options_.searcher.cost_model;
+
+    if (options_.searcher.forced == core::ForcedStrategy::kAlwaysLinear) {
+      st->strategy = core::Strategy::kLinear;
+      st->linear_cost = model.LinearCost(shard.size);
+      ExecuteLinear(shard, query, radius, out, st);
+      st->total_seconds = total_timer.ElapsedSeconds();
+      return;
+    }
+
+    // S1: bucket keys of this shard's tables.
+    ComputeKeys(shard, query, scratch);
+
+    // Alg. 2 lines 1-2 on the shard's buckets.
+    {
+      util::WallTimer estimate_timer;
+      const auto estimate =
+          shard.index->EstimateProbe(scratch->keys, &scratch->merged);
+      st->collisions = estimate.collisions;
+      st->cand_estimate = estimate.cand_estimate;
+      st->estimate_seconds = estimate_timer.ElapsedSeconds();
+    }
+
+    // Alg. 2 lines 3-4 with the shard-local linear cost.
+    st->lsh_cost = model.LshCost(st->collisions, st->cand_estimate);
+    st->linear_cost = model.LinearCost(shard.size);
+    const bool use_lsh =
+        options_.searcher.forced == core::ForcedStrategy::kAlwaysLsh ||
+        st->lsh_cost < st->linear_cost;
+
+    if (use_lsh) {
+      st->strategy = core::Strategy::kLsh;
+      scratch->visited.Reset();
+      st->collisions =
+          shard.index->CollectCandidates(scratch->keys, &scratch->visited);
+      st->cand_actual = scratch->visited.size();
+      const Family& family = shard.index->family();
+      for (uint32_t id : scratch->visited.touched()) {
+        if (family.Distance(dataset_->point(id), query) <= radius) {
+          out->push_back(id);
+          ++st->output_size;
+        }
+      }
+    } else {
+      st->strategy = core::Strategy::kLinear;
+      ExecuteLinear(shard, query, radius, out, st);
+    }
+    st->total_seconds = total_timer.ElapsedSeconds();
+  }
+
+  void ComputeKeys(const Shard& shard, Point query, Scratch* scratch) const {
+    core::ComputeProbeKeys(*shard.index, query,
+                           options_.searcher.probes_per_table, &scratch->keys);
+  }
+
+  void ExecuteLinear(const Shard& shard, Point query, double radius,
+                     std::vector<uint32_t>* out, core::QueryStats* st) const {
+    const Family& family = shard.index->family();
+    const size_t end = shard.base + shard.size;
+    for (size_t i = shard.base; i < end; ++i) {
+      if (family.Distance(dataset_->point(i), query) <= radius) {
+        out->push_back(static_cast<uint32_t>(i));
+        ++st->output_size;
+      }
+    }
+  }
+
+  Options options_;
+  const Dataset* dataset_ = nullptr;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<Shard> shards_;
+  EngineStats stats_;
+  // Single-query fan-out scratch (one per shard) and shard result buffers.
+  std::vector<Scratch> fanout_scratch_;
+  std::vector<std::vector<uint32_t>> fanout_out_;
+  // Batch scratch (one per pool worker), created on first QueryBatch.
+  std::vector<Scratch> batch_scratch_;
+};
+
+}  // namespace engine
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_ENGINE_SHARDED_ENGINE_H_

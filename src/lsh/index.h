@@ -62,6 +62,12 @@ class LshIndex {
     uint64_t seed = 1;
     /// Threads for table construction (queries are single-threaded).
     size_t num_build_threads = 1;
+    /// Global id of the dataset's first point. A shard built over a slice
+    /// of a larger dataset passes its range start here so that buckets and
+    /// sketches carry global ids directly (see lsh/table.h Options). The
+    /// offset is baked into the tables at build time, so Save/Load
+    /// round-trips it without a format change.
+    uint32_t id_base = 0;
   };
 
   /// Summary of a built index.
@@ -101,6 +107,11 @@ class LshIndex {
     }
     if (dataset.size() > static_cast<size_t>(UINT32_MAX)) {
       return util::Status::InvalidArgument("dataset exceeds 2^32-1 points");
+    }
+    if (static_cast<uint64_t>(options.id_base) + dataset.size() >
+        static_cast<uint64_t>(UINT32_MAX) + 1) {
+      return util::Status::InvalidArgument(
+          "id_base + dataset size exceeds the 32-bit id space");
     }
 
     LshIndex index(std::move(family));
@@ -145,6 +156,7 @@ class LshIndex {
     LshTable::Options table_options;
     table_options.hll_precision = options.hll_precision;
     table_options.small_bucket_threshold = options.small_bucket_threshold;
+    table_options.id_base = options.id_base;
     const size_t n = dataset.size();
     util::ParallelFor(0, L, options.num_build_threads, [&](size_t t) {
       std::vector<int32_t> slots(static_cast<size_t>(k));
@@ -300,6 +312,10 @@ class LshIndex {
 
   const Family& family() const { return family_; }
   int k() const { return k_; }
+  /// Global id of the first indexed point (see Options::id_base). After
+  /// Load this reflects the ids stored in the tables only implicitly (the
+  /// accessor returns 0); the ids themselves are always correct.
+  uint32_t id_base() const { return options_.id_base; }
   int num_tables() const { return static_cast<int>(tables_.size()); }
   size_t size() const { return stats_.num_points; }
   int hll_precision() const { return options_.hll_precision; }

@@ -15,6 +15,8 @@ void LshTable::Build(std::span<const uint64_t> keys, const Options& options) {
   max_bucket_size_ = 0;
 
   const size_t n = keys.size();
+  HLSH_CHECK(static_cast<uint64_t>(options.id_base) + n <=
+             static_cast<uint64_t>(UINT32_MAX) + 1);
   const size_t m = static_cast<size_t>(1) << options.hll_precision;
   const size_t threshold = options.small_bucket_threshold == kThresholdAuto
                                ? m
@@ -38,14 +40,16 @@ void LshTable::Build(std::span<const uint64_t> keys, const Options& options) {
 
     const uint32_t ordinal = static_cast<uint32_t>(offsets_.size() - 1);
     bucket_index_.emplace(key, ordinal);
-    for (size_t j = begin; j < i; ++j) ids_.push_back(order[j]);
+    for (size_t j = begin; j < i; ++j)
+      ids_.push_back(options.id_base + order[j]);
     offsets_.push_back(ids_.size());
     max_bucket_size_ = std::max(max_bucket_size_, bucket_size);
 
     // Materialize a sketch only for large buckets (paper §3.2 trick).
     if (bucket_size >= threshold) {
       hll::HyperLogLog sketch(options.hll_precision);
-      for (size_t j = begin; j < i; ++j) sketch.AddPoint(order[j]);
+      for (size_t j = begin; j < i; ++j)
+        sketch.AddPoint(options.id_base + order[j]);
       sketch_of_bucket_.push_back(static_cast<int32_t>(sketches_.size()));
       sketches_.push_back(std::move(sketch));
     } else {

@@ -39,6 +39,12 @@ class LshTable {
     /// Buckets with fewer ids than this get no sketch (ids are folded into
     /// the merged estimate on demand). kThresholdAuto = use m.
     size_t small_bucket_threshold = kThresholdAuto;
+    /// Offset added to every stored id: position i in `keys` is indexed as
+    /// id_base + i. Lets a shard index a slice of a larger dataset while
+    /// reporting ids in the parent's global id space (bucket ids and bucket
+    /// sketches both carry the offset). id_base + keys.size() must fit in
+    /// uint32_t.
+    uint32_t id_base = 0;
   };
   static constexpr size_t kThresholdAuto = static_cast<size_t>(-1);
 

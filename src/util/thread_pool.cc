@@ -83,5 +83,40 @@ void ParallelFor(size_t begin, size_t end, size_t num_threads,
   for (auto& worker : workers) worker.join();
 }
 
+void ParallelForOn(ThreadPool* pool, size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn) {
+  HLSH_CHECK(pool != nullptr);
+  if (begin >= end) return;
+  const size_t count = end - begin;
+  const size_t chunks = std::min(pool->num_threads(), count);
+  if (chunks <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Private completion latch: pool->Wait() would also wait on unrelated
+  // tasks from other callers sharing the pool.
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining = 0;
+  const size_t chunk = (count + chunks - 1) / chunks;
+  for (size_t t = 0; t < chunks; ++t) {
+    const size_t lo = begin + t * chunk;
+    const size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ++remaining;
+    }
+    pool->Submit([lo, hi, &fn, &mu, &done, &remaining] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+      std::unique_lock<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&remaining] { return remaining == 0; });
+}
+
 }  // namespace util
 }  // namespace hybridlsh

@@ -1,9 +1,11 @@
-// Minimal fixed-size thread pool and a ParallelFor helper.
+// Minimal fixed-size thread pool and ParallelFor helpers.
 //
-// Only index *construction* is parallelized (hashing n points into L tables
-// is embarrassingly parallel across tables); query execution stays
-// single-threaded to keep the cost model's alpha/beta constants meaningful,
-// matching the paper's per-query CPU-time measurements.
+// A *single* query stays single-threaded on each shard to keep the cost
+// model's alpha/beta constants meaningful (the paper's per-query CPU-time
+// measurements). Parallelism lives one level up: table construction within
+// an index, shard builds and shard fan-out in engine/sharded_engine.h, and
+// batch execution in core/batch_query.h — all of which reuse one persistent
+// ThreadPool via ParallelForOn instead of spawning threads per call.
 
 #ifndef HYBRIDLSH_UTIL_THREAD_POOL_H_
 #define HYBRIDLSH_UTIL_THREAD_POOL_H_
@@ -54,9 +56,18 @@ class ThreadPool {
 
 /// Runs fn(i) for i in [begin, end) across up to `num_threads` threads in
 /// contiguous chunks. Blocks until all iterations complete. If num_threads
-/// <= 1 or the range is tiny, runs inline.
+/// <= 1 or the range is tiny, runs inline. Spawns fresh threads; prefer
+/// ParallelForOn with a long-lived pool on repeated call sites.
 void ParallelFor(size_t begin, size_t end, size_t num_threads,
                  const std::function<void(size_t)>& fn);
+
+/// Like ParallelFor, but executes on an existing pool: the range is split
+/// into one contiguous chunk per pool worker and submitted as tasks. Blocks
+/// until *these* chunks complete (other tasks queued on the pool are not
+/// waited for). `fn` must not itself call ParallelForOn on the same pool
+/// (the nested wait could deadlock once every worker is occupied).
+void ParallelForOn(ThreadPool* pool, size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
 
 }  // namespace util
 }  // namespace hybridlsh

@@ -107,10 +107,42 @@ TEST_F(BatchQueryTest, SummaryAggregates) {
   EXPECT_EQ(summary.linear_calls, linear);
 }
 
+TEST_F(BatchQueryTest, RunnerReusesWorkersAcrossBatches) {
+  util::ThreadPool pool(4);
+  BatchRunner<L2Index, data::DenseDataset> runner(index_.get(), &dataset_,
+                                                  options_, &pool);
+  EXPECT_EQ(runner.num_workers(), 4u);
+  const auto expected =
+      BatchQuery(*index_, dataset_, queries_, kRadius, options_, 1);
+  for (int round = 0; round < 3; ++round) {
+    const auto batch = runner.Run(queries_, kRadius);
+    ASSERT_EQ(batch.size(), expected.size());
+    for (size_t q = 0; q < batch.size(); ++q) {
+      EXPECT_EQ(batch[q].neighbors, expected[q].neighbors)
+          << "round " << round << " query " << q;
+    }
+  }
+}
+
+TEST_F(BatchQueryTest, WallSecondsIsElapsedNotSummed) {
+  double wall_seconds = 0;
+  const auto batch = BatchQuery(*index_, dataset_, queries_, kRadius, options_,
+                                4, &wall_seconds);
+  EXPECT_GT(wall_seconds, 0.0);
+  const BatchSummary summary = Summarize(batch, wall_seconds);
+  EXPECT_EQ(summary.wall_seconds, wall_seconds);
+  EXPECT_GT(summary.qps(), 0.0);
+  // total_seconds sums per-query time across concurrent workers; it is an
+  // aggregate CPU measure and can exceed elapsed time, never the reverse
+  // beyond scheduling noise. Only sanity-check positivity here.
+  EXPECT_GT(summary.total_seconds, 0.0);
+}
+
 TEST(BatchSummaryTest, EmptyBatch) {
   const BatchSummary summary = Summarize({});
   EXPECT_EQ(summary.num_queries, 0u);
   EXPECT_EQ(summary.pct_linear_calls(), 0.0);
+  EXPECT_EQ(summary.qps(), 0.0);
 }
 
 }  // namespace

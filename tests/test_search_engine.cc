@@ -1,0 +1,225 @@
+// Tests for engine/search_engine.h: the type-erased facade must serve
+// multiple LSH families through one runtime interface, reject mismatched
+// point representations, and build through the metric-keyed registry.
+
+#include "engine/search_engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hybridlsh.h"
+
+namespace hybridlsh {
+namespace engine {
+namespace {
+
+std::vector<uint32_t> Sorted(std::vector<uint32_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+EngineOptions BaseOptions() {
+  EngineOptions options;
+  options.num_shards = 3;
+  options.num_tables = 20;
+  options.k = 7;
+  options.seed = 61;
+  options.searcher.cost_model = core::CostModel::FromRatio(6.0);
+  return options;
+}
+
+class SearchEngineTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kDim = 16;
+  static constexpr double kDenseRadius = 0.4;
+  static constexpr double kHammingRadius = 12;
+
+  void SetUp() override {
+    const data::DenseDataset full = data::MakeCorelLike(2003, kDim, 71);
+    const data::DenseSplit split = data::SplitQueries(full, 15, 72);
+    dense_ = split.base;
+    dense_queries_ = split.queries;
+
+    const data::BinaryDataset codes = data::MakeRandomCodes(1502, 64, 73);
+    const data::BinarySplit binary_split = data::SplitQueriesBinary(codes, 15, 74);
+    binary_ = binary_split.base;
+    binary_queries_ = binary_split.queries;
+  }
+
+  data::DenseDataset dense_;
+  data::DenseDataset dense_queries_;
+  data::BinaryDataset binary_;
+  data::BinaryDataset binary_queries_;
+};
+
+TEST_F(SearchEngineTest, ServesTwoFamiliesThroughOneInterface) {
+  EngineOptions options = BaseOptions();
+  options.pstable_w = 2 * kDenseRadius;
+  auto l2 = BuildEngine(data::Metric::kL2, &dense_, options);
+  ASSERT_TRUE(l2.ok()) << l2.status().ToString();
+  auto hamming = BuildEngine(data::Metric::kHamming, &binary_, BaseOptions());
+  ASSERT_TRUE(hamming.ok()) << hamming.status().ToString();
+
+  // One runtime-polymorphic collection, two LSH families.
+  std::vector<SearchEngine*> engines = {l2->get(), hamming->get()};
+  EXPECT_EQ(engines[0]->metric(), data::Metric::kL2);
+  EXPECT_EQ(engines[0]->family_tag(), lsh::PStableFamily::kFamilyTag);
+  EXPECT_EQ(engines[1]->metric(), data::Metric::kHamming);
+  EXPECT_EQ(engines[1]->family_tag(), lsh::BitSamplingFamily::kFamilyTag);
+  for (SearchEngine* engine : engines) {
+    EXPECT_EQ(engine->num_shards(), 3u);
+    EXPECT_GT(engine->size(), 0u);
+    EXPECT_GT(engine->stats().memory_bytes, 0u);
+  }
+
+  // Each engine answers through its typed overload with exact-scan ids.
+  std::vector<uint32_t> out;
+  for (size_t q = 0; q < dense_queries_.size(); ++q) {
+    out.clear();
+    ASSERT_TRUE(engines[0]
+                    ->Query(dense_queries_.point(q), kDenseRadius, &out)
+                    .ok());
+    const auto truth = data::RangeScanDense(dense_, dense_queries_.point(q),
+                                            kDenseRadius, data::Metric::kL2);
+    for (uint32_t id : out) {
+      EXPECT_TRUE(std::binary_search(truth.begin(), truth.end(), id));
+    }
+  }
+  for (size_t q = 0; q < binary_queries_.size(); ++q) {
+    out.clear();
+    ASSERT_TRUE(engines[1]
+                    ->Query(binary_queries_.point(q), kHammingRadius, &out)
+                    .ok());
+    const auto truth = data::RangeScanBinary(
+        binary_, binary_queries_.point(q),
+        static_cast<uint32_t>(kHammingRadius));
+    for (uint32_t id : out) {
+      EXPECT_TRUE(std::binary_search(truth.begin(), truth.end(), id));
+    }
+  }
+}
+
+TEST_F(SearchEngineTest, FacadeMatchesDirectShardedEngine) {
+  EngineOptions options = BaseOptions();
+  options.pstable_w = 2 * kDenseRadius;
+  auto facade = BuildEngine(data::Metric::kL2, &dense_, options);
+  ASSERT_TRUE(facade.ok());
+
+  ShardedEngine<lsh::PStableFamily>::Options direct_options;
+  direct_options.num_shards = options.num_shards;
+  direct_options.index.num_tables = options.num_tables;
+  direct_options.index.k = options.k;
+  direct_options.index.seed = options.seed;
+  direct_options.searcher = options.searcher;
+  auto direct = ShardedEngine<lsh::PStableFamily>::Build(
+      lsh::PStableFamily::L2(kDim, options.pstable_w), dense_, direct_options);
+  ASSERT_TRUE(direct.ok());
+
+  std::vector<uint32_t> expected;
+  std::vector<uint32_t> out;
+  for (size_t q = 0; q < dense_queries_.size(); ++q) {
+    expected.clear();
+    out.clear();
+    direct->Query(dense_queries_.point(q), kDenseRadius, &expected);
+    ASSERT_TRUE(
+        (*facade)->Query(dense_queries_.point(q), kDenseRadius, &out).ok());
+    EXPECT_EQ(Sorted(out), Sorted(expected)) << "query " << q;
+  }
+}
+
+TEST_F(SearchEngineTest, BatchMatchesSingleQueriesThroughFacade) {
+  EngineOptions options = BaseOptions();
+  options.pstable_w = 2 * kDenseRadius;
+  auto engine = BuildEngine(data::Metric::kL2, &dense_, options);
+  ASSERT_TRUE(engine.ok());
+
+  double wall_seconds = 0;
+  auto batch = (*engine)->QueryBatch(dense_queries_, kDenseRadius, &wall_seconds);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), dense_queries_.size());
+  EXPECT_GT(wall_seconds, 0.0);
+  std::vector<uint32_t> out;
+  for (size_t q = 0; q < dense_queries_.size(); ++q) {
+    out.clear();
+    ASSERT_TRUE(
+        (*engine)->Query(dense_queries_.point(q), kDenseRadius, &out).ok());
+    EXPECT_EQ(Sorted((*batch)[q].neighbors), Sorted(out)) << "query " << q;
+  }
+}
+
+TEST_F(SearchEngineTest, JaccardSparseEngineServesThirdFamily) {
+  const data::SparseDataset sparse = data::MakeRandomSparse(800, 5000, 30, 81);
+  EngineOptions options = BaseOptions();
+  options.num_shards = 2;
+  auto engine = BuildEngine(data::Metric::kJaccard, &sparse, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->family_tag(), lsh::MinHashFamily::kFamilyTag);
+
+  std::vector<uint32_t> out;
+  const double radius = 0.7;
+  ASSERT_TRUE((*engine)->Query(sparse.point(0), radius, &out).ok());
+  const auto truth = data::RangeScanSparse(sparse, sparse.point(0), radius);
+  for (uint32_t id : out) {
+    EXPECT_TRUE(std::binary_search(truth.begin(), truth.end(), id));
+  }
+  // Point 0 is in the dataset, distance 0 to itself.
+  EXPECT_TRUE(std::find(out.begin(), out.end(), 0u) != out.end());
+}
+
+TEST_F(SearchEngineTest, RejectsMismatchedPointRepresentation) {
+  EngineOptions options = BaseOptions();
+  options.pstable_w = 2 * kDenseRadius;
+  auto l2 = BuildEngine(data::Metric::kL2, &dense_, options);
+  ASSERT_TRUE(l2.ok());
+
+  std::vector<uint32_t> out;
+  const util::Status binary_on_dense =
+      (*l2)->Query(binary_queries_.point(0), kDenseRadius, &out);
+  EXPECT_EQ(binary_on_dense.code(), util::StatusCode::kInvalidArgument);
+  const util::Status sparse_on_dense = (*l2)->Query(
+      std::span<const uint32_t>(), kDenseRadius, &out);
+  EXPECT_EQ(sparse_on_dense.code(), util::StatusCode::kInvalidArgument);
+  auto batch = (*l2)->QueryBatch(binary_queries_, kDenseRadius);
+  EXPECT_EQ(batch.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(SearchEngineTest, RejectsMismatchedDatasetContainer) {
+  auto engine = BuildEngine(data::Metric::kHamming, &dense_, BaseOptions());
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(SearchEngineTest, PStableRequiresWindowOrRadius) {
+  EngineOptions options = BaseOptions();  // pstable_w == 0, radius == 0
+  auto engine = BuildEngine(data::Metric::kL2, &dense_, options);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), util::StatusCode::kInvalidArgument);
+
+  // Radius alone is enough: w defaults to the paper's 2r.
+  options.radius = kDenseRadius;
+  auto derived = BuildEngine(data::Metric::kL2, &dense_, options);
+  EXPECT_TRUE(derived.ok()) << derived.status().ToString();
+}
+
+// Keep last in this file: replaces the kCosine builtin for the remainder of
+// the test process.
+TEST_F(SearchEngineTest, ZRegistryAcceptsExternalFactories) {
+  RegisterEngineFactory(
+      data::Metric::kCosine,
+      +[](AnyDataset, const EngineOptions&)
+          -> util::StatusOr<std::unique_ptr<SearchEngine>> {
+        return util::Status::Unimplemented("custom cosine factory");
+      });
+  auto engine = BuildEngine(data::Metric::kCosine, &dense_, BaseOptions());
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), util::StatusCode::kUnimplemented);
+  EXPECT_EQ(engine.status().message(), "custom cosine factory");
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace hybridlsh

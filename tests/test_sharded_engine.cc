@@ -1,0 +1,301 @@
+// Tests for engine/sharded_engine.h: the shard fan-out must be candidate-
+// equivalent to a monolithic LshIndex built with the same (seed, k, L) —
+// forced-LSH and forced-linear results are identical for any shard count,
+// and the auto decision is bracketed between them.
+
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hybridlsh.h"
+
+namespace hybridlsh {
+namespace engine {
+namespace {
+
+std::vector<uint32_t> Sorted(std::vector<uint32_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool IsSubset(const std::vector<uint32_t>& sub,
+              const std::vector<uint32_t>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+class ShardedEngineTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kDim = 16;
+  static constexpr double kRadius = 0.4;
+
+  void SetUp() override {
+    // 4001 points before the split so shard counts like 3 and 7 never
+    // divide the base size evenly.
+    const data::DenseDataset full = data::MakeCorelLike(4001, kDim, 41);
+    const data::DenseSplit split = data::SplitQueries(full, 25, 42);
+    dataset_ = split.base;
+    queries_ = split.queries;
+
+    index_options_.num_tables = 25;
+    index_options_.k = 7;
+    index_options_.seed = 43;
+    searcher_options_.cost_model = core::CostModel::FromRatio(6.0);
+
+    L2Index::Options mono_options = index_options_;
+    mono_options.num_build_threads = 4;
+    auto index = L2Index::Build(Family(), dataset_, mono_options);
+    HLSH_CHECK(index.ok());
+    index_ = std::make_unique<L2Index>(std::move(*index));
+  }
+
+  static lsh::PStableFamily Family() {
+    return lsh::PStableFamily::L2(kDim, 2 * kRadius);
+  }
+
+  ShardedEngine<lsh::PStableFamily> MakeEngine(
+      size_t num_shards,
+      core::ForcedStrategy forced = core::ForcedStrategy::kAuto) {
+    typename ShardedEngine<lsh::PStableFamily>::Options options;
+    options.num_shards = num_shards;
+    options.index = index_options_;
+    options.searcher = searcher_options_;
+    options.searcher.forced = forced;
+    auto engine = ShardedEngine<lsh::PStableFamily>::Build(Family(), dataset_,
+                                                           options);
+    HLSH_CHECK(engine.ok());
+    return std::move(*engine);
+  }
+
+  /// Monolithic results for every query under `forced`.
+  std::vector<std::vector<uint32_t>> Monolithic(core::ForcedStrategy forced) {
+    core::SearcherOptions options = searcher_options_;
+    options.forced = forced;
+    L2Searcher searcher(index_.get(), &dataset_, options);
+    std::vector<std::vector<uint32_t>> results(queries_.size());
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      searcher.Query(queries_.point(q), kRadius, &results[q]);
+    }
+    return results;
+  }
+
+  data::DenseDataset dataset_;
+  data::DenseDataset queries_;
+  L2Index::Options index_options_;
+  core::SearcherOptions searcher_options_;
+  std::unique_ptr<L2Index> index_;
+};
+
+TEST_F(ShardedEngineTest, ForcedLshMatchesMonolithicAnyShardCount) {
+  const auto mono = Monolithic(core::ForcedStrategy::kAlwaysLsh);
+  for (size_t num_shards : {1, 2, 3, 7, 8}) {
+    auto engine = MakeEngine(num_shards, core::ForcedStrategy::kAlwaysLsh);
+    EXPECT_EQ(engine.num_shards(), num_shards);
+    std::vector<uint32_t> out;
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      out.clear();
+      engine.Query(queries_.point(q), kRadius, &out);
+      EXPECT_EQ(Sorted(out), Sorted(mono[q]))
+          << "shards=" << num_shards << " query=" << q;
+    }
+  }
+}
+
+TEST_F(ShardedEngineTest, ForcedLinearMatchesGroundTruth) {
+  for (size_t num_shards : {1, 2, 8}) {
+    auto engine = MakeEngine(num_shards, core::ForcedStrategy::kAlwaysLinear);
+    std::vector<uint32_t> out;
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      out.clear();
+      ShardedQueryStats stats;
+      engine.Query(queries_.point(q), kRadius, &out, &stats);
+      // Per-shard linear scans emit increasing ids; shard order preserves
+      // the global order, so `out` is already sorted.
+      const auto truth = data::RangeScanDense(dataset_, queries_.point(q),
+                                              kRadius, data::Metric::kL2);
+      EXPECT_EQ(out, truth) << "shards=" << num_shards << " query=" << q;
+      EXPECT_EQ(stats.linear_shards, engine.num_shards());
+      EXPECT_EQ(stats.lsh_shards, 0u);
+    }
+  }
+}
+
+TEST_F(ShardedEngineTest, SingleShardAutoMatchesMonolithicDecision) {
+  const auto mono = Monolithic(core::ForcedStrategy::kAuto);
+  auto engine = MakeEngine(1);
+  std::vector<uint32_t> out;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    out.clear();
+    engine.Query(queries_.point(q), kRadius, &out);
+    EXPECT_EQ(Sorted(out), Sorted(mono[q])) << "query " << q;
+  }
+}
+
+TEST_F(ShardedEngineTest, AutoIsBracketedByForcedStrategies) {
+  // A shard that falls back to linear reports *more* of its range than the
+  // LSH path would, never less; so auto is a superset of forced-LSH and a
+  // subset of the exact answer.
+  const auto lsh_sets = Monolithic(core::ForcedStrategy::kAlwaysLsh);
+  auto engine = MakeEngine(4);
+  std::vector<uint32_t> out;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    out.clear();
+    engine.Query(queries_.point(q), kRadius, &out);
+    const auto sorted = Sorted(out);
+    const auto truth = data::RangeScanDense(dataset_, queries_.point(q),
+                                            kRadius, data::Metric::kL2);
+    EXPECT_TRUE(IsSubset(Sorted(lsh_sets[q]), sorted)) << "query " << q;
+    EXPECT_TRUE(IsSubset(sorted, truth)) << "query " << q;
+  }
+}
+
+TEST_F(ShardedEngineTest, ShardRangesPartitionTheDataset) {
+  auto engine = MakeEngine(7);
+  size_t expected_base = 0;
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    const auto [lo, hi] = engine.shard_range(s);
+    EXPECT_EQ(lo, expected_base);
+    EXPECT_GT(hi, lo);
+    EXPECT_EQ(engine.shard_index(s).size(), hi - lo);
+    EXPECT_EQ(engine.shard_index(s).id_base(), lo);
+    expected_base = hi;
+  }
+  EXPECT_EQ(expected_base, dataset_.size());
+  // Balanced: sizes differ by at most one.
+  const size_t first = engine.shard_index(0).size();
+  for (size_t s = 1; s < engine.num_shards(); ++s) {
+    const size_t size = engine.shard_index(s).size();
+    EXPECT_TRUE(size == first || size + 1 == first);
+  }
+}
+
+TEST_F(ShardedEngineTest, ShardCountClampedToDatasetSize) {
+  data::DenseDataset tiny(5, kDim);
+  typename ShardedEngine<lsh::PStableFamily>::Options options;
+  options.num_shards = 8;
+  options.index = index_options_;
+  options.searcher = searcher_options_;
+  auto engine =
+      ShardedEngine<lsh::PStableFamily>::Build(Family(), tiny, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->num_shards(), 5u);
+  EXPECT_EQ(engine->size(), 5u);
+}
+
+TEST_F(ShardedEngineTest, StatsAggregateAcrossShards) {
+  auto engine = MakeEngine(4);
+  std::vector<uint32_t> out;
+  ShardedQueryStats stats;
+  engine.Query(queries_.point(0), kRadius, &out, &stats);
+  EXPECT_EQ(stats.num_shards, 4u);
+  ASSERT_EQ(stats.per_shard.size(), 4u);
+  EXPECT_EQ(stats.lsh_shards + stats.linear_shards, 4u);
+  EXPECT_EQ(stats.output_size, out.size());
+  size_t per_shard_output = 0;
+  for (const core::QueryStats& shard : stats.per_shard) {
+    per_shard_output += shard.output_size;
+  }
+  EXPECT_EQ(per_shard_output, out.size());
+  EXPECT_GT(stats.total_seconds, 0.0);
+
+  EXPECT_EQ(engine.stats().num_points, dataset_.size());
+  EXPECT_EQ(engine.stats().num_shards, 4u);
+  EXPECT_GT(engine.stats().memory_bytes, 0u);
+}
+
+TEST_F(ShardedEngineTest, BatchMatchesSingleQueries) {
+  auto engine = MakeEngine(3);
+  double wall_seconds = 0;
+  const auto batch = engine.QueryBatch(queries_, kRadius, &wall_seconds);
+  ASSERT_EQ(batch.size(), queries_.size());
+  EXPECT_GT(wall_seconds, 0.0);
+  std::vector<uint32_t> out;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    out.clear();
+    engine.Query(queries_.point(q), kRadius, &out);
+    EXPECT_EQ(Sorted(batch[q].neighbors), Sorted(out)) << "query " << q;
+    EXPECT_EQ(batch[q].stats.lsh_shards + batch[q].stats.linear_shards, 3u);
+  }
+}
+
+TEST_F(ShardedEngineTest, MultiProbeFanOutMatchesMonolithic) {
+  core::SearcherOptions probing = searcher_options_;
+  probing.probes_per_table = 4;
+  probing.forced = core::ForcedStrategy::kAlwaysLsh;
+  L2Searcher searcher(index_.get(), &dataset_, probing);
+
+  typename ShardedEngine<lsh::PStableFamily>::Options options;
+  options.num_shards = 5;
+  options.index = index_options_;
+  options.searcher = probing;
+  auto engine = ShardedEngine<lsh::PStableFamily>::Build(Family(), dataset_,
+                                                         options);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<uint32_t> expected;
+  std::vector<uint32_t> out;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    expected.clear();
+    out.clear();
+    searcher.Query(queries_.point(q), kRadius, &expected);
+    engine->Query(queries_.point(q), kRadius, &out);
+    EXPECT_EQ(Sorted(out), Sorted(expected)) << "query " << q;
+  }
+}
+
+TEST_F(ShardedEngineTest, RejectsEmptyDataset) {
+  data::DenseDataset empty(0, kDim);
+  typename ShardedEngine<lsh::PStableFamily>::Options options;
+  options.index = index_options_;
+  auto engine =
+      ShardedEngine<lsh::PStableFamily>::Build(Family(), empty, options);
+  EXPECT_FALSE(engine.ok());
+}
+
+// A second family + container: Hamming over packed binary codes.
+TEST(ShardedEngineHammingTest, ForcedLshMatchesMonolithic) {
+  const data::BinaryDataset full = data::MakeRandomCodes(2007, 64, 51);
+  const data::BinarySplit split = data::SplitQueriesBinary(full, 20, 52);
+  const uint32_t radius = 12;
+
+  HammingIndex::Options options;
+  options.num_tables = 20;
+  options.k = 10;
+  options.seed = 53;
+  lsh::BitSamplingFamily family(64);
+  auto index = HammingIndex::Build(family, split.base, options);
+  ASSERT_TRUE(index.ok());
+
+  core::SearcherOptions searcher_options;
+  searcher_options.cost_model = core::CostModel::FromRatio(10.0);
+  searcher_options.forced = core::ForcedStrategy::kAlwaysLsh;
+  HammingSearcher searcher(&*index, &split.base, searcher_options);
+
+  for (size_t num_shards : {1, 4, 6}) {
+    typename ShardedEngine<lsh::BitSamplingFamily>::Options engine_options;
+    engine_options.num_shards = num_shards;
+    engine_options.index = options;
+    engine_options.searcher = searcher_options;
+    auto engine = ShardedEngine<lsh::BitSamplingFamily>::Build(
+        family, split.base, engine_options);
+    ASSERT_TRUE(engine.ok());
+
+    std::vector<uint32_t> expected;
+    std::vector<uint32_t> out;
+    for (size_t q = 0; q < split.queries.size(); ++q) {
+      expected.clear();
+      out.clear();
+      searcher.Query(split.queries.point(q), radius, &expected);
+      engine->Query(split.queries.point(q), radius, &out);
+      EXPECT_EQ(Sorted(out), Sorted(expected))
+          << "shards=" << num_shards << " query=" << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace hybridlsh
