@@ -42,9 +42,30 @@ struct CostModel {
     return alpha * static_cast<double>(collisions) + beta * cand_size;
   }
 
-  /// Eq. 2.
+  /// Eq. 2. For a segmented index n is the LIVE point count: the linear
+  /// path iterates live ids only, so tombstoned points cost nothing there.
   double LinearCost(size_t n) const {
     return beta * static_cast<double>(n);
+  }
+
+  /// Tombstone correction for segmented indexes (engine/segmented_index.h).
+  /// Dead ids still sit in buckets and sketches, so the summed ProbeEstimate
+  /// overstates S3: of `cand_size` estimated distinct candidates only
+  /// ~live_fraction reach the distance check (dead ones are dropped at S2,
+  /// whose alpha cost is already fully counted in #collisions). Subtract
+  /// this from LshCost before comparing against LinearCost(live_n).
+  double TombstoneCorrection(double cand_size, double live_fraction) const {
+    return beta * cand_size * (1.0 - live_fraction);
+  }
+
+  /// The LSH side of the hybrid decision with the tombstone correction
+  /// applied — the single formula every decision site (HybridSearcher,
+  /// ShardedEngine::QueryShard) compares against LinearCost(live_n).
+  /// live_fraction == 1.0 (no tombstones / static index) reduces to Eq. 1.
+  double CorrectedLshCost(uint64_t collisions, double cand_size,
+                          double live_fraction) const {
+    return LshCost(collisions, cand_size) -
+           TombstoneCorrection(cand_size, live_fraction);
   }
 
   /// Model with alpha = 1 and beta = `beta_over_alpha` (the paper's

@@ -18,6 +18,7 @@
 #ifndef HYBRIDLSH_CORE_HYBRID_SEARCHER_H_
 #define HYBRIDLSH_CORE_HYBRID_SEARCHER_H_
 
+#include <concepts>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -103,15 +104,34 @@ void ComputeProbeKeys(const Index& index, typename Index::Point query,
   index.QueryKeys(query, keys);
 }
 
+/// Detects a segmented (mutable) index — engine/segmented_index.h. Such an
+/// index reports live_size() < dataset size after deletes, iterates live
+/// ids for the linear path, and needs the tombstone correction applied to
+/// the LSH cost before the strategy decision.
+template <typename Index>
+concept SegmentedIndexLike = requires(const Index& index) {
+  { index.live_size() } -> std::convertible_to<size_t>;
+  { index.live_fraction() } -> std::convertible_to<double>;
+  index.ForEachLiveId([](uint32_t) {});
+};
+
 /// Hybrid rNNR searcher over a built index and its dataset.
 ///
 /// Index requirements: Point, QueryKeys, EstimateProbe, CollectCandidates,
 /// Distance, size(), MakeScratchSketch(). Dataset requirements: size(),
 /// point(i) -> Point. The dataset must be the one the index was built on.
+///
+/// Over a SegmentedIndexLike index the searcher follows the mutable
+/// lifecycle: the per-query scratch grows with the dataset, the estimate
+/// sums across segments (inside the index), the decision compares the
+/// tombstone-corrected LSH cost against LinearCost(live_size), and the
+/// linear path scans live ids only.
 template <typename Index, typename Dataset>
 class HybridSearcher {
  public:
   using Point = typename Index::Point;
+
+  static constexpr bool kSegmented = SegmentedIndexLike<Index>;
 
   HybridSearcher(const Index* index, const Dataset* dataset,
                  const SearcherOptions& options)
@@ -120,7 +140,9 @@ class HybridSearcher {
         options_(options),
         visited_(dataset->size()),
         merged_(index->MakeScratchSketch()) {
-    HLSH_CHECK(index->size() == dataset->size());
+    if constexpr (!kSegmented) {
+      HLSH_CHECK(index->size() == dataset->size());
+    }
     HLSH_CHECK(options.probes_per_table >= 1);
     if constexpr (requires { index->id_base(); }) {
       // A range-offset index (lsh/index.h Options::id_base) stores global
@@ -140,10 +162,11 @@ class HybridSearcher {
     QueryStats* s = stats != nullptr ? stats : &local_stats;
     *s = QueryStats{};
     util::WallTimer total_timer;
+    EnsureCapacity();
 
     if (options_.forced == ForcedStrategy::kAlwaysLinear) {
       s->strategy = Strategy::kLinear;
-      s->linear_cost = options_.cost_model.LinearCost(dataset_->size());
+      s->linear_cost = options_.cost_model.LinearCost(LiveCount());
       ExecuteLinear(query, radius, out, s);
       s->total_seconds = total_timer.ElapsedSeconds();
       return;
@@ -152,7 +175,8 @@ class HybridSearcher {
     // S1: bucket keys (home buckets, or the multi-probe sequence).
     ComputeKeys(query);
 
-    // Alg. 2 lines 1-2: exact #collisions + candSize estimate via HLLs.
+    // Alg. 2 lines 1-2: exact #collisions + candSize estimate via HLLs
+    // (summed across segments for a segmented index).
     {
       util::WallTimer estimate_timer;
       const auto estimate = index_->EstimateProbe(keys_, &merged_);
@@ -161,10 +185,12 @@ class HybridSearcher {
       s->estimate_seconds = estimate_timer.ElapsedSeconds();
     }
 
-    // Alg. 2 lines 3-4: compare model costs, pick the strategy.
-    s->lsh_cost =
-        options_.cost_model.LshCost(s->collisions, s->cand_estimate);
-    s->linear_cost = options_.cost_model.LinearCost(dataset_->size());
+    // Alg. 2 lines 3-4: compare model costs, pick the strategy. A
+    // segmented index's estimate includes tombstoned ids; subtract their
+    // share of the verification cost and scan only live points linearly.
+    s->lsh_cost = options_.cost_model.CorrectedLshCost(
+        s->collisions, s->cand_estimate, LiveFraction());
+    s->linear_cost = options_.cost_model.LinearCost(LiveCount());
     const bool use_lsh = options_.forced == ForcedStrategy::kAlwaysLsh ||
                          s->lsh_cost < s->linear_cost;
 
@@ -186,6 +212,7 @@ class HybridSearcher {
     QueryStats* s = stats != nullptr ? stats : &local_stats;
     *s = QueryStats{};
     util::WallTimer total_timer;
+    EnsureCapacity();
     ComputeKeys(query);
     s->strategy = Strategy::kLsh;
     ExecuteLsh(query, radius, out, s);
@@ -199,6 +226,7 @@ class HybridSearcher {
     QueryStats* s = stats != nullptr ? stats : &local_stats;
     *s = QueryStats{};
     util::WallTimer total_timer;
+    EnsureCapacity();
     s->strategy = Strategy::kLinear;
     ExecuteLinear(query, radius, out, s);
     s->total_seconds = total_timer.ElapsedSeconds();
@@ -214,8 +242,9 @@ class HybridSearcher {
     s.collisions = estimate.collisions;
     s.cand_estimate = estimate.cand_estimate;
     s.estimate_seconds = estimate_timer.ElapsedSeconds();
-    s.lsh_cost = options_.cost_model.LshCost(s.collisions, s.cand_estimate);
-    s.linear_cost = options_.cost_model.LinearCost(dataset_->size());
+    s.lsh_cost = options_.cost_model.CorrectedLshCost(
+        s.collisions, s.cand_estimate, LiveFraction());
+    s.linear_cost = options_.cost_model.LinearCost(LiveCount());
     s.strategy = s.lsh_cost < s.linear_cost ? Strategy::kLsh : Strategy::kLinear;
     return s;
   }
@@ -244,11 +273,43 @@ class HybridSearcher {
 
   void ExecuteLinear(Point query, double radius, std::vector<uint32_t>* out,
                      QueryStats* s) {
-    const size_t n = dataset_->size();
-    for (size_t i = 0; i < n; ++i) {
-      if (index_->Distance(dataset_->point(i), query) <= radius) {
-        out->push_back(static_cast<uint32_t>(i));
-        ++s->output_size;
+    if constexpr (kSegmented) {
+      index_->ForEachLiveId([&](uint32_t id) {
+        if (index_->Distance(dataset_->point(id), query) <= radius) {
+          out->push_back(id);
+          ++s->output_size;
+        }
+      });
+    } else {
+      const size_t n = dataset_->size();
+      for (size_t i = 0; i < n; ++i) {
+        if (index_->Distance(dataset_->point(i), query) <= radius) {
+          out->push_back(static_cast<uint32_t>(i));
+          ++s->output_size;
+        }
+      }
+    }
+  }
+
+  /// What the linear path would touch: live ids for a segmented index, the
+  /// whole dataset otherwise.
+  size_t LiveCount() const {
+    if constexpr (kSegmented) return index_->live_size();
+    return dataset_->size();
+  }
+
+  /// Tombstone-correction input: 1.0 on a static index (no correction).
+  double LiveFraction() const {
+    if constexpr (kSegmented) return index_->live_fraction();
+    return 1.0;
+  }
+
+  /// A mutable index's dataset grows between queries; keep the dedup set's
+  /// id space in step (no-op on the static path).
+  void EnsureCapacity() {
+    if constexpr (kSegmented) {
+      if (visited_.capacity() < dataset_->size()) {
+        visited_.Resize(dataset_->size());
       }
     }
   }

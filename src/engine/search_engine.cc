@@ -40,6 +40,8 @@ typename Engine::Options ToEngineOptions(const EngineOptions& options) {
   engine_options.index.radius = options.radius;
   engine_options.index.hll_precision = options.hll_precision;
   engine_options.index.seed = options.seed;
+  engine_options.active_seal_threshold = options.active_seal_threshold;
+  engine_options.max_sealed_segments = options.max_sealed_segments;
   engine_options.searcher = options.searcher;
   return engine_options;
 }
@@ -174,6 +176,30 @@ util::StatusOr<std::vector<ShardedBatchResult>> SearchEngine::QueryBatch(
   return WrongPointType("sparse id-set");
 }
 
+util::StatusOr<uint32_t> SearchEngine::Insert(const float*) {
+  return WrongPointType("dense float");
+}
+
+util::StatusOr<uint32_t> SearchEngine::Insert(const uint64_t*) {
+  return WrongPointType("packed binary");
+}
+
+util::StatusOr<uint32_t> SearchEngine::Insert(std::span<const uint32_t>) {
+  return WrongPointType("sparse id-set");
+}
+
+util::Status SearchEngine::Remove(uint32_t) {
+  return util::Status::Unimplemented("this engine does not support updates");
+}
+
+util::Status SearchEngine::Compact() {
+  return util::Status::Unimplemented("this engine does not support updates");
+}
+
+util::Status SearchEngine::EnableUpdates(AnyMutableDataset) {
+  return util::Status::Unimplemented("this engine does not support updates");
+}
+
 // -- Registry API -----------------------------------------------------------
 
 void RegisterEngineFactory(data::Metric metric, EngineFactory factory) {
@@ -198,6 +224,17 @@ util::StatusOr<std::unique_ptr<SearchEngine>> BuildEngine(
         std::string(MetricName(metric)));
   }
   return factory(dataset, options);
+}
+
+util::StatusOr<std::unique_ptr<SearchEngine>> BuildMutableEngine(
+    data::Metric metric, AnyMutableDataset dataset,
+    const EngineOptions& options) {
+  const AnyDataset view =
+      std::visit([](auto* held) -> AnyDataset { return held; }, dataset);
+  auto engine = BuildEngine(metric, view, options);
+  if (!engine.ok()) return engine;
+  HLSH_RETURN_IF_ERROR((*engine)->EnableUpdates(dataset));
+  return engine;
 }
 
 }  // namespace engine

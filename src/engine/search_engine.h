@@ -62,9 +62,22 @@ struct EngineOptions {
   /// defaults in terms of `radius`: w = 4r (L1), w = 2r (L2).
   double pstable_w = 0.0;
 
+  /// Segment lifecycle knobs, applied per shard (see
+  /// engine/segmented_index.h): the active segment seals at this many
+  /// points, and a shard auto-compacts past this many sealed segments.
+  size_t active_seal_threshold = 4096;
+  size_t max_sealed_segments = 4;
+
   /// Cost model, multi-probe width, and forced-strategy escape hatch.
   core::SearcherOptions searcher;
 };
+
+/// The mutable counterpart of AnyDataset: hand one of these to
+/// BuildEngine (or EnableUpdates) and the engine can append points on
+/// Insert. The pointee must outlive the engine.
+using AnyMutableDataset = std::variant<data::DenseDataset*,
+                                       data::BinaryDataset*,
+                                       data::SparseDataset*>;
 
 /// Runtime-polymorphic handle to a built sharded engine (see file comment).
 ///
@@ -115,6 +128,30 @@ class SearchEngine {
       const data::SparseDataset& queries, double radius,
       double* wall_seconds = nullptr);
 
+  // --- Mutable lifecycle (segmented shards). -----------------------------
+  // Insert follows the Query pattern: one typed overload per point
+  // representation, non-matching overloads reject. Insert additionally
+  // requires a mutable dataset — build through the AnyMutableDataset
+  // BuildEngine overload, or call EnableUpdates on an engine built from a
+  // const dataset. Remove and Compact work on any engine (tombstones and
+  // compaction never touch the dataset).
+
+  /// Appends the point and indexes it; returns the new global id.
+  virtual util::StatusOr<uint32_t> Insert(const float* point);
+  virtual util::StatusOr<uint32_t> Insert(const uint64_t* code);
+  virtual util::StatusOr<uint32_t> Insert(std::span<const uint32_t> point);
+
+  /// Tombstones one global id (idempotent; unknown ids are rejected).
+  virtual util::Status Remove(uint32_t id);
+
+  /// Merges every shard's segments, dropping tombstoned points and
+  /// rebuilding sketches (ShardedEngine::CompactAll).
+  virtual util::Status Compact();
+
+  /// Arms Insert: the variant must hold the engine's dataset container
+  /// type and point at the object the engine was built over.
+  virtual util::Status EnableUpdates(AnyMutableDataset dataset);
+
  protected:
   /// The InvalidArgument produced by every non-matching overload.
   util::Status WrongPointType(const char* got) const;
@@ -148,6 +185,7 @@ class ShardedEngineAdapter final : public SearchEngine {
 
   using SearchEngine::Query;
   using SearchEngine::QueryBatch;
+  using SearchEngine::Insert;
 
   util::Status Query(const float* query, double radius,
                      std::vector<uint32_t>* out,
@@ -200,7 +238,43 @@ class ShardedEngineAdapter final : public SearchEngine {
     return BatchImpl(queries, radius, wall_seconds, "sparse id-set");
   }
 
+  util::StatusOr<uint32_t> Insert(const float* point) override {
+    return InsertImpl(point, "dense float");
+  }
+  util::StatusOr<uint32_t> Insert(const uint64_t* code) override {
+    return InsertImpl(code, "packed binary");
+  }
+  util::StatusOr<uint32_t> Insert(std::span<const uint32_t> point) override {
+    return InsertImpl(point, "sparse id-set");
+  }
+
+  util::Status Remove(uint32_t id) override { return engine_.Remove(id); }
+
+  util::Status Compact() override {
+    engine_.CompactAll();
+    return util::Status::Ok();
+  }
+
+  util::Status EnableUpdates(AnyMutableDataset dataset) override {
+    if (auto* const* held = std::get_if<Dataset*>(&dataset)) {
+      if (*held == nullptr) {
+        return util::Status::InvalidArgument("dataset pointer is null");
+      }
+      return engine_.EnableUpdates(*held);
+    }
+    return util::Status::InvalidArgument(
+        "mutable dataset container does not match the engine's dataset");
+  }
+
  private:
+  template <typename P>
+  util::StatusOr<uint32_t> InsertImpl(P point, const char* got) {
+    if constexpr (std::is_same_v<P, Point>) {
+      return engine_.Insert(point);
+    } else {
+      return WrongPointType(got);
+    }
+  }
   template <typename QuerySet>
   util::StatusOr<std::vector<ShardedBatchResult>> BatchImpl(
       const QuerySet& queries, double radius, double* wall_seconds,
@@ -235,6 +309,15 @@ void RegisterEngineFactory(data::Metric metric, EngineFactory factory);
 /// returned engine (it is retained by pointer, not copied).
 util::StatusOr<std::unique_ptr<SearchEngine>> BuildEngine(
     data::Metric metric, AnyDataset dataset, const EngineOptions& options);
+
+/// Builds an updatable engine: same registry path, then EnableUpdates, so
+/// Insert / Remove / Compact serve immediately. The dataset will grow on
+/// Insert and must outlive the engine. (A distinct name, not an overload:
+/// a non-const dataset pointer would otherwise make every existing
+/// BuildEngine call ambiguous.)
+util::StatusOr<std::unique_ptr<SearchEngine>> BuildMutableEngine(
+    data::Metric metric, AnyMutableDataset dataset,
+    const EngineOptions& options);
 
 }  // namespace engine
 }  // namespace hybridlsh

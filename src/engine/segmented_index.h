@@ -1,0 +1,544 @@
+// LSM-style segmented LSH index: the mutable lifecycle behind the serving
+// engine.
+//
+// A classic LshIndex is one-shot: Build() over a frozen dataset, then
+// queries forever. The per-bucket HyperLogLog sketches make in-place
+// deletion impossible (HLLs merge but never subtract), so mutability needs
+// an architectural answer rather than a patch. SegmentedIndex gives it the
+// storage-engine shape:
+//
+//   inserts  -> ACTIVE segment   L hash-map tables (DynamicLshTable), no
+//                                sketches; buckets fold into the query-time
+//                                estimate like small buckets (§3.2);
+//   seal     -> SEALED segment   the active segment frozen into L CSR
+//                                LshTables with fresh HLL sketches
+//                                (automatic at Options::active_seal_threshold);
+//   deletes  -> TOMBSTONES       one shared BitVector over global ids; dead
+//                                ids stay in their buckets (and sketches)
+//                                until compaction, but are dropped before
+//                                distance verification;
+//   compact  -> one fresh sealed segment: every segment's surviving
+//                                (key, id) entries are exported and merged
+//                                (LshTable::BuildFromEntries) — no point is
+//                                rehashed — and sketches are rebuilt without
+//                                the dead ids.
+//
+// All segments share ONE FunctionSet (lsh/index.h): a point hashes to the
+// same bucket key in table t no matter which segment currently stores it,
+// so the union of per-segment candidate sets equals the candidate set of a
+// monolithic index built over the same live points with the same seed.
+// That is the lifecycle's equivalence guarantee, tested in
+// tests/test_segmented_index.cc.
+//
+// The hybrid decision sums ProbeEstimates across segments; tombstones bias
+// the estimate upward (dead ids still sit in the merged sketches), which
+// core::CostModel::TombstoneCorrection subtracts before the LSH-vs-linear
+// comparison.
+//
+// Thread-safety matches the rest of the stack: one index = one logical
+// writer/reader. Insert/Remove/Compact/queries must be externally
+// serialized; engine::ShardedEngine runs at most one task per shard when it
+// compacts on its pool.
+
+#ifndef HYBRIDLSH_ENGINE_SEGMENTED_INDEX_H_
+#define HYBRIDLSH_ENGINE_SEGMENTED_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "hll/hyperloglog.h"
+#include "lsh/index.h"
+#include "lsh/table.h"
+#include "util/bit_vector.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace hybridlsh {
+namespace engine {
+
+/// Default dataset container for a family's Point type (so that
+/// SegmentedIndex<Family> / ShardedEngine<Family> work without naming the
+/// container).
+template <typename Point>
+struct DefaultDataset;
+template <>
+struct DefaultDataset<const float*> {
+  using type = data::DenseDataset;
+};
+template <>
+struct DefaultDataset<const uint64_t*> {
+  using type = data::BinaryDataset;
+};
+template <>
+struct DefaultDataset<std::span<const uint32_t>> {
+  using type = data::SparseDataset;
+};
+
+/// Appends one point to the container, matching the container's own Append
+/// surface. The uniform Status signature is what SegmentedIndex::Insert
+/// uses across representations. The point is staged through a thread-local
+/// buffer first: callers routinely insert a point that aliases the
+/// dataset's own storage (e.g. re-inserting dataset.point(i)), which the
+/// growth reallocation would otherwise invalidate mid-copy.
+inline util::Status AppendDatasetPoint(data::DenseDataset* dataset,
+                                       const float* point) {
+  if (dataset->dim() == 0) {
+    return util::Status::InvalidArgument(
+        "cannot append to a dense dataset without a dimension");
+  }
+  static thread_local std::vector<float> buffer;
+  buffer.assign(point, point + dataset->dim());
+  dataset->Append(buffer);
+  return util::Status::Ok();
+}
+inline util::Status AppendDatasetPoint(data::BinaryDataset* dataset,
+                                       const uint64_t* code) {
+  if (dataset->width_bits() == 0) {
+    return util::Status::InvalidArgument(
+        "cannot append to a binary dataset without a code width");
+  }
+  static thread_local std::vector<uint64_t> buffer;
+  buffer.assign(code, code + dataset->words_per_code());
+  dataset->Append(buffer.data());
+  return util::Status::Ok();
+}
+inline util::Status AppendDatasetPoint(data::SparseDataset* dataset,
+                                       std::span<const uint32_t> point) {
+  static thread_local std::vector<uint32_t> buffer;
+  buffer.assign(point.begin(), point.end());
+  return dataset->Append(buffer);
+}
+
+/// Mutable LSH index over a (possibly growing) dataset (see file comment).
+///
+/// Exposes the same query surface as LshIndex — QueryKeys,
+/// QueryKeysMultiProbe, EstimateProbe, CollectCandidates, Distance, size(),
+/// MakeScratchSketch() — so core::HybridSearcher and the sharded fan-out
+/// run over either, plus the lifecycle surface: Insert, Remove, Compact,
+/// live_size, ForEachLiveId.
+template <typename Family,
+          typename Dataset =
+              typename DefaultDataset<typename Family::Point>::type>
+class SegmentedIndex {
+ public:
+  using Point = typename Family::Point;
+  using IndexOptions = typename lsh::LshIndex<Family>::Options;
+
+  struct Options {
+    /// Table count, k / delta / radius, HLL precision, seed, build threads.
+    /// `id_base` is ignored — the covered range is given to Build directly.
+    IndexOptions index;
+    /// The active segment seals into a CSR+sketch segment at this many
+    /// points. Smaller = cheaper estimates sooner; larger = cheaper ingest.
+    size_t active_seal_threshold = 4096;
+    /// Compact() runs automatically when a seal pushes the sealed-segment
+    /// count past this. 0 disables auto-compaction (call Compact yourself).
+    size_t max_sealed_segments = 4;
+  };
+
+  /// Lifecycle observability.
+  struct LifecycleStats {
+    size_t live_points = 0;      // reported by queries
+    size_t indexed_points = 0;   // live + tombstoned-but-not-yet-compacted
+    size_t active_points = 0;    // in the hash-map segment
+    size_t sealed_segments = 0;
+    size_t tombstones = 0;       // dead ids still occupying buckets
+    size_t compactions = 0;      // lifetime count
+    double last_compact_seconds = 0.0;
+    size_t memory_bytes = 0;
+  };
+
+  /// Builds an index whose initial sealed segment covers the `count` points
+  /// of *dataset starting at `base` (global ids [base, base + count), the
+  /// existing offset-build path). count == 0 starts empty — the streaming-
+  /// from-zero case. The dataset is retained by pointer; pass the same
+  /// pointer to EnableUpdates to allow Insert.
+  ///
+  /// `shared_tombstones` lets several indexes over one dataset (the shards
+  /// of a ShardedEngine) share a single delete bitmap instead of each
+  /// holding a dataset-sized one; nullptr makes the index own its bitmap.
+  /// A shared bitmap must outlive every index using it, and ids must be
+  /// routed so that one index owns each id (tombstone *counts* stay
+  /// per-index).
+  static util::StatusOr<SegmentedIndex> Build(
+      Family family, const Dataset* dataset, size_t base, size_t count,
+      const Options& options, util::BitVector* shared_tombstones = nullptr) {
+    if (dataset == nullptr) {
+      return util::Status::InvalidArgument("dataset pointer is null");
+    }
+    if (base + count > dataset->size()) {
+      return util::Status::InvalidArgument(
+          "segment range exceeds the dataset");
+    }
+    if (options.index.hll_precision < hll::HyperLogLog::kMinPrecision ||
+        options.index.hll_precision > hll::HyperLogLog::kMaxPrecision) {
+      return util::Status::InvalidArgument("hll_precision out of range");
+    }
+    if (dataset->size() > static_cast<size_t>(UINT32_MAX)) {
+      return util::Status::InvalidArgument("dataset exceeds 2^32-1 points");
+    }
+
+    auto functions = lsh::FunctionSet<Family>::Sample(
+        std::move(family), options.index.num_tables, options.index.k,
+        options.index.delta, options.index.radius, options.index.seed);
+    if (!functions.ok()) return functions.status();
+
+    SegmentedIndex index(std::move(*functions));
+    index.dataset_ = dataset;
+    index.options_ = options;
+    index.id_base_ = static_cast<uint32_t>(base);
+    index.initial_count_ = count;
+    index.build_n_ = dataset->size();
+    index.table_options_.hll_precision = options.index.hll_precision;
+    index.table_options_.small_bucket_threshold =
+        options.index.small_bucket_threshold;
+    index.active_.resize(static_cast<size_t>(options.index.num_tables));
+    if (shared_tombstones != nullptr) {
+      index.tombstones_ = shared_tombstones;
+    } else {
+      index.owned_tombstones_ = std::make_unique<util::BitVector>();
+      index.tombstones_ = index.owned_tombstones_.get();
+    }
+    index.tombstones_->Grow(dataset->size());
+
+    if (count > 0) {
+      Segment segment;
+      segment.tables.resize(static_cast<size_t>(options.index.num_tables));
+      lsh::LshTable::Options table_options = index.table_options_;
+      table_options.id_base = static_cast<uint32_t>(base);
+      util::ParallelFor(
+          0, segment.tables.size(), options.index.num_build_threads,
+          [&](size_t t) {
+            std::vector<int32_t> slots;
+            std::vector<uint64_t> keys(count);
+            for (size_t i = 0; i < count; ++i) {
+              keys[i] = index.functions_.SignatureKey(
+                  dataset->point(base + i), t, &slots);
+            }
+            segment.tables[t].Build(keys, table_options);
+          });
+      segment.ids.resize(count);
+      for (size_t i = 0; i < count; ++i) {
+        segment.ids[i] = static_cast<uint32_t>(base + i);
+      }
+      index.sealed_.push_back(std::move(segment));
+      index.num_live_ = count;
+    }
+    return index;
+  }
+
+  /// Arms Insert: `dataset` must be the pointer Build was given. Separated
+  /// from Build so read-only callers can keep handing out const datasets.
+  util::Status EnableUpdates(Dataset* dataset) {
+    if (dataset != dataset_) {
+      return util::Status::InvalidArgument(
+          "mutable dataset does not match the indexed dataset");
+    }
+    mutable_dataset_ = dataset;
+    return util::Status::Ok();
+  }
+  bool updates_enabled() const { return mutable_dataset_ != nullptr; }
+
+  /// Appends the point to the dataset and indexes it in the active segment.
+  /// Returns the new global id. Seals (and maybe compacts) when the active
+  /// segment reaches the configured threshold.
+  util::StatusOr<uint32_t> Insert(Point point) {
+    if (mutable_dataset_ == nullptr) {
+      return util::Status::FailedPrecondition(
+          "index is read-only: EnableUpdates was not called with the "
+          "mutable dataset");
+    }
+    if (dataset_->size() >= static_cast<size_t>(UINT32_MAX) + 1) {
+      return util::Status::InvalidArgument(
+          "dataset is at the 32-bit id limit");
+    }
+    const uint32_t id = static_cast<uint32_t>(dataset_->size());
+    HLSH_RETURN_IF_ERROR(AppendDatasetPoint(mutable_dataset_, point));
+    tombstones_->Grow(dataset_->size());
+    // Hash the stored copy: `point` may alias dataset memory that Append
+    // just reallocated.
+    for (size_t t = 0; t < active_.size(); ++t) {
+      active_[t].Insert(
+          functions_.SignatureKey(dataset_->point(id), t, &insert_slots_), id);
+    }
+    active_ids_.push_back(id);
+    ++num_live_;
+    if (active_ids_.size() >= options_.active_seal_threshold) {
+      SealActive();
+      if (options_.max_sealed_segments > 0 &&
+          sealed_.size() > options_.max_sealed_segments) {
+        Compact();
+      }
+    }
+    return id;
+  }
+
+  /// Tombstones one id this index owns. Ids below the dataset size at
+  /// Build must fall in the initial [base, base + count) range; later ids
+  /// were inserted through *some* index over this dataset, and the caller
+  /// routes them to the owning one (ShardedEngine::Remove does). Removing
+  /// an already-dead id is a no-op.
+  util::Status Remove(uint32_t id) {
+    tombstones_->Grow(dataset_->size());
+    if (id >= tombstones_->size()) {
+      return util::Status::InvalidArgument("id out of range");
+    }
+    if (id < build_n_ &&
+        (id < id_base_ || id >= id_base_ + initial_count_)) {
+      return util::Status::InvalidArgument(
+          "id is not in this index's initial range");
+    }
+    if (tombstones_->Get(id)) return util::Status::Ok();
+    tombstones_->Set(id);
+    ++num_dead_;
+    --num_live_;
+    return util::Status::Ok();
+  }
+
+  /// Freezes the active segment into a sealed one (public so callers can
+  /// force sketches into existence before a read-heavy phase).
+  void SealActive() {
+    if (active_ids_.empty()) return;
+    Segment segment;
+    segment.tables.resize(active_.size());
+    std::vector<uint64_t> keys;
+    std::vector<uint32_t> ids;
+    for (size_t t = 0; t < active_.size(); ++t) {
+      keys.clear();
+      ids.clear();
+      active_[t].ExportEntries(&keys, &ids, tombstones_);
+      segment.tables[t].BuildFromEntries(keys, ids, table_options_);
+      active_[t].Clear();
+    }
+    // Active ids are ascending by construction; dead ones leave the index
+    // here, so they stop counting against the estimate correction.
+    for (const uint32_t id : active_ids_) {
+      if (tombstones_->Get(id)) {
+        --num_dead_;
+      } else {
+        segment.ids.push_back(id);
+      }
+    }
+    active_ids_.clear();
+    if (!segment.ids.empty()) sealed_.push_back(std::move(segment));
+  }
+
+  /// Merges the active + all sealed segments into one fresh sealed segment,
+  /// dropping tombstoned ids and rebuilding sketches. Entries are exported
+  /// and regrouped — no point is rehashed.
+  void Compact() {
+    util::WallTimer timer;
+    const size_t L = active_.size();
+    Segment merged;
+    merged.tables.resize(L);
+    util::ParallelFor(0, L, options_.index.num_build_threads, [&](size_t t) {
+      std::vector<uint64_t> keys;
+      std::vector<uint32_t> ids;
+      for (const Segment& segment : sealed_) {
+        segment.tables[t].ExportEntries(&keys, &ids, tombstones_);
+      }
+      active_[t].ExportEntries(&keys, &ids, tombstones_);
+      merged.tables[t].BuildFromEntries(keys, ids, table_options_);
+    });
+    for (lsh::DynamicLshTable& table : active_) table.Clear();
+
+    merged.ids.reserve(num_live_);
+    for (const Segment& segment : sealed_) {
+      for (const uint32_t id : segment.ids) {
+        if (!tombstones_->Get(id)) merged.ids.push_back(id);
+      }
+    }
+    for (const uint32_t id : active_ids_) {
+      if (!tombstones_->Get(id)) merged.ids.push_back(id);
+    }
+    std::sort(merged.ids.begin(), merged.ids.end());
+    active_ids_.clear();
+
+    sealed_.clear();
+    if (!merged.ids.empty()) sealed_.push_back(std::move(merged));
+    num_dead_ = 0;
+    ++compactions_;
+    last_compact_seconds_ = timer.ElapsedSeconds();
+  }
+
+  // --- LshIndex-compatible query surface. --------------------------------
+
+  void QueryKeys(Point query, std::vector<uint64_t>* keys) const {
+    functions_.QueryKeys(query, keys);
+  }
+  util::Status QueryKeysMultiProbe(Point query, size_t probes_per_table,
+                                   std::vector<uint64_t>* keys) const {
+    return functions_.QueryKeysMultiProbe(query, probes_per_table, keys);
+  }
+
+  /// Sums the Alg. 2 lines 1-2 estimate across every segment: collisions
+  /// exactly, candSize from ONE merged HLL (sketches from sealed buckets,
+  /// on-demand folding for small/active buckets). Tombstoned ids are still
+  /// counted — apply CostModel::TombstoneCorrection with live_fraction()
+  /// before comparing against the linear cost.
+  lsh::ProbeEstimate EstimateProbe(std::span<const uint64_t> keys,
+                                   hll::HyperLogLog* scratch) const {
+    HLSH_DCHECK(scratch->precision() == options_.index.hll_precision);
+    scratch->Clear();
+    lsh::ProbeEstimate estimate;
+    for (const Segment& segment : sealed_) {
+      lsh::AccumulateProbe<lsh::LshTable>(segment.tables, keys, scratch,
+                                          &estimate.collisions);
+    }
+    if (!active_ids_.empty()) {
+      lsh::AccumulateProbe<lsh::DynamicLshTable>(active_, keys, scratch,
+                                                 &estimate.collisions);
+    }
+    estimate.cand_estimate =
+        estimate.collisions == 0 ? 0.0 : scratch->Estimate();
+    return estimate;
+  }
+
+  /// S2 across every segment. Tombstoned ids count as collisions (their
+  /// probe cost was paid) but are never inserted, so S3 only verifies live
+  /// candidates.
+  uint64_t CollectCandidates(std::span<const uint64_t> keys,
+                             util::VisitedSet* visited) const {
+    uint64_t collisions = 0;
+    for (const Segment& segment : sealed_) {
+      collisions += lsh::CollectProbedIds<lsh::LshTable>(
+          segment.tables, keys, visited, tombstones_);
+    }
+    if (!active_ids_.empty()) {
+      collisions += lsh::CollectProbedIds<lsh::DynamicLshTable>(
+          active_, keys, visited, tombstones_);
+    }
+    return collisions;
+  }
+
+  /// Calls fn(id) for every live id this index holds (linear-scan support;
+  /// segment order, ascending within a segment).
+  template <typename Fn>
+  void ForEachLiveId(Fn&& fn) const {
+    for (const Segment& segment : sealed_) {
+      for (const uint32_t id : segment.ids) {
+        if (!tombstones_->Get(id)) fn(id);
+      }
+    }
+    for (const uint32_t id : active_ids_) {
+      if (!tombstones_->Get(id)) fn(id);
+    }
+  }
+
+  bool is_live(uint32_t id) const {
+    return id >= tombstones_->size() || !tombstones_->Get(id);
+  }
+
+  double Distance(Point a, Point b) const {
+    return functions_.family().Distance(a, b);
+  }
+  const Family& family() const { return functions_.family(); }
+  const lsh::FunctionSet<Family>& functions() const { return functions_; }
+  int k() const { return functions_.k(); }
+  int num_tables() const { return static_cast<int>(active_.size()); }
+  uint32_t id_base() const { return id_base_; }
+  int hll_precision() const { return options_.index.hll_precision; }
+  const Options& options() const { return options_; }
+
+  /// Live points — what a query can report.
+  size_t size() const { return num_live_; }
+  size_t live_size() const { return num_live_; }
+  /// Live + dead ids still occupying buckets.
+  size_t indexed_size() const { return num_live_ + num_dead_; }
+  /// Fraction of indexed ids that are live (1.0 right after compaction).
+  double live_fraction() const {
+    const size_t indexed = indexed_size();
+    return indexed == 0 ? 1.0
+                        : static_cast<double>(num_live_) /
+                              static_cast<double>(indexed);
+  }
+
+  hll::HyperLogLog MakeScratchSketch() const {
+    return hll::HyperLogLog(options_.index.hll_precision);
+  }
+
+  LifecycleStats lifecycle() const {
+    LifecycleStats stats;
+    stats.live_points = num_live_;
+    stats.indexed_points = indexed_size();
+    stats.active_points = active_ids_.size();
+    stats.sealed_segments = sealed_.size();
+    stats.tombstones = num_dead_;
+    stats.compactions = compactions_;
+    stats.last_compact_seconds = last_compact_seconds_;
+    stats.memory_bytes = MemoryBytes();
+    return stats;
+  }
+
+  size_t MemoryBytes() const {
+    size_t total = 0;
+    for (const Segment& segment : sealed_) {
+      for (const lsh::LshTable& table : segment.tables) {
+        total += table.MemoryBytes();
+      }
+      total += segment.ids.capacity() * sizeof(uint32_t);
+    }
+    for (const lsh::DynamicLshTable& table : active_) {
+      total += table.MemoryBytes();
+    }
+    if (owned_tombstones_ != nullptr) {
+      total += owned_tombstones_->MemoryBytes();
+    }
+    return total;
+  }
+
+  /// Bytes used by HLL sketches alone (sealed segments; the active segment
+  /// has none by design).
+  size_t SketchBytes() const {
+    size_t total = 0;
+    for (const Segment& segment : sealed_) {
+      for (const lsh::LshTable& table : segment.tables) {
+        total += table.SketchBytes();
+      }
+    }
+    return total;
+  }
+
+ private:
+  /// A frozen segment: L CSR tables with sketches plus its live-at-seal id
+  /// list (ascending; later tombstones are filtered on read).
+  struct Segment {
+    std::vector<lsh::LshTable> tables;
+    std::vector<uint32_t> ids;
+  };
+
+  explicit SegmentedIndex(lsh::FunctionSet<Family> functions)
+      : functions_(std::move(functions)) {}
+
+  const Dataset* dataset_ = nullptr;
+  Dataset* mutable_dataset_ = nullptr;
+  Options options_;
+  lsh::FunctionSet<Family> functions_;
+  lsh::LshTable::Options table_options_;
+  std::vector<Segment> sealed_;
+  std::vector<lsh::DynamicLshTable> active_;
+  std::vector<uint32_t> active_ids_;  // ascending insertion order
+  // Tombstone bitmap over the global id space: owned when standalone,
+  // engine-provided (shared by all shards) under ShardedEngine.
+  std::unique_ptr<util::BitVector> owned_tombstones_;
+  util::BitVector* tombstones_ = nullptr;
+  size_t num_live_ = 0;
+  size_t num_dead_ = 0;  // tombstoned ids still in segments
+  uint32_t id_base_ = 0;
+  size_t initial_count_ = 0;  // size of the initial [base, base+count) range
+  size_t build_n_ = 0;        // dataset size at Build (pre-insert ids)
+  size_t compactions_ = 0;
+  double last_compact_seconds_ = 0.0;
+  std::vector<int32_t> insert_slots_;  // Insert scratch
+};
+
+}  // namespace engine
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_ENGINE_SEGMENTED_INDEX_H_

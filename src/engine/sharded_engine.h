@@ -1,12 +1,12 @@
 // Shard-parallel serving engine over id-range partitions of one dataset.
 //
 // ShardedEngine<Family> splits the dataset into S disjoint contiguous id
-// ranges, builds one LshIndex<Family> per range (in parallel, on the
+// ranges, builds one SegmentedIndex<Family> per range (in parallel, on the
 // engine's persistent util::ThreadPool), and answers a query by fanning out
 // across shards and concatenating results. Each shard runs the paper's full
-// Algorithm-2 hybrid decision *locally*, with LinearCost(shard_n) instead
-// of LinearCost(n) — so a small or dense shard can independently fall back
-// to an exact scan of its range while the others stay on LSH.
+// Algorithm-2 hybrid decision *locally*, with LinearCost(shard_live_n)
+// instead of LinearCost(n) — so a small or dense shard can independently
+// fall back to an exact scan of its range while the others stay on LSH.
 //
 // Shards share the hash-function seed: table t of every shard samples the
 // same k-wise functions and bucket-key seed as a monolithic index built
@@ -17,13 +17,21 @@
 // forced-LSH / forced-linear results are identical to the single-index
 // path for any shard count (tests/test_sharded_engine.cc).
 //
-// Shard indexes are built over DatasetSlice views with Options::id_base set
-// to the range start, so buckets and sketches carry *global* ids directly —
-// no per-result offset translation on the query hot path.
+// Shard indexes carry *global* ids directly (the initial segment is built
+// with the range start as its id offset) — no per-result offset translation
+// on the query hot path.
 //
-// Thread-safety: Build is a static factory; the returned engine's Query and
-// QueryBatch reuse internal scratch and must not be called concurrently
-// with each other (one engine = one logical caller, like HybridSearcher).
+// Mutable lifecycle (engine/segmented_index.h): after EnableUpdates (or a
+// Build from a mutable dataset), Insert appends to the shared dataset and
+// routes the new point to a shard round-robin; Remove routes the tombstone
+// to the shard that owns the id; CompactAll compacts every shard in
+// parallel on the pool (one task per shard, so no shard is touched by two
+// threads).
+//
+// Thread-safety: Build is a static factory; the returned engine's Query,
+// QueryBatch, Insert, Remove, CompactAll, and stats() must not be called
+// concurrently with each other (one engine = one logical caller, like
+// HybridSearcher).
 
 #ifndef HYBRIDLSH_ENGINE_SHARDED_ENGINE_H_
 #define HYBRIDLSH_ENGINE_SHARDED_ENGINE_H_
@@ -38,6 +46,7 @@
 #include "core/hybrid_searcher.h"
 #include "data/dataset.h"
 #include "engine/dataset_slice.h"
+#include "engine/segmented_index.h"
 #include "lsh/index.h"
 #include "util/bit_vector.h"
 #include "util/status.h"
@@ -46,23 +55,6 @@
 
 namespace hybridlsh {
 namespace engine {
-
-/// Default dataset container for a family's Point type (so that
-/// ShardedEngine<Family> works without naming the container).
-template <typename Point>
-struct DefaultDataset;
-template <>
-struct DefaultDataset<const float*> {
-  using type = data::DenseDataset;
-};
-template <>
-struct DefaultDataset<const uint64_t*> {
-  using type = data::BinaryDataset;
-};
-template <>
-struct DefaultDataset<std::span<const uint32_t>> {
-  using type = data::SparseDataset;
-};
 
 /// Aggregate per-query observability across the shard fan-out.
 struct ShardedQueryStats {
@@ -105,6 +97,7 @@ template <typename Family,
 class ShardedEngine {
  public:
   using Index = lsh::LshIndex<Family>;
+  using ShardIndex = SegmentedIndex<Family, Dataset>;
   using Point = typename Family::Point;
 
   struct Options {
@@ -121,8 +114,11 @@ class ShardedEngine {
     /// which is what makes the engine candidate-equivalent to a monolithic
     /// index (see file comment).
     typename Index::Options index;
+    /// Segment lifecycle knobs, applied per shard (segmented_index.h).
+    size_t active_seal_threshold = 4096;
+    size_t max_sealed_segments = 4;
     /// Cost model, multi-probe width, and forced-strategy escape hatch.
-    /// The hybrid decision runs per shard with LinearCost(shard_n).
+    /// The hybrid decision runs per shard with LinearCost(shard_live_n).
     core::SearcherOptions searcher;
   };
 
@@ -168,34 +164,35 @@ class ShardedEngine {
       HLSH_CHECK(base == n);
     }
 
-    // Build every shard's index on the pool.
+    // Build every shard's index on the pool. All shards share one
+    // tombstone bitmap (heap-allocated so engine moves keep it stable).
+    engine.tombstones_ = std::make_unique<util::BitVector>(n);
     util::WallTimer build_timer;
     std::vector<util::Status> statuses(num_shards, util::Status::Ok());
     util::ParallelForOn(engine.pool_.get(), 0, num_shards, [&](size_t s) {
       Shard& shard = engine.shards_[s];
-      typename Index::Options index_options = options.index;
-      index_options.id_base = static_cast<uint32_t>(shard.base);
-      index_options.num_build_threads = 1;
-      const DatasetSlice<Dataset> slice(&dataset, shard.base, shard.size);
-      auto built = Index::Build(family, slice, index_options);
+      typename ShardIndex::Options shard_options;
+      shard_options.index = options.index;
+      shard_options.index.num_build_threads = 1;
+      shard_options.active_seal_threshold = options.active_seal_threshold;
+      shard_options.max_sealed_segments = options.max_sealed_segments;
+      auto built = ShardIndex::Build(family, &dataset, shard.base, shard.size,
+                                     shard_options, engine.tombstones_.get());
       if (!built.ok()) {
         statuses[s] = built.status();
         return;
       }
-      shard.index = std::make_unique<Index>(std::move(*built));
+      shard.index = std::make_unique<ShardIndex>(std::move(*built));
     });
     for (const util::Status& status : statuses) {
       if (!status.ok()) return status;
     }
 
+    engine.initial_n_ = n;
     engine.stats_.num_points = n;
     engine.stats_.num_shards = num_shards;
     engine.stats_.num_threads = num_threads;
     engine.stats_.build_seconds = build_timer.ElapsedSeconds();
-    for (const Shard& shard : engine.shards_) {
-      engine.stats_.memory_bytes += shard.index->stats().memory_bytes;
-      engine.stats_.sketch_bytes += shard.index->stats().sketch_bytes;
-    }
 
     // Fan-out scratch: one per shard (single-query path). Batch scratch is
     // created lazily, one per pool worker.
@@ -205,6 +202,77 @@ class ShardedEngine {
       engine.fanout_scratch_.push_back(engine.MakeScratch());
     }
     return engine;
+  }
+
+  /// Build over a mutable dataset: same as the const Build plus
+  /// EnableUpdates, so Insert works immediately.
+  static util::StatusOr<ShardedEngine> Build(Family family, Dataset* dataset,
+                                             const Options& options) {
+    if (dataset == nullptr) {
+      return util::Status::InvalidArgument("dataset pointer is null");
+    }
+    auto engine = Build(std::move(family), *dataset, options);
+    if (!engine.ok()) return engine.status();
+    HLSH_RETURN_IF_ERROR(engine->EnableUpdates(dataset));
+    return engine;
+  }
+
+  /// Arms Insert on every shard. `dataset` must be the object Build indexed.
+  util::Status EnableUpdates(Dataset* dataset) {
+    if (dataset != dataset_) {
+      return util::Status::InvalidArgument(
+          "mutable dataset does not match the engine's dataset");
+    }
+    for (Shard& shard : shards_) {
+      HLSH_RETURN_IF_ERROR(shard.index->EnableUpdates(dataset));
+    }
+    mutable_dataset_ = dataset;
+    return util::Status::Ok();
+  }
+  bool updates_enabled() const { return mutable_dataset_ != nullptr; }
+
+  /// Appends the point to the shared dataset and indexes it in one shard's
+  /// active segment (round-robin, so ingest load spreads evenly). Returns
+  /// the new global id. Ownership needs no side table: every successful
+  /// insert appends exactly one point, so the k-th insert gets id
+  /// initial_n + k and shard k % S — Remove re-derives that.
+  util::StatusOr<uint32_t> Insert(Point point) {
+    if (mutable_dataset_ == nullptr) {
+      return util::Status::FailedPrecondition(
+          "engine is read-only: build from a mutable dataset or call "
+          "EnableUpdates to insert");
+    }
+    const size_t inserted = dataset_->size() - initial_n_;
+    return shards_[inserted % shards_.size()].index->Insert(point);
+  }
+
+  /// Tombstones one global id on the shard that owns it. Removing an
+  /// already-removed id is a no-op; unknown ids are rejected.
+  util::Status Remove(uint32_t id) {
+    const size_t n = static_cast<size_t>(id);
+    size_t s = 0;
+    if (n < initial_n_) {
+      // Initial ids live in the contiguous ranges (S is small).
+      while (s < shards_.size() &&
+             n >= shards_[s].base + shards_[s].size) {
+        ++s;
+      }
+      HLSH_CHECK(s < shards_.size());
+    } else {
+      if (n >= dataset_->size()) {
+        return util::Status::InvalidArgument(
+            "id was never inserted into this engine");
+      }
+      s = (n - initial_n_) % shards_.size();  // round-robin insert order
+    }
+    return shards_[s].index->Remove(id);
+  }
+
+  /// Compacts every shard in parallel on the engine's pool (one task per
+  /// shard — segments are never touched by two threads).
+  void CompactAll() {
+    util::ParallelForOn(pool_.get(), 0, shards_.size(),
+                        [&](size_t s) { shards_[s].index->Compact(); });
   }
 
   /// Answers one query with a parallel fan-out across shards: every id with
@@ -217,6 +285,7 @@ class ShardedEngine {
     ShardedQueryStats* s = stats != nullptr ? stats : &local_stats;
     ResetStats(s);
     util::WallTimer timer;
+    EnsureScratchCapacity();
 
     util::ParallelForOn(pool_.get(), 0, shards_.size(), [&](size_t i) {
       fanout_out_[i].clear();
@@ -244,6 +313,7 @@ class ShardedEngine {
     util::WallTimer timer;
     if (queries.size() > 0) {
       EnsureBatchScratch();
+      EnsureScratchCapacity();
       const size_t num_workers =
           std::min(batch_scratch_.size(), queries.size());
       std::atomic<size_t> next{0};
@@ -282,13 +352,35 @@ class ShardedEngine {
 
   size_t num_shards() const { return shards_.size(); }
   size_t num_threads() const { return pool_->num_threads(); }
-  size_t size() const { return stats_.num_points; }
-  const EngineStats& stats() const { return stats_; }
+  /// Live points across all shards (equals the dataset size until the
+  /// first Remove).
+  size_t size() const {
+    size_t live = 0;
+    for (const Shard& shard : shards_) live += shard.index->live_size();
+    return live;
+  }
+  size_t live_size() const { return size(); }
+  /// Build-time shape plus *current* memory accounting (segments grow with
+  /// ingest and shrink at compaction, so bytes are recomputed per call).
+  /// Part of the single-caller surface like Query/Insert: it walks the
+  /// live segment structures, so don't poll it from another thread.
+  const EngineStats& stats() const {
+    stats_.memory_bytes = 0;
+    stats_.sketch_bytes = 0;
+    for (const Shard& shard : shards_) {
+      stats_.memory_bytes += shard.index->MemoryBytes();
+      stats_.sketch_bytes += shard.index->SketchBytes();
+    }
+    if (tombstones_ != nullptr) {
+      stats_.memory_bytes += tombstones_->MemoryBytes();
+    }
+    return stats_;
+  }
   const Options& options() const { return options_; }
   const Dataset& dataset() const { return *dataset_; }
 
-  /// Shard inspection for tests: the index and id range of shard s.
-  const Index& shard_index(size_t s) const { return *shards_[s].index; }
+  /// Shard inspection for tests: the index and initial id range of shard s.
+  const ShardIndex& shard_index(size_t s) const { return *shards_[s].index; }
   std::pair<size_t, size_t> shard_range(size_t s) const {
     return {shards_[s].base, shards_[s].base + shards_[s].size};
   }
@@ -296,8 +388,8 @@ class ShardedEngine {
  private:
   struct Shard {
     size_t base = 0;
-    size_t size = 0;
-    std::unique_ptr<Index> index;  // pointer keeps Shard movable/defaultable
+    size_t size = 0;  // initial range size (inserts/removes don't update it)
+    std::unique_ptr<ShardIndex> index;  // pointer keeps Shard movable
   };
 
   /// Per-worker query scratch. VisitedSet spans the *global* id space —
@@ -323,6 +415,18 @@ class ShardedEngine {
     }
   }
 
+  /// Inserts grow the dataset past the capacity the scratch was created
+  /// with; re-target the dedup sets before the next query touches them.
+  void EnsureScratchCapacity() {
+    const size_t n = dataset_->size();
+    for (Scratch& scratch : fanout_scratch_) {
+      if (scratch.visited.capacity() < n) scratch.visited.Resize(n);
+    }
+    for (Scratch& scratch : batch_scratch_) {
+      if (scratch.visited.capacity() < n) scratch.visited.Resize(n);
+    }
+  }
+
   void ResetStats(ShardedQueryStats* s) const {
     *s = ShardedQueryStats{};
     s->num_shards = shards_.size();
@@ -344,8 +448,9 @@ class ShardedEngine {
     }
   }
 
-  /// The paper's Algorithm 2 on one shard: estimate, decide against
-  /// LinearCost(shard_n), execute. Appends global ids to *out.
+  /// The paper's Algorithm 2 on one shard: estimate (summed across the
+  /// shard's segments), decide against LinearCost(shard_live_n), execute.
+  /// Appends global ids to *out.
   void QueryShard(const Shard& shard, Point query, double radius,
                   Scratch* scratch, std::vector<uint32_t>* out,
                   core::QueryStats* st) const {
@@ -355,7 +460,7 @@ class ShardedEngine {
 
     if (options_.searcher.forced == core::ForcedStrategy::kAlwaysLinear) {
       st->strategy = core::Strategy::kLinear;
-      st->linear_cost = model.LinearCost(shard.size);
+      st->linear_cost = model.LinearCost(shard.index->live_size());
       ExecuteLinear(shard, query, radius, out, st);
       st->total_seconds = total_timer.ElapsedSeconds();
       return;
@@ -364,7 +469,7 @@ class ShardedEngine {
     // S1: bucket keys of this shard's tables.
     ComputeKeys(shard, query, scratch);
 
-    // Alg. 2 lines 1-2 on the shard's buckets.
+    // Alg. 2 lines 1-2 over the shard's segments.
     {
       util::WallTimer estimate_timer;
       const auto estimate =
@@ -374,9 +479,11 @@ class ShardedEngine {
       st->estimate_seconds = estimate_timer.ElapsedSeconds();
     }
 
-    // Alg. 2 lines 3-4 with the shard-local linear cost.
-    st->lsh_cost = model.LshCost(st->collisions, st->cand_estimate);
-    st->linear_cost = model.LinearCost(shard.size);
+    // Alg. 2 lines 3-4 with the shard-local live linear cost; tombstoned
+    // ids inflate the estimate, so subtract their verification share.
+    st->lsh_cost = model.CorrectedLshCost(st->collisions, st->cand_estimate,
+                                          shard.index->live_fraction());
+    st->linear_cost = model.LinearCost(shard.index->live_size());
     const bool use_lsh =
         options_.searcher.forced == core::ForcedStrategy::kAlwaysLsh ||
         st->lsh_cost < st->linear_cost;
@@ -409,20 +516,23 @@ class ShardedEngine {
   void ExecuteLinear(const Shard& shard, Point query, double radius,
                      std::vector<uint32_t>* out, core::QueryStats* st) const {
     const Family& family = shard.index->family();
-    const size_t end = shard.base + shard.size;
-    for (size_t i = shard.base; i < end; ++i) {
-      if (family.Distance(dataset_->point(i), query) <= radius) {
-        out->push_back(static_cast<uint32_t>(i));
+    shard.index->ForEachLiveId([&](uint32_t id) {
+      if (family.Distance(dataset_->point(id), query) <= radius) {
+        out->push_back(id);
         ++st->output_size;
       }
-    }
+    });
   }
 
   Options options_;
   const Dataset* dataset_ = nullptr;
+  Dataset* mutable_dataset_ = nullptr;
   std::unique_ptr<util::ThreadPool> pool_;
   std::vector<Shard> shards_;
-  EngineStats stats_;
+  // One tombstone bitmap shared by every shard (heap-stable across moves).
+  std::unique_ptr<util::BitVector> tombstones_;
+  size_t initial_n_ = 0;  // dataset size at Build
+  mutable EngineStats stats_;  // memory fields recomputed in stats()
   // Single-query fan-out scratch (one per shard) and shard result buffers.
   std::vector<Scratch> fanout_scratch_;
   std::vector<std::vector<uint32_t>> fanout_out_;

@@ -12,6 +12,15 @@
 //   S2  CollectCandidates — dedup bucket contents into a VisitedSet;
 //   S3  (caller) verify candidate distances and report.
 //
+// The sampled hash functions and the probe arithmetic are factored into
+// FunctionSet<Family> so that several table sets can share one draw of
+// functions: LshIndex owns one FunctionSet and one set of L tables, while
+// engine::SegmentedIndex owns one FunctionSet and *many* table sets (the
+// sealed and active segments of its LSM-style lifecycle). The estimate and
+// collect steps are likewise free functions over any table range
+// (AccumulateProbe / CollectProbedIds) so segments of either table kind sum
+// into one decision.
+//
 // The template parameter Family supplies the point type, the atomic hash
 // sampler, the paired metric, and multi-probe costs (see lsh/families.h).
 
@@ -38,149 +47,78 @@
 namespace hybridlsh {
 namespace lsh {
 
-/// Classic LSH index over a Family (see file comment).
+/// Result of the query-time cost estimation (paper Alg. 2, lines 1-2).
+struct ProbeEstimate {
+  uint64_t collisions = 0;     // exact: sum of probed bucket sizes
+  double cand_estimate = 0.0;  // candSize estimate from merged HLLs
+};
+
+/// One draw of the L k-wise hash functions plus the per-table bucket-key
+/// seeds — everything S1 needs, independent of any table contents. Two
+/// holders sampled with the same (family, num_tables, k, seed) hash every
+/// point identically, which is the invariant both the sharded engine and
+/// the segmented lifecycle build on: a point collides with a query in table
+/// t no matter which shard or segment currently stores it.
 template <typename Family>
-class LshIndex {
+class FunctionSet {
  public:
   using Point = typename Family::Point;
 
-  struct Options {
-    /// Number of hash tables L. The paper's evaluation fixes L = 50.
-    int num_tables = 50;
-    /// Concatenation width k; 0 = derive from (radius, delta) via the
-    /// paper's rule AutoK (requires radius > 0).
-    int k = 0;
-    /// Per-point failure probability delta (used when k == 0).
-    double delta = 0.1;
-    /// Search radius used for parameter derivation when k == 0.
-    double radius = 0.0;
-    /// HLL precision b (m = 2^b registers per bucket sketch). Paper: b = 7.
-    int hll_precision = 7;
-    /// Small-bucket threshold; LshTable::kThresholdAuto = m.
-    size_t small_bucket_threshold = LshTable::kThresholdAuto;
-    /// Seed for sampling hash functions.
-    uint64_t seed = 1;
-    /// Threads for table construction (queries are single-threaded).
-    size_t num_build_threads = 1;
-    /// Global id of the dataset's first point. A shard built over a slice
-    /// of a larger dataset passes its range start here so that buckets and
-    /// sketches carry global ids directly (see lsh/table.h Options). The
-    /// offset is baked into the tables at build time, so Save/Load
-    /// round-trips it without a format change.
-    uint32_t id_base = 0;
+  /// Parameters derived by the paper's AutoK rule (zero when k was given
+  /// explicitly).
+  struct DerivedParams {
+    double p1_at_radius = 0.0;
+    double recall_lower_bound = 0.0;
   };
 
-  /// Summary of a built index.
-  struct Stats {
-    size_t num_points = 0;
-    int num_tables = 0;
-    int k = 0;
-    double p1_at_radius = 0.0;      // 0 when k was given explicitly
-    double recall_lower_bound = 0.0;  // 1-(1-p1^k)^L, 0 when k explicit
-    size_t total_buckets = 0;
-    size_t total_sketches = 0;
-    size_t memory_bytes = 0;
-    size_t sketch_bytes = 0;
-    double build_seconds = 0.0;
-  };
-
-  /// Result of the query-time cost estimation (paper Alg. 2, lines 1-2).
-  struct ProbeEstimate {
-    uint64_t collisions = 0;     // exact: sum of probed bucket sizes
-    double cand_estimate = 0.0;  // candSize estimate from merged HLLs
-  };
-
-  /// Builds an index over `dataset` (any container with size() and
-  /// point(i) -> Point). The dataset is not retained.
-  template <typename Dataset>
-  static util::StatusOr<LshIndex> Build(Family family, const Dataset& dataset,
-                                        const Options& options) {
-    if (options.num_tables < 1) {
+  /// Samples the k-wise functions of `num_tables` tables from decorrelated
+  /// streams. k == 0 derives k from (radius, delta) via AutoK.
+  static util::StatusOr<FunctionSet> Sample(Family family, int num_tables,
+                                            int k, double delta, double radius,
+                                            uint64_t seed) {
+    if (num_tables < 1) {
       return util::Status::InvalidArgument("num_tables must be >= 1");
     }
-    if (options.hll_precision < hll::HyperLogLog::kMinPrecision ||
-        options.hll_precision > hll::HyperLogLog::kMaxPrecision) {
-      return util::Status::InvalidArgument("hll_precision out of range");
-    }
-    if (dataset.size() == 0) {
-      return util::Status::InvalidArgument("cannot index an empty dataset");
-    }
-    if (dataset.size() > static_cast<size_t>(UINT32_MAX)) {
-      return util::Status::InvalidArgument("dataset exceeds 2^32-1 points");
-    }
-    if (static_cast<uint64_t>(options.id_base) + dataset.size() >
-        static_cast<uint64_t>(UINT32_MAX) + 1) {
-      return util::Status::InvalidArgument(
-          "id_base + dataset size exceeds the 32-bit id space");
-    }
-
-    LshIndex index(std::move(family));
-    index.options_ = options;
-    index.stats_.num_points = dataset.size();
-    index.stats_.num_tables = options.num_tables;
-
-    // Derive k from the paper's rule when requested.
-    int k = options.k;
+    FunctionSet set(std::move(family));
     if (k == 0) {
-      if (options.radius <= 0.0) {
+      if (radius <= 0.0) {
         return util::Status::InvalidArgument(
             "k == 0 (auto) requires a positive radius");
       }
-      const double p1 = index.family_.CollisionProbability(options.radius);
-      auto auto_k = AutoK(p1, options.num_tables, options.delta);
+      const double p1 = set.family_.CollisionProbability(radius);
+      auto auto_k = AutoK(p1, num_tables, delta);
       if (!auto_k.ok()) return auto_k.status();
       k = *auto_k;
-      index.stats_.p1_at_radius = p1;
-      index.stats_.recall_lower_bound =
-          RecallLowerBound(k, options.num_tables, p1);
+      set.derived_.p1_at_radius = p1;
+      set.derived_.recall_lower_bound = RecallLowerBound(k, num_tables, p1);
     } else if (k < 0) {
       return util::Status::InvalidArgument("k must be >= 0");
     }
-    index.stats_.k = k;
-    index.k_ = k;
+    set.k_ = k;
 
-    util::WallTimer build_timer;
-    const size_t L = static_cast<size_t>(options.num_tables);
-
-    // Sample the k-wise functions of each table from decorrelated streams.
-    index.functions_.reserve(L);
+    const size_t L = static_cast<size_t>(num_tables);
+    set.functions_.reserve(L);
+    set.table_seeds_.reserve(L);
     for (size_t t = 0; t < L; ++t) {
-      util::Rng rng(util::HashU64(options.seed, t));
-      index.functions_.push_back(
-          index.family_.Sample(static_cast<size_t>(k), &rng));
-      index.table_seeds_.push_back(util::HashU64(options.seed ^ 0x5bd1e995, t));
+      util::Rng rng(util::HashU64(seed, t));
+      set.functions_.push_back(
+          set.family_.Sample(static_cast<size_t>(k), &rng));
+      set.table_seeds_.push_back(util::HashU64(seed ^ 0x5bd1e995, t));
     }
+    return set;
+  }
 
-    // Hash all points and build each table (parallel across tables).
-    index.tables_.resize(L);
-    LshTable::Options table_options;
-    table_options.hll_precision = options.hll_precision;
-    table_options.small_bucket_threshold = options.small_bucket_threshold;
-    table_options.id_base = options.id_base;
-    const size_t n = dataset.size();
-    util::ParallelFor(0, L, options.num_build_threads, [&](size_t t) {
-      std::vector<int32_t> slots(static_cast<size_t>(k));
-      std::vector<uint64_t> keys(n);
-      for (size_t i = 0; i < n; ++i) {
-        index.family_.Signature(index.functions_[t], dataset.point(i), slots);
-        keys[i] = index.KeyOf(slots, t);
-      }
-      index.tables_[t].Build(keys, table_options);
-    });
-
-    index.stats_.build_seconds = build_timer.ElapsedSeconds();
-    for (const LshTable& table : index.tables_) {
-      index.stats_.total_buckets += table.num_buckets();
-      index.stats_.total_sketches += table.num_sketches();
-      index.stats_.memory_bytes += table.MemoryBytes();
-      index.stats_.sketch_bytes += table.SketchBytes();
-    }
-    return index;
+  /// The bucket key of `point` in table t. `slots` is caller scratch.
+  uint64_t SignatureKey(Point point, size_t t,
+                        std::vector<int32_t>* slots) const {
+    slots->resize(static_cast<size_t>(k_));
+    family_.Signature(functions_[t], point, *slots);
+    return KeyOf(*slots, t);
   }
 
   /// S1: the L home-bucket keys of a query.
   void QueryKeys(Point query, std::vector<uint64_t>* keys) const {
-    const size_t L = tables_.size();
+    const size_t L = functions_.size();
     keys->resize(L);
     std::vector<int32_t> slots(static_cast<size_t>(k_));
     for (size_t t = 0; t < L; ++t) {
@@ -203,7 +141,7 @@ class LshIndex {
       return util::Status::Unimplemented(
           "multi-probe is not defined for this family");
     }
-    const size_t L = tables_.size();
+    const size_t L = functions_.size();
     const size_t k = static_cast<size_t>(k_);
     keys->assign(L * probes_per_table, 0);
     std::vector<int32_t> slots(k);
@@ -251,190 +189,34 @@ class LshIndex {
     return util::Status::Ok();
   }
 
-  /// Estimates #collisions (exact) and candSize (merged HLLs) for a set of
-  /// probe keys produced by QueryKeys*. `scratch` must have the index's HLL
-  /// precision; it is cleared first. Paper Alg. 2, lines 1-2.
-  ProbeEstimate EstimateProbe(std::span<const uint64_t> keys,
-                              hll::HyperLogLog* scratch) const {
-    HLSH_DCHECK(scratch->precision() == options_.hll_precision);
-    scratch->Clear();
-    ProbeEstimate estimate;
-    const size_t probes_per_table = keys.size() / tables_.size();
-    for (size_t i = 0; i < keys.size(); ++i) {
-      const size_t t = i / probes_per_table;
-      const LshTable::BucketView bucket = tables_[t].Lookup(keys[i]);
-      if (bucket.empty()) continue;
-      // Repeated home keys (multi-probe padding) would double-count
-      // collisions; skip exact duplicates within a table.
-      if (i % probes_per_table != 0 && keys[i] == keys[t * probes_per_table]) {
-        continue;
-      }
-      estimate.collisions += bucket.size();
-      if (bucket.sketch != nullptr) {
-        HLSH_CHECK(scratch->Merge(*bucket.sketch).ok());
-      } else {
-        // Small bucket: fold ids on demand (paper §3.2).
-        for (uint32_t id : bucket.ids) scratch->AddPoint(id);
-      }
-    }
-    estimate.cand_estimate = estimate.collisions == 0 ? 0.0 : scratch->Estimate();
-    return estimate;
-  }
-
-  /// S2: inserts every probed id into `visited` (deduplicating) and returns
-  /// the exact number of collisions. visited->touched() is then the
-  /// distinct candidate set for S3.
-  uint64_t CollectCandidates(std::span<const uint64_t> keys,
-                             util::VisitedSet* visited) const {
-    uint64_t collisions = 0;
-    const size_t probes_per_table = keys.size() / tables_.size();
-    for (size_t i = 0; i < keys.size(); ++i) {
-      const size_t t = i / probes_per_table;
-      if (i % probes_per_table != 0 && keys[i] == keys[t * probes_per_table]) {
-        continue;  // multi-probe padding duplicate
-      }
-      const LshTable::BucketView bucket = tables_[t].Lookup(keys[i]);
-      collisions += bucket.size();
-      for (uint32_t id : bucket.ids) visited->Insert(id);
-    }
-    return collisions;
-  }
-
-  /// Bucket access for inspection and tests.
-  LshTable::BucketView Bucket(size_t table, uint64_t key) const {
-    HLSH_DCHECK(table < tables_.size());
-    return tables_[table].Lookup(key);
-  }
-
-  /// Metric distance between two points (delegates to the family), so that
-  /// generic searchers can verify candidates without naming the family.
-  double Distance(Point a, Point b) const { return family_.Distance(a, b); }
-
   const Family& family() const { return family_; }
   int k() const { return k_; }
-  /// Global id of the first indexed point (see Options::id_base). After
-  /// Load this reflects the ids stored in the tables only implicitly (the
-  /// accessor returns 0); the ids themselves are always correct.
-  uint32_t id_base() const { return options_.id_base; }
-  int num_tables() const { return static_cast<int>(tables_.size()); }
-  size_t size() const { return stats_.num_points; }
-  int hll_precision() const { return options_.hll_precision; }
-  const Stats& stats() const { return stats_; }
+  size_t num_tables() const { return functions_.size(); }
+  const DerivedParams& derived() const { return derived_; }
 
-  /// Creates a scratch sketch compatible with EstimateProbe.
-  hll::HyperLogLog MakeScratchSketch() const {
-    return hll::HyperLogLog(options_.hll_precision);
+  /// Serialization hooks used by LshIndex::Save / Load: functions are
+  /// written per table, interleaved with the tables.
+  void SaveFunctions(size_t t, util::ByteWriter* writer) const {
+    family_.SaveFunctions(functions_[t], writer);
   }
-
-  /// Persists the whole index (family, sampled functions, tables with
-  /// their bucket sketches) to `path`. The dataset itself is NOT stored —
-  /// reload it separately and pair it with the loaded index.
-  util::Status Save(const std::string& path) const {
-    util::ByteWriter writer;
-    writer.WriteU64(kIndexMagic);
-    writer.WriteU32(kIndexVersion);
-    writer.WriteU32(Family::kFamilyTag);
-    family_.SaveFamily(&writer);
-    writer.WriteU32(static_cast<uint32_t>(k_));
-    writer.WriteU32(static_cast<uint32_t>(tables_.size()));
-    writer.WriteU32(static_cast<uint32_t>(options_.hll_precision));
-    writer.WriteU64(options_.small_bucket_threshold);
-    writer.WriteU64(options_.seed);
-    writer.WriteU64(stats_.num_points);
-    writer.WriteF64(stats_.p1_at_radius);
-    writer.WriteF64(stats_.recall_lower_bound);
-    writer.WriteU64(table_seeds_.size());
-    writer.WriteArray<uint64_t>(table_seeds_);
-    for (size_t t = 0; t < tables_.size(); ++t) {
-      family_.SaveFunctions(functions_[t], &writer);
-      tables_[t].Serialize(&writer);
-    }
-    return util::WriteFileBytes(path, writer.bytes());
+  const std::vector<uint64_t>& table_seeds() const { return table_seeds_; }
+  static FunctionSet ForLoad(Family family, int k,
+                             std::vector<uint64_t> table_seeds) {
+    FunctionSet set(std::move(family));
+    set.k_ = k;
+    set.table_seeds_ = std::move(table_seeds);
+    set.functions_.reserve(set.table_seeds_.size());
+    return set;
   }
-
-  /// Loads an index written by Save. Rejects wrong-family files, truncated
-  /// payloads, and structurally invalid tables.
-  static util::StatusOr<LshIndex> Load(const std::string& path) {
-    auto bytes = util::ReadFileBytes(path);
-    if (!bytes.ok()) return bytes.status();
-    util::ByteReader reader(*bytes);
-
-    uint64_t magic = 0;
-    uint32_t version = 0, family_tag = 0;
-    HLSH_RETURN_IF_ERROR(reader.ReadU64(&magic));
-    if (magic != kIndexMagic) {
-      return util::Status::DataLoss("not a hybridlsh index file");
-    }
-    HLSH_RETURN_IF_ERROR(reader.ReadU32(&version));
-    if (version != kIndexVersion) {
-      return util::Status::DataLoss("unsupported index file version");
-    }
-    HLSH_RETURN_IF_ERROR(reader.ReadU32(&family_tag));
-    if (family_tag != Family::kFamilyTag) {
-      return util::Status::InvalidArgument(
-          "index file was built with a different LSH family");
-    }
-    auto family = Family::LoadFamily(&reader);
-    if (!family.ok()) return family.status();
-
-    LshIndex index(std::move(*family));
-    uint32_t k = 0, num_tables = 0, hll_precision = 0;
-    HLSH_RETURN_IF_ERROR(reader.ReadU32(&k));
-    HLSH_RETURN_IF_ERROR(reader.ReadU32(&num_tables));
-    HLSH_RETURN_IF_ERROR(reader.ReadU32(&hll_precision));
-    HLSH_RETURN_IF_ERROR(reader.ReadU64(&index.options_.small_bucket_threshold));
-    HLSH_RETURN_IF_ERROR(reader.ReadU64(&index.options_.seed));
-    HLSH_RETURN_IF_ERROR(reader.ReadU64(&index.stats_.num_points));
-    HLSH_RETURN_IF_ERROR(reader.ReadF64(&index.stats_.p1_at_radius));
-    HLSH_RETURN_IF_ERROR(reader.ReadF64(&index.stats_.recall_lower_bound));
-    if (hll_precision < hll::HyperLogLog::kMinPrecision ||
-        hll_precision > hll::HyperLogLog::kMaxPrecision || num_tables == 0) {
-      return util::Status::DataLoss("index header has invalid parameters");
-    }
-    index.k_ = static_cast<int>(k);
-    index.stats_.k = index.k_;
-    index.stats_.num_tables = static_cast<int>(num_tables);
-    index.options_.num_tables = static_cast<int>(num_tables);
-    index.options_.k = index.k_;
-    index.options_.hll_precision = static_cast<int>(hll_precision);
-
-    uint64_t num_seeds = 0;
-    HLSH_RETURN_IF_ERROR(reader.ReadU64(&num_seeds));
-    if (num_seeds != num_tables) {
-      return util::Status::DataLoss("table seed count mismatches tables");
-    }
-    HLSH_RETURN_IF_ERROR(
-        reader.ReadArray<uint64_t>(num_seeds, &index.table_seeds_));
-
-    index.functions_.reserve(num_tables);
-    index.tables_.reserve(num_tables);
-    for (uint32_t t = 0; t < num_tables; ++t) {
-      auto functions = index.family_.LoadFunctions(&reader);
-      if (!functions.ok()) return functions.status();
-      index.functions_.push_back(std::move(*functions));
-      auto table = LshTable::Deserialize(&reader);
-      if (!table.ok()) return table.status();
-      index.tables_.push_back(std::move(*table));
-    }
-    HLSH_RETURN_IF_ERROR(reader.ExpectEnd());
-
-    for (const LshTable& table : index.tables_) {
-      if (table.num_points() != index.stats_.num_points) {
-        return util::Status::DataLoss("table size mismatches point count");
-      }
-      index.stats_.total_buckets += table.num_buckets();
-      index.stats_.total_sketches += table.num_sketches();
-      index.stats_.memory_bytes += table.MemoryBytes();
-      index.stats_.sketch_bytes += table.SketchBytes();
-    }
-    return index;
+  util::Status LoadAppendFunctions(util::ByteReader* reader) {
+    auto functions = family_.LoadFunctions(reader);
+    if (!functions.ok()) return functions.status();
+    functions_.push_back(std::move(*functions));
+    return util::Status::Ok();
   }
 
  private:
-  static constexpr uint64_t kIndexMagic = 0x31584449484c5348ULL;  // "HSLHIDX1"
-  static constexpr uint32_t kIndexVersion = 1;
-
-  explicit LshIndex(Family family) : family_(std::move(family)) {}
+  explicit FunctionSet(Family family) : family_(std::move(family)) {}
 
   // Concept probes for the two probe-cost signatures.
   template <typename F>
@@ -459,10 +241,372 @@ class LshIndex {
   }
 
   Family family_;
-  Options options_;
   int k_ = 0;
   std::vector<typename Family::Functions> functions_;
   std::vector<uint64_t> table_seeds_;
+  DerivedParams derived_;
+};
+
+/// True when keys[i] repeats an earlier probe of the same table (the table's
+/// probes start at `table_begin`). Multi-probe padding repeats the home key,
+/// and distinct perturbations can land on the same bucket; probing a bucket
+/// once per table keeps collision counts exact and sketch merges minimal.
+/// Linear in probes_per_table, which is small.
+inline bool IsRepeatedProbe(std::span<const uint64_t> keys, size_t table_begin,
+                            size_t i) {
+  for (size_t j = table_begin; j < i; ++j) {
+    if (keys[j] == keys[i]) return true;
+  }
+  return false;
+}
+
+/// Accumulates one table range's contribution to the Alg. 2 estimate:
+/// adds the probed buckets' sizes to *collisions and merges (or folds)
+/// their sketches into *scratch, which is NOT cleared — callers sum several
+/// segments into one estimate. Table may be LshTable or DynamicLshTable.
+template <typename Table>
+void AccumulateProbe(std::span<const Table> tables,
+                     std::span<const uint64_t> keys, hll::HyperLogLog* scratch,
+                     uint64_t* collisions) {
+  const size_t probes_per_table = keys.size() / tables.size();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const size_t t = i / probes_per_table;
+    if (IsRepeatedProbe(keys, t * probes_per_table, i)) continue;
+    const LshTable::BucketView bucket = tables[t].Lookup(keys[i]);
+    if (bucket.empty()) continue;
+    *collisions += bucket.size();
+    if (bucket.sketch != nullptr) {
+      HLSH_CHECK(scratch->Merge(*bucket.sketch).ok());
+    } else {
+      // Small bucket: fold ids on demand (paper §3.2).
+      for (uint32_t id : bucket.ids) scratch->AddPoint(id);
+    }
+  }
+}
+
+/// S2 over one table range: inserts every probed id into *visited
+/// (deduplicating) and returns the exact number of collisions. Ids whose
+/// `tombstones` bit is set are counted as collisions (the probe cost was
+/// paid) but not inserted, so deleted points never reach verification.
+template <typename Table>
+uint64_t CollectProbedIds(std::span<const Table> tables,
+                          std::span<const uint64_t> keys,
+                          util::VisitedSet* visited,
+                          const util::BitVector* tombstones = nullptr) {
+  uint64_t collisions = 0;
+  const size_t probes_per_table = keys.size() / tables.size();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const size_t t = i / probes_per_table;
+    if (IsRepeatedProbe(keys, t * probes_per_table, i)) continue;
+    const LshTable::BucketView bucket = tables[t].Lookup(keys[i]);
+    collisions += bucket.size();
+    if (tombstones == nullptr) {
+      for (uint32_t id : bucket.ids) visited->Insert(id);
+    } else {
+      for (uint32_t id : bucket.ids) {
+        if (!tombstones->Get(id)) visited->Insert(id);
+      }
+    }
+  }
+  return collisions;
+}
+
+/// Classic LSH index over a Family (see file comment).
+template <typename Family>
+class LshIndex {
+ public:
+  using Point = typename Family::Point;
+
+  struct Options {
+    /// Number of hash tables L. The paper's evaluation fixes L = 50.
+    int num_tables = 50;
+    /// Concatenation width k; 0 = derive from (radius, delta) via the
+    /// paper's rule AutoK (requires radius > 0).
+    int k = 0;
+    /// Per-point failure probability delta (used when k == 0).
+    double delta = 0.1;
+    /// Search radius used for parameter derivation when k == 0.
+    double radius = 0.0;
+    /// HLL precision b (m = 2^b registers per bucket sketch). Paper: b = 7.
+    int hll_precision = 7;
+    /// Small-bucket threshold; LshTable::kThresholdAuto = m.
+    size_t small_bucket_threshold = LshTable::kThresholdAuto;
+    /// Seed for sampling hash functions.
+    uint64_t seed = 1;
+    /// Threads for table construction (queries are single-threaded).
+    size_t num_build_threads = 1;
+    /// Global id of the dataset's first point. A shard built over a slice
+    /// of a larger dataset passes its range start here so that buckets and
+    /// sketches carry global ids directly (see lsh/table.h Options).
+    uint32_t id_base = 0;
+  };
+
+  /// Summary of a built index.
+  struct Stats {
+    size_t num_points = 0;
+    int num_tables = 0;
+    int k = 0;
+    double p1_at_radius = 0.0;      // 0 when k was given explicitly
+    double recall_lower_bound = 0.0;  // 1-(1-p1^k)^L, 0 when k explicit
+    size_t total_buckets = 0;
+    size_t total_sketches = 0;
+    size_t memory_bytes = 0;
+    size_t sketch_bytes = 0;
+    double build_seconds = 0.0;
+  };
+
+  using ProbeEstimate = lsh::ProbeEstimate;
+
+  /// Builds an index over `dataset` (any container with size() and
+  /// point(i) -> Point). The dataset is not retained.
+  template <typename Dataset>
+  static util::StatusOr<LshIndex> Build(Family family, const Dataset& dataset,
+                                        const Options& options) {
+    if (options.hll_precision < hll::HyperLogLog::kMinPrecision ||
+        options.hll_precision > hll::HyperLogLog::kMaxPrecision) {
+      return util::Status::InvalidArgument("hll_precision out of range");
+    }
+    if (dataset.size() == 0) {
+      return util::Status::InvalidArgument("cannot index an empty dataset");
+    }
+    if (dataset.size() > static_cast<size_t>(UINT32_MAX)) {
+      return util::Status::InvalidArgument("dataset exceeds 2^32-1 points");
+    }
+    if (static_cast<uint64_t>(options.id_base) + dataset.size() >
+        static_cast<uint64_t>(UINT32_MAX) + 1) {
+      return util::Status::InvalidArgument(
+          "id_base + dataset size exceeds the 32-bit id space");
+    }
+
+    auto functions = FunctionSet<Family>::Sample(
+        std::move(family), options.num_tables, options.k, options.delta,
+        options.radius, options.seed);
+    if (!functions.ok()) return functions.status();
+
+    LshIndex index(std::move(*functions));
+    index.options_ = options;
+    index.stats_.num_points = dataset.size();
+    index.stats_.num_tables = options.num_tables;
+    index.stats_.k = index.functions_.k();
+    index.stats_.p1_at_radius = index.functions_.derived().p1_at_radius;
+    index.stats_.recall_lower_bound =
+        index.functions_.derived().recall_lower_bound;
+
+    util::WallTimer build_timer;
+    const size_t L = static_cast<size_t>(options.num_tables);
+
+    // Hash all points and build each table (parallel across tables).
+    index.tables_.resize(L);
+    LshTable::Options table_options;
+    table_options.hll_precision = options.hll_precision;
+    table_options.small_bucket_threshold = options.small_bucket_threshold;
+    table_options.id_base = options.id_base;
+    const size_t n = dataset.size();
+    util::ParallelFor(0, L, options.num_build_threads, [&](size_t t) {
+      std::vector<int32_t> slots;
+      std::vector<uint64_t> keys(n);
+      for (size_t i = 0; i < n; ++i) {
+        keys[i] = index.functions_.SignatureKey(dataset.point(i), t, &slots);
+      }
+      index.tables_[t].Build(keys, table_options);
+    });
+
+    index.stats_.build_seconds = build_timer.ElapsedSeconds();
+    for (const LshTable& table : index.tables_) {
+      index.stats_.total_buckets += table.num_buckets();
+      index.stats_.total_sketches += table.num_sketches();
+      index.stats_.memory_bytes += table.MemoryBytes();
+      index.stats_.sketch_bytes += table.SketchBytes();
+    }
+    return index;
+  }
+
+  /// S1: the L home-bucket keys of a query.
+  void QueryKeys(Point query, std::vector<uint64_t>* keys) const {
+    functions_.QueryKeys(query, keys);
+  }
+
+  /// S1 with multi-probing (see FunctionSet::QueryKeysMultiProbe).
+  util::Status QueryKeysMultiProbe(Point query, size_t probes_per_table,
+                                   std::vector<uint64_t>* keys) const {
+    return functions_.QueryKeysMultiProbe(query, probes_per_table, keys);
+  }
+
+  /// Estimates #collisions (exact) and candSize (merged HLLs) for a set of
+  /// probe keys produced by QueryKeys*. `scratch` must have the index's HLL
+  /// precision; it is cleared first. Paper Alg. 2, lines 1-2.
+  ProbeEstimate EstimateProbe(std::span<const uint64_t> keys,
+                              hll::HyperLogLog* scratch) const {
+    HLSH_DCHECK(scratch->precision() == options_.hll_precision);
+    scratch->Clear();
+    ProbeEstimate estimate;
+    AccumulateProbe<LshTable>(tables_, keys, scratch, &estimate.collisions);
+    estimate.cand_estimate =
+        estimate.collisions == 0 ? 0.0 : scratch->Estimate();
+    return estimate;
+  }
+
+  /// S2: inserts every probed id into `visited` (deduplicating) and returns
+  /// the exact number of collisions. visited->touched() is then the
+  /// distinct candidate set for S3.
+  uint64_t CollectCandidates(std::span<const uint64_t> keys,
+                             util::VisitedSet* visited) const {
+    return CollectProbedIds<LshTable>(tables_, keys, visited);
+  }
+
+  /// Bucket access for inspection and tests.
+  LshTable::BucketView Bucket(size_t table, uint64_t key) const {
+    HLSH_DCHECK(table < tables_.size());
+    return tables_[table].Lookup(key);
+  }
+
+  /// Metric distance between two points (delegates to the family), so that
+  /// generic searchers can verify candidates without naming the family.
+  double Distance(Point a, Point b) const {
+    return functions_.family().Distance(a, b);
+  }
+
+  const Family& family() const { return functions_.family(); }
+  /// The sampled hash functions (shared surface with SegmentedIndex).
+  const FunctionSet<Family>& functions() const { return functions_; }
+  int k() const { return functions_.k(); }
+  /// Global id of the first indexed point (see Options::id_base).
+  /// Serialized since format v2, so Save/Load round-trips it.
+  uint32_t id_base() const { return options_.id_base; }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  size_t size() const { return stats_.num_points; }
+  int hll_precision() const { return options_.hll_precision; }
+  const Stats& stats() const { return stats_; }
+
+  /// Creates a scratch sketch compatible with EstimateProbe.
+  hll::HyperLogLog MakeScratchSketch() const {
+    return hll::HyperLogLog(options_.hll_precision);
+  }
+
+  /// Persists the whole index (family, sampled functions, tables with
+  /// their bucket sketches) to `path`. The dataset itself is NOT stored —
+  /// reload it separately and pair it with the loaded index.
+  util::Status Save(const std::string& path) const {
+    util::ByteWriter writer;
+    writer.WriteU64(kIndexMagic);
+    writer.WriteU32(kIndexVersion);
+    writer.WriteU32(Family::kFamilyTag);
+    functions_.family().SaveFamily(&writer);
+    writer.WriteU32(static_cast<uint32_t>(functions_.k()));
+    writer.WriteU32(static_cast<uint32_t>(tables_.size()));
+    writer.WriteU32(static_cast<uint32_t>(options_.hll_precision));
+    writer.WriteU32(options_.id_base);
+    writer.WriteU64(options_.small_bucket_threshold);
+    writer.WriteU64(options_.seed);
+    writer.WriteU64(stats_.num_points);
+    writer.WriteF64(stats_.p1_at_radius);
+    writer.WriteF64(stats_.recall_lower_bound);
+    writer.WriteU64(functions_.table_seeds().size());
+    writer.WriteArray<uint64_t>(functions_.table_seeds());
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      functions_.SaveFunctions(t, &writer);
+      tables_[t].Serialize(&writer);
+    }
+    return util::WriteFileBytes(path, writer.bytes());
+  }
+
+  /// Loads an index written by Save. Rejects wrong-family files, truncated
+  /// payloads, and structurally invalid tables.
+  static util::StatusOr<LshIndex> Load(const std::string& path) {
+    auto bytes = util::ReadFileBytes(path);
+    if (!bytes.ok()) return bytes.status();
+    util::ByteReader reader(*bytes);
+
+    uint64_t magic = 0;
+    uint32_t version = 0, family_tag = 0;
+    HLSH_RETURN_IF_ERROR(reader.ReadU64(&magic));
+    if (magic != kIndexMagic) {
+      return util::Status::DataLoss("not a hybridlsh index file");
+    }
+    HLSH_RETURN_IF_ERROR(reader.ReadU32(&version));
+    // v1 files lack only the id_base field (defaulting to 0 below), so
+    // they stay loadable.
+    if (version != kIndexVersion && version != 1) {
+      return util::Status::DataLoss("unsupported index file version");
+    }
+    HLSH_RETURN_IF_ERROR(reader.ReadU32(&family_tag));
+    if (family_tag != Family::kFamilyTag) {
+      return util::Status::InvalidArgument(
+          "index file was built with a different LSH family");
+    }
+    auto family = Family::LoadFamily(&reader);
+    if (!family.ok()) return family.status();
+
+    uint32_t k = 0, num_tables = 0, hll_precision = 0, id_base = 0;
+    HLSH_RETURN_IF_ERROR(reader.ReadU32(&k));
+    HLSH_RETURN_IF_ERROR(reader.ReadU32(&num_tables));
+    HLSH_RETURN_IF_ERROR(reader.ReadU32(&hll_precision));
+    if (version >= 2) {
+      HLSH_RETURN_IF_ERROR(reader.ReadU32(&id_base));
+    }
+    if (hll_precision < hll::HyperLogLog::kMinPrecision ||
+        hll_precision > hll::HyperLogLog::kMaxPrecision || num_tables == 0) {
+      return util::Status::DataLoss("index header has invalid parameters");
+    }
+
+    Options options;
+    options.num_tables = static_cast<int>(num_tables);
+    options.k = static_cast<int>(k);
+    options.hll_precision = static_cast<int>(hll_precision);
+    options.id_base = id_base;
+
+    Stats stats;
+    HLSH_RETURN_IF_ERROR(reader.ReadU64(&options.small_bucket_threshold));
+    HLSH_RETURN_IF_ERROR(reader.ReadU64(&options.seed));
+    HLSH_RETURN_IF_ERROR(reader.ReadU64(&stats.num_points));
+    HLSH_RETURN_IF_ERROR(reader.ReadF64(&stats.p1_at_radius));
+    HLSH_RETURN_IF_ERROR(reader.ReadF64(&stats.recall_lower_bound));
+    stats.k = options.k;
+    stats.num_tables = options.num_tables;
+
+    uint64_t num_seeds = 0;
+    HLSH_RETURN_IF_ERROR(reader.ReadU64(&num_seeds));
+    if (num_seeds != num_tables) {
+      return util::Status::DataLoss("table seed count mismatches tables");
+    }
+    std::vector<uint64_t> table_seeds;
+    HLSH_RETURN_IF_ERROR(reader.ReadArray<uint64_t>(num_seeds, &table_seeds));
+
+    LshIndex index(FunctionSet<Family>::ForLoad(
+        std::move(*family), options.k, std::move(table_seeds)));
+    index.options_ = options;
+    index.stats_ = stats;
+
+    index.tables_.reserve(num_tables);
+    for (uint32_t t = 0; t < num_tables; ++t) {
+      HLSH_RETURN_IF_ERROR(index.functions_.LoadAppendFunctions(&reader));
+      auto table = LshTable::Deserialize(&reader);
+      if (!table.ok()) return table.status();
+      index.tables_.push_back(std::move(*table));
+    }
+    HLSH_RETURN_IF_ERROR(reader.ExpectEnd());
+
+    for (const LshTable& table : index.tables_) {
+      if (table.num_points() != index.stats_.num_points) {
+        return util::Status::DataLoss("table size mismatches point count");
+      }
+      index.stats_.total_buckets += table.num_buckets();
+      index.stats_.total_sketches += table.num_sketches();
+      index.stats_.memory_bytes += table.MemoryBytes();
+      index.stats_.sketch_bytes += table.SketchBytes();
+    }
+    return index;
+  }
+
+ private:
+  static constexpr uint64_t kIndexMagic = 0x31584449484c5348ULL;  // "HSLHIDX1"
+  static constexpr uint32_t kIndexVersion = 2;  // v2: id_base in the header
+
+  explicit LshIndex(FunctionSet<Family> functions)
+      : functions_(std::move(functions)) {}
+
+  FunctionSet<Family> functions_;
+  Options options_;
   std::vector<LshTable> tables_;
   Stats stats_;
 };

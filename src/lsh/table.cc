@@ -7,6 +7,10 @@ namespace hybridlsh {
 namespace lsh {
 
 void LshTable::Build(std::span<const uint64_t> keys, const Options& options) {
+  // Kept separate from BuildFromEntries: here ids are the contiguous range
+  // id_base + i, so the sort can tie-break on the order index directly and
+  // no id array needs materializing — this is the hot per-table path of
+  // every static index build.
   bucket_index_.clear();
   offsets_.clear();
   ids_.clear();
@@ -54,6 +58,77 @@ void LshTable::Build(std::span<const uint64_t> keys, const Options& options) {
       sketches_.push_back(std::move(sketch));
     } else {
       sketch_of_bucket_.push_back(-1);
+    }
+  }
+}
+
+void LshTable::BuildFromEntries(std::span<const uint64_t> keys,
+                                std::span<const uint32_t> ids,
+                                const Options& options) {
+  HLSH_CHECK(keys.size() == ids.size());
+  bucket_index_.clear();
+  offsets_.clear();
+  ids_.clear();
+  sketch_of_bucket_.clear();
+  sketches_.clear();
+  max_bucket_size_ = 0;
+
+  const size_t n = keys.size();
+  const size_t m = static_cast<size_t>(1) << options.hll_precision;
+  const size_t threshold = options.small_bucket_threshold == kThresholdAuto
+                               ? m
+                               : options.small_bucket_threshold;
+
+  // Sort entries by bucket key to group buckets contiguously; break ties by
+  // id so the layout is independent of the input entry order.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&keys, &ids](uint32_t a, uint32_t b) {
+    return keys[a] < keys[b] || (keys[a] == keys[b] && ids[a] < ids[b]);
+  });
+
+  ids_.reserve(n);
+  offsets_.push_back(0);
+  size_t i = 0;
+  while (i < n) {
+    const uint64_t key = keys[order[i]];
+    const size_t begin = i;
+    while (i < n && keys[order[i]] == key) ++i;
+    const size_t bucket_size = i - begin;
+
+    const uint32_t ordinal = static_cast<uint32_t>(offsets_.size() - 1);
+    bucket_index_.emplace(key, ordinal);
+    for (size_t j = begin; j < i; ++j) ids_.push_back(ids[order[j]]);
+    offsets_.push_back(ids_.size());
+    max_bucket_size_ = std::max(max_bucket_size_, bucket_size);
+
+    // Materialize a sketch only for large buckets (paper §3.2 trick).
+    if (bucket_size >= threshold) {
+      hll::HyperLogLog sketch(options.hll_precision);
+      for (size_t j = begin; j < i; ++j) sketch.AddPoint(ids[order[j]]);
+      sketch_of_bucket_.push_back(static_cast<int32_t>(sketches_.size()));
+      sketches_.push_back(std::move(sketch));
+    } else {
+      sketch_of_bucket_.push_back(-1);
+    }
+  }
+}
+
+void LshTable::ExportEntries(std::vector<uint64_t>* keys,
+                             std::vector<uint32_t>* ids,
+                             const util::BitVector* tombstones) const {
+  const size_t num_buckets = offsets_.empty() ? 0 : offsets_.size() - 1;
+  std::vector<uint64_t> key_of_ordinal(num_buckets, 0);
+  for (const auto& [key, ordinal] : bucket_index_) key_of_ordinal[ordinal] = key;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    for (size_t j = offsets_[b]; j < offsets_[b + 1]; ++j) {
+      const uint32_t id = ids_[j];
+      if (tombstones != nullptr && id < tombstones->size() &&
+          tombstones->Get(id)) {
+        continue;
+      }
+      keys->push_back(key_of_ordinal[b]);
+      ids->push_back(id);
     }
   }
 }
@@ -162,6 +237,31 @@ util::StatusOr<LshTable> LshTable::Deserialize(util::ByteReader* reader) {
     }
   }
   return table;
+}
+
+void DynamicLshTable::ExportEntries(std::vector<uint64_t>* keys,
+                                    std::vector<uint32_t>* ids,
+                                    const util::BitVector* tombstones) const {
+  for (const auto& [key, bucket] : buckets_) {
+    for (const uint32_t id : bucket) {
+      if (tombstones != nullptr && id < tombstones->size() &&
+          tombstones->Get(id)) {
+        continue;
+      }
+      keys->push_back(key);
+      ids->push_back(id);
+    }
+  }
+}
+
+size_t DynamicLshTable::MemoryBytes() const {
+  size_t total = buckets_.size() *
+                 (sizeof(uint64_t) + sizeof(std::vector<uint32_t>) +
+                  sizeof(void*));
+  for (const auto& [key, bucket] : buckets_) {
+    total += bucket.capacity() * sizeof(uint32_t);
+  }
+  return total;
 }
 
 }  // namespace lsh

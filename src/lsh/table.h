@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "hll/hyperloglog.h"
+#include "util/bit_vector.h"
 #include "util/serialize.h"
 #include "util/status.h"
 
@@ -53,6 +54,22 @@ class LshTable {
   /// Builds the table from per-point bucket keys: point id i belongs to the
   /// bucket keyed keys[i]. Single pass; replaces any previous content.
   void Build(std::span<const uint64_t> keys, const Options& options);
+
+  /// Builds the table from explicit (key, id) pairs: ids[i] belongs to the
+  /// bucket keyed keys[i]. This is the segment-merge path: compaction
+  /// exports the surviving entries of several tables (ExportEntries) and
+  /// rebuilds one fresh table — with fresh sketches — without rehashing any
+  /// point. Ids within a bucket are stored in ascending order, so the
+  /// result is independent of the input entry order. Options::id_base is
+  /// ignored (ids are already global). Replaces any previous content.
+  void BuildFromEntries(std::span<const uint64_t> keys,
+                        std::span<const uint32_t> ids, const Options& options);
+
+  /// Appends every (bucket key, id) pair of the table to *keys / *ids,
+  /// skipping ids whose `tombstones` bit is set (pass nullptr to keep
+  /// everything). The inverse of BuildFromEntries, used by compaction.
+  void ExportEntries(std::vector<uint64_t>* keys, std::vector<uint32_t>* ids,
+                     const util::BitVector* tombstones = nullptr) const;
 
   /// A view of one bucket. `sketch` is null for small buckets (fold `ids`
   /// into the merged HLL instead).
@@ -93,6 +110,51 @@ class LshTable {
   std::vector<int32_t> sketch_of_bucket_;  // ordinal -> sketch idx or -1
   std::vector<hll::HyperLogLog> sketches_;
   size_t max_bucket_size_ = 0;
+};
+
+/// The append-friendly sibling of LshTable: plain hash-map buckets, no
+/// sketches, no CSR packing. This is the *active segment* representation of
+/// engine::SegmentedIndex — freshly inserted points land here until the
+/// segment is sealed into an LshTable. Lookup returns the same BucketView
+/// as LshTable with `sketch == nullptr`, so the query path treats every
+/// active bucket like a small bucket (ids folded into the merged HLL on
+/// demand), and the estimate/collect helpers work over either table kind.
+class DynamicLshTable {
+ public:
+  DynamicLshTable() = default;
+
+  /// Appends `id` to the bucket keyed `key`.
+  void Insert(uint64_t key, uint32_t id) {
+    buckets_[key].push_back(id);
+    ++num_points_;
+  }
+
+  /// Looks up the bucket for a key; empty view when absent, never a sketch.
+  LshTable::BucketView Lookup(uint64_t key) const {
+    const auto it = buckets_.find(key);
+    if (it == buckets_.end()) return LshTable::BucketView{};
+    return LshTable::BucketView{{it->second.data(), it->second.size()},
+                                nullptr};
+  }
+
+  /// Appends every (key, id) pair to *keys / *ids, skipping tombstoned ids
+  /// (same contract as LshTable::ExportEntries).
+  void ExportEntries(std::vector<uint64_t>* keys, std::vector<uint32_t>* ids,
+                     const util::BitVector* tombstones = nullptr) const;
+
+  size_t num_points() const { return num_points_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t MemoryBytes() const;
+
+  /// Drops every bucket (after sealing into an LshTable).
+  void Clear() {
+    buckets_.clear();
+    num_points_ = 0;
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+  size_t num_points_ = 0;
 };
 
 }  // namespace lsh

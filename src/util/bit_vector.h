@@ -63,10 +63,21 @@ class BitVector {
   /// Number of one bits. O(size/64).
   size_t Count() const;
 
+  /// Heap bytes of the word storage (memory accounting).
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
   /// Resizes to `size` bits; new bits are zero.
   void Resize(size_t size) {
     size_ = size;
     words_.assign((size + 63) / 64, 0);
+  }
+
+  /// Extends to `size` bits, preserving existing bits; new bits are zero.
+  /// No-op when already at least `size` bits.
+  void Grow(size_t size) {
+    if (size <= size_) return;
+    size_ = size;
+    words_.resize((size + 63) / 64, 0);
   }
 
  private:

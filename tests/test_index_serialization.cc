@@ -5,6 +5,7 @@
 // byte-identical query keys and cost estimates for every query — i.e., it
 // IS the same index, not a statistically equivalent one.
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -163,6 +164,46 @@ TEST_F(IndexSerializationTest, LoadedIndexServesHybridQueries) {
     original.Query(dataset.point(q * 100), radius, &out_a);
     restored.Query(dataset.point(q * 100), radius, &out_b);
     EXPECT_EQ(out_a, out_b) << "query " << q;
+  }
+}
+
+TEST_F(IndexSerializationTest, IdBaseRoundTrip) {
+  // A shard-offset index (Options::id_base) must reload with the offset
+  // intact: both the accessor and the global ids stored in the buckets.
+  constexpr size_t kDim = 8;
+  constexpr uint32_t kBase = 1000;
+  const data::DenseDataset dataset = data::MakeCorelLike(500, kDim, 7);
+  L2Index::Options options;
+  options.num_tables = 8;
+  options.k = 5;
+  options.seed = 11;
+  options.id_base = kBase;
+  auto index =
+      L2Index::Build(lsh::PStableFamily::L2(kDim, 1.0), dataset, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->Save(Path("idbase.idx")).ok());
+  auto loaded = L2Index::Load(Path("idbase.idx"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->id_base(), kBase);
+  ExpectIdenticalBehaviour(*index, *loaded, dataset);
+
+  // The bucket ids themselves carry the offset after reload.
+  util::VisitedSet original_ids(kBase + dataset.size());
+  util::VisitedSet loaded_ids(kBase + dataset.size());
+  std::vector<uint64_t> keys;
+  for (size_t q = 0; q < 10; ++q) {
+    index->QueryKeys(dataset.point(q), &keys);
+    original_ids.Reset();
+    loaded_ids.Reset();
+    index->CollectCandidates(keys, &original_ids);
+    loaded->CollectCandidates(keys, &loaded_ids);
+    auto a = original_ids.touched();
+    auto b = loaded_ids.touched();
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_FALSE(a.empty());  // the home bucket holds at least point q
+    EXPECT_EQ(a, b) << "query " << q;
+    for (uint32_t id : a) EXPECT_GE(id, kBase);
   }
 }
 

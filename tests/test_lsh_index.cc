@@ -160,6 +160,41 @@ TEST_F(L2IndexTest, EstimateProbeCollisionsAreExact) {
   }
 }
 
+TEST_F(L2IndexTest, RepeatedProbeKeysCountEachBucketOnce) {
+  // Multi-probe key lists can repeat a bucket beyond the home-key padding:
+  // distinct perturbations may collide on one key. Every repeat within a
+  // table must be skipped, or collisions double-count and the merged HLL
+  // re-merges the same sketch.
+  auto options = AutoOptions();
+  options.k = 6;
+  auto index = LshIndex<PStableFamily>::Build(Family(), dataset_, options);
+  ASSERT_TRUE(index.ok());
+
+  std::vector<uint64_t> home, other;
+  index->QueryKeys(queries_.point(0), &home);
+  index->QueryKeys(dataset_.point(0), &other);  // non-empty buckets
+  const size_t L = home.size();
+
+  // Per table: [home, other, other] — a repeated NON-home probe.
+  std::vector<uint64_t> keys(L * 3);
+  uint64_t expected = 0;
+  for (size_t t = 0; t < L; ++t) {
+    keys[t * 3] = home[t];
+    keys[t * 3 + 1] = other[t];
+    keys[t * 3 + 2] = other[t];
+    expected += index->Bucket(t, home[t]).size();
+    if (other[t] != home[t]) expected += index->Bucket(t, other[t]).size();
+  }
+  ASSERT_GT(expected, 0u);  // dataset point 0 sits in its own buckets
+
+  auto scratch = index->MakeScratchSketch();
+  const auto estimate = index->EstimateProbe(keys, &scratch);
+  EXPECT_EQ(estimate.collisions, expected);
+
+  util::VisitedSet visited(dataset_.size());
+  EXPECT_EQ(index->CollectCandidates(keys, &visited), expected);
+}
+
 TEST_F(L2IndexTest, EstimateProbeCandSizeIsAccurate) {
   auto index = LshIndex<PStableFamily>::Build(Family(), dataset_, AutoOptions());
   ASSERT_TRUE(index.ok());

@@ -205,6 +205,64 @@ TEST_F(SearchEngineTest, PStableRequiresWindowOrRadius) {
   EXPECT_TRUE(derived.ok()) << derived.status().ToString();
 }
 
+TEST_F(SearchEngineTest, MutableLifecycleThroughTheFacade) {
+  data::BinaryDataset dataset = binary_;  // grows with inserts
+  auto built =
+      BuildMutableEngine(data::Metric::kHamming, &dataset, BaseOptions());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  SearchEngine* engine = built->get();
+
+  // Only the matching point representation inserts.
+  EXPECT_FALSE(engine->Insert(dense_queries_.point(0)).ok());
+
+  const data::BinaryDataset incoming = data::MakeRandomCodes(300, 64, 91);
+  const size_t initial_n = dataset.size();
+  for (size_t i = 0; i < incoming.size(); ++i) {
+    auto id = engine->Insert(incoming.point(i));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(*id, initial_n + i);
+  }
+  for (uint32_t id = 0; id < 100; ++id) {
+    ASSERT_TRUE(engine->Remove(id).ok());
+  }
+  ASSERT_TRUE(engine->Compact().ok());
+  EXPECT_EQ(engine->size(), initial_n + incoming.size() - 100);
+
+  // Post-churn queries: correct ids only, removed ids never reported.
+  std::vector<uint32_t> out;
+  for (size_t q = 0; q < binary_queries_.size(); ++q) {
+    out.clear();
+    ASSERT_TRUE(
+        engine->Query(binary_queries_.point(q), kHammingRadius, &out).ok());
+    const auto truth = data::RangeScanBinary(
+        dataset, binary_queries_.point(q),
+        static_cast<uint32_t>(kHammingRadius));
+    for (uint32_t id : out) {
+      EXPECT_GE(id, 100u);
+      EXPECT_TRUE(std::binary_search(truth.begin(), truth.end(), id));
+    }
+  }
+}
+
+TEST_F(SearchEngineTest, ConstBuildIsReadOnlyUntilEnableUpdates) {
+  data::BinaryDataset dataset = binary_;
+  auto engine = BuildEngine(data::Metric::kHamming, &dataset, BaseOptions());
+  ASSERT_TRUE(engine.ok());
+
+  // Insert needs a mutable dataset; Remove and Compact never do.
+  EXPECT_EQ((*engine)->Insert(dataset.point(0)).status().code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_TRUE((*engine)->Remove(0).ok());
+  ASSERT_TRUE((*engine)->Compact().ok());
+  EXPECT_EQ((*engine)->size(), dataset.size() - 1);
+
+  // The wrong container type cannot arm updates; the right one can.
+  data::DenseDataset wrong(4, 8);
+  EXPECT_FALSE((*engine)->EnableUpdates(&wrong).ok());
+  ASSERT_TRUE((*engine)->EnableUpdates(&dataset).ok());
+  EXPECT_TRUE((*engine)->Insert(dataset.point(1)).ok());
+}
+
 // Keep last in this file: replaces the kCosine builtin for the remainder of
 // the test process.
 TEST_F(SearchEngineTest, ZRegistryAcceptsExternalFactories) {

@@ -1,0 +1,364 @@
+// Tests for engine/segmented_index.h: the mutable lifecycle must be
+// indistinguishable from a static rebuild.
+//
+// The core property: after ANY interleaving of inserts, deletes, seals and
+// compactions, query results over the segmented index equal those of a
+// fresh LshIndex built over the current live point set with the same seed
+// (ids mapped through the live-id list, sorted). Checked under forced-LSH
+// and forced-linear execution — the two deterministic strategies — for two
+// LSH families (p-stable L2 and bit-sampling Hamming) and with multi-probe
+// enabled; the auto decision is bracketed between them. Lifecycle
+// accounting (seal thresholds, tombstone counts, auto-compaction) is
+// verified alongside.
+
+#include "engine/segmented_index.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hybridlsh.h"
+
+namespace hybridlsh {
+namespace engine {
+namespace {
+
+std::vector<uint32_t> Sorted(std::vector<uint32_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool IsSubset(const std::vector<uint32_t>& sub,
+              const std::vector<uint32_t>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+data::DenseDataset MakeEmptyLike(const data::DenseDataset& dataset) {
+  return data::DenseDataset(0, dataset.dim());
+}
+data::BinaryDataset MakeEmptyLike(const data::BinaryDataset& dataset) {
+  return data::BinaryDataset(0, dataset.width_bits());
+}
+
+/// Rebuilds a static LshIndex over the live points of (index, dataset) and
+/// returns, per query, the sorted global ids the static index reports under
+/// `forced`. The static index numbers points 0..live-1; results are mapped
+/// back through the live-id list, so they are directly comparable with the
+/// segmented index's output.
+template <typename Family, typename Dataset, typename Queries>
+std::vector<std::vector<uint32_t>> StaticRebuildResults(
+    const SegmentedIndex<Family, Dataset>& index, const Dataset& dataset,
+    const Queries& queries, double radius,
+    const typename lsh::LshIndex<Family>::Options& options,
+    core::SearcherOptions searcher_options, core::ForcedStrategy forced) {
+  std::vector<uint32_t> live_ids;
+  index.ForEachLiveId([&](uint32_t id) { live_ids.push_back(id); });
+  std::sort(live_ids.begin(), live_ids.end());
+
+  Dataset live = MakeEmptyLike(dataset);
+  for (const uint32_t id : live_ids) {
+    HLSH_CHECK(AppendDatasetPoint(&live, dataset.point(id)).ok());
+  }
+
+  auto rebuilt =
+      lsh::LshIndex<Family>::Build(index.family(), live, options);
+  HLSH_CHECK(rebuilt.ok());
+  searcher_options.forced = forced;
+  core::HybridSearcher<lsh::LshIndex<Family>, Dataset> searcher(
+      &*rebuilt, &live, searcher_options);
+
+  std::vector<std::vector<uint32_t>> results(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::vector<uint32_t> local;
+    searcher.Query(queries.point(q), radius, &local);
+    for (uint32_t& id : local) id = live_ids[id];
+    results[q] = Sorted(std::move(local));
+  }
+  return results;
+}
+
+/// One live query pass over the segmented index under `forced`.
+template <typename Family, typename Dataset, typename Queries>
+std::vector<std::vector<uint32_t>> SegmentedResults(
+    const SegmentedIndex<Family, Dataset>& index, const Dataset& dataset,
+    const Queries& queries, double radius,
+    core::SearcherOptions searcher_options, core::ForcedStrategy forced) {
+  searcher_options.forced = forced;
+  core::HybridSearcher<SegmentedIndex<Family, Dataset>, Dataset> searcher(
+      &index, &dataset, searcher_options);
+  std::vector<std::vector<uint32_t>> results(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    searcher.Query(queries.point(q), radius, &results[q]);
+    results[q] = Sorted(std::move(results[q]));
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Dense / L2, with multi-probe enabled (acceptance: multi-probe path).
+
+class SegmentedL2Test : public ::testing::Test {
+ protected:
+  static constexpr size_t kDim = 16;
+  static constexpr double kRadius = 0.4;
+
+  void SetUp() override {
+    const data::DenseDataset full = data::MakeCorelLike(2403, kDim, 17);
+    const data::DenseSplit split = data::SplitQueries(full, 20, 18);
+    dataset_ = split.base;
+    queries_ = split.queries;
+    // Fresh points to stream in, disjoint from the base set.
+    incoming_ = data::MakeCorelLike(1200, kDim, 19);
+
+    index_options_.num_tables = 20;
+    index_options_.k = 7;
+    index_options_.seed = 23;
+    searcher_options_.cost_model = core::CostModel::FromRatio(6.0);
+    searcher_options_.probes_per_table = 3;  // multi-probe on
+  }
+
+  SegmentedIndex<lsh::PStableFamily>::Options SegOptions() const {
+    SegmentedIndex<lsh::PStableFamily>::Options options;
+    options.index = index_options_;
+    options.index.num_build_threads = 2;
+    options.active_seal_threshold = 256;
+    options.max_sealed_segments = 3;
+    return options;
+  }
+
+  lsh::PStableFamily Family() const {
+    return lsh::PStableFamily::L2(kDim, 2 * kRadius);
+  }
+
+  /// Asserts the segmented index matches a static rebuild for both forced
+  /// strategies and that the auto decision is bracketed between them.
+  void ExpectEquivalent(const SegmentedIndex<lsh::PStableFamily>& index) {
+    for (const auto forced : {core::ForcedStrategy::kAlwaysLsh,
+                              core::ForcedStrategy::kAlwaysLinear}) {
+      const auto segmented = SegmentedResults(index, dataset_, queries_,
+                                              kRadius, searcher_options_,
+                                              forced);
+      const auto rebuilt = StaticRebuildResults(
+          index, dataset_, queries_, kRadius, index_options_,
+          searcher_options_, forced);
+      for (size_t q = 0; q < queries_.size(); ++q) {
+        EXPECT_EQ(segmented[q], rebuilt[q])
+            << "query " << q << " forced=" << static_cast<int>(forced);
+      }
+    }
+    const auto lsh = SegmentedResults(index, dataset_, queries_, kRadius,
+                                      searcher_options_,
+                                      core::ForcedStrategy::kAlwaysLsh);
+    const auto linear = SegmentedResults(index, dataset_, queries_, kRadius,
+                                         searcher_options_,
+                                         core::ForcedStrategy::kAlwaysLinear);
+    const auto auto_mode = SegmentedResults(index, dataset_, queries_, kRadius,
+                                            searcher_options_,
+                                            core::ForcedStrategy::kAuto);
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      EXPECT_TRUE(IsSubset(lsh[q], linear[q]));
+      EXPECT_TRUE(IsSubset(auto_mode[q], linear[q]));
+      EXPECT_TRUE(IsSubset(lsh[q], auto_mode[q]));
+    }
+  }
+
+  data::DenseDataset dataset_;
+  data::DenseDataset queries_;
+  data::DenseDataset incoming_;
+  lsh::LshIndex<lsh::PStableFamily>::Options index_options_;
+  core::SearcherOptions searcher_options_;
+};
+
+TEST_F(SegmentedL2Test, ChurnMatchesStaticRebuildAtEveryPhase) {
+  auto built = SegmentedIndex<lsh::PStableFamily>::Build(
+      Family(), &dataset_, 0, dataset_.size(), SegOptions());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto index = std::move(*built);
+  ASSERT_TRUE(index.EnableUpdates(&dataset_).ok());
+
+  util::Rng rng(29);
+  size_t next_incoming = 0;
+  const size_t initial_n = dataset_.size();
+
+  // Phase 1: inserts only (several seals happen at threshold 256).
+  for (size_t i = 0; i < 600; ++i) {
+    auto id = index.Insert(incoming_.point(next_incoming++));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, initial_n + i);
+  }
+  EXPECT_GT(index.lifecycle().sealed_segments, 1u);
+  ExpectEquivalent(index);
+
+  // Phase 2: deletes across both the initial range and the inserted tail.
+  size_t removed = 0;
+  for (size_t i = 0; i < 300; ++i) {
+    const uint32_t id = static_cast<uint32_t>(
+        rng.UniformInt(0, static_cast<int64_t>(dataset_.size() - 1)));
+    if (index.is_live(id)) ++removed;
+    ASSERT_TRUE(index.Remove(id).ok());
+  }
+  EXPECT_EQ(index.live_size(), initial_n + 600 - removed);
+  EXPECT_LT(index.live_fraction(), 1.0);
+  ExpectEquivalent(index);
+
+  // Phase 3: explicit compaction drops every tombstone.
+  index.Compact();
+  EXPECT_EQ(index.lifecycle().tombstones, 0u);
+  EXPECT_EQ(index.lifecycle().sealed_segments, 1u);
+  EXPECT_DOUBLE_EQ(index.live_fraction(), 1.0);
+  EXPECT_EQ(index.live_size(), initial_n + 600 - removed);
+  ExpectEquivalent(index);
+
+  // Phase 4: mixed churn afterwards, relying on auto-seal + auto-compact.
+  for (size_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(index.Insert(incoming_.point(next_incoming++)).ok());
+    if (i % 3 == 0) {
+      const uint32_t id = static_cast<uint32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(dataset_.size() - 1)));
+      ASSERT_TRUE(index.Remove(id).ok());
+    }
+  }
+  ExpectEquivalent(index);
+}
+
+TEST_F(SegmentedL2Test, StreamingFromZeroMatchesStaticRebuild) {
+  data::DenseDataset empty(0, kDim);
+  auto built = SegmentedIndex<lsh::PStableFamily>::Build(Family(), &empty, 0,
+                                                         0, SegOptions());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto index = std::move(*built);
+  ASSERT_TRUE(index.EnableUpdates(&empty).ok());
+  EXPECT_EQ(index.live_size(), 0u);
+
+  for (size_t i = 0; i < 700; ++i) {
+    ASSERT_TRUE(index.Insert(incoming_.point(i)).ok());
+  }
+  EXPECT_EQ(index.live_size(), 700u);
+
+  // Query against the dataset the index actually grew (the index holds a
+  // pointer to `empty`, so dataset_ cannot stand in for it).
+  for (const auto forced : {core::ForcedStrategy::kAlwaysLsh,
+                            core::ForcedStrategy::kAlwaysLinear}) {
+    const auto segmented = SegmentedResults(index, empty, queries_, kRadius,
+                                            searcher_options_, forced);
+    const auto rebuilt =
+        StaticRebuildResults(index, empty, queries_, kRadius, index_options_,
+                             searcher_options_, forced);
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      EXPECT_EQ(segmented[q], rebuilt[q]) << "query " << q;
+    }
+  }
+}
+
+TEST_F(SegmentedL2Test, LifecycleAccountingAndGuards) {
+  auto built = SegmentedIndex<lsh::PStableFamily>::Build(
+      Family(), &dataset_, 0, dataset_.size(), SegOptions());
+  ASSERT_TRUE(built.ok());
+  auto index = std::move(*built);
+
+  // Read-only until EnableUpdates; Remove works regardless.
+  EXPECT_FALSE(index.Insert(incoming_.point(0)).ok());
+  EXPECT_TRUE(index.Remove(0).ok());
+  EXPECT_TRUE(index.Remove(0).ok());  // idempotent
+  EXPECT_EQ(index.lifecycle().tombstones, 1u);
+  EXPECT_EQ(index.live_size(), dataset_.size() - 1);
+
+  // A foreign dataset is rejected; the indexed one is accepted.
+  data::DenseDataset other(5, kDim);
+  EXPECT_FALSE(index.EnableUpdates(&other).ok());
+  ASSERT_TRUE(index.EnableUpdates(&dataset_).ok());
+
+  // Active points count until the seal threshold freezes them.
+  const size_t threshold = SegOptions().active_seal_threshold;
+  for (size_t i = 0; i < threshold - 1; ++i) {
+    ASSERT_TRUE(index.Insert(incoming_.point(i)).ok());
+  }
+  EXPECT_EQ(index.lifecycle().active_points, threshold - 1);
+  EXPECT_EQ(index.lifecycle().sealed_segments, 1u);
+  ASSERT_TRUE(index.Insert(incoming_.point(threshold - 1)).ok());
+  EXPECT_EQ(index.lifecycle().active_points, 0u);
+  EXPECT_EQ(index.lifecycle().sealed_segments, 2u);
+  EXPECT_GT(index.SketchBytes(), 0u);
+
+  // Out-of-range removes are rejected.
+  EXPECT_FALSE(index.Remove(static_cast<uint32_t>(dataset_.size())).ok());
+
+  // Compacting everything away leaves a queryable empty index.
+  const size_t n = dataset_.size();
+  for (uint32_t id = 0; id < n; ++id) ASSERT_TRUE(index.Remove(id).ok());
+  EXPECT_EQ(index.live_size(), 0u);
+  index.Compact();
+  EXPECT_EQ(index.lifecycle().sealed_segments, 0u);
+  std::vector<uint32_t> out;
+  core::SearcherOptions options = searcher_options_;
+  core::HybridSearcher<SegmentedIndex<lsh::PStableFamily>,
+                       data::DenseDataset>
+      searcher(&index, &dataset_, options);
+  searcher.Query(queries_.point(0), kRadius, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Binary / Hamming: the second family of the acceptance matrix.
+
+TEST(SegmentedHammingTest, ChurnMatchesStaticRebuild) {
+  constexpr size_t kBits = 64;
+  constexpr double kRadius = 12;
+
+  const data::BinaryDataset codes = data::MakeRandomCodes(1603, kBits, 31);
+  const data::BinarySplit split = data::SplitQueriesBinary(codes, 15, 32);
+  data::BinaryDataset dataset = split.base;
+  const data::BinaryDataset queries = split.queries;
+  const data::BinaryDataset incoming = data::MakeRandomCodes(900, kBits, 33);
+
+  lsh::LshIndex<lsh::BitSamplingFamily>::Options index_options;
+  index_options.num_tables = 20;
+  index_options.k = 9;
+  index_options.seed = 37;
+
+  SegmentedIndex<lsh::BitSamplingFamily>::Options options;
+  options.index = index_options;
+  options.active_seal_threshold = 200;
+  options.max_sealed_segments = 2;
+
+  core::SearcherOptions searcher_options;
+  searcher_options.cost_model = core::CostModel::FromRatio(6.0);
+  searcher_options.probes_per_table = 2;  // multi-probe on (bit flips)
+
+  auto built = SegmentedIndex<lsh::BitSamplingFamily>::Build(
+      lsh::BitSamplingFamily(kBits), &dataset, 0, dataset.size(), options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto index = std::move(*built);
+  ASSERT_TRUE(index.EnableUpdates(&dataset).ok());
+
+  util::Rng rng(41);
+  for (size_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(index.Insert(incoming.point(i)).ok());
+    if (i % 4 == 0) {
+      const uint32_t id = static_cast<uint32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(dataset.size() - 1)));
+      ASSERT_TRUE(index.Remove(id).ok());
+    }
+  }
+  index.Compact();
+  for (size_t i = 500; i < 900; ++i) {
+    ASSERT_TRUE(index.Insert(incoming.point(i)).ok());
+  }
+
+  for (const auto forced : {core::ForcedStrategy::kAlwaysLsh,
+                            core::ForcedStrategy::kAlwaysLinear}) {
+    const auto segmented = SegmentedResults(index, dataset, queries, kRadius,
+                                            searcher_options, forced);
+    const auto rebuilt =
+        StaticRebuildResults(index, dataset, queries, kRadius, index_options,
+                             searcher_options, forced);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(segmented[q], rebuilt[q]) << "query " << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace hybridlsh

@@ -296,6 +296,134 @@ TEST(ShardedEngineHammingTest, ForcedLshMatchesMonolithic) {
   }
 }
 
+// --- Mutable lifecycle through the sharded engine. -------------------------
+
+TEST_F(ShardedEngineTest, ChurnMatchesStaticRebuildAcrossShardCounts) {
+  const data::DenseDataset incoming = data::MakeCorelLike(1000, kDim, 77);
+
+  for (size_t num_shards : {3, 7}) {
+    for (const auto forced : {core::ForcedStrategy::kAlwaysLsh,
+                              core::ForcedStrategy::kAlwaysLinear}) {
+      // Each (shard count, strategy) run replays the same churn: Insert
+      // routing is round-robin and the remove sequence is seeded, so the
+      // final live set is identical across runs.
+      data::DenseDataset dataset = dataset_;  // grows with inserts
+      typename ShardedEngine<lsh::PStableFamily>::Options options;
+      options.num_shards = num_shards;
+      options.index = index_options_;
+      options.active_seal_threshold = 128;
+      options.max_sealed_segments = 2;
+      options.searcher = searcher_options_;
+      options.searcher.probes_per_table = 3;  // multi-probe on
+      options.searcher.forced = forced;
+      auto built = ShardedEngine<lsh::PStableFamily>::Build(Family(), &dataset,
+                                                            options);
+      ASSERT_TRUE(built.ok()) << built.status().ToString();
+      auto engine = std::move(*built);
+      EXPECT_TRUE(engine.updates_enabled());
+
+      util::Rng rng(91 + num_shards);
+      const size_t initial_n = dataset.size();
+      for (size_t i = 0; i < 600; ++i) {
+        auto id = engine.Insert(incoming.point(i));
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        EXPECT_EQ(*id, initial_n + i);
+        if (i % 3 == 0) {
+          const uint32_t victim = static_cast<uint32_t>(
+              rng.UniformInt(0, static_cast<int64_t>(dataset.size() - 1)));
+          ASSERT_TRUE(engine.Remove(victim).ok());
+        }
+      }
+      engine.CompactAll();
+      for (size_t i = 600; i < incoming.size(); ++i) {
+        ASSERT_TRUE(engine.Insert(incoming.point(i)).ok());
+      }
+
+      // Static rebuild over the live set, queried under the same strategy.
+      std::vector<uint32_t> live_ids;
+      for (size_t s = 0; s < engine.num_shards(); ++s) {
+        engine.shard_index(s).ForEachLiveId(
+            [&](uint32_t id) { live_ids.push_back(id); });
+      }
+      std::sort(live_ids.begin(), live_ids.end());
+      ASSERT_EQ(live_ids.size(), engine.size());
+      data::DenseDataset live(0, kDim);
+      for (const uint32_t id : live_ids) {
+        live.Append(std::span<const float>(dataset.point(id), kDim));
+      }
+      auto rebuilt = L2Index::Build(Family(), live, index_options_);
+      ASSERT_TRUE(rebuilt.ok());
+      core::SearcherOptions rebuilt_options = options.searcher;
+      L2Searcher searcher(&*rebuilt, &live, rebuilt_options);
+
+      std::vector<uint32_t> expected;
+      std::vector<uint32_t> out;
+      for (size_t q = 0; q < queries_.size(); ++q) {
+        expected.clear();
+        out.clear();
+        searcher.Query(queries_.point(q), kRadius, &expected);
+        for (uint32_t& id : expected) id = live_ids[id];
+        engine.Query(queries_.point(q), kRadius, &out);
+        EXPECT_EQ(Sorted(out), Sorted(expected))
+            << "shards=" << num_shards << " query=" << q
+            << " forced=" << static_cast<int>(forced);
+      }
+    }
+  }
+}
+
+TEST_F(ShardedEngineTest, UpdateRoutingAndGuards) {
+  data::DenseDataset dataset = dataset_;
+  typename ShardedEngine<lsh::PStableFamily>::Options options;
+  options.num_shards = 4;
+  options.index = index_options_;
+  options.searcher = searcher_options_;
+
+  // Read-only build: Insert rejected until EnableUpdates; Remove works.
+  auto engine = ShardedEngine<lsh::PStableFamily>::Build(
+      Family(), static_cast<const data::DenseDataset&>(dataset), options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->updates_enabled());
+  EXPECT_FALSE(engine->Insert(dataset.point(0)).ok());
+  EXPECT_TRUE(engine->Remove(5).ok());
+  EXPECT_EQ(engine->size(), dataset.size() - 1);
+
+  // A foreign dataset is rejected; the indexed one is accepted.
+  data::DenseDataset other(3, kDim);
+  EXPECT_FALSE(engine->EnableUpdates(&other).ok());
+  ASSERT_TRUE(engine->EnableUpdates(&dataset).ok());
+
+  // Inserts spread round-robin and land on the owning shard for Remove.
+  const data::DenseDataset incoming = data::MakeCorelLike(8, kDim, 93);
+  std::vector<uint32_t> inserted;
+  for (size_t i = 0; i < 8; ++i) {
+    auto id = engine->Insert(incoming.point(i));
+    ASSERT_TRUE(id.ok());
+    inserted.push_back(*id);
+  }
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(engine->shard_index(s).lifecycle().active_points, 2u);
+  }
+  for (const uint32_t id : inserted) EXPECT_TRUE(engine->Remove(id).ok());
+
+  // Ids that were never handed out are rejected.
+  EXPECT_FALSE(
+      engine->Remove(static_cast<uint32_t>(dataset.size()) + 10).ok());
+
+  // Compaction drops all tombstones and keeps the engine serving.
+  engine->CompactAll();
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(engine->shard_index(s).lifecycle().tombstones, 0u);
+  }
+  std::vector<uint32_t> out;
+  engine->Query(queries_.point(0), kRadius, &out);
+  const auto truth = data::RangeScanDense(dataset_, queries_.point(0),
+                                          kRadius, data::Metric::kL2);
+  for (uint32_t id : out) {
+    EXPECT_TRUE(std::binary_search(truth.begin(), truth.end(), id));
+  }
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace hybridlsh
