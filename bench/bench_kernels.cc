@@ -1,0 +1,263 @@
+// Kernel-subsystem microbench: ns/distance per metric per SIMD tier, HLL
+// register-op latency, and block-batched verification throughput against
+// the old per-id scalar baseline.
+//
+// One JSON object per line (comment lines carry context), the repo's
+// machine-readable bench format. Three row kinds:
+//
+//   {"bench":"kernels","kind":"distance","kernel":"l2sq","tier":"avx2",
+//    "dim":64,"ns_per_distance":3.1}
+//   {"bench":"kernels","kind":"hll","op":"merge","tier":"avx2",
+//    "precision":7,"ns_per_op":9.8}
+//   {"bench":"kernels","kind":"verify","metric":"L2","tier":"avx2",
+//    "dim":64,"ids":20000,"mcand_per_sec":311.2,
+//    "speedup_vs_per_id_scalar":4.7}
+//
+// The verify baseline ("tier":"per_id_scalar") re-creates the pre-kernel
+// hot path: one data/metric.h call per candidate, no blocking, no
+// prefetch, sqrt per L2 candidate. The committed BENCH_kernels.json tracks
+// these rows; the CI smoke job just checks the binary runs.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/kernels.h"
+#include "util/simd.h"
+
+using namespace hybridlsh;
+
+namespace {
+
+constexpr size_t kDim = 64;
+
+/// Tiers the bench machine supports, scalar first.
+std::vector<util::simd::Tier> SupportedTiers() {
+  std::vector<util::simd::Tier> tiers = {util::simd::Tier::kScalar};
+  if (util::simd::MaxSupportedTier() >= util::simd::Tier::kSse2) {
+    tiers.push_back(util::simd::Tier::kSse2);
+  }
+  if (util::simd::MaxSupportedTier() >= util::simd::Tier::kAvx2) {
+    tiers.push_back(util::simd::Tier::kAvx2);
+  }
+  return tiers;
+}
+
+/// Keeps results observable so the kernel calls cannot be optimized away.
+volatile float g_sink_f = 0;
+volatile double g_sink_d = 0;
+volatile uint32_t g_sink_u = 0;
+
+void BenchDistanceKernels(const data::DenseDataset& rows, size_t reps) {
+  const size_t n = rows.size();
+  for (const util::simd::Tier tier : SupportedTiers()) {
+    const core::kernels::KernelTable& table =
+        core::kernels::KernelsForTier(tier);
+    const struct {
+      const char* name;
+      float (*fn)(const float*, const float*, size_t);
+    } kernels[] = {{"l1", table.l1},
+                   {"l2sq", table.l2sq},
+                   {"dot", table.dot},
+                   {"cosine", table.cosine}};
+    for (const auto& k : kernels) {
+      util::WallTimer timer;
+      float sink = 0;
+      for (size_t r = 0; r < reps; ++r) {
+        sink += k.fn(rows.point(r % n), rows.point((r * 7 + 1) % n), kDim);
+      }
+      g_sink_f = g_sink_f + sink;
+      const double ns = timer.ElapsedSeconds() * 1e9 / static_cast<double>(reps);
+      std::printf(
+          "{\"bench\":\"kernels\",\"kind\":\"distance\",\"kernel\":\"%s\","
+          "\"tier\":\"%s\",\"dim\":%zu,\"ns_per_distance\":%.2f}\n",
+          k.name, std::string(util::simd::TierName(table.tier)).c_str(), kDim,
+          ns);
+    }
+  }
+}
+
+void BenchHammingKernel(size_t reps) {
+  const data::BinaryDataset codes = data::MakeRandomCodes(4096, 256, 101);
+  const size_t n = codes.size();
+  const size_t words = codes.words_per_code();
+  for (const util::simd::Tier tier : SupportedTiers()) {
+    const core::kernels::KernelTable& table =
+        core::kernels::KernelsForTier(tier);
+    util::WallTimer timer;
+    uint32_t sink = 0;
+    for (size_t r = 0; r < reps; ++r) {
+      sink += table.hamming(codes.point(r % n), codes.point((r * 7 + 1) % n),
+                            words);
+    }
+    g_sink_u = g_sink_u + sink;
+    const double ns = timer.ElapsedSeconds() * 1e9 / static_cast<double>(reps);
+    std::printf(
+        "{\"bench\":\"kernels\",\"kind\":\"distance\",\"kernel\":\"hamming\","
+        "\"tier\":\"%s\",\"dim\":%zu,\"ns_per_distance\":%.2f}\n",
+        std::string(util::simd::TierName(table.tier)).c_str(), words * 64, ns);
+  }
+}
+
+void BenchHllKernels(size_t reps) {
+  util::Rng rng(102);
+  for (const int precision : {7, 14}) {
+    const size_t m = size_t{1} << precision;
+    std::vector<uint8_t> dst(m), src(m);
+    for (size_t i = 0; i < m; ++i) {
+      dst[i] = static_cast<uint8_t>(rng.NextU64() % 30);
+      src[i] = static_cast<uint8_t>(rng.NextU64() % 30);
+    }
+    for (const util::simd::Tier tier : SupportedTiers()) {
+      const core::kernels::KernelTable& table =
+          core::kernels::KernelsForTier(tier);
+      {
+        util::WallTimer timer;
+        for (size_t r = 0; r < reps; ++r) {
+          table.hll_merge(dst.data(), src.data(), m);
+        }
+        const double ns =
+            timer.ElapsedSeconds() * 1e9 / static_cast<double>(reps);
+        std::printf(
+            "{\"bench\":\"kernels\",\"kind\":\"hll\",\"op\":\"merge\","
+            "\"tier\":\"%s\",\"precision\":%d,\"ns_per_op\":%.2f}\n",
+            std::string(util::simd::TierName(table.tier)).c_str(), precision,
+            ns);
+      }
+      {
+        util::WallTimer timer;
+        double sink = 0;
+        size_t zeros = 0;
+        for (size_t r = 0; r < reps; ++r) {
+          sink += table.hll_sum(dst.data(), m, &zeros);
+        }
+        g_sink_d = g_sink_d + sink;
+        const double ns =
+            timer.ElapsedSeconds() * 1e9 / static_cast<double>(reps);
+        std::printf(
+            "{\"bench\":\"kernels\",\"kind\":\"hll\",\"op\":\"fused_sum\","
+            "\"tier\":\"%s\",\"precision\":%d,\"ns_per_op\":%.2f}\n",
+            std::string(util::simd::TierName(table.tier)).c_str(), precision,
+            ns);
+      }
+    }
+  }
+}
+
+/// The pre-kernel verification loop: one data/metric.h call per candidate.
+size_t VerifyPerIdScalar(const data::DenseDataset& dataset, data::Metric metric,
+                         const float* query, std::span<const uint32_t> ids,
+                         double radius, std::vector<uint32_t>* out) {
+  size_t reported = 0;
+  for (const uint32_t id : ids) {
+    double dist = 0;
+    switch (metric) {
+      case data::Metric::kL1:
+        dist = data::L1Distance(dataset.point(id), query, kDim);
+        break;
+      case data::Metric::kL2:
+        dist = data::L2Distance(dataset.point(id), query, kDim);
+        break;
+      default:
+        dist = data::CosineDistance(dataset.point(id), query, kDim);
+        break;
+    }
+    if (dist <= radius) {
+      out->push_back(id);
+      ++reported;
+    }
+  }
+  return reported;
+}
+
+void BenchBlockVerify(const data::DenseDataset& dataset, size_t num_ids,
+                      int runs) {
+  const util::simd::Tier entry_tier = util::simd::ResolvedTier();
+  util::Rng rng(103);
+  std::vector<uint32_t> ids(num_ids);
+  for (uint32_t& id : ids) {
+    id = static_cast<uint32_t>(rng.NextU64() % dataset.size());
+  }
+  const float* query = dataset.point(1);
+  std::vector<uint32_t> out;
+  out.reserve(num_ids);
+
+  const struct {
+    data::Metric metric;
+    double radius;
+  } cases[] = {{data::Metric::kL2, 0.45}, {data::Metric::kCosine, 0.10}};
+
+  for (const auto& c : cases) {
+    // Baseline: the old per-candidate path, always scalar data/metric.h.
+    double baseline_seconds = 0;
+    for (int run = 0; run < runs; ++run) {
+      out.clear();
+      util::WallTimer timer;
+      g_sink_u = g_sink_u + static_cast<uint32_t>(VerifyPerIdScalar(
+                                dataset, c.metric, query, ids, c.radius, &out));
+      baseline_seconds += timer.ElapsedSeconds();
+    }
+    baseline_seconds /= runs;
+    const double baseline_mcand =
+        static_cast<double>(num_ids) / baseline_seconds / 1e6;
+    std::printf(
+        "{\"bench\":\"kernels\",\"kind\":\"verify\",\"metric\":\"%s\","
+        "\"tier\":\"per_id_scalar\",\"dim\":%zu,\"ids\":%zu,"
+        "\"mcand_per_sec\":%.1f,\"speedup_vs_per_id_scalar\":1.00}\n",
+        std::string(data::MetricName(c.metric)).c_str(), kDim, num_ids,
+        baseline_mcand);
+
+    for (const util::simd::Tier tier : SupportedTiers()) {
+      util::simd::SetResolvedTierForTest(tier);
+      double seconds = 0;
+      for (int run = 0; run < runs; ++run) {
+        out.clear();
+        util::WallTimer timer;
+        g_sink_u =
+            g_sink_u + static_cast<uint32_t>(core::kernels::VerifyBlock(
+                           dataset, c.metric, query, ids, c.radius, &out));
+        seconds += timer.ElapsedSeconds();
+      }
+      seconds /= runs;
+      const double mcand = static_cast<double>(num_ids) / seconds / 1e6;
+      std::printf(
+          "{\"bench\":\"kernels\",\"kind\":\"verify\",\"metric\":\"%s\","
+          "\"tier\":\"%s\",\"dim\":%zu,\"ids\":%zu,"
+          "\"mcand_per_sec\":%.1f,\"speedup_vs_per_id_scalar\":%.2f}\n",
+          std::string(data::MetricName(c.metric)).c_str(),
+          std::string(util::simd::TierName(tier)).c_str(), kDim, num_ids,
+          mcand, baseline_seconds / seconds);
+    }
+    util::simd::SetResolvedTierForTest(entry_tier);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::GetScale(argc, argv);
+  std::printf("# Kernel subsystem: ns/distance per metric per tier, HLL "
+              "register ops, block-verify throughput vs per-id scalar\n");
+  bench::PrintScaleNote(scale);
+  std::printf("# resolved tier: %s (max supported: %s, override: HLSH_SIMD)\n",
+              std::string(util::simd::TierName(util::simd::ResolvedTier()))
+                  .c_str(),
+              std::string(util::simd::TierName(util::simd::MaxSupportedTier()))
+                  .c_str());
+
+  const size_t reps = scale.full ? 2000000 : 400000;
+  // One shared dataset: the norm cache only matters to the cosine verify
+  // rows, and the distance-kernel benches ignore it. Norms precomputed as
+  // a served read-only cosine dataset would be.
+  data::DenseDataset verify_rows =
+      data::MakeCorelLike(scale.N(65536, 8), kDim, 100);
+  verify_rows.PrecomputeNorms();
+
+  BenchDistanceKernels(verify_rows, reps);
+  BenchHammingKernel(reps);
+  BenchHllKernels(scale.full ? 400000 : 100000);
+  BenchBlockVerify(verify_rows, scale.full ? 200000 : 50000,
+                   scale.full ? 5 : 3);
+  return 0;
+}

@@ -9,6 +9,10 @@
 //   4. answers with LSH-based search when LSHCost < LinearCost, with an
 //      exact linear scan otherwise (line 4).
 //
+// Both execution paths verify candidates through the block-batched SIMD
+// kernels in core/kernels.h (flat id buffer + prefetch + dispatched
+// distance kernels) rather than one Distance() call per candidate.
+//
 // HybridSearcher is generic over the index (LshIndex<Family> or
 // CoveringLshIndex) and the dataset container; it owns the per-query
 // scratch (VisitedSet, merged HLL, key buffer), so create one searcher per
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/kernels.h"
 #include "hll/hyperloglog.h"
 #include "util/bit_vector.h"
 #include "util/status.h"
@@ -236,6 +241,7 @@ class HybridSearcher {
   /// 1-3). Useful for inspecting the cost model.
   QueryStats EstimateOnly(Point query) {
     QueryStats s;
+    util::WallTimer total_timer;
     ComputeKeys(query);
     util::WallTimer estimate_timer;
     const auto estimate = index_->EstimateProbe(keys_, &merged_);
@@ -246,6 +252,7 @@ class HybridSearcher {
         s.collisions, s.cand_estimate, LiveFraction());
     s.linear_cost = options_.cost_model.LinearCost(LiveCount());
     s.strategy = s.lsh_cost < s.linear_cost ? Strategy::kLsh : Strategy::kLinear;
+    s.total_seconds = total_timer.ElapsedSeconds();
     return s;
   }
 
@@ -257,37 +264,30 @@ class HybridSearcher {
     ComputeProbeKeys(*index_, query, options_.probes_per_table, &keys_);
   }
 
-  // S2 + S3: dedup candidates, verify distances, report.
+  // S2 + S3: dedup candidates into the flat touched() buffer, then verify
+  // it in one block-batched kernel pass (core/kernels.h).
   void ExecuteLsh(Point query, double radius, std::vector<uint32_t>* out,
                   QueryStats* s) {
     visited_.Reset();
     s->collisions = index_->CollectCandidates(keys_, &visited_);
     s->cand_actual = visited_.size();
-    for (uint32_t id : visited_.touched()) {
-      if (index_->Distance(dataset_->point(id), query) <= radius) {
-        out->push_back(id);
-        ++s->output_size;
-      }
-    }
+    s->output_size += kernels::VerifyCandidates(
+        *index_, *dataset_, query, visited_.touched(), radius, out);
   }
 
   void ExecuteLinear(Point query, double radius, std::vector<uint32_t>* out,
                      QueryStats* s) {
     if constexpr (kSegmented) {
-      index_->ForEachLiveId([&](uint32_t id) {
-        if (index_->Distance(dataset_->point(id), query) <= radius) {
-          out->push_back(id);
-          ++s->output_size;
-        }
-      });
+      // Gather the live ids into a flat buffer so verification runs
+      // block-batched instead of one virtual-ish call per id.
+      linear_ids_.clear();
+      index_->ForEachLiveId([&](uint32_t id) { linear_ids_.push_back(id); });
+      s->output_size += kernels::VerifyCandidates(*index_, *dataset_, query,
+                                                  linear_ids_, radius, out);
     } else {
-      const size_t n = dataset_->size();
-      for (size_t i = 0; i < n; ++i) {
-        if (index_->Distance(dataset_->point(i), query) <= radius) {
-          out->push_back(static_cast<uint32_t>(i));
-          ++s->output_size;
-        }
-      }
+      s->output_size += kernels::VerifyAllIds(
+          *index_, *dataset_, query, 0,
+          static_cast<uint32_t>(dataset_->size()), radius, out);
     }
   }
 
@@ -320,6 +320,7 @@ class HybridSearcher {
   util::VisitedSet visited_;
   hll::HyperLogLog merged_;
   std::vector<uint64_t> keys_;
+  std::vector<uint32_t> linear_ids_;  // live-id scratch (segmented linear)
 };
 
 }  // namespace core

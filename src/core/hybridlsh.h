@@ -24,6 +24,7 @@
 
 #include "core/cost_model.h"
 #include "core/hybrid_searcher.h"
+#include "core/kernels.h"
 #include "data/dataset.h"
 #include "data/io.h"
 #include "data/metric.h"

@@ -1,0 +1,506 @@
+// Per-tier kernel implementations and the block-batched verifiers.
+//
+// Every float kernel implements the canonical 8-lane accumulation order
+// documented in util/simd.h, so all tiers return bit-identical results:
+// AVX2 holds the 8 lanes in one 256-bit register, SSE2 in two 128-bit
+// registers, the scalar tier in eight named accumulators; all three share
+// the same pairwise reduction and the same scalar tail. This file is
+// compiled with -ffp-contract=off (see CMakeLists.txt) so a
+// -march=native build cannot contract the scalar tier's mul+add chains
+// into FMAs the vector tiers don't use.
+
+#include "core/kernels.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace core {
+namespace kernels {
+namespace {
+
+// --- Scalar tier (the reference): canonical 8-lane accumulation. -----------
+// The dot product lives in util/simd.h (DotF32Scalar) so data/ can share
+// it for the cosine norm cache.
+
+float DotScalar(const float* a, const float* b, size_t d) {
+  return util::simd::DotF32Scalar(a, b, d);
+}
+
+float L2SqScalar(const float* a, const float* b, size_t d) {
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    for (size_t l = 0; l < 8; ++l) {
+      const float diff = a[i + l] - b[i + l];
+      lanes[l] += diff * diff;
+    }
+  }
+  float sum = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6])) +
+              ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+  for (; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float L1Scalar(const float* a, const float* b, size_t d) {
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    for (size_t l = 0; l < 8; ++l) lanes[l] += std::fabs(a[i + l] - b[i + l]);
+  }
+  float sum = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6])) +
+              ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+  for (; i < d; ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+/// Final cosine arithmetic shared by every tier and by the
+/// precomputed-norm verifier: 1 - clamp(dot / denom), zero denominators
+/// treated as orthogonal (distance 1; see data/metric.h).
+inline float CosineFromParts(float dot, float denom) {
+  if (denom == 0.0f) return 1.0f;
+  float cos = dot / denom;
+  if (cos > 1.0f) cos = 1.0f;
+  if (cos < -1.0f) cos = -1.0f;
+  return 1.0f - cos;
+}
+
+float CosineScalar(const float* a, const float* b, size_t d) {
+  float dot_lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  float na_lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  float nb_lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    for (size_t l = 0; l < 8; ++l) {
+      const float x = a[i + l];
+      const float y = b[i + l];
+      dot_lanes[l] += x * y;
+      na_lanes[l] += x * x;
+      nb_lanes[l] += y * y;
+    }
+  }
+  float dot = ((dot_lanes[0] + dot_lanes[4]) + (dot_lanes[2] + dot_lanes[6])) +
+              ((dot_lanes[1] + dot_lanes[5]) + (dot_lanes[3] + dot_lanes[7]));
+  float na = ((na_lanes[0] + na_lanes[4]) + (na_lanes[2] + na_lanes[6])) +
+             ((na_lanes[1] + na_lanes[5]) + (na_lanes[3] + na_lanes[7]));
+  float nb = ((nb_lanes[0] + nb_lanes[4]) + (nb_lanes[2] + nb_lanes[6])) +
+             ((nb_lanes[1] + nb_lanes[5]) + (nb_lanes[3] + nb_lanes[7]));
+  for (; i < d; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  return CosineFromParts(dot, std::sqrt(na) * std::sqrt(nb));
+}
+
+/// Popcount-unrolled Hamming distance; integer, so exact in any order and
+/// shared by every tier (at fingerprint widths the cost is load-bound, not
+/// popcount-bound — there is no vector win to take below several words).
+uint32_t HammingKernel(const uint64_t* a, const uint64_t* b, size_t words) {
+  uint32_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    c0 += static_cast<uint32_t>(std::popcount(a[i] ^ b[i]));
+    c1 += static_cast<uint32_t>(std::popcount(a[i + 1] ^ b[i + 1]));
+    c2 += static_cast<uint32_t>(std::popcount(a[i + 2] ^ b[i + 2]));
+    c3 += static_cast<uint32_t>(std::popcount(a[i + 3] ^ b[i + 3]));
+  }
+  uint32_t total = (c0 + c2) + (c1 + c3);
+  for (; i < words; ++i) {
+    total += static_cast<uint32_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+#if defined(HLSH_SIMD_X86)
+
+// --- SSE2 tier: the 8 virtual lanes live in two 128-bit registers. ---------
+
+/// Reduces {lanes 0-3, lanes 4-7} with the canonical pairwise order.
+__attribute__((target("sse2"))) inline float ReduceLanesSse2(__m128 acc_lo,
+                                                             __m128 acc_hi) {
+  const __m128 s = _mm_add_ps(acc_lo, acc_hi);  // [s0, s1, s2, s3]
+  const __m128 pair = _mm_add_ps(s, _mm_movehl_ps(s, s));  // [s0+s2, s1+s3]
+  return _mm_cvtss_f32(pair) +
+         _mm_cvtss_f32(_mm_shuffle_ps(pair, pair, 1));
+}
+
+__attribute__((target("sse2"))) float DotSse2(const float* a, const float* b,
+                                              size_t d) {
+  __m128 acc_lo = _mm_setzero_ps();
+  __m128 acc_hi = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    acc_lo = _mm_add_ps(acc_lo,
+                        _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+    acc_hi = _mm_add_ps(
+        acc_hi, _mm_mul_ps(_mm_loadu_ps(a + i + 4), _mm_loadu_ps(b + i + 4)));
+  }
+  float sum = ReduceLanesSse2(acc_lo, acc_hi);
+  for (; i < d; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("sse2"))) float L2SqSse2(const float* a, const float* b,
+                                               size_t d) {
+  __m128 acc_lo = _mm_setzero_ps();
+  __m128 acc_hi = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m128 d_lo = _mm_sub_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i));
+    const __m128 d_hi =
+        _mm_sub_ps(_mm_loadu_ps(a + i + 4), _mm_loadu_ps(b + i + 4));
+    acc_lo = _mm_add_ps(acc_lo, _mm_mul_ps(d_lo, d_lo));
+    acc_hi = _mm_add_ps(acc_hi, _mm_mul_ps(d_hi, d_hi));
+  }
+  float sum = ReduceLanesSse2(acc_lo, acc_hi);
+  for (; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+__attribute__((target("sse2"))) float L1Sse2(const float* a, const float* b,
+                                             size_t d) {
+  const __m128 abs_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7FFFFFFF));
+  __m128 acc_lo = _mm_setzero_ps();
+  __m128 acc_hi = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m128 d_lo = _mm_sub_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i));
+    const __m128 d_hi =
+        _mm_sub_ps(_mm_loadu_ps(a + i + 4), _mm_loadu_ps(b + i + 4));
+    acc_lo = _mm_add_ps(acc_lo, _mm_and_ps(d_lo, abs_mask));
+    acc_hi = _mm_add_ps(acc_hi, _mm_and_ps(d_hi, abs_mask));
+  }
+  float sum = ReduceLanesSse2(acc_lo, acc_hi);
+  for (; i < d; ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+__attribute__((target("sse2"))) float CosineSse2(const float* a,
+                                                 const float* b, size_t d) {
+  __m128 dot_lo = _mm_setzero_ps(), dot_hi = _mm_setzero_ps();
+  __m128 na_lo = _mm_setzero_ps(), na_hi = _mm_setzero_ps();
+  __m128 nb_lo = _mm_setzero_ps(), nb_hi = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m128 x_lo = _mm_loadu_ps(a + i);
+    const __m128 x_hi = _mm_loadu_ps(a + i + 4);
+    const __m128 y_lo = _mm_loadu_ps(b + i);
+    const __m128 y_hi = _mm_loadu_ps(b + i + 4);
+    dot_lo = _mm_add_ps(dot_lo, _mm_mul_ps(x_lo, y_lo));
+    dot_hi = _mm_add_ps(dot_hi, _mm_mul_ps(x_hi, y_hi));
+    na_lo = _mm_add_ps(na_lo, _mm_mul_ps(x_lo, x_lo));
+    na_hi = _mm_add_ps(na_hi, _mm_mul_ps(x_hi, x_hi));
+    nb_lo = _mm_add_ps(nb_lo, _mm_mul_ps(y_lo, y_lo));
+    nb_hi = _mm_add_ps(nb_hi, _mm_mul_ps(y_hi, y_hi));
+  }
+  float dot = ReduceLanesSse2(dot_lo, dot_hi);
+  float na = ReduceLanesSse2(na_lo, na_hi);
+  float nb = ReduceLanesSse2(nb_lo, nb_hi);
+  for (; i < d; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  return CosineFromParts(dot, std::sqrt(na) * std::sqrt(nb));
+}
+
+// --- AVX2 tier: the 8 virtual lanes are one 256-bit register. --------------
+
+__attribute__((target("avx2"))) inline float ReduceLanesAvx2(__m256 acc) {
+  const __m128 s = _mm_add_ps(_mm256_castps256_ps128(acc),
+                              _mm256_extractf128_ps(acc, 1));
+  const __m128 pair = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  return _mm_cvtss_f32(pair) +
+         _mm_cvtss_f32(_mm_shuffle_ps(pair, pair, 1));
+}
+
+__attribute__((target("avx2"))) float DotAvx2(const float* a, const float* b,
+                                              size_t d) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    acc = _mm256_add_ps(
+        acc, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  float sum = ReduceLanesAvx2(acc);
+  for (; i < d; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx2"))) float L2SqAvx2(const float* a, const float* b,
+                                               size_t d) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+  }
+  float sum = ReduceLanesAvx2(acc);
+  for (; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) float L1Avx2(const float* a, const float* b,
+                                             size_t d) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, _mm256_and_ps(diff, abs_mask));
+  }
+  float sum = ReduceLanesAvx2(acc);
+  for (; i < d; ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+__attribute__((target("avx2"))) float CosineAvx2(const float* a,
+                                                 const float* b, size_t d) {
+  __m256 dot_acc = _mm256_setzero_ps();
+  __m256 na_acc = _mm256_setzero_ps();
+  __m256 nb_acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m256 x = _mm256_loadu_ps(a + i);
+    const __m256 y = _mm256_loadu_ps(b + i);
+    dot_acc = _mm256_add_ps(dot_acc, _mm256_mul_ps(x, y));
+    na_acc = _mm256_add_ps(na_acc, _mm256_mul_ps(x, x));
+    nb_acc = _mm256_add_ps(nb_acc, _mm256_mul_ps(y, y));
+  }
+  float dot = ReduceLanesAvx2(dot_acc);
+  float na = ReduceLanesAvx2(na_acc);
+  float nb = ReduceLanesAvx2(nb_acc);
+  for (; i < d; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  return CosineFromParts(dot, std::sqrt(na) * std::sqrt(nb));
+}
+
+#endif  // HLSH_SIMD_X86
+
+const KernelTable kScalarTable = {
+    .tier = util::simd::Tier::kScalar,
+    .l1 = &L1Scalar,
+    .l2sq = &L2SqScalar,
+    .dot = &DotScalar,
+    .cosine = &CosineScalar,
+    .hamming = &HammingKernel,
+    .hll_merge = &util::simd::HllMergeMaxScalar,
+    .hll_sum = &util::simd::HllRegisterSumScalar,
+};
+
+#if defined(HLSH_SIMD_X86)
+const KernelTable kSse2Table = {
+    .tier = util::simd::Tier::kSse2,
+    .l1 = &L1Sse2,
+    .l2sq = &L2SqSse2,
+    .dot = &DotSse2,
+    .cosine = &CosineSse2,
+    .hamming = &HammingKernel,
+    .hll_merge = &util::simd::HllMergeMaxSse2,
+    // No gather below AVX2: the fused sum is lookup-bound, so this tier
+    // shares the scalar implementation (bit-identical by construction).
+    .hll_sum = &util::simd::HllRegisterSumScalar,
+};
+
+const KernelTable kAvx2Table = {
+    .tier = util::simd::Tier::kAvx2,
+    .l1 = &L1Avx2,
+    .l2sq = &L2SqAvx2,
+    .dot = &DotAvx2,
+    .cosine = &CosineAvx2,
+    .hamming = &HammingKernel,
+    .hll_merge = &util::simd::HllMergeMaxAvx2,
+    .hll_sum = &util::simd::HllRegisterSumAvx2,
+};
+#endif  // HLSH_SIMD_X86
+
+// --- Block verification internals. -----------------------------------------
+
+/// Ids farther ahead than this are prefetched while the current candidate
+/// is verified; ~4 rows hides DRAM latency behind one row's arithmetic
+/// without thrashing the prefetch queue.
+constexpr size_t kPrefetchAhead = 4;
+
+inline void PrefetchRow(const void* row, size_t bytes) {
+  const char* p = static_cast<const char*>(row);
+  for (size_t offset = 0; offset < bytes; offset += 64) {
+    __builtin_prefetch(p + offset, /*rw=*/0, /*locality=*/1);
+  }
+}
+
+/// Dense verification over any id sequence. `id_at(j)` maps a block
+/// position to a candidate id; the flat-buffer and contiguous-range entry
+/// points both inline through here so their behavior cannot diverge.
+template <typename IdAt>
+size_t VerifyDenseImpl(const data::DenseDataset& dataset, data::Metric metric,
+                       const float* query, size_t count, IdAt id_at,
+                       double radius, std::vector<uint32_t>* out) {
+  const size_t dim = dataset.dim();
+  const size_t row_bytes = dim * sizeof(float);
+  const KernelTable& table = Kernels();
+  size_t reported = 0;
+  const auto report = [&](uint32_t id) {
+    out->push_back(id);
+    ++reported;
+  };
+
+  switch (metric) {
+    case data::Metric::kL2: {
+      const double r2 = radius * radius;
+      for (size_t j = 0; j < count; ++j) {
+        if (j + kPrefetchAhead < count) {
+          PrefetchRow(dataset.point(id_at(j + kPrefetchAhead)), row_bytes);
+        }
+        const uint32_t id = id_at(j);
+        if (static_cast<double>(table.l2sq(dataset.point(id), query, dim)) <=
+            r2) {
+          report(id);
+        }
+      }
+      return reported;
+    }
+    case data::Metric::kL1: {
+      for (size_t j = 0; j < count; ++j) {
+        if (j + kPrefetchAhead < count) {
+          PrefetchRow(dataset.point(id_at(j + kPrefetchAhead)), row_bytes);
+        }
+        const uint32_t id = id_at(j);
+        if (static_cast<double>(table.l1(dataset.point(id), query, dim)) <=
+            radius) {
+          report(id);
+        }
+      }
+      return reported;
+    }
+    case data::Metric::kCosine: {
+      if (dataset.has_norms()) {
+        // Fast path: one dot product per candidate; the candidate's norm
+        // comes from the dataset cache, the query's is computed once.
+        const std::span<const float> norms = dataset.norms();
+        const float query_norm = std::sqrt(table.dot(query, query, dim));
+        for (size_t j = 0; j < count; ++j) {
+          if (j + kPrefetchAhead < count) {
+            PrefetchRow(dataset.point(id_at(j + kPrefetchAhead)), row_bytes);
+          }
+          const uint32_t id = id_at(j);
+          const float dot = table.dot(dataset.point(id), query, dim);
+          const float dist = CosineFromParts(dot, norms[id] * query_norm);
+          if (static_cast<double>(dist) <= radius) report(id);
+        }
+      } else {
+        for (size_t j = 0; j < count; ++j) {
+          if (j + kPrefetchAhead < count) {
+            PrefetchRow(dataset.point(id_at(j + kPrefetchAhead)), row_bytes);
+          }
+          const uint32_t id = id_at(j);
+          const float dist = table.cosine(dataset.point(id), query, dim);
+          if (static_cast<double>(dist) <= radius) report(id);
+        }
+      }
+      return reported;
+    }
+    default:
+      HLSH_CHECK(false && "VerifyBlock: metric does not apply to dense rows");
+      return 0;
+  }
+}
+
+template <typename IdAt>
+size_t VerifyBinaryImpl(const data::BinaryDataset& dataset,
+                        const uint64_t* query, size_t count, IdAt id_at,
+                        double radius, std::vector<uint32_t>* out) {
+  const size_t words = dataset.words_per_code();
+  const size_t row_bytes = words * sizeof(uint64_t);
+  const KernelTable& table = Kernels();
+  size_t reported = 0;
+  for (size_t j = 0; j < count; ++j) {
+    if (j + kPrefetchAhead < count) {
+      PrefetchRow(dataset.point(id_at(j + kPrefetchAhead)), row_bytes);
+    }
+    const uint32_t id = id_at(j);
+    const uint32_t dist = table.hamming(dataset.point(id), query, words);
+    if (static_cast<double>(dist) <= radius) {
+      out->push_back(id);
+      ++reported;
+    }
+  }
+  return reported;
+}
+
+}  // namespace
+
+const KernelTable& KernelsForTier(util::simd::Tier tier) {
+#if defined(HLSH_SIMD_X86)
+  switch (std::min(tier, util::simd::MaxSupportedTier())) {
+    case util::simd::Tier::kAvx2:
+      return kAvx2Table;
+    case util::simd::Tier::kSse2:
+      return kSse2Table;
+    case util::simd::Tier::kScalar:
+      break;
+  }
+#else
+  (void)tier;
+#endif
+  return kScalarTable;
+}
+
+const KernelTable& Kernels() {
+  return KernelsForTier(util::simd::ResolvedTier());
+}
+
+size_t VerifyBlock(const data::DenseDataset& dataset, data::Metric metric,
+                   const float* query, std::span<const uint32_t> ids,
+                   double radius, std::vector<uint32_t>* out) {
+  return VerifyDenseImpl(
+      dataset, metric, query, ids.size(), [&](size_t j) { return ids[j]; },
+      radius, out);
+}
+
+size_t VerifyRange(const data::DenseDataset& dataset, data::Metric metric,
+                   const float* query, uint32_t begin, uint32_t end,
+                   double radius, std::vector<uint32_t>* out) {
+  if (end <= begin) return 0;
+  return VerifyDenseImpl(
+      dataset, metric, query, static_cast<size_t>(end - begin),
+      [&](size_t j) { return begin + static_cast<uint32_t>(j); }, radius, out);
+}
+
+size_t VerifyBlock(const data::BinaryDataset& dataset, const uint64_t* query,
+                   std::span<const uint32_t> ids, double radius,
+                   std::vector<uint32_t>* out) {
+  return VerifyBinaryImpl(
+      dataset, query, ids.size(), [&](size_t j) { return ids[j]; }, radius,
+      out);
+}
+
+size_t VerifyRange(const data::BinaryDataset& dataset, const uint64_t* query,
+                   uint32_t begin, uint32_t end, double radius,
+                   std::vector<uint32_t>* out) {
+  if (end <= begin) return 0;
+  return VerifyBinaryImpl(
+      dataset, query, static_cast<size_t>(end - begin),
+      [&](size_t j) { return begin + static_cast<uint32_t>(j); }, radius, out);
+}
+
+}  // namespace kernels
+}  // namespace core
+}  // namespace hybridlsh

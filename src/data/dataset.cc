@@ -1,7 +1,24 @@
 #include "data/dataset.h"
 
+#include <cmath>
+
+#include "util/simd.h"
+
 namespace hybridlsh {
 namespace data {
+
+void DenseDataset::PrecomputeNorms() {
+  const size_t n = points_.rows();
+  const size_t dim = points_.cols();
+  norms_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Canonical-order dot (util/simd.h): the cached norm rounds exactly
+    // like the fused cosine kernel's norm sums, so the verifier's cached
+    // and uncached paths agree on every candidate, boundary included.
+    const float* row = points_.Row(i);
+    norms_[i] = std::sqrt(util::simd::DotF32Scalar(row, row, dim));
+  }
+}
 
 util::Status SparseDataset::Append(std::span<const uint32_t> sorted_ids) {
   for (size_t i = 0; i < sorted_ids.size(); ++i) {

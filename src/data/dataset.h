@@ -41,16 +41,50 @@ class DenseDataset {
   bool empty() const { return points_.empty(); }
 
   Point point(size_t i) const { return points_.Row(i); }
-  float* mutable_point(size_t i) { return points_.MutableRow(i); }
+  float* mutable_point(size_t i) {
+    norms_.clear();
+    return points_.MutableRow(i);
+  }
 
   const util::FloatMatrix& matrix() const { return points_; }
-  util::FloatMatrix& mutable_matrix() { return points_; }
+  util::FloatMatrix& mutable_matrix() {
+    norms_.clear();
+    return points_;
+  }
 
   /// Appends one point (dimension must match; sets dim on first append).
-  void Append(std::span<const float> point) { points_.AppendRow(point); }
+  /// Invalidates the norm cache.
+  void Append(std::span<const float> point) {
+    norms_.clear();
+    points_.AppendRow(point);
+  }
+
+  // --- Per-point Euclidean norms (the cosine verification fast path). ------
+  // With norms cached, the block verifier (core/kernels.h) prices a cosine
+  // candidate at one dot product instead of a fused three-sum pass. Any
+  // mutation — Append, mutable_point, mutable_matrix — invalidates the
+  // cache; call PrecomputeNorms again to rebuild it. Plain scalar math, so
+  // the cached values are identical no matter which SIMD tier is resolved.
+
+  /// Computes and caches |point(i)| for every point. O(n * dim).
+  void PrecomputeNorms();
+
+  /// Whether the norm cache is populated and current.
+  bool has_norms() const { return norms_.size() == points_.rows(); }
+
+  /// The cached norms, one per point. Only valid while has_norms().
+  std::span<const float> norms() const {
+    HLSH_DCHECK(has_norms());
+    return norms_;
+  }
+  float norm(size_t i) const {
+    HLSH_DCHECK(has_norms());
+    return norms_[i];
+  }
 
  private:
   util::FloatMatrix points_;
+  std::vector<float> norms_;  // empty = not cached
 };
 
 /// Packed binary codes, `width_bits` bits per point in 64-bit words.

@@ -48,7 +48,8 @@ float SquaredL2Distance(const float* a, const float* b, size_t d);
 float L1Distance(const float* a, const float* b, size_t d);
 
 /// Cosine distance 1 - cos(a, b), in [0, 2]. Zero vectors are treated as
-/// maximally distant (returns 1) so that queries never divide by zero.
+/// orthogonal — distance 1, the midpoint of the range, not the maximum 2 —
+/// so that queries never divide by zero.
 float CosineDistance(const float* a, const float* b, size_t d);
 
 /// Hamming distance between two packed bit codes of `words` 64-bit words.

@@ -379,9 +379,12 @@ class SegmentedIndex {
 
   /// Sums the Alg. 2 lines 1-2 estimate across every segment: collisions
   /// exactly, candSize from ONE merged HLL (sketches from sealed buckets,
-  /// on-demand folding for small/active buckets). Tombstoned ids are still
-  /// counted — apply CostModel::TombstoneCorrection with live_fraction()
-  /// before comparing against the linear cost.
+  /// on-demand folding for small/active buckets). Sketch merges and the
+  /// final estimate run on the dispatched SIMD register kernels
+  /// (util/simd.h), shared with the static index and every shard.
+  /// Tombstoned ids are still counted — apply
+  /// CostModel::TombstoneCorrection with live_fraction() before comparing
+  /// against the linear cost.
   lsh::ProbeEstimate EstimateProbe(std::span<const uint64_t> keys,
                                    hll::HyperLogLog* scratch) const {
     HLSH_DCHECK(scratch->precision() == options_.index.hll_precision);

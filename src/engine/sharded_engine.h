@@ -40,10 +40,12 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/hybrid_searcher.h"
+#include "core/kernels.h"
 #include "data/dataset.h"
 #include "engine/dataset_slice.h"
 #include "engine/segmented_index.h"
@@ -88,6 +90,10 @@ struct EngineStats {
   double build_seconds = 0.0;   // wall time of the parallel shard build
   size_t memory_bytes = 0;      // summed over shard indexes
   size_t sketch_bytes = 0;
+  /// Instruction-set tier resolved at build ("scalar"/"sse2"/"avx2"). The
+  /// kernel dispatch is process-wide (util/simd.h), so every shard and
+  /// segment of every engine verifies through the same kernel table.
+  std::string_view simd_tier = "scalar";
 };
 
 /// Shard-parallel hybrid-LSH engine (see file comment).
@@ -193,6 +199,7 @@ class ShardedEngine {
     engine.stats_.num_shards = num_shards;
     engine.stats_.num_threads = num_threads;
     engine.stats_.build_seconds = build_timer.ElapsedSeconds();
+    engine.stats_.simd_tier = util::simd::TierName(core::kernels::Kernels().tier);
 
     // Fan-out scratch: one per shard (single-query path). Batch scratch is
     // created lazily, one per pool worker.
@@ -398,13 +405,14 @@ class ShardedEngine {
     util::VisitedSet visited;
     hll::HyperLogLog merged;
     std::vector<uint64_t> keys;
+    std::vector<uint32_t> live_ids;  // flat buffer for the linear path
   };
 
   ShardedEngine() : stats_() {}
 
   Scratch MakeScratch() const {
     return Scratch{util::VisitedSet(dataset_->size()),
-                   shards_[0].index->MakeScratchSketch(), {}};
+                   shards_[0].index->MakeScratchSketch(), {}, {}};
   }
 
   void EnsureBatchScratch() {
@@ -461,7 +469,7 @@ class ShardedEngine {
     if (options_.searcher.forced == core::ForcedStrategy::kAlwaysLinear) {
       st->strategy = core::Strategy::kLinear;
       st->linear_cost = model.LinearCost(shard.index->live_size());
-      ExecuteLinear(shard, query, radius, out, st);
+      ExecuteLinear(shard, query, radius, out, st, scratch);
       st->total_seconds = total_timer.ElapsedSeconds();
       return;
     }
@@ -494,16 +502,12 @@ class ShardedEngine {
       st->collisions =
           shard.index->CollectCandidates(scratch->keys, &scratch->visited);
       st->cand_actual = scratch->visited.size();
-      const Family& family = shard.index->family();
-      for (uint32_t id : scratch->visited.touched()) {
-        if (family.Distance(dataset_->point(id), query) <= radius) {
-          out->push_back(id);
-          ++st->output_size;
-        }
-      }
+      st->output_size += core::kernels::VerifyCandidates(
+          *shard.index, *dataset_, query, scratch->visited.touched(), radius,
+          out);
     } else {
       st->strategy = core::Strategy::kLinear;
-      ExecuteLinear(shard, query, radius, out, st);
+      ExecuteLinear(shard, query, radius, out, st, scratch);
     }
     st->total_seconds = total_timer.ElapsedSeconds();
   }
@@ -514,14 +518,15 @@ class ShardedEngine {
   }
 
   void ExecuteLinear(const Shard& shard, Point query, double radius,
-                     std::vector<uint32_t>* out, core::QueryStats* st) const {
-    const Family& family = shard.index->family();
-    shard.index->ForEachLiveId([&](uint32_t id) {
-      if (family.Distance(dataset_->point(id), query) <= radius) {
-        out->push_back(id);
-        ++st->output_size;
-      }
-    });
+                     std::vector<uint32_t>* out, core::QueryStats* st,
+                     Scratch* scratch) const {
+    // Flatten the shard's live ids, then verify them in one block-batched
+    // kernel pass (core/kernels.h) instead of per-id Distance calls.
+    scratch->live_ids.clear();
+    shard.index->ForEachLiveId(
+        [&](uint32_t id) { scratch->live_ids.push_back(id); });
+    st->output_size += core::kernels::VerifyCandidates(
+        *shard.index, *dataset_, query, scratch->live_ids, radius, out);
   }
 
   Options options_;

@@ -4,21 +4,10 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/simd.h"
+
 namespace hybridlsh {
 namespace hll {
-namespace {
-
-// 2^-r for r = 0..255 (register values never exceed 64, but a full table
-// keeps Estimate branch-free even on corrupt-but-validated input).
-struct Pow2NegTable {
-  double values[256];
-  Pow2NegTable() {
-    for (int i = 0; i < 256; ++i) values[i] = std::ldexp(1.0, -i);
-  }
-};
-const Pow2NegTable kPow2Neg;
-
-}  // namespace
 
 HyperLogLog::HyperLogLog(int precision)
     : precision_(precision),
@@ -53,13 +42,14 @@ double HyperLogLog::Alpha(size_t m) {
 }
 
 double HyperLogLog::Estimate() const {
+  // Fused sum-of-2^-M + zero count in one dispatched pass (util/simd.h).
+  // Every tier follows the same canonical accumulation order, so the
+  // estimate — and through it the hybrid LSH-vs-linear decision — is
+  // bit-identical whether the process runs scalar-forced or vectorized.
   const size_t m = registers_.size();
-  double sum = 0.0;
   size_t zeros = 0;
-  for (uint8_t reg : registers_) {
-    sum += kPow2Neg.values[reg];
-    zeros += (reg == 0);
-  }
+  const double sum =
+      util::simd::HllRegisterSum(registers_.data(), m, &zeros);
   const double md = static_cast<double>(m);
   const double raw = Alpha(m) * md * md / sum;
   if (raw <= 2.5 * md && zeros > 0) {
@@ -74,10 +64,8 @@ util::Status HyperLogLog::Merge(const HyperLogLog& other) {
     return util::Status::FailedPrecondition(
         "cannot merge HyperLogLogs of different precision");
   }
-  const size_t m = registers_.size();
-  for (size_t i = 0; i < m; ++i) {
-    if (other.registers_[i] > registers_[i]) registers_[i] = other.registers_[i];
-  }
+  util::simd::HllMergeMax(registers_.data(), other.registers_.data(),
+                          registers_.size());
   return util::Status::Ok();
 }
 

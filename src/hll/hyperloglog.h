@@ -19,6 +19,11 @@
 //   * Merge is register-wise max, which is exactly union semantics; the
 //     paper relies on this to treat the L query buckets as partitions of
 //     one stream.
+//   * Merge and Estimate run on the dispatched SIMD register kernels
+//     (util/simd.h): byte-max merge and a fused sum-of-2^-M + zero count.
+//     The query-time EstimateProbe path (lsh/index.h) is built on these,
+//     and the canonical accumulation order keeps estimates bit-identical
+//     across instruction-set tiers.
 //   * Standard error is 1.04 / sqrt(m)  (~9.2% at m=128).
 
 #ifndef HYBRIDLSH_HLL_HYPERLOGLOG_H_

@@ -284,10 +284,13 @@ void AccumulateProbe(std::span<const Table> tables,
   }
 }
 
-/// S2 over one table range: inserts every probed id into *visited
-/// (deduplicating) and returns the exact number of collisions. Ids whose
-/// `tombstones` bit is set are counted as collisions (the probe cost was
-/// paid) but not inserted, so deleted points never reach verification.
+/// S2 over one table range: dedups every probed id into *visited, whose
+/// touched() list then IS the flat candidate buffer block verification
+/// consumes (core/kernels.h), and returns the exact number of collisions.
+/// Bucket ids are bulk-inserted with the dedup bits prefetched ahead of
+/// the probe loop. Ids whose `tombstones` bit is set are counted as
+/// collisions (the probe cost was paid) but not inserted, so deleted
+/// points never reach verification.
 template <typename Table>
 uint64_t CollectProbedIds(std::span<const Table> tables,
                           std::span<const uint64_t> keys,
@@ -301,11 +304,9 @@ uint64_t CollectProbedIds(std::span<const Table> tables,
     const LshTable::BucketView bucket = tables[t].Lookup(keys[i]);
     collisions += bucket.size();
     if (tombstones == nullptr) {
-      for (uint32_t id : bucket.ids) visited->Insert(id);
+      visited->InsertSpan(bucket.ids);
     } else {
-      for (uint32_t id : bucket.ids) {
-        if (!tombstones->Get(id)) visited->Insert(id);
-      }
+      visited->InsertSpanFiltered(bucket.ids, *tombstones);
     }
   }
   return collisions;
@@ -434,7 +435,9 @@ class LshIndex {
 
   /// Estimates #collisions (exact) and candSize (merged HLLs) for a set of
   /// probe keys produced by QueryKeys*. `scratch` must have the index's HLL
-  /// precision; it is cleared first. Paper Alg. 2, lines 1-2.
+  /// precision; it is cleared first. Paper Alg. 2, lines 1-2. The sketch
+  /// merges and the final estimate run on the dispatched SIMD register
+  /// kernels (util/simd.h: byte-max merge, fused sum-of-2^-M + zero count).
   ProbeEstimate EstimateProbe(std::span<const uint64_t> keys,
                               hll::HyperLogLog* scratch) const {
     HLSH_DCHECK(scratch->precision() == options_.hll_precision);

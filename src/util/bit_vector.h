@@ -11,6 +11,7 @@
 #define HYBRIDLSH_UTIL_BIT_VECTOR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/status.h"
@@ -45,6 +46,21 @@ class BitVector {
   void Clear(size_t i) {
     HLSH_DCHECK(i < size_);
     words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  /// Prefetches the word holding bit i (bulk random-probe loops issue this
+  /// a few ids ahead of the matching Get/Set/TestAndSet). Pass
+  /// for_write=true only when the probe will modify the word: a
+  /// write-intent prefetch requests exclusive cache-line ownership, which
+  /// would make a read-shared bitmap (e.g. the engine-wide tombstones)
+  /// ping-pong between concurrently querying cores.
+  void PrefetchWord(size_t i, bool for_write = false) const {
+    const uint64_t* word = words_.data() + (i >> 6);
+    if (for_write) {
+      __builtin_prefetch(word, /*rw=*/1, /*locality=*/1);
+    } else {
+      __builtin_prefetch(word, /*rw=*/0, /*locality=*/1);
+    }
   }
 
   /// Sets bit i and returns its previous value (single word access).
@@ -110,11 +126,43 @@ class VisitedSet {
     return true;
   }
 
+  /// Bulk insert of one bucket's ids: equivalent to Insert() on each id in
+  /// order, with the bit words prefetched a few probes ahead (bucket ids
+  /// land on random words, so every probe is otherwise a cold cache miss).
+  void InsertSpan(std::span<const uint32_t> ids) {
+    constexpr size_t kPrefetchAhead = 8;
+    const size_t n = ids.size();
+    for (size_t j = 0; j < n; ++j) {
+      if (j + kPrefetchAhead < n) {
+        bits_.PrefetchWord(ids[j + kPrefetchAhead], /*for_write=*/true);
+      }
+      Insert(ids[j]);
+    }
+  }
+
+  /// Like InsertSpan, but skips ids whose `tombstones` bit is set (the
+  /// mutable-index probe path); the tombstone word and the dedup word are
+  /// both prefetched ahead of the probe.
+  void InsertSpanFiltered(std::span<const uint32_t> ids,
+                          const BitVector& tombstones) {
+    constexpr size_t kPrefetchAhead = 8;
+    const size_t n = ids.size();
+    for (size_t j = 0; j < n; ++j) {
+      if (j + kPrefetchAhead < n) {
+        const uint32_t ahead = ids[j + kPrefetchAhead];
+        tombstones.PrefetchWord(ahead);  // read-shared across query threads
+        bits_.PrefetchWord(ahead, /*for_write=*/true);
+      }
+      if (!tombstones.Get(ids[j])) Insert(ids[j]);
+    }
+  }
+
   /// Whether id has been inserted since the last Reset().
   bool Contains(uint32_t id) const { return bits_.Get(id); }
 
-  /// Ids inserted since the last Reset(), in first-occurrence order. The
-  /// LSH query path uses this directly as the distinct candidate list.
+  /// Ids inserted since the last Reset(), in first-occurrence order. This
+  /// is the flat candidate buffer the LSH query path hands to the
+  /// block-batched verifier (core/kernels.h VerifyCandidates).
   const std::vector<uint32_t>& touched() const { return touched_; }
 
   /// Number of distinct ids inserted since the last Reset().

@@ -48,10 +48,18 @@ class ByteWriter {
   size_t size() const { return buffer_.size(); }
 
  private:
+  // GCC 12's -Wstringop-overflow mis-sizes the freshly allocated vector
+  // buffer when this insert of a fixed-width scalar is fully inlined into
+  // a large caller (e.g. LshIndex::Save) — a documented false positive on
+  // vector<uint8_t> range inserts, and sensitive to unrelated inlining
+  // changes, so silence it at the source.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
   void WriteRaw(const void* data, size_t size) {
     const auto* begin = static_cast<const uint8_t*>(data);
     buffer_.insert(buffer_.end(), begin, begin + size);
   }
+#pragma GCC diagnostic pop
 
   std::vector<uint8_t> buffer_;
 };

@@ -1,0 +1,318 @@
+// Runtime SIMD tier detection and the vectorized HyperLogLog register ops.
+//
+// The repo's hot loops (distance verification, HLL merge/estimate) are
+// dispatched over instruction-set tiers resolved ONCE per process:
+//
+//   kAvx2   256-bit integer + float + gather paths
+//   kSse2   128-bit paths (baseline on x86-64)
+//   kScalar portable reference, also the only tier off x86
+//
+// Resolution order: the HLSH_SIMD environment variable ("scalar", "sse2",
+// "avx2", or "auto"/unset) clamped to what CPUID reports. Every consumer —
+// core/kernels.cc's distance table, hll::HyperLogLog's merge/estimate, and
+// through them every shard and segment of the serving engine — reads the
+// same resolved tier, so one process never mixes tiers.
+//
+// Determinism contract: for a given input, every tier of every kernel in
+// this file and in core/kernels.cc returns the SAME bits. Integer kernels
+// (byte max, popcount) are exact in any order; float/double reductions all
+// follow one canonical accumulation order — eight virtual lanes, element
+// i of a full 8-block feeding lane (i mod 8), lanes reduced pairwise as
+// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)), then the tail added in index
+// order — which each tier implements exactly (AVX2: one 8-wide register;
+// SSE2: two 4-wide registers; scalar: eight named accumulators). That is
+// what makes scalar-forced and vectorized query results bit-identical
+// (tests/test_kernels.cc).
+
+#ifndef HYBRIDLSH_UTIL_SIMD_H_
+#define HYBRIDLSH_UTIL_SIMD_H_
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define HLSH_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace hybridlsh {
+namespace util {
+namespace simd {
+
+/// Instruction-set tiers, ordered so that std::min clamps requests to what
+/// the CPU supports.
+enum class Tier : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Stable display name ("scalar" / "sse2" / "avx2").
+inline std::string_view TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+/// Parses a tier name. Returns false for "auto", empty, or unknown names
+/// (callers then use the detected maximum).
+inline bool ParseTier(const char* name, Tier* out) {
+  if (name == nullptr || name[0] == '\0') return false;
+  const std::string_view s(name);
+  if (s == "scalar") {
+    *out = Tier::kScalar;
+    return true;
+  }
+  if (s == "sse2") {
+    *out = Tier::kSse2;
+    return true;
+  }
+  if (s == "avx2") {
+    *out = Tier::kAvx2;
+    return true;
+  }
+  if (s != "auto") {
+    std::fprintf(stderr,
+                 "hybridlsh: unknown HLSH_SIMD value \"%s\" "
+                 "(want scalar|sse2|avx2|auto); using auto\n",
+                 name);
+  }
+  return false;
+}
+
+/// Best tier this CPU can execute.
+inline Tier MaxSupportedTier() {
+#if defined(HLSH_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return Tier::kSse2;
+#endif
+  return Tier::kScalar;
+}
+
+namespace detail {
+/// The process-wide resolved tier. One instance per program (inline
+/// function static), shared by every translation unit.
+inline Tier& MutableResolvedTier() {
+  static Tier tier = [] {
+    const Tier supported = MaxSupportedTier();
+    Tier requested;
+    if (ParseTier(std::getenv("HLSH_SIMD"), &requested)) {
+      return std::min(requested, supported);
+    }
+    return supported;
+  }();
+  return tier;
+}
+}  // namespace detail
+
+/// The tier every kernel dispatches on, resolved once from HLSH_SIMD and
+/// CPUID on first use.
+inline Tier ResolvedTier() { return detail::MutableResolvedTier(); }
+
+/// Re-points the resolved tier (clamped to CPU support) so one test
+/// process can exercise every dispatch path. Not thread-safe; tests only.
+inline void SetResolvedTierForTest(Tier tier) {
+  detail::MutableResolvedTier() = std::min(tier, MaxSupportedTier());
+}
+
+// --- Shared canonical-order scalar kernels. ---------------------------------
+
+/// Dot product in the canonical 8-lane order — the scalar reference every
+/// vector tier reproduces bit-for-bit. Lives here (not core/kernels.cc) so
+/// data/ can use it too: DenseDataset::PrecomputeNorms builds its cosine
+/// norm cache from this exact function, which makes the cached-norm
+/// verification path round identically to the fused cosine kernel.
+inline float DotF32Scalar(const float* a, const float* b, size_t d) {
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    for (size_t l = 0; l < 8; ++l) lanes[l] += a[i + l] * b[i + l];
+  }
+  float sum = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6])) +
+              ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+  for (; i < d; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+// --- HyperLogLog register kernels. -----------------------------------------
+// These live here (not core/kernels.h) so hll/ can use them without
+// depending on core/; the kernel table in core/kernels.cc points at the
+// same functions.
+
+/// 2^-r for r = 0..255 (register values never exceed 64, but a full table
+/// keeps the sum branch-free even on corrupt-but-validated input).
+inline const double* Pow2NegTable() {
+  static const struct Table {
+    double values[256];
+    Table() {
+      for (int i = 0; i < 256; ++i) values[i] = std::ldexp(1.0, -i);
+    }
+  } table;
+  return table.values;
+}
+
+/// Canonical-order fused register sum: returns sum_j 2^-M[j] and counts
+/// zero registers in one pass. Reference tier — every other tier must
+/// reproduce these bits exactly.
+inline double HllRegisterSumScalar(const uint8_t* regs, size_t m,
+                                   size_t* zeros_out) {
+  const double* table = Pow2NegTable();
+  double lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t zeros = 0;
+  size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    for (size_t l = 0; l < 8; ++l) {
+      const uint8_t reg = regs[i + l];
+      lanes[l] += table[reg];
+      zeros += (reg == 0);
+    }
+  }
+  double sum = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6])) +
+               ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+  for (; i < m; ++i) {
+    sum += table[regs[i]];
+    zeros += (regs[i] == 0);
+  }
+  *zeros_out = zeros;
+  return sum;
+}
+
+#if defined(HLSH_SIMD_X86)
+// GCC 12's _mm256_i32gather_pd expands through _mm256_undefined_pd, whose
+// deliberately-uninitialized local trips -Wmaybe-uninitialized; the mask
+// gather overwrites every lane, so the warning is a false positive.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx2"))) inline double HllRegisterSumAvx2(
+    const uint8_t* regs, size_t m, size_t* zeros_out) {
+  const double* table = Pow2NegTable();
+  __m256d acc_lo = _mm256_setzero_pd();  // virtual lanes 0-3
+  __m256d acc_hi = _mm256_setzero_pd();  // virtual lanes 4-7
+  const __m128i byte_zero = _mm_setzero_si128();
+  size_t zeros = 0;
+  size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    __m128i bytes = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(regs + i));
+    const unsigned eq_mask = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(bytes, byte_zero)));
+    zeros += static_cast<size_t>(std::popcount(eq_mask & 0xFFu));
+    const __m256i idx = _mm256_cvtepu8_epi32(bytes);
+    acc_lo = _mm256_add_pd(
+        acc_lo, _mm256_i32gather_pd(table, _mm256_castsi256_si128(idx), 8));
+    acc_hi = _mm256_add_pd(
+        acc_hi, _mm256_i32gather_pd(table, _mm256_extracti128_si256(idx, 1), 8));
+  }
+  // Canonical reduction: [l0+l4, l1+l5, l2+l6, l3+l7] -> (s0+s2)+(s1+s3).
+  const __m256d s = _mm256_add_pd(acc_lo, acc_hi);
+  const __m128d pair = _mm_add_pd(_mm256_castpd256_pd128(s),
+                                  _mm256_extractf128_pd(s, 1));
+  double sum = _mm_cvtsd_f64(pair) +
+               _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+  for (; i < m; ++i) {
+    sum += table[regs[i]];
+    zeros += (regs[i] == 0);
+  }
+  *zeros_out = zeros;
+  return sum;
+}
+#pragma GCC diagnostic pop
+#endif  // HLSH_SIMD_X86
+
+/// Dispatched fused register sum. The SSE2 tier reuses the scalar loop:
+/// without a gather instruction the sum is table-lookup-bound, so there is
+/// no 128-bit win to take (and sharing the code keeps the bits identical
+/// by construction).
+inline double HllRegisterSum(const uint8_t* regs, size_t m,
+                             size_t* zeros_out) {
+#if defined(HLSH_SIMD_X86)
+  if (ResolvedTier() == Tier::kAvx2) {
+    return HllRegisterSumAvx2(regs, m, zeros_out);
+  }
+#endif
+  return HllRegisterSumScalar(regs, m, zeros_out);
+}
+
+/// Register-wise max merge (HLL union): dst[j] = max(dst[j], src[j]).
+inline void HllMergeMaxScalar(uint8_t* dst, const uint8_t* src, size_t m) {
+  for (size_t j = 0; j < m; ++j) {
+    if (src[j] > dst[j]) dst[j] = src[j];
+  }
+}
+
+#if defined(HLSH_SIMD_X86)
+__attribute__((target("sse2"))) inline void HllMergeMaxSse2(
+    uint8_t* dst, const uint8_t* src, size_t m) {
+  size_t j = 0;
+  for (; j + 16 <= m; j += 16) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + j));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + j));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + j),
+                     _mm_max_epu8(a, b));
+  }
+  for (; j < m; ++j) {
+    if (src[j] > dst[j]) dst[j] = src[j];
+  }
+}
+
+__attribute__((target("avx2"))) inline void HllMergeMaxAvx2(
+    uint8_t* dst, const uint8_t* src, size_t m) {
+  size_t j = 0;
+  for (; j + 32 <= m; j += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + j));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + j));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + j),
+                        _mm256_max_epu8(a, b));
+  }
+  for (; j + 16 <= m; j += 16) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + j));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + j));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + j),
+                     _mm_max_epu8(a, b));
+  }
+  for (; j < m; ++j) {
+    if (src[j] > dst[j]) dst[j] = src[j];
+  }
+}
+#endif  // HLSH_SIMD_X86
+
+/// Dispatched register-wise max merge.
+inline void HllMergeMax(uint8_t* dst, const uint8_t* src, size_t m) {
+#if defined(HLSH_SIMD_X86)
+  switch (ResolvedTier()) {
+    case Tier::kAvx2:
+      HllMergeMaxAvx2(dst, src, m);
+      return;
+    case Tier::kSse2:
+      HllMergeMaxSse2(dst, src, m);
+      return;
+    case Tier::kScalar:
+      break;
+  }
+#endif
+  HllMergeMaxScalar(dst, src, m);
+}
+
+}  // namespace simd
+}  // namespace util
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_UTIL_SIMD_H_
