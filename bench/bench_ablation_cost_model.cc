@@ -41,11 +41,13 @@ int main(int argc, char** argv) {
   HLSH_CHECK(index.ok());
 
   const float* probe = split.queries.point(0);
-  const core::CostModel measured = core::CostCalibrator::Calibrate(
+  const auto calibrated = core::CostCalibrator::Calibrate(
       [&](size_t i) {
         return data::CosineDistance(split.base.point(i), probe, 254);
       },
-      std::min<size_t>(10000, split.base.size()), split.base.size());
+      split.base.size(), /*sample_size=*/10000, split.base.size());
+  HLSH_CHECK(calibrated.ok());
+  const core::CostModel measured = *calibrated;
   std::printf("# measured beta/alpha = %.1f\n", measured.Ratio());
 
   std::printf("# %-10s %-12s %-12s %-12s %-8s\n", "ratio", "hybrid_s",

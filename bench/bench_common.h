@@ -186,8 +186,13 @@ StrategyResult RunStrategies(const Index& index, const Dataset& base,
 inline core::CostModel CalibratedModel(
     const std::function<double(size_t)>& distance_fn, size_t sample_size,
     size_t dedup_capacity, double paper_ratio) {
-  const core::CostModel measured = core::CostCalibrator::Calibrate(
-      distance_fn, sample_size, dedup_capacity, /*ops=*/200000, /*seed=*/1);
+  // The benches hand a sample_size already bounded by their dataset, so it
+  // doubles as the callback's valid range n.
+  auto calibrated = core::CostCalibrator::Calibrate(
+      distance_fn, /*n=*/sample_size, sample_size, dedup_capacity,
+      /*ops=*/200000, /*seed=*/1);
+  HLSH_CHECK(calibrated.ok());
+  const core::CostModel measured = *calibrated;
   std::printf("# cost model: measured beta/alpha = %.1f "
               "(paper's Python implementation used %.0f)\n",
               measured.Ratio(), paper_ratio);

@@ -1,0 +1,156 @@
+// Crash-safe persistence: snapshot a serving engine in one process,
+// restore it in another, and verify the restored engine answers byte-for-
+// byte identically.
+//
+// The two phases run as separate processes on purpose — the gap between
+// them is the "crash". CI drives exactly this sequence (build -> snapshot
+// -> process exit -> restore -> verify):
+//
+//   $ ./build/examples/snapshot_restore save /tmp/hlsh_snapshot
+//   $ ./build/examples/snapshot_restore load /tmp/hlsh_snapshot
+//
+// `save` builds a sharded cosine engine over synthetic data, churns it
+// (inserts + tombstones, enough to seal segments), snapshots it, and
+// writes every query's expected result ids to <dir>/expected.txt. `load`
+// knows nothing about the engine's type: OpenSnapshotEngine reads the
+// manifest, rebuilds the right typed engine behind the facade without
+// evaluating a single hash function, and the example replays the queries
+// against expected.txt. Exit code 0 = bit-identical restore.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hybridlsh.h"
+#include "engine/search_engine.h"
+
+using namespace hybridlsh;
+
+namespace {
+
+constexpr size_t kDim = 24;
+constexpr double kRadius = 0.2;
+constexpr size_t kNumQueries = 50;
+
+/// The deterministic query set both phases regenerate.
+data::DenseDataset MakeQueries() {
+  return data::SplitQueries(
+             data::MakeWebspamLike({.n = 12000, .dim = kDim, .seed = 21}),
+             kNumQueries, 22)
+      .queries;
+}
+
+int Save(const std::string& dir) {
+  data::DenseDataset dataset =
+      data::SplitQueries(
+          data::MakeWebspamLike({.n = 12000, .dim = kDim, .seed = 21}),
+          kNumQueries, 22)
+          .base;
+  dataset.PrecomputeNorms();  // the cache travels with the snapshot
+
+  engine::EngineOptions options;
+  options.num_shards = 4;
+  options.num_tables = 20;
+  options.k = 12;
+  options.seed = 23;
+  options.active_seal_threshold = 256;
+  options.searcher.cost_model = core::CostModel::FromRatio(10.0);
+  auto engine =
+      engine::BuildMutableEngine(data::Metric::kCosine, &dataset, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Churn: the snapshot must carry mid-lifecycle state, not a fresh build.
+  std::vector<float> staging(kDim, 0.0f);
+  for (size_t i = 0; i < 700; ++i) {
+    for (size_t d = 0; d < kDim; ++d) {
+      staging[d] = static_cast<float>((i * 31 + d * 7) % 97) / 97.0f;
+    }
+    if (!(*engine)->Insert(staging.data()).ok()) return 1;
+  }
+  for (uint32_t id = 0; id < 2000; id += 13) {
+    if (!(*engine)->Remove(id).ok()) return 1;
+  }
+
+  const auto snapshot_status = (*engine)->SaveSnapshot(dir);
+  if (!snapshot_status.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n",
+                 snapshot_status.ToString().c_str());
+    return 1;
+  }
+
+  // Record what the live engine answers; the restore phase must match it.
+  const data::DenseDataset queries = MakeQueries();
+  std::ofstream expected(dir + "/expected.txt");
+  std::vector<uint32_t> out;
+  size_t total = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    out.clear();
+    if (!(*engine)->Query(queries.point(q), kRadius, &out).ok()) return 1;
+    expected << q;
+    for (uint32_t id : out) expected << ' ' << id;
+    expected << '\n';
+    total += out.size();
+  }
+  std::printf("snapshot saved: %zu live points, %zu queries, %zu results\n",
+              (*engine)->size(), queries.size(), total);
+  return 0;
+}
+
+int Load(const std::string& dir) {
+  auto engine = engine::OpenSnapshotEngine(dir);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "restore failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("restored %s engine: %zu live points, %zu shards\n",
+              std::string(data::MetricName((*engine)->metric())).c_str(),
+              (*engine)->size(), (*engine)->num_shards());
+
+  const data::DenseDataset queries = MakeQueries();
+  std::ifstream expected(dir + "/expected.txt");
+  if (!expected) {
+    std::fprintf(stderr, "missing expected.txt (run the save phase first)\n");
+    return 1;
+  }
+  std::string line;
+  std::vector<uint32_t> out;
+  size_t checked = 0;
+  while (std::getline(expected, line)) {
+    std::istringstream row(line);
+    size_t q = 0;
+    row >> q;
+    std::vector<uint32_t> want;
+    for (uint32_t id = 0; row >> id;) want.push_back(id);
+    out.clear();
+    if (!(*engine)->Query(queries.point(q), kRadius, &out).ok()) return 1;
+    if (out != want) {
+      std::fprintf(stderr, "MISMATCH on query %zu: got %zu ids, want %zu\n",
+                   q, out.size(), want.size());
+      return 1;
+    }
+    ++checked;
+  }
+  std::printf("verified %zu queries: results identical to the pre-kill "
+              "engine\n",
+              checked);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3 || (std::strcmp(argv[1], "save") != 0 &&
+                    std::strcmp(argv[1], "load") != 0)) {
+    std::fprintf(stderr, "usage: %s save|load <snapshot-dir>\n", argv[0]);
+    return 2;
+  }
+  return std::strcmp(argv[1], "save") == 0 ? Save(argv[2]) : Load(argv[2]);
+}

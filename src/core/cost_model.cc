@@ -9,9 +9,17 @@
 namespace hybridlsh {
 namespace core {
 
-double CostCalibrator::MeasureAlpha(size_t capacity, size_t ops, uint64_t seed,
-                                    int repetitions) {
-  HLSH_CHECK(capacity > 0 && ops > 0 && repetitions > 0);
+util::StatusOr<double> CostCalibrator::MeasureAlpha(size_t capacity,
+                                                    size_t ops, uint64_t seed,
+                                                    int repetitions) {
+  if (capacity == 0) {
+    return util::Status::InvalidArgument(
+        "cannot calibrate alpha over an empty id space");
+  }
+  if (ops == 0 || repetitions <= 0) {
+    return util::Status::InvalidArgument(
+        "calibration needs ops > 0 and repetitions > 0");
+  }
   // Pre-generate the id stream so the timed loop measures only the insert.
   util::Rng rng(seed);
   std::vector<uint32_t> ids(ops);
@@ -29,10 +37,20 @@ double CostCalibrator::MeasureAlpha(size_t capacity, size_t ops, uint64_t seed,
   return best / static_cast<double>(ops);
 }
 
-double CostCalibrator::MeasureBeta(
-    const std::function<double(size_t)>& distance_fn, size_t sample_size,
-    size_t ops, int repetitions) {
-  HLSH_CHECK(sample_size > 0 && ops > 0 && repetitions > 0);
+util::StatusOr<double> CostCalibrator::MeasureBeta(
+    const std::function<double(size_t)>& distance_fn, size_t n,
+    size_t sample_size, size_t ops, int repetitions) {
+  // A sample larger than the dataset would index distance_fn out of range;
+  // an empty one would take i % 0. Clamp, then reject emptiness.
+  sample_size = std::min(sample_size, n);
+  if (sample_size == 0) {
+    return util::Status::InvalidArgument(
+        "cannot calibrate beta on an empty sample");
+  }
+  if (ops == 0 || repetitions <= 0) {
+    return util::Status::InvalidArgument(
+        "calibration needs ops > 0 and repetitions > 0");
+  }
   double sink = 0.0;
   double best = 1e300;
   for (int rep = 0; rep < repetitions; ++rep) {
@@ -47,13 +65,18 @@ double CostCalibrator::MeasureBeta(
   return best / static_cast<double>(ops);
 }
 
-CostModel CostCalibrator::Calibrate(
-    const std::function<double(size_t)>& distance_fn, size_t sample_size,
-    size_t dedup_capacity, size_t ops, uint64_t seed) {
+util::StatusOr<CostModel> CostCalibrator::Calibrate(
+    const std::function<double(size_t)>& distance_fn, size_t n,
+    size_t sample_size, size_t dedup_capacity, size_t ops, uint64_t seed) {
   CostModel model;
-  model.alpha = MeasureAlpha(dedup_capacity, ops, seed);
+  auto alpha = MeasureAlpha(dedup_capacity, ops, seed);
+  if (!alpha.ok()) return alpha.status();
+  model.alpha = *alpha;
   // Distance computations are slower; fewer reps suffice for stable means.
-  model.beta = MeasureBeta(distance_fn, sample_size, std::max<size_t>(ops / 10, 1));
+  auto beta = MeasureBeta(distance_fn, n, sample_size,
+                          std::max<size_t>(ops / 10, 1));
+  if (!beta.ok()) return beta.status();
+  model.beta = *beta;
   return model;
 }
 

@@ -78,27 +78,37 @@ struct CostModel {
   double Ratio() const { return beta / alpha; }
 };
 
-/// Measures alpha and beta empirically (paper §4.2's procedure).
+/// Measures alpha and beta empirically (paper §4.2's procedure). Degenerate
+/// inputs fail with InvalidArgument instead of indexing out of range or
+/// dividing by zero — calibration often runs on a caller-supplied sample
+/// whose size the library cannot see past the callback.
 class CostCalibrator {
  public:
   /// Seconds per dedup operation: timed VisitedSet inserts of `ops` random
   /// ids over a set of the given capacity, best of `repetitions` runs.
-  static double MeasureAlpha(size_t capacity, size_t ops, uint64_t seed,
-                             int repetitions = 3);
+  static util::StatusOr<double> MeasureAlpha(size_t capacity, size_t ops,
+                                             uint64_t seed,
+                                             int repetitions = 3);
 
   /// Seconds per distance computation: times `distance_fn(i)` over point
-  /// indices i < sample_size for `ops` evaluations, best of `repetitions`.
-  /// The callback should compute one representative distance (e.g. sample
-  /// point i against a fixed query) and return it; returns are accumulated
-  /// into a sink so the calls cannot be optimized away.
-  static double MeasureBeta(const std::function<double(size_t)>& distance_fn,
-                            size_t sample_size, size_t ops,
-                            int repetitions = 3);
+  /// indices i < min(sample_size, n) for `ops` evaluations, best of
+  /// `repetitions`. `n` is the number of points the callback can index (the
+  /// dataset size); a paper-style sample_size of 10,000 is clamped to it,
+  /// so the callback is never called out of range. The callback should
+  /// compute one representative distance (e.g. sample point i against a
+  /// fixed query) and return it; returns are accumulated into a sink so the
+  /// calls cannot be optimized away. InvalidArgument when the dataset is
+  /// empty (n == 0 or sample_size == 0) or ops/repetitions are zero.
+  static util::StatusOr<double> MeasureBeta(
+      const std::function<double(size_t)>& distance_fn, size_t n,
+      size_t sample_size, size_t ops, int repetitions = 3);
 
-  /// Convenience: a CostModel from both measurements.
-  static CostModel Calibrate(const std::function<double(size_t)>& distance_fn,
-                             size_t sample_size, size_t dedup_capacity,
-                             size_t ops = 200000, uint64_t seed = 1);
+  /// Convenience: a CostModel from both measurements. `sample_size` is
+  /// clamped to `n` like MeasureBeta's.
+  static util::StatusOr<CostModel> Calibrate(
+      const std::function<double(size_t)>& distance_fn, size_t n,
+      size_t sample_size, size_t dedup_capacity, size_t ops = 200000,
+      uint64_t seed = 1);
 };
 
 }  // namespace core

@@ -20,6 +20,149 @@ void DenseDataset::PrecomputeNorms() {
   }
 }
 
+namespace {
+
+/// Shared framing check for the LoadDataset overloads.
+util::Status ExpectKind(util::ByteReader* reader, uint32_t want) {
+  uint32_t kind = 0;
+  HLSH_RETURN_IF_ERROR(reader->ReadU32(&kind));
+  if (kind != want) {
+    return util::Status::InvalidArgument(
+        "dataset payload holds a different container kind");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+void SaveDataset(const DenseDataset& dataset, util::ByteWriter* writer) {
+  writer->WriteU32(kDenseDatasetKind);
+  writer->WriteU64(dataset.size());
+  writer->WriteU64(dataset.dim());
+  writer->WriteArray<float>(dataset.points_.data());
+  writer->WriteU8(dataset.has_norms() ? 1 : 0);
+  if (dataset.has_norms()) {
+    writer->WriteArray<float>(dataset.norms_);
+  }
+}
+
+util::Status LoadDataset(util::ByteReader* reader, DenseDataset* dataset) {
+  HLSH_RETURN_IF_ERROR(ExpectKind(reader, kDenseDatasetKind));
+  uint64_t rows = 0, cols = 0;
+  HLSH_RETURN_IF_ERROR(reader->ReadU64(&rows));
+  HLSH_RETURN_IF_ERROR(reader->ReadU64(&cols));
+  if (rows != 0 && cols == 0) {
+    return util::Status::DataLoss("dense dataset has points of dimension 0");
+  }
+  // Bound both factors so rows * cols below cannot wrap uint64_t (the
+  // actual sizes are further bounded by the buffer in ReadArray).
+  if (rows > UINT32_MAX || cols > (uint64_t{1} << 24)) {
+    return util::Status::DataLoss("dense dataset header has invalid shape");
+  }
+  std::vector<float> data;
+  HLSH_RETURN_IF_ERROR(
+      reader->ReadArray<float>(static_cast<size_t>(rows * cols), &data));
+  uint8_t has_norms = 0;
+  HLSH_RETURN_IF_ERROR(reader->ReadU8(&has_norms));
+  if (has_norms > 1) {
+    return util::Status::DataLoss("dense dataset has an invalid norm flag");
+  }
+  std::vector<float> norms;
+  if (has_norms == 1) {
+    HLSH_RETURN_IF_ERROR(
+        reader->ReadArray<float>(static_cast<size_t>(rows), &norms));
+  }
+  dataset->points_ = util::FloatMatrix(static_cast<size_t>(rows),
+                                       static_cast<size_t>(cols),
+                                       std::move(data));
+  dataset->norms_ = std::move(norms);
+  return util::Status::Ok();
+}
+
+void SaveDataset(const BinaryDataset& dataset, util::ByteWriter* writer) {
+  writer->WriteU32(kBinaryDatasetKind);
+  writer->WriteU64(dataset.size());
+  writer->WriteU64(dataset.width_bits());
+  writer->WriteArray<uint64_t>(dataset.words());
+}
+
+util::Status LoadDataset(util::ByteReader* reader, BinaryDataset* dataset) {
+  HLSH_RETURN_IF_ERROR(ExpectKind(reader, kBinaryDatasetKind));
+  uint64_t n = 0, width_bits = 0;
+  HLSH_RETURN_IF_ERROR(reader->ReadU64(&n));
+  HLSH_RETURN_IF_ERROR(reader->ReadU64(&width_bits));
+  if (width_bits == 0 || width_bits > (uint64_t{1} << 24) ||
+      n > UINT32_MAX) {
+    return util::Status::DataLoss("binary dataset header has invalid shape");
+  }
+  const size_t words_per_code = (static_cast<size_t>(width_bits) + 63) / 64;
+  std::vector<uint64_t> words;
+  HLSH_RETURN_IF_ERROR(reader->ReadArray<uint64_t>(
+      static_cast<size_t>(n) * words_per_code, &words));
+  BinaryDataset loaded(static_cast<size_t>(n),
+                       static_cast<size_t>(width_bits));
+  loaded.mutable_words() = std::move(words);
+  *dataset = std::move(loaded);
+  return util::Status::Ok();
+}
+
+void SaveDataset(const SparseDataset& dataset, util::ByteWriter* writer) {
+  writer->WriteU32(kSparseDatasetKind);
+  writer->WriteU32(dataset.universe());
+  writer->WriteU64(dataset.size());
+  writer->WriteU64(dataset.num_entries());
+  writer->WriteArray<uint32_t>(dataset.indices_);
+  // offsets_ holds size_t; persist as fixed-width u64.
+  for (const size_t offset : dataset.offsets_) {
+    writer->WriteU64(offset);
+  }
+}
+
+util::Status LoadDataset(util::ByteReader* reader, SparseDataset* dataset) {
+  HLSH_RETURN_IF_ERROR(ExpectKind(reader, kSparseDatasetKind));
+  uint32_t universe = 0;
+  uint64_t n = 0, num_entries = 0;
+  HLSH_RETURN_IF_ERROR(reader->ReadU32(&universe));
+  HLSH_RETURN_IF_ERROR(reader->ReadU64(&n));
+  HLSH_RETURN_IF_ERROR(reader->ReadU64(&num_entries));
+  if (n > UINT32_MAX) {
+    return util::Status::DataLoss("sparse dataset header has invalid shape");
+  }
+  std::vector<uint32_t> indices;
+  HLSH_RETURN_IF_ERROR(
+      reader->ReadArray<uint32_t>(static_cast<size_t>(num_entries), &indices));
+  std::vector<uint64_t> offsets;
+  HLSH_RETURN_IF_ERROR(
+      reader->ReadArray<uint64_t>(static_cast<size_t>(n) + 1, &offsets));
+  if (offsets.front() != 0 || offsets.back() != num_entries) {
+    return util::Status::DataLoss("sparse offsets do not bracket the entries");
+  }
+  SparseDataset loaded(universe);
+  loaded.offsets_.resize(offsets.size());
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    if (i > 0 && offsets[i] < offsets[i - 1]) {
+      return util::Status::DataLoss("sparse offsets are not monotone");
+    }
+    loaded.offsets_[i] = static_cast<size_t>(offsets[i]);
+  }
+  // Re-validate the per-point invariants Append enforces: strictly
+  // increasing ids below the universe bound.
+  for (size_t p = 0; p + 1 < offsets.size(); ++p) {
+    for (size_t j = loaded.offsets_[p]; j < loaded.offsets_[p + 1]; ++j) {
+      if (j > loaded.offsets_[p] && indices[j] <= indices[j - 1]) {
+        return util::Status::DataLoss(
+            "sparse point ids are not strictly increasing");
+      }
+      if (universe != 0 && indices[j] >= universe) {
+        return util::Status::DataLoss("sparse point id exceeds universe");
+      }
+    }
+  }
+  loaded.indices_ = std::move(indices);
+  *dataset = std::move(loaded);
+  return util::Status::Ok();
+}
+
 util::Status SparseDataset::Append(std::span<const uint32_t> sorted_ids) {
   for (size_t i = 0; i < sorted_ids.size(); ++i) {
     if (i > 0 && sorted_ids[i] <= sorted_ids[i - 1]) {

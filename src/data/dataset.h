@@ -18,10 +18,49 @@
 #include <vector>
 
 #include "util/matrix.h"
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace hybridlsh {
 namespace data {
+
+class DenseDataset;
+class BinaryDataset;
+class SparseDataset;
+
+// --- Container serialization (engine snapshots). ---------------------------
+// Each container round-trips through one Save/Load overload pair; the first
+// field is the container's kind tag, so a snapshot loader can reject a
+// dataset file of the wrong representation with InvalidArgument instead of
+// misparsing it. SaveDataset(dense) persists the norm cache when present,
+// so a restored engine keeps the cosine verification fast path without an
+// O(n * dim) recompute.
+
+constexpr uint32_t kDenseDatasetKind = 1;
+constexpr uint32_t kBinaryDatasetKind = 2;
+constexpr uint32_t kSparseDatasetKind = 3;
+
+void SaveDataset(const DenseDataset& dataset, util::ByteWriter* writer);
+void SaveDataset(const BinaryDataset& dataset, util::ByteWriter* writer);
+void SaveDataset(const SparseDataset& dataset, util::ByteWriter* writer);
+
+/// Parses a container written by the matching SaveDataset overload,
+/// replacing *dataset. DataLoss on malformed input; InvalidArgument when
+/// the payload holds a different container kind.
+util::Status LoadDataset(util::ByteReader* reader, DenseDataset* dataset);
+util::Status LoadDataset(util::ByteReader* reader, BinaryDataset* dataset);
+util::Status LoadDataset(util::ByteReader* reader, SparseDataset* dataset);
+
+/// The kind tag a SaveDataset overload writes for this container.
+constexpr uint32_t DatasetKindOf(const DenseDataset&) {
+  return kDenseDatasetKind;
+}
+constexpr uint32_t DatasetKindOf(const BinaryDataset&) {
+  return kBinaryDatasetKind;
+}
+constexpr uint32_t DatasetKindOf(const SparseDataset&) {
+  return kSparseDatasetKind;
+}
 
 /// Dense real-valued point set, one point per row.
 class DenseDataset {
@@ -83,6 +122,9 @@ class DenseDataset {
   }
 
  private:
+  friend void SaveDataset(const DenseDataset&, util::ByteWriter*);
+  friend util::Status LoadDataset(util::ByteReader*, DenseDataset*);
+
   util::FloatMatrix points_;
   std::vector<float> norms_;  // empty = not cached
 };
@@ -186,6 +228,9 @@ class SparseDataset {
   size_t num_entries() const { return indices_.size(); }
 
  private:
+  friend void SaveDataset(const SparseDataset&, util::ByteWriter*);
+  friend util::Status LoadDataset(util::ByteReader*, SparseDataset*);
+
   uint32_t universe_ = 0;
   std::vector<uint32_t> indices_;
   std::vector<size_t> offsets_;

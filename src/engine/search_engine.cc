@@ -192,6 +192,10 @@ util::Status SearchEngine::Remove(uint32_t) {
   return util::Status::Unimplemented("this engine does not support updates");
 }
 
+util::Status SearchEngine::SaveSnapshot(const std::string&) {
+  return util::Status::Unimplemented("this engine does not support snapshots");
+}
+
 util::Status SearchEngine::Compact() {
   return util::Status::Unimplemented("this engine does not support updates");
 }
@@ -235,6 +239,48 @@ util::StatusOr<std::unique_ptr<SearchEngine>> BuildMutableEngine(
   if (!engine.ok()) return engine;
   HLSH_RETURN_IF_ERROR((*engine)->EnableUpdates(dataset));
   return engine;
+}
+
+// -- Snapshot restore ---------------------------------------------------------
+
+namespace {
+
+/// Restores one typed engine and hands the dataset's ownership to the
+/// adapter. OpenSnapshot itself checks that the snapshot's family and
+/// container match <Family, Dataset> and arms updates.
+template <typename Family, typename Dataset>
+util::StatusOr<std::unique_ptr<SearchEngine>> OpenTyped(
+    const std::string& dir, const snapshot::OpenOptions& options) {
+  auto dataset = std::make_unique<Dataset>();
+  auto engine =
+      ShardedEngine<Family, Dataset>::OpenSnapshot(dir, dataset.get(), options);
+  if (!engine.ok()) return engine.status();
+  return std::unique_ptr<SearchEngine>(
+      new ShardedEngineAdapter<Family, Dataset>(std::move(*engine),
+                                                std::move(dataset)));
+}
+
+}  // namespace
+
+util::StatusOr<std::unique_ptr<SearchEngine>> OpenSnapshotEngine(
+    const std::string& dir, const snapshot::OpenOptions& options) {
+  // One cheap manifest read decides which typed opener to run; the typed
+  // OpenSnapshot then re-verifies everything it loads.
+  auto reader = snapshot::SnapshotReader::Open(dir, /*use_mmap=*/false);
+  if (!reader.ok()) return reader.status();
+  switch (static_cast<data::Metric>(reader->manifest().metric_tag)) {
+    case data::Metric::kCosine:
+      return OpenTyped<lsh::SimHashFamily, data::DenseDataset>(dir, options);
+    case data::Metric::kL2:
+    case data::Metric::kL1:
+      return OpenTyped<lsh::PStableFamily, data::DenseDataset>(dir, options);
+    case data::Metric::kHamming:
+      return OpenTyped<lsh::BitSamplingFamily, data::BinaryDataset>(dir,
+                                                                    options);
+    case data::Metric::kJaccard:
+      return OpenTyped<lsh::MinHashFamily, data::SparseDataset>(dir, options);
+  }
+  return util::Status::DataLoss("snapshot manifest names an unknown metric");
 }
 
 }  // namespace engine

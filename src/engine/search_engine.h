@@ -152,6 +152,15 @@ class SearchEngine {
   /// type and point at the object the engine was built over.
   virtual util::Status EnableUpdates(AnyMutableDataset dataset);
 
+  // --- Snapshot / restore. -----------------------------------------------
+  // SaveSnapshot persists the full serving state (hash functions, sealed
+  // segments, tombstones, dataset + norm cache, cost model) into a
+  // crash-safe snapshot directory; OpenSnapshotEngine (below) restores it
+  // behind the facade without recomputing a single hash. See
+  // engine/snapshot.h for the directory protocol and guarantees.
+
+  virtual util::Status SaveSnapshot(const std::string& dir);
+
  protected:
   /// The InvalidArgument produced by every non-matching overload.
   util::Status WrongPointType(const char* got) const;
@@ -169,6 +178,12 @@ class ShardedEngineAdapter final : public SearchEngine {
   using Point = typename Engine::Point;
 
   explicit ShardedEngineAdapter(Engine engine) : engine_(std::move(engine)) {}
+
+  /// Adapter that also owns the dataset — the snapshot-restore path, where
+  /// no caller-held container exists yet. The engine references *dataset by
+  /// pointer, so the unique_ptr's stable address is what makes this safe.
+  ShardedEngineAdapter(Engine engine, std::unique_ptr<Dataset> dataset)
+      : owned_dataset_(std::move(dataset)), engine_(std::move(engine)) {}
 
   data::Metric metric() const override {
     return engine_.shard_index(0).family().metric();
@@ -266,6 +281,10 @@ class ShardedEngineAdapter final : public SearchEngine {
         "mutable dataset container does not match the engine's dataset");
   }
 
+  util::Status SaveSnapshot(const std::string& dir) override {
+    return engine_.SaveSnapshot(dir);
+  }
+
  private:
   template <typename P>
   util::StatusOr<uint32_t> InsertImpl(P point, const char* got) {
@@ -286,6 +305,9 @@ class ShardedEngineAdapter final : public SearchEngine {
     }
   }
 
+  // Set only by the snapshot-restore constructor; engine_ points into it.
+  // Declared first so the dataset outlives the engine on destruction.
+  std::unique_ptr<Dataset> owned_dataset_;
   Engine engine_;
 };
 
@@ -318,6 +340,16 @@ util::StatusOr<std::unique_ptr<SearchEngine>> BuildEngine(
 util::StatusOr<std::unique_ptr<SearchEngine>> BuildMutableEngine(
     data::Metric metric, AnyMutableDataset dataset,
     const EngineOptions& options);
+
+/// Restores a snapshot written by SearchEngine::SaveSnapshot (or by
+/// ShardedEngine::SaveSnapshot directly) behind the facade. The snapshot's
+/// manifest names the metric, LSH family, and dataset container, so the
+/// caller needs no type information: the right typed engine is rebuilt, the
+/// dataset is owned by the returned engine, and updates are armed — a
+/// service restart is Open + serve. `options.use_mmap` maps the snapshot
+/// files read-only for near-zero-copy startup.
+util::StatusOr<std::unique_ptr<SearchEngine>> OpenSnapshotEngine(
+    const std::string& dir, const snapshot::OpenOptions& options = {});
 
 }  // namespace engine
 }  // namespace hybridlsh

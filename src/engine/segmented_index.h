@@ -466,6 +466,130 @@ class SegmentedIndex {
     return hll::HyperLogLog(options_.index.hll_precision);
   }
 
+  // --- Snapshot persistence (engine/snapshot.h). -------------------------
+  // SaveTo/LoadFrom carry only what this index owns: range bookkeeping,
+  // counters, and the sealed segments (CSR tables + sketches + id lists).
+  // The FunctionSet, dataset, tombstones, and Options travel once at the
+  // engine level and are handed back to LoadFrom — that is what makes a
+  // multi-shard snapshot O(1) in hash functions instead of O(S).
+
+  /// Appends this index's segments and counters to the writer. The active
+  /// segment must be empty — callers SealActive() first, so a snapshot is
+  /// pure CSR and the restored index answers queries through sketches
+  /// identical to the live sealed ones.
+  util::Status SaveTo(util::ByteWriter* writer) const {
+    if (!active_ids_.empty()) {
+      return util::Status::FailedPrecondition(
+          "seal the active segment before snapshotting");
+    }
+    writer->WriteU32(id_base_);
+    writer->WriteU64(initial_count_);
+    writer->WriteU64(build_n_);
+    writer->WriteU64(num_live_);
+    writer->WriteU64(num_dead_);
+    writer->WriteU64(sealed_.size());
+    for (const Segment& segment : sealed_) {
+      writer->WriteU64(segment.tables.size());
+      for (const lsh::LshTable& table : segment.tables) {
+        table.Serialize(writer);
+      }
+      writer->WriteU64(segment.ids.size());
+      writer->WriteArray<uint32_t>(segment.ids);
+    }
+    return util::Status::Ok();
+  }
+
+  /// Rebuilds an index from a SaveTo payload. `functions` is the engine's
+  /// shared (already-loaded) FunctionSet, `dataset` the restored container,
+  /// `tombstones` the engine-wide bitmap (already loaded; nullptr makes the
+  /// index own an empty one, the standalone case). No hash function is
+  /// evaluated and no point is read — tables and sketches reload as bytes.
+  /// The live/dead counters are revalidated against the actual segment
+  /// contents, so a corrupt (but checksum-passing) payload cannot smuggle
+  /// in an inconsistent index.
+  static util::StatusOr<SegmentedIndex> LoadFrom(
+      util::ByteReader* reader, lsh::FunctionSet<Family> functions,
+      const Dataset* dataset, const Options& options,
+      util::BitVector* shared_tombstones = nullptr) {
+    if (dataset == nullptr) {
+      return util::Status::InvalidArgument("dataset pointer is null");
+    }
+    if (options.index.hll_precision < hll::HyperLogLog::kMinPrecision ||
+        options.index.hll_precision > hll::HyperLogLog::kMaxPrecision) {
+      return util::Status::InvalidArgument("hll_precision out of range");
+    }
+
+    SegmentedIndex index(std::move(functions));
+    index.dataset_ = dataset;
+    index.options_ = options;
+    index.table_options_.hll_precision = options.index.hll_precision;
+    index.table_options_.small_bucket_threshold =
+        options.index.small_bucket_threshold;
+    index.active_.resize(index.functions_.num_tables());
+    if (shared_tombstones != nullptr) {
+      index.tombstones_ = shared_tombstones;
+    } else {
+      index.owned_tombstones_ = std::make_unique<util::BitVector>();
+      index.tombstones_ = index.owned_tombstones_.get();
+    }
+    index.tombstones_->Grow(dataset->size());
+
+    uint64_t initial_count = 0, build_n = 0, num_live = 0, num_dead = 0;
+    uint64_t num_segments = 0;
+    HLSH_RETURN_IF_ERROR(reader->ReadU32(&index.id_base_));
+    HLSH_RETURN_IF_ERROR(reader->ReadU64(&initial_count));
+    HLSH_RETURN_IF_ERROR(reader->ReadU64(&build_n));
+    HLSH_RETURN_IF_ERROR(reader->ReadU64(&num_live));
+    HLSH_RETURN_IF_ERROR(reader->ReadU64(&num_dead));
+    HLSH_RETURN_IF_ERROR(reader->ReadU64(&num_segments));
+    if (build_n > dataset->size() ||
+        static_cast<uint64_t>(index.id_base_) + initial_count > build_n ||
+        num_segments > (uint64_t{1} << 20)) {
+      return util::Status::DataLoss("segmented index header is invalid");
+    }
+    index.initial_count_ = initial_count;
+    index.build_n_ = build_n;
+
+    size_t live_seen = 0, dead_seen = 0;
+    index.sealed_.reserve(num_segments);
+    for (uint64_t s = 0; s < num_segments; ++s) {
+      Segment segment;
+      uint64_t num_tables = 0;
+      HLSH_RETURN_IF_ERROR(reader->ReadU64(&num_tables));
+      if (num_tables != index.functions_.num_tables()) {
+        return util::Status::DataLoss(
+            "segment table count mismatches the function set");
+      }
+      segment.tables.reserve(num_tables);
+      for (uint64_t t = 0; t < num_tables; ++t) {
+        auto table = lsh::LshTable::Deserialize(reader);
+        if (!table.ok()) return table.status();
+        segment.tables.push_back(std::move(*table));
+      }
+      uint64_t num_ids = 0;
+      HLSH_RETURN_IF_ERROR(reader->ReadU64(&num_ids));
+      HLSH_RETURN_IF_ERROR(reader->ReadArray<uint32_t>(num_ids, &segment.ids));
+      for (const uint32_t id : segment.ids) {
+        if (id >= dataset->size()) {
+          return util::Status::DataLoss("segment id exceeds the dataset");
+        }
+        if (index.tombstones_->Get(id)) {
+          ++dead_seen;
+        } else {
+          ++live_seen;
+        }
+      }
+      index.sealed_.push_back(std::move(segment));
+    }
+    if (live_seen != num_live || dead_seen != num_dead) {
+      return util::Status::DataLoss(
+          "segment id lists disagree with the live/dead counters");
+    }
+    index.num_live_ = live_seen;
+    index.num_dead_ = dead_seen;
+    return index;
+  }
+
   LifecycleStats lifecycle() const {
     LifecycleStats stats;
     stats.live_points = num_live_;

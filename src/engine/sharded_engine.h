@@ -39,7 +39,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -49,6 +51,7 @@
 #include "data/dataset.h"
 #include "engine/dataset_slice.h"
 #include "engine/segmented_index.h"
+#include "engine/snapshot.h"
 #include "lsh/index.h"
 #include "util/bit_vector.h"
 #include "util/status.h"
@@ -392,7 +395,276 @@ class ShardedEngine {
     return {shards_[s].base, shards_[s].base + shards_[s].size};
   }
 
+  // --- Snapshot / restore (engine/snapshot.h). ---------------------------
+
+  /// Persists the full serving state into a versioned, checksummed snapshot
+  /// under `dir`: the shared FunctionSet (once), the dataset with its norm
+  /// cache, the tombstone bitmap, and every shard's sealed segments. Active
+  /// segments are sealed first, so the snapshot is pure CSR and the engine
+  /// continues serving from exactly the state it saved. Atomic at the
+  /// directory level: a crash mid-save never disturbs the previous
+  /// snapshot, and the new one only becomes visible when its CURRENT
+  /// pointer commits. Part of the single-caller surface (it seals
+  /// segments); don't call it concurrently with queries or updates.
+  util::Status SaveSnapshot(const std::string& dir) {
+    for (Shard& shard : shards_) shard.index->SealActive();
+
+    auto writer = snapshot::SnapshotWriter::Begin(dir);
+    if (!writer.ok()) return writer.status();
+    {
+      util::ByteWriter payload;
+      shards_[0].index->functions().Save(&payload);
+      HLSH_RETURN_IF_ERROR(
+          writer->WriteFile(snapshot::kFunctionsFile, payload.bytes()));
+    }
+    {
+      util::ByteWriter payload;
+      data::SaveDataset(*dataset_, &payload);
+      HLSH_RETURN_IF_ERROR(
+          writer->WriteFile(snapshot::kDatasetFile, payload.bytes()));
+    }
+    {
+      util::ByteWriter payload;
+      tombstones_->Serialize(&payload);
+      HLSH_RETURN_IF_ERROR(
+          writer->WriteFile(snapshot::kTombstonesFile, payload.bytes()));
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      util::ByteWriter payload;
+      payload.WriteU64(shards_[s].base);
+      payload.WriteU64(shards_[s].size);
+      HLSH_RETURN_IF_ERROR(shards_[s].index->SaveTo(&payload));
+      HLSH_RETURN_IF_ERROR(
+          writer->WriteFile(snapshot::ShardFileName(s), payload.bytes()));
+    }
+
+    snapshot::Manifest manifest;
+    manifest.family_tag = Family::kFamilyTag;
+    manifest.metric_tag =
+        static_cast<uint32_t>(shards_[0].index->family().metric());
+    manifest.dataset_kind = data::DatasetKindOf(*dataset_);
+    manifest.num_points = dataset_->size();
+    manifest.initial_n = initial_n_;
+    manifest.config = ToConfig();
+    return writer->Commit(std::move(manifest));
+  }
+
+  /// Rehydrates a query-ready engine from the snapshot CURRENT points at.
+  /// The dataset is loaded into *dataset (which must outlive the engine,
+  /// like Build's) and updates are armed on it, so Insert/Remove serve
+  /// immediately. Zero hash functions are evaluated — functions, tables,
+  /// and sketches reload as bytes; shard payloads parse in parallel on the
+  /// restored pool. Rejects snapshots of a different family or container
+  /// with InvalidArgument and corrupt ones with DataLoss.
+  static util::StatusOr<ShardedEngine> OpenSnapshot(
+      const std::string& dir, Dataset* dataset,
+      const snapshot::OpenOptions& open_options = {}) {
+    if (dataset == nullptr) {
+      return util::Status::InvalidArgument("dataset pointer is null");
+    }
+    auto reader = snapshot::SnapshotReader::Open(dir, open_options.use_mmap);
+    if (!reader.ok()) return reader.status();
+    const snapshot::Manifest& manifest = reader->manifest();
+    if (manifest.family_tag != Family::kFamilyTag) {
+      return util::Status::InvalidArgument(
+          "snapshot was saved with a different LSH family");
+    }
+    if (manifest.dataset_kind != data::DatasetKindOf(*dataset)) {
+      return util::Status::InvalidArgument(
+          "snapshot holds a different dataset container");
+    }
+
+    util::WallTimer restore_timer;
+    ShardedEngine engine;
+    engine.options_ = OptionsFromConfig(manifest.config);
+    engine.dataset_ = dataset;
+    engine.initial_n_ = manifest.initial_n;
+
+    const size_t num_shards = manifest.config.num_shards;
+    const size_t num_threads =
+        open_options.num_threads > 0 ? open_options.num_threads
+        : manifest.config.num_threads > 0
+            ? static_cast<size_t>(manifest.config.num_threads)
+            : num_shards;
+    engine.pool_ = std::make_unique<util::ThreadPool>(num_threads);
+
+    // Phase 1, all on the pool at once: the dataset chain (read + checksum
+    // + parse — the cold-start critical path at millions of points), the
+    // tombstone bitmap, the function set, and every shard file's read +
+    // checksum. Shard PARSING needs the dataset size and the tombstones for
+    // validation, so it waits for phase 2.
+    util::Status dataset_status = util::Status::Ok();
+    util::Status tombstones_status = util::Status::Ok();
+    util::Status functions_status = util::Status::Ok();
+    std::optional<lsh::FunctionSet<Family>> functions;
+    std::vector<std::optional<snapshot::SnapshotBlob>> shard_blobs(num_shards);
+    std::vector<util::Status> statuses(num_shards, util::Status::Ok());
+    util::ParallelForOn(
+        engine.pool_.get(), 0, num_shards + 3, [&](size_t task) {
+          if (task == num_shards) {
+            dataset_status = [&] {
+              auto blob = reader->ReadFile(snapshot::kDatasetFile);
+              if (!blob.ok()) return blob.status();
+              util::ByteReader bytes(blob->payload());
+              HLSH_RETURN_IF_ERROR(data::LoadDataset(&bytes, dataset));
+              return bytes.ExpectEnd();
+            }();
+            return;
+          }
+          if (task == num_shards + 1) {
+            tombstones_status = [&] {
+              auto blob = reader->ReadFile(snapshot::kTombstonesFile);
+              if (!blob.ok()) return blob.status();
+              util::ByteReader bytes(blob->payload());
+              auto tombstones = util::BitVector::Deserialize(&bytes);
+              if (!tombstones.ok()) return tombstones.status();
+              HLSH_RETURN_IF_ERROR(bytes.ExpectEnd());
+              engine.tombstones_ =
+                  std::make_unique<util::BitVector>(std::move(*tombstones));
+              return util::Status::Ok();
+            }();
+            return;
+          }
+          if (task == num_shards + 2) {
+            functions_status = [&] {
+              auto blob = reader->ReadFile(snapshot::kFunctionsFile);
+              if (!blob.ok()) return blob.status();
+              util::ByteReader bytes(blob->payload());
+              auto loaded = lsh::FunctionSet<Family>::Load(&bytes);
+              if (!loaded.ok()) return loaded.status();
+              HLSH_RETURN_IF_ERROR(bytes.ExpectEnd());
+              functions.emplace(std::move(*loaded));
+              return util::Status::Ok();
+            }();
+            return;
+          }
+          auto blob = reader->ReadFile(snapshot::ShardFileName(task));
+          if (!blob.ok()) {
+            statuses[task] = blob.status();
+            return;
+          }
+          shard_blobs[task].emplace(std::move(*blob));
+        });
+    HLSH_RETURN_IF_ERROR(dataset_status);
+    HLSH_RETURN_IF_ERROR(tombstones_status);
+    HLSH_RETURN_IF_ERROR(functions_status);
+    if (dataset->size() != manifest.num_points ||
+        manifest.initial_n > manifest.num_points) {
+      return util::Status::DataLoss(
+          "snapshot dataset disagrees with its manifest");
+    }
+    if (engine.tombstones_->size() != dataset->size()) {
+      return util::Status::DataLoss(
+          "snapshot tombstone bitmap mismatches the dataset");
+    }
+    if (functions->num_tables() !=
+        static_cast<size_t>(manifest.config.num_tables)) {
+      return util::Status::DataLoss(
+          "snapshot function set mismatches the manifest table count");
+    }
+
+    // Phase 2: parse every shard's segments (checksums already verified).
+    engine.shards_.resize(num_shards);
+    util::ParallelForOn(engine.pool_.get(), 0, num_shards, [&](size_t s) {
+      if (!statuses[s].ok()) return;
+      util::ByteReader bytes(shard_blobs[s]->payload());
+      Shard& shard = engine.shards_[s];
+      uint64_t base = 0, size = 0;
+      util::Status header = bytes.ReadU64(&base);
+      if (header.ok()) header = bytes.ReadU64(&size);
+      if (!header.ok() || base > dataset->size() ||
+          size > dataset->size() - base) {
+        statuses[s] =
+            util::Status::DataLoss("snapshot shard range is invalid");
+        return;
+      }
+      shard.base = static_cast<size_t>(base);
+      shard.size = static_cast<size_t>(size);
+      typename ShardIndex::Options shard_options;
+      shard_options.index = engine.options_.index;
+      shard_options.index.num_build_threads = 1;
+      shard_options.active_seal_threshold =
+          engine.options_.active_seal_threshold;
+      shard_options.max_sealed_segments = engine.options_.max_sealed_segments;
+      auto loaded = ShardIndex::LoadFrom(&bytes, *functions, dataset,
+                                         shard_options,
+                                         engine.tombstones_.get());
+      if (!loaded.ok()) {
+        statuses[s] = loaded.status();
+        return;
+      }
+      const util::Status end = bytes.ExpectEnd();
+      if (!end.ok()) {
+        statuses[s] = end;
+        return;
+      }
+      shard.index = std::make_unique<ShardIndex>(std::move(*loaded));
+    });
+    for (const util::Status& status : statuses) {
+      if (!status.ok()) return status;
+    }
+
+    engine.stats_.num_points = manifest.num_points;
+    engine.stats_.num_shards = num_shards;
+    engine.stats_.num_threads = num_threads;
+    engine.stats_.build_seconds = restore_timer.ElapsedSeconds();
+    engine.stats_.simd_tier =
+        util::simd::TierName(core::kernels::Kernels().tier);
+
+    engine.fanout_scratch_.reserve(num_shards);
+    engine.fanout_out_.resize(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      engine.fanout_scratch_.push_back(engine.MakeScratch());
+    }
+    HLSH_RETURN_IF_ERROR(engine.EnableUpdates(dataset));
+    return engine;
+  }
+
  private:
+  /// The engine's family-independent configuration, as persisted in the
+  /// snapshot manifest and restored by OptionsFromConfig.
+  snapshot::EngineConfig ToConfig() const {
+    snapshot::EngineConfig config;
+    config.num_shards = shards_.size();
+    config.num_threads = pool_->num_threads();
+    config.num_tables = options_.index.num_tables;
+    config.k = options_.index.k;
+    config.delta = options_.index.delta;
+    config.radius = options_.index.radius;
+    config.hll_precision = options_.index.hll_precision;
+    config.small_bucket_threshold = options_.index.small_bucket_threshold;
+    config.seed = options_.index.seed;
+    config.active_seal_threshold = options_.active_seal_threshold;
+    config.max_sealed_segments = options_.max_sealed_segments;
+    config.cost_alpha = options_.searcher.cost_model.alpha;
+    config.cost_beta = options_.searcher.cost_model.beta;
+    config.probes_per_table = options_.searcher.probes_per_table;
+    config.forced_strategy =
+        static_cast<uint32_t>(options_.searcher.forced);
+    return config;
+  }
+
+  static Options OptionsFromConfig(const snapshot::EngineConfig& config) {
+    Options options;
+    options.num_shards = config.num_shards;
+    options.num_threads = config.num_threads;
+    options.index.num_tables = config.num_tables;
+    options.index.k = config.k;
+    options.index.delta = config.delta;
+    options.index.radius = config.radius;
+    options.index.hll_precision = config.hll_precision;
+    options.index.small_bucket_threshold = config.small_bucket_threshold;
+    options.index.seed = config.seed;
+    options.active_seal_threshold = config.active_seal_threshold;
+    options.max_sealed_segments = config.max_sealed_segments;
+    options.searcher.cost_model.alpha = config.cost_alpha;
+    options.searcher.cost_model.beta = config.cost_beta;
+    options.searcher.probes_per_table = config.probes_per_table;
+    options.searcher.forced =
+        static_cast<core::ForcedStrategy>(config.forced_strategy);
+    return options;
+  }
+
   struct Shard {
     size_t base = 0;
     size_t size = 0;  // initial range size (inserts/removes don't update it)

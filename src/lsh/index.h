@@ -27,6 +27,7 @@
 #ifndef HYBRIDLSH_LSH_INDEX_H_
 #define HYBRIDLSH_LSH_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -52,6 +53,40 @@ struct ProbeEstimate {
   uint64_t collisions = 0;     // exact: sum of probed bucket sizes
   double cand_estimate = 0.0;  // candSize estimate from merged HLLs
 };
+
+// --- Hash-evaluation instrumentation (tests and benches only). -------------
+// Counts k-wise signature computations (one per point-table pair) across
+// every FunctionSet. The snapshot tests use it to prove that restoring an
+// engine evaluates ZERO hash functions — the whole point of persistence.
+// Disabled by default; the enabled check is one relaxed load of a
+// read-mostly flag, which is noise next to the k x dim signature itself.
+
+namespace internal {
+inline std::atomic<bool>& HashEvalCountingEnabled() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+inline std::atomic<uint64_t>& HashEvalCount() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+inline void NoteHashEvals(uint64_t n) {
+  if (HashEvalCountingEnabled().load(std::memory_order_relaxed)) {
+    HashEvalCount().fetch_add(n, std::memory_order_relaxed);
+  }
+}
+}  // namespace internal
+
+/// Turns signature counting on/off; returns the current count. Counting is
+/// process-wide, so tests that use it must not run concurrent builds they
+/// don't mean to measure.
+inline void SetHashEvalCounting(bool enabled) {
+  internal::HashEvalCountingEnabled().store(enabled,
+                                            std::memory_order_relaxed);
+}
+inline uint64_t HashEvalCountForTest() {
+  return internal::HashEvalCount().load(std::memory_order_relaxed);
+}
 
 /// One draw of the L k-wise hash functions plus the per-table bucket-key
 /// seeds — everything S1 needs, independent of any table contents. Two
@@ -111,6 +146,7 @@ class FunctionSet {
   /// The bucket key of `point` in table t. `slots` is caller scratch.
   uint64_t SignatureKey(Point point, size_t t,
                         std::vector<int32_t>* slots) const {
+    internal::NoteHashEvals(1);
     slots->resize(static_cast<size_t>(k_));
     family_.Signature(functions_[t], point, *slots);
     return KeyOf(*slots, t);
@@ -119,6 +155,7 @@ class FunctionSet {
   /// S1: the L home-bucket keys of a query.
   void QueryKeys(Point query, std::vector<uint64_t>* keys) const {
     const size_t L = functions_.size();
+    internal::NoteHashEvals(L);
     keys->resize(L);
     std::vector<int32_t> slots(static_cast<size_t>(k_));
     for (size_t t = 0; t < L; ++t) {
@@ -142,6 +179,7 @@ class FunctionSet {
           "multi-probe is not defined for this family");
     }
     const size_t L = functions_.size();
+    internal::NoteHashEvals(L);
     const size_t k = static_cast<size_t>(k_);
     keys->assign(L * probes_per_table, 0);
     std::vector<int32_t> slots(k);
@@ -213,6 +251,53 @@ class FunctionSet {
     if (!functions.ok()) return functions.status();
     functions_.push_back(std::move(*functions));
     return util::Status::Ok();
+  }
+
+  /// Persists the whole set — family parameters, k, table seeds, and every
+  /// table's sampled functions — as one self-contained block. This is the
+  /// snapshot path (engine/snapshot.h): one FunctionSet block per engine,
+  /// shared by all shards and segments, instead of LshIndex::Save's
+  /// per-table interleaving.
+  void Save(util::ByteWriter* writer) const {
+    writer->WriteU32(Family::kFamilyTag);
+    family_.SaveFamily(writer);
+    writer->WriteU32(static_cast<uint32_t>(k_));
+    writer->WriteU64(functions_.size());
+    writer->WriteArray<uint64_t>(table_seeds_);
+    for (size_t t = 0; t < functions_.size(); ++t) {
+      family_.SaveFunctions(functions_[t], writer);
+    }
+  }
+
+  /// Parses a block written by Save. Rejects wrong-family payloads with
+  /// InvalidArgument and malformed ones with DataLoss. No hash function is
+  /// evaluated — the sampled functions are reloaded, not re-drawn.
+  static util::StatusOr<FunctionSet> Load(util::ByteReader* reader) {
+    uint32_t family_tag = 0;
+    HLSH_RETURN_IF_ERROR(reader->ReadU32(&family_tag));
+    if (family_tag != Family::kFamilyTag) {
+      return util::Status::InvalidArgument(
+          "function set was sampled from a different LSH family");
+    }
+    auto family = Family::LoadFamily(reader);
+    if (!family.ok()) return family.status();
+    uint32_t k = 0;
+    uint64_t num_tables = 0;
+    HLSH_RETURN_IF_ERROR(reader->ReadU32(&k));
+    HLSH_RETURN_IF_ERROR(reader->ReadU64(&num_tables));
+    if (num_tables == 0 || num_tables > (uint64_t{1} << 20) ||
+        k > (uint32_t{1} << 20)) {
+      return util::Status::DataLoss("function set header is invalid");
+    }
+    std::vector<uint64_t> table_seeds;
+    HLSH_RETURN_IF_ERROR(
+        reader->ReadArray<uint64_t>(num_tables, &table_seeds));
+    FunctionSet set = ForLoad(std::move(*family), static_cast<int>(k),
+                              std::move(table_seeds));
+    for (uint64_t t = 0; t < num_tables; ++t) {
+      HLSH_RETURN_IF_ERROR(set.LoadAppendFunctions(reader));
+    }
+    return set;
   }
 
  private:
@@ -488,7 +573,9 @@ class LshIndex {
 
   /// Persists the whole index (family, sampled functions, tables with
   /// their bucket sketches) to `path`. The dataset itself is NOT stored —
-  /// reload it separately and pair it with the loaded index.
+  /// reload it separately and pair it with the loaded index. The write is
+  /// crash-safe: the bytes land in a temp file that is fsynced and renamed
+  /// over `path`, so an interrupted Save never leaves a truncated index.
   util::Status Save(const std::string& path) const {
     util::ByteWriter writer;
     writer.WriteU64(kIndexMagic);
@@ -510,7 +597,7 @@ class LshIndex {
       functions_.SaveFunctions(t, &writer);
       tables_[t].Serialize(&writer);
     }
-    return util::WriteFileBytes(path, writer.bytes());
+    return util::AtomicWriteFileBytes(path, writer.bytes());
   }
 
   /// Loads an index written by Save. Rejects wrong-family files, truncated

@@ -11,5 +11,27 @@ size_t BitVector::Count() const {
   return total;
 }
 
+void BitVector::Serialize(ByteWriter* writer) const {
+  writer->WriteU64(size_);
+  writer->WriteArray<uint64_t>(words_);
+}
+
+util::StatusOr<BitVector> BitVector::Deserialize(ByteReader* reader) {
+  uint64_t size = 0;
+  HLSH_RETURN_IF_ERROR(reader->ReadU64(&size));
+  BitVector bits;
+  bits.size_ = static_cast<size_t>(size);
+  // size / 64 (not (size + 63) / 64): the latter wraps for sizes near
+  // 2^64, accepting a huge bit count backed by zero words.
+  const uint64_t num_words = size / 64 + (size % 64 != 0 ? 1 : 0);
+  HLSH_RETURN_IF_ERROR(reader->ReadArray<uint64_t>(num_words, &bits.words_));
+  // Bits past `size` must be zero — Grow and Count both assume it.
+  if (size % 64 != 0 && !bits.words_.empty() &&
+      (bits.words_.back() >> (size % 64)) != 0) {
+    return util::Status::DataLoss("bit vector has set bits past its size");
+  }
+  return bits;
+}
+
 }  // namespace util
 }  // namespace hybridlsh

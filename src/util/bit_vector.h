@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace hybridlsh {
@@ -95,6 +96,14 @@ class BitVector {
     size_ = size;
     words_.resize((size + 63) / 64, 0);
   }
+
+  /// Appends [size:u64][words] to the writer (snapshot persistence of the
+  /// engine tombstone bitmap).
+  void Serialize(ByteWriter* writer) const;
+
+  /// Parses a vector written by Serialize; DataLoss on truncation, a word
+  /// count that mismatches the bit count, or set bits past `size`.
+  static util::StatusOr<BitVector> Deserialize(ByteReader* reader);
 
  private:
   size_t size_ = 0;

@@ -1,0 +1,56 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace hybridlsh {
+namespace util {
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+util::StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return util::Status::NotFound("cannot open file: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return util::Status::Internal("fstat failed: " + path);
+  }
+  MappedFile file;
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size > 0) {
+    void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping == MAP_FAILED) {
+      ::close(fd);
+      return util::Status::Internal("mmap failed: " + path);
+    }
+    file.data_ = static_cast<const uint8_t*>(mapping);
+    file.size_ = size;
+  }
+  ::close(fd);  // the mapping keeps its own reference
+  return file;
+}
+
+}  // namespace util
+}  // namespace hybridlsh

@@ -1,0 +1,49 @@
+// Read-only memory-mapped file.
+//
+// The snapshot loader's --mmap path (engine/snapshot.h) maps each snapshot
+// file instead of reading it into a heap buffer: parsing then runs straight
+// over the page cache, the kernel pages data in on first touch, and large
+// payload arrays (dataset rows, CSR ids) are copied exactly once — from the
+// mapping into their final structure — instead of twice.
+
+#ifndef HYBRIDLSH_UTIL_MMAP_FILE_H_
+#define HYBRIDLSH_UTIL_MMAP_FILE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace util {
+
+/// RAII read-only mapping of a whole file. Movable, not copyable.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. An empty file maps to an empty span (no mapping
+  /// is created; mmap of length 0 is invalid).
+  static util::StatusOr<MappedFile> Open(const std::string& path);
+
+  /// The mapped bytes. Valid while this object lives.
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+  size_t size() const { return size_; }
+  bool is_mapped() const { return data_ != nullptr; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace util
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_UTIL_MMAP_FILE_H_

@@ -1,9 +1,35 @@
 #include "util/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 
 namespace hybridlsh {
 namespace util {
+
+namespace {
+
+/// fsyncs the directory holding `path` so a rename into it is durable.
+util::Status SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return util::Status::NotFound("cannot open directory for sync: " + dir);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return util::Status::Internal("fsync failed on directory: " + dir);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
 
 util::Status WriteFileBytes(const std::string& path,
                             std::span<const uint8_t> bytes) {
@@ -13,6 +39,47 @@ util::Status WriteFileBytes(const std::string& path,
             static_cast<std::streamsize>(bytes.size()));
   if (!out) return util::Status::DataLoss("short write: " + path);
   return util::Status::Ok();
+}
+
+util::Status AtomicWriteFileBytes(const std::string& path,
+                                  std::span<const uint8_t> bytes,
+                                  std::span<const uint8_t> trailer) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return util::Status::NotFound("cannot open file for write: " + tmp);
+  }
+  for (const std::span<const uint8_t> chunk : {bytes, trailer}) {
+    size_t written = 0;
+    while (written < chunk.size()) {
+      const ssize_t n =
+          ::write(fd, chunk.data() + written, chunk.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        std::remove(tmp.c_str());
+        return util::Status::DataLoss("short write: " + tmp);
+      }
+      written += static_cast<size_t>(n);
+    }
+  }
+  // The data must be on disk BEFORE the rename publishes it: rename is
+  // atomic in the namespace, but without this fsync a crash could leave the
+  // new name pointing at unwritten blocks.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return util::Status::Internal("fsync failed: " + tmp);
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::Internal("close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  return SyncParentDirectory(path);
 }
 
 util::StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {

@@ -127,6 +127,18 @@ class ByteReader {
 util::Status WriteFileBytes(const std::string& path,
                             std::span<const uint8_t> bytes);
 
+/// Crash-safe variant of WriteFileBytes: writes to `path + ".tmp"`, fsyncs,
+/// then renames over `path` (and fsyncs the parent directory so the rename
+/// itself is durable). A crash at any point leaves either the previous file
+/// intact or a stray .tmp — never a truncated `path`. This is the write
+/// path for every persistent artifact (index files, snapshot files).
+/// `trailer` (optional) is appended after `bytes` in the same atomic write —
+/// lets callers frame a payload with a checksum without concatenating into a
+/// second buffer.
+util::Status AtomicWriteFileBytes(const std::string& path,
+                                  std::span<const uint8_t> bytes,
+                                  std::span<const uint8_t> trailer = {});
+
 /// Reads a whole file.
 util::StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
 

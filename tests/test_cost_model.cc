@@ -3,6 +3,7 @@
 
 #include "core/cost_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -43,9 +44,10 @@ TEST(CostModelTest, DecisionBoundary) {
 }
 
 TEST(CostCalibratorTest, AlphaIsPositiveAndSmall) {
-  const double alpha = CostCalibrator::MeasureAlpha(100000, 200000, 1);
-  EXPECT_GT(alpha, 0.0);
-  EXPECT_LT(alpha, 1e-6);  // a bit-probe insert is well under a microsecond
+  const auto alpha = CostCalibrator::MeasureAlpha(100000, 200000, 1);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_GT(*alpha, 0.0);
+  EXPECT_LT(*alpha, 1e-6);  // a bit-probe insert is well under a microsecond
 }
 
 TEST(CostCalibratorTest, BetaScalesWithDimension) {
@@ -53,34 +55,81 @@ TEST(CostCalibratorTest, BetaScalesWithDimension) {
   const data::DenseDataset big = data::MakeUniformCube(1000, 512, 1);
   const std::vector<float> query_small(8, 0.5f);
   const std::vector<float> query_big(512, 0.5f);
-  const double beta_small = CostCalibrator::MeasureBeta(
+  const auto beta_small = CostCalibrator::MeasureBeta(
       [&](size_t i) {
         return data::L2Distance(small.point(i), query_small.data(), 8);
       },
-      small.size(), 50000);
-  const double beta_big = CostCalibrator::MeasureBeta(
+      small.size(), small.size(), 50000);
+  const auto beta_big = CostCalibrator::MeasureBeta(
       [&](size_t i) {
         return data::L2Distance(big.point(i), query_big.data(), 512);
       },
-      big.size(), 50000);
-  EXPECT_GT(beta_small, 0.0);
+      big.size(), big.size(), 50000);
+  ASSERT_TRUE(beta_small.ok());
+  ASSERT_TRUE(beta_big.ok());
+  EXPECT_GT(*beta_small, 0.0);
   // 64x the dimension must cost clearly more per distance (allowing lots of
   // noise: just require 4x).
-  EXPECT_GT(beta_big, 4 * beta_small);
+  EXPECT_GT(*beta_big, 4 * *beta_small);
 }
 
 TEST(CostCalibratorTest, CalibrateProducesUsableModel) {
   const data::DenseDataset dataset = data::MakeUniformCube(5000, 64, 2);
   const std::vector<float> query(64, 0.5f);
-  const CostModel model = CostCalibrator::Calibrate(
+  const auto model = CostCalibrator::Calibrate(
       [&](size_t i) {
         return data::L2Distance(dataset.point(i), query.data(), 64);
       },
-      dataset.size(), dataset.size(), 100000, 3);
-  EXPECT_GT(model.alpha, 0.0);
-  EXPECT_GT(model.beta, 0.0);
+      dataset.size(), dataset.size(), dataset.size(), 100000, 3);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->alpha, 0.0);
+  EXPECT_GT(model->beta, 0.0);
   // A 64-dim float distance costs more than a bitvector insert.
-  EXPECT_GT(model.Ratio(), 1.0);
+  EXPECT_GT(model->Ratio(), 1.0);
+}
+
+TEST(CostCalibratorTest, BetaClampsOversizedSampleToDataset) {
+  // Regression: a paper-style sample_size of 10,000 on a 100-point dataset
+  // used to index distance_fn out of range. The clamp confines it to n.
+  const data::DenseDataset dataset = data::MakeUniformCube(100, 8, 3);
+  const std::vector<float> query(8, 0.5f);
+  size_t max_index = 0;
+  const auto beta = CostCalibrator::MeasureBeta(
+      [&](size_t i) {
+        max_index = std::max(max_index, i);
+        return data::L2Distance(dataset.point(i), query.data(), 8);
+      },
+      dataset.size(), /*sample_size=*/10000, 5000);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_GT(*beta, 0.0);
+  EXPECT_LT(max_index, dataset.size());
+}
+
+TEST(CostCalibratorTest, EmptyInputsAreInvalidArgument) {
+  // Regression: sample_size == 0 used to divide by zero (i % 0); an empty
+  // dataset (n == 0) must fail the same way, not abort.
+  const auto distance_fn = [](size_t) { return 1.0; };
+  EXPECT_EQ(CostCalibrator::MeasureBeta(distance_fn, /*n=*/0, 100, 100)
+                .status()
+                .code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(CostCalibrator::MeasureBeta(distance_fn, 100, /*sample_size=*/0,
+                                        100)
+                .status()
+                .code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(CostCalibrator::MeasureBeta(distance_fn, 100, 100, /*ops=*/0)
+                .status()
+                .code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(CostCalibrator::MeasureAlpha(/*capacity=*/0, 100, 1)
+                .status()
+                .code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(CostCalibrator::Calibrate(distance_fn, /*n=*/0, 100, 100)
+                .status()
+                .code(),
+            util::StatusCode::kInvalidArgument);
 }
 
 }  // namespace

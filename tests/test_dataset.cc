@@ -2,9 +2,16 @@
 
 #include "data/dataset.h"
 
+#include <algorithm>
+#include <cmath>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "core/kernels.h"
+#include "data/metric.h"
+#include "util/serialize.h"
 
 namespace hybridlsh {
 namespace data {
@@ -136,6 +143,147 @@ TEST(SparseDatasetTest, UnboundedUniverseAcceptsAnyId) {
   SparseDataset dataset;  // universe 0 = unknown
   const std::vector<uint32_t> ids{1000000};
   EXPECT_TRUE(dataset.Append(ids).ok());
+}
+
+// --- Norm-cache invalidation under mutation (satellite audit). --------------
+
+TEST(DenseNormCacheTest, MutationAfterPrecomputeFallsBackToFreshNorm) {
+  // Regression: cosine verification must never price a mutated point with
+  // its stale cached norm. Point 0 starts at (1,0,0,0) — orthogonal to the
+  // query, cosine distance 1 — then mutates to (0,0.1,0,0), parallel to the
+  // query, cosine distance 0. With the stale norm (1.0 instead of 0.1) the
+  // fast path would compute distance 0.9 and miss the point.
+  DenseDataset dataset(2, 4);
+  dataset.mutable_point(0)[0] = 1.0f;
+  dataset.mutable_point(1)[2] = 1.0f;
+  dataset.PrecomputeNorms();
+  ASSERT_TRUE(dataset.has_norms());
+
+  const std::vector<float> query{0.0f, 1.0f, 0.0f, 0.0f};
+  const std::vector<uint32_t> ids{0, 1};
+  const double radius = 0.5;
+  std::vector<uint32_t> out;
+  core::kernels::VerifyBlock(dataset, Metric::kCosine, query.data(), ids,
+                             radius, &out);
+  EXPECT_TRUE(out.empty());  // both points orthogonal to the query
+
+  float* point = dataset.mutable_point(0);
+  EXPECT_FALSE(dataset.has_norms());  // mutable access invalidated the cache
+  point[0] = 0.0f;
+  point[1] = 0.1f;
+
+  out.clear();
+  core::kernels::VerifyBlock(dataset, Metric::kCosine, query.data(), ids,
+                             radius, &out);
+  EXPECT_EQ(out, std::vector<uint32_t>{0});
+
+  // Recomputing caches the NEW norm and must not change the answer.
+  dataset.PrecomputeNorms();
+  EXPECT_FLOAT_EQ(dataset.norm(0), 0.1f);
+  out.clear();
+  core::kernels::VerifyBlock(dataset, Metric::kCosine, query.data(), ids,
+                             radius, &out);
+  EXPECT_EQ(out, std::vector<uint32_t>{0});
+}
+
+TEST(DenseNormCacheTest, MutableMatrixAccessInvalidates) {
+  DenseDataset dataset(3, 2);
+  dataset.PrecomputeNorms();
+  ASSERT_TRUE(dataset.has_norms());
+  dataset.mutable_matrix();
+  EXPECT_FALSE(dataset.has_norms());
+}
+
+// --- Container serialization (snapshot payloads). ---------------------------
+
+template <typename Dataset>
+Dataset RoundTrip(const Dataset& dataset) {
+  util::ByteWriter writer;
+  SaveDataset(dataset, &writer);
+  util::ByteReader reader(writer.bytes());
+  Dataset loaded;
+  EXPECT_TRUE(LoadDataset(&reader, &loaded).ok());
+  EXPECT_TRUE(reader.ExpectEnd().ok());
+  return loaded;
+}
+
+TEST(DatasetSerializationTest, DenseRoundTripsWithNormCache) {
+  DenseDataset dataset(3, 2);
+  dataset.mutable_point(0)[0] = 1.5f;
+  dataset.mutable_point(1)[1] = -2.0f;
+  dataset.mutable_point(2)[0] = 0.25f;
+  dataset.PrecomputeNorms();
+
+  const DenseDataset loaded = RoundTrip(dataset);
+  ASSERT_EQ(loaded.size(), dataset.size());
+  ASSERT_EQ(loaded.dim(), dataset.dim());
+  EXPECT_EQ(loaded.matrix().data(), dataset.matrix().data());
+  // The norm cache travels with the points — no recompute on restore.
+  ASSERT_TRUE(loaded.has_norms());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.norm(i), dataset.norm(i));
+  }
+}
+
+TEST(DatasetSerializationTest, DenseWithoutNormsStaysUncached) {
+  DenseDataset dataset(2, 2);
+  dataset.mutable_point(1)[0] = 3.0f;
+  const DenseDataset loaded = RoundTrip(dataset);
+  EXPECT_FALSE(loaded.has_norms());
+  EXPECT_EQ(loaded.point(1)[0], 3.0f);
+}
+
+TEST(DatasetSerializationTest, BinaryRoundTrips) {
+  BinaryDataset dataset(3, 96);
+  dataset.SetBit(0, 5, true);
+  dataset.SetBit(1, 70, true);
+  dataset.SetBit(2, 95, true);
+  const BinaryDataset loaded = RoundTrip(dataset);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.width_bits(), 96u);
+  EXPECT_EQ(loaded.words(), dataset.words());
+}
+
+TEST(DatasetSerializationTest, SparseRoundTrips) {
+  SparseDataset dataset(1000);
+  ASSERT_TRUE(dataset.Append(std::vector<uint32_t>{1, 5, 900}).ok());
+  ASSERT_TRUE(dataset.Append(std::vector<uint32_t>{}).ok());
+  ASSERT_TRUE(dataset.Append(std::vector<uint32_t>{0, 999}).ok());
+  const SparseDataset loaded = RoundTrip(dataset);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.universe(), 1000u);
+  for (size_t p = 0; p < loaded.size(); ++p) {
+    const auto a = dataset.point(p);
+    const auto b = loaded.point(p);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(DatasetSerializationTest, RejectsWrongContainerKind) {
+  BinaryDataset binary(2, 64);
+  util::ByteWriter writer;
+  SaveDataset(binary, &writer);
+  util::ByteReader reader(writer.bytes());
+  DenseDataset dense;
+  EXPECT_EQ(LoadDataset(&reader, &dense).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetSerializationTest, RejectsTruncatedPayload) {
+  DenseDataset dataset(4, 4);
+  dataset.PrecomputeNorms();
+  util::ByteWriter writer;
+  SaveDataset(dataset, &writer);
+  for (size_t len = 0; len < writer.size(); ++len) {
+    util::ByteReader reader(
+        std::span<const uint8_t>(writer.bytes().data(), len));
+    DenseDataset loaded;
+    const util::Status status = LoadDataset(&reader, &loaded);
+    const bool clean_failure =
+        !status.ok() || !reader.ExpectEnd().ok();
+    EXPECT_TRUE(clean_failure) << "prefix length " << len;
+  }
 }
 
 }  // namespace

@@ -9,11 +9,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/hybridlsh.h"
+#include "util/serialize.h"
 
 namespace hybridlsh {
 namespace {
@@ -258,6 +260,110 @@ TEST_F(IndexSerializationTest, RejectsTrailingGarbage) {
 TEST_F(IndexSerializationTest, MissingFileIsNotFound) {
   EXPECT_EQ(L2Index::Load(Path("missing.idx")).status().code(),
             util::StatusCode::kNotFound);
+}
+
+TEST_F(IndexSerializationTest, TruncationAtEveryByteRejectsCleanly) {
+  // Regression (fuzz-lite): an index file cut at ANY byte — i.e. at every
+  // field boundary and inside every field — must fail with a clean Status,
+  // never parse, and never crash. A small index keeps the loop fast.
+  const data::DenseDataset dataset = data::MakeCorelLike(48, 4, 16);
+  L2Index::Options options;
+  options.num_tables = 3;
+  options.k = 3;
+  options.seed = 17;
+  auto index = L2Index::Build(lsh::PStableFamily::L2(4, 1.0), dataset, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->Save(Path("full.idx")).ok());
+  auto bytes = util::ReadFileBytes(Path("full.idx"));
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_GT(bytes->size(), 0u);
+
+  for (size_t len = 0; len < bytes->size(); ++len) {
+    ASSERT_TRUE(util::WriteFileBytes(
+                    Path("cut.idx"),
+                    std::span<const uint8_t>(bytes->data(), len))
+                    .ok());
+    const auto loaded = L2Index::Load(Path("cut.idx"));
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << len << " bytes parsed";
+    // Short reads surface as DataLoss (or InvalidArgument for a cut that
+    // garbles a validated field) — never OK, never an abort.
+    const util::StatusCode code = loaded.status().code();
+    ASSERT_TRUE(code == util::StatusCode::kDataLoss ||
+                code == util::StatusCode::kInvalidArgument)
+        << "prefix " << len << ": " << loaded.status().ToString();
+  }
+}
+
+TEST_F(IndexSerializationTest, SaveIsAtomicOverExistingFile) {
+  // Save writes through a temp file + rename: a pre-existing index at the
+  // same path is replaced atomically, stray temp files from an interrupted
+  // earlier Save are overwritten, and no temp residue is left behind.
+  const data::DenseDataset dataset = data::MakeCorelLike(300, 8, 18);
+  L2Index::Options options;
+  options.num_tables = 4;
+  options.k = 4;
+  auto index = L2Index::Build(lsh::PStableFamily::L2(8, 1.0), dataset, options);
+  ASSERT_TRUE(index.ok());
+
+  // Simulate an interrupted previous Save: a garbage temp file.
+  {
+    std::ofstream tmp(Path("idx.bin.tmp"), std::ios::binary);
+    tmp << "partial garbage from a crashed writer";
+  }
+  ASSERT_TRUE(index->Save(Path("idx.bin")).ok());
+  EXPECT_FALSE(std::filesystem::exists(Path("idx.bin.tmp")));
+  ASSERT_TRUE(L2Index::Load(Path("idx.bin")).ok());
+
+  // Overwriting with a different index leaves a fully-valid file.
+  options.seed = 99;
+  auto other =
+      L2Index::Build(lsh::PStableFamily::L2(8, 1.0), dataset, options);
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(other->Save(Path("idx.bin")).ok());
+  auto reloaded = L2Index::Load(Path("idx.bin"));
+  ASSERT_TRUE(reloaded.ok());
+  std::vector<uint64_t> keys_a, keys_b;
+  other->QueryKeys(dataset.point(0), &keys_a);
+  reloaded->QueryKeys(dataset.point(0), &keys_b);
+  EXPECT_EQ(keys_a, keys_b);
+}
+
+TEST_F(IndexSerializationTest, GoldenV1FileLoadsWithZeroIdBase) {
+  // Format-compatibility contract: v1 files (no id_base field) stay
+  // loadable forever, defaulting id_base to 0 and answering queries
+  // identically to a fresh v2 build with the same parameters and seed. The
+  // golden file was built from MakeRandomCodes(256, 64, 21) with the
+  // options below — bit sampling and integer codes keep it byte-stable
+  // across platforms (no libm in either sampling path).
+  const std::string golden =
+      std::string(HLSH_TESTDATA_DIR) + "/golden_v1_hamming.idx";
+  auto loaded = HammingIndex::Load(golden);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->id_base(), 0u);
+
+  const data::BinaryDataset dataset = data::MakeRandomCodes(256, 64, 21);
+  HammingIndex::Options options;
+  options.num_tables = 6;
+  options.k = 8;
+  options.seed = 42;
+  auto fresh =
+      HammingIndex::Build(lsh::BitSamplingFamily(64), dataset, options);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->id_base(), 0u);
+  ExpectIdenticalBehaviour(*fresh, *loaded, dataset);
+
+  // Candidate sets match too — the v1 payload carries the same buckets.
+  util::VisitedSet fresh_ids(dataset.size());
+  util::VisitedSet golden_ids(dataset.size());
+  std::vector<uint64_t> keys;
+  for (size_t q = 0; q < 32; ++q) {
+    fresh->QueryKeys(dataset.point(q * 8), &keys);
+    fresh_ids.Reset();
+    golden_ids.Reset();
+    fresh->CollectCandidates(keys, &fresh_ids);
+    loaded->CollectCandidates(keys, &golden_ids);
+    EXPECT_EQ(fresh_ids.touched(), golden_ids.touched()) << "query " << q;
+  }
 }
 
 }  // namespace

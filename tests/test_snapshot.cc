@@ -1,0 +1,548 @@
+// Tests for the engine snapshot/restore subsystem (engine/snapshot.h,
+// ShardedEngine::SaveSnapshot / OpenSnapshot, OpenSnapshotEngine).
+//
+// The round-trip criterion is strict, mirroring the index-serialization
+// suite: a restored engine must answer every query with bit-identical
+// result sets AND identical per-shard LSH-vs-linear decisions — it IS the
+// saved engine, including tombstones, mid-ingest segments, the norm cache,
+// and the calibrated cost model. Restores must evaluate zero hash
+// functions, and no crash or corruption scenario may ever surface a wrong
+// answer instead of a clean Status.
+
+#include "engine/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hybridlsh.h"
+#include "engine/search_engine.h"
+#include "engine/sharded_engine.h"
+
+namespace hybridlsh {
+namespace engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("hybridlsh_snap_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string Dir(const std::string& name) const {
+    return (root_ / name).string();
+  }
+
+  /// Strict equivalence over a query set: identical result sets (order
+  /// included) and identical per-shard strategy decisions and estimates.
+  template <typename EngineT, typename Queries>
+  void ExpectIdenticalServing(EngineT& live, EngineT& restored,
+                              const Queries& queries, double radius) {
+    ASSERT_EQ(restored.num_shards(), live.num_shards());
+    ASSERT_EQ(restored.size(), live.size());
+    std::vector<uint32_t> out_a, out_b;
+    ShardedQueryStats stats_a, stats_b;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      out_a.clear();
+      out_b.clear();
+      live.Query(queries.point(q), radius, &out_a, &stats_a);
+      restored.Query(queries.point(q), radius, &out_b, &stats_b);
+      ASSERT_EQ(out_a, out_b) << "query " << q;
+      ASSERT_EQ(stats_a.per_shard.size(), stats_b.per_shard.size());
+      for (size_t s = 0; s < stats_a.per_shard.size(); ++s) {
+        EXPECT_EQ(stats_a.per_shard[s].strategy, stats_b.per_shard[s].strategy)
+            << "query " << q << " shard " << s;
+        EXPECT_EQ(stats_a.per_shard[s].collisions,
+                  stats_b.per_shard[s].collisions);
+        EXPECT_DOUBLE_EQ(stats_a.per_shard[s].cand_estimate,
+                         stats_b.per_shard[s].cand_estimate);
+      }
+      EXPECT_EQ(stats_a.lsh_shards, stats_b.lsh_shards) << "query " << q;
+      EXPECT_EQ(stats_a.linear_shards, stats_b.linear_shards);
+    }
+  }
+
+  size_t CountEpochDirs(const std::string& root) const {
+    size_t count = 0;
+    for (const auto& entry : fs::directory_iterator(root)) {
+      if (entry.path().filename().string().rfind("snapshot-", 0) == 0) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  fs::path root_;
+};
+
+// --- Dense / L2: the full churn round-trip ----------------------------------
+
+using L2Engine = ShardedEngine<lsh::PStableFamily>;
+
+constexpr size_t kDim = 16;
+constexpr double kRadius = 0.4;
+
+L2Engine::Options DenseOptions(size_t num_shards) {
+  L2Engine::Options options;
+  options.num_shards = num_shards;
+  options.index.num_tables = 20;
+  options.index.k = 7;
+  options.index.seed = 43;
+  options.active_seal_threshold = 64;  // small: force seals during churn
+  options.searcher.cost_model = core::CostModel{1.25, 7.5};  // "calibrated"
+  return options;
+}
+
+/// Builds a 3-shard L2 engine over `dataset` and churns it: extra points
+/// inserted (spilling into active segments), every 7th id tombstoned.
+L2Engine BuildChurnedDenseEngine(data::DenseDataset* dataset,
+                                 const data::DenseDataset& extra) {
+  auto engine =
+      L2Engine::Build(lsh::PStableFamily::L2(kDim, 2 * kRadius), dataset,
+                      DenseOptions(3));
+  HLSH_CHECK(engine.ok());
+  std::vector<float> staging(kDim);
+  for (size_t i = 0; i < extra.size(); ++i) {
+    staging.assign(extra.point(i), extra.point(i) + kDim);
+    HLSH_CHECK(engine->Insert(staging.data()).ok());
+  }
+  for (uint32_t id = 0; id < dataset->size(); id += 7) {
+    HLSH_CHECK(engine->Remove(id).ok());
+  }
+  return std::move(*engine);
+}
+
+TEST_F(SnapshotTest, DenseChurnRoundTripIsBitIdentical) {
+  const data::DenseDataset full = data::MakeCorelLike(2501, kDim, 41);
+  const data::DenseSplit split = data::SplitQueries(full, 25, 42);
+  data::DenseDataset dataset = split.base;
+  const data::DenseDataset extra = data::MakeCorelLike(300, kDim, 44);
+
+  L2Engine live = BuildChurnedDenseEngine(&dataset, extra);
+  const size_t live_size_before = live.size();
+  ASSERT_TRUE(live.SaveSnapshot(Dir("snap")).ok());
+  EXPECT_EQ(live.size(), live_size_before);  // sealing loses nothing
+
+  data::DenseDataset restored_dataset;
+  auto restored = L2Engine::OpenSnapshot(Dir("snap"), &restored_dataset);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectIdenticalServing(live, *restored, split.queries, kRadius);
+
+  // The restored engine is mutable and routes inserts identically: feeding
+  // both engines the same new point keeps them bit-identical.
+  const data::DenseDataset more = data::MakeCorelLike(40, kDim, 45);
+  std::vector<float> staging(kDim);
+  for (size_t i = 0; i < more.size(); ++i) {
+    staging.assign(more.point(i), more.point(i) + kDim);
+    auto id_live = live.Insert(staging.data());
+    auto id_restored = restored->Insert(staging.data());
+    ASSERT_TRUE(id_live.ok());
+    ASSERT_TRUE(id_restored.ok());
+    EXPECT_EQ(*id_live, *id_restored);
+  }
+  ASSERT_TRUE(live.Remove(3).ok());
+  ASSERT_TRUE(restored->Remove(3).ok());
+  ExpectIdenticalServing(live, *restored, split.queries, kRadius);
+}
+
+TEST_F(SnapshotTest, RestoredOptionsCarryTheCostModelAndConfig) {
+  const data::DenseDataset full = data::MakeCorelLike(600, kDim, 51);
+  data::DenseDataset dataset = full;
+  auto live = L2Engine::Build(lsh::PStableFamily::L2(kDim, 2 * kRadius),
+                              &dataset, DenseOptions(2));
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(live->SaveSnapshot(Dir("snap")).ok());
+
+  data::DenseDataset restored_dataset;
+  auto restored = L2Engine::OpenSnapshot(Dir("snap"), &restored_dataset);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->options().searcher.cost_model.alpha, 1.25);
+  EXPECT_DOUBLE_EQ(restored->options().searcher.cost_model.beta, 7.5);
+  EXPECT_EQ(restored->options().index.num_tables, 20);
+  EXPECT_EQ(restored->options().index.k, 7);
+  EXPECT_EQ(restored->options().active_seal_threshold, 64u);
+  EXPECT_EQ(restored->num_shards(), 2u);
+  EXPECT_EQ(restored->num_threads(), live->num_threads());
+
+  // Thread override: a snapshot from a big machine restores on one thread.
+  data::DenseDataset small_dataset;
+  snapshot::OpenOptions open_options;
+  open_options.num_threads = 1;
+  auto small = L2Engine::OpenSnapshot(Dir("snap"), &small_dataset,
+                                      open_options);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->num_threads(), 1u);
+}
+
+TEST_F(SnapshotTest, RestoreEvaluatesZeroHashFunctions) {
+  const data::DenseDataset full = data::MakeCorelLike(800, kDim, 46);
+  data::DenseDataset dataset = full;
+  const data::DenseDataset extra = data::MakeCorelLike(100, kDim, 47);
+  L2Engine live = BuildChurnedDenseEngine(&dataset, extra);
+  ASSERT_TRUE(live.SaveSnapshot(Dir("snap")).ok());
+
+  lsh::SetHashEvalCounting(true);
+  const uint64_t before = lsh::HashEvalCountForTest();
+  data::DenseDataset restored_dataset;
+  auto restored = L2Engine::OpenSnapshot(Dir("snap"), &restored_dataset);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(lsh::HashEvalCountForTest(), before)
+      << "restore must not evaluate hash functions";
+
+  // Sanity: the counter does count — one query hashes L tables per shard.
+  std::vector<uint32_t> out;
+  restored->Query(restored_dataset.point(0), kRadius, &out);
+  EXPECT_GT(lsh::HashEvalCountForTest(), before);
+  lsh::SetHashEvalCounting(false);
+}
+
+TEST_F(SnapshotTest, CosineSnapshotKeepsTheNormCache) {
+  data::DenseDataset dataset = data::MakeWebspamLike({.n = 700, .dim = 24,
+                                                      .seed = 48});
+  dataset.PrecomputeNorms();
+  using CosineEngine = ShardedEngine<lsh::SimHashFamily>;
+  CosineEngine::Options options;
+  options.num_shards = 2;
+  options.index.num_tables = 12;
+  options.index.k = 10;
+  options.index.seed = 5;
+  options.searcher.cost_model = core::CostModel::FromRatio(6.0);
+  auto live = CosineEngine::Build(lsh::SimHashFamily(24), &dataset, options);
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(live->SaveSnapshot(Dir("snap")).ok());
+
+  data::DenseDataset restored_dataset;
+  auto restored = CosineEngine::OpenSnapshot(Dir("snap"), &restored_dataset);
+  ASSERT_TRUE(restored.ok());
+  // The cache came back from disk — no PrecomputeNorms call happened here.
+  ASSERT_TRUE(restored_dataset.has_norms());
+  for (size_t i = 0; i < restored_dataset.size(); i += 97) {
+    EXPECT_EQ(restored_dataset.norm(i), dataset.norm(i));
+  }
+  ExpectIdenticalServing(*live, *restored, dataset, 0.2);
+}
+
+// --- Binary / Hamming and sparse / Jaccard containers -----------------------
+
+TEST_F(SnapshotTest, BinaryRoundTripWithTombstones) {
+  using HammingEngine = ShardedEngine<lsh::BitSamplingFamily>;
+  data::BinaryDataset dataset = data::MakeRandomCodes(900, 64, 61);
+  HammingEngine::Options options;
+  options.num_shards = 3;
+  options.index.num_tables = 15;
+  options.index.k = 9;
+  options.index.seed = 62;
+  options.searcher.cost_model = core::CostModel::FromRatio(1.0);
+  auto live = HammingEngine::Build(lsh::BitSamplingFamily(64), &dataset,
+                                   options);
+  ASSERT_TRUE(live.ok());
+  for (uint32_t id = 0; id < 900; id += 11) {
+    ASSERT_TRUE(live->Remove(id).ok());
+  }
+  ASSERT_TRUE(live->SaveSnapshot(Dir("snap")).ok());
+
+  data::BinaryDataset restored_dataset;
+  auto restored = HammingEngine::OpenSnapshot(Dir("snap"), &restored_dataset);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored_dataset.width_bits(), 64u);
+  ExpectIdenticalServing(*live, *restored, dataset, 14.0);
+}
+
+TEST_F(SnapshotTest, SparseRoundTripWithChurn) {
+  using JaccardEngine = ShardedEngine<lsh::MinHashFamily>;
+  data::SparseDataset dataset = data::MakeRandomSparse(700, 5000, 30, 81);
+  const data::SparseDataset extra = data::MakeRandomSparse(150, 5000, 30, 82);
+  JaccardEngine::Options options;
+  options.num_shards = 2;
+  options.index.num_tables = 10;
+  options.index.k = 4;
+  options.index.seed = 83;
+  options.active_seal_threshold = 32;
+  options.searcher.cost_model = core::CostModel::FromRatio(10.0);
+  auto live = JaccardEngine::Build(lsh::MinHashFamily(), &dataset, options);
+  ASSERT_TRUE(live.ok());
+  for (size_t i = 0; i < extra.size(); ++i) {
+    ASSERT_TRUE(live->Insert(extra.point(i)).ok());
+  }
+  for (uint32_t id = 1; id < 700; id += 13) {
+    ASSERT_TRUE(live->Remove(id).ok());
+  }
+  ASSERT_TRUE(live->SaveSnapshot(Dir("snap")).ok());
+
+  data::SparseDataset restored_dataset;
+  auto restored = JaccardEngine::OpenSnapshot(Dir("snap"), &restored_dataset);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectIdenticalServing(*live, *restored, dataset, 0.7);
+}
+
+// --- Crash safety and corruption --------------------------------------------
+
+TEST_F(SnapshotTest, InterruptedNewerSnapshotNeverCorruptsThePrevious) {
+  const data::DenseDataset full = data::MakeCorelLike(500, kDim, 71);
+  data::DenseDataset dataset = full;
+  auto live = L2Engine::Build(lsh::PStableFamily::L2(kDim, 2 * kRadius),
+                              &dataset, DenseOptions(2));
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(live->SaveSnapshot(Dir("snap")).ok());
+
+  // A writer died mid-epoch: partial data files, truncated manifest, and a
+  // stray CURRENT.tmp — everything short of the atomic CURRENT rename.
+  const fs::path orphan = fs::path(Dir("snap")) / "snapshot-000099";
+  fs::create_directories(orphan);
+  std::ofstream(orphan / "functions.bin", std::ios::binary) << "partial";
+  std::ofstream(orphan / "MANIFEST", std::ios::binary) << "trunc";
+  std::ofstream(fs::path(Dir("snap")) / "CURRENT.tmp", std::ios::binary)
+      << "snapshot-000099\n";
+
+  data::DenseDataset restored_dataset;
+  auto restored = L2Engine::OpenSnapshot(Dir("snap"), &restored_dataset);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectIdenticalServing(*live, *restored, dataset, kRadius);
+
+  // The next successful snapshot garbage-collects the orphan.
+  ASSERT_TRUE(live->SaveSnapshot(Dir("snap")).ok());
+  EXPECT_FALSE(fs::exists(orphan));
+  EXPECT_EQ(CountEpochDirs(Dir("snap")), 1u);
+}
+
+TEST_F(SnapshotTest, SecondSnapshotSupersedesAndCollectsTheFirst) {
+  const data::DenseDataset full = data::MakeCorelLike(700, kDim, 72);
+  data::DenseDataset dataset = full;
+  const data::DenseDataset extra = data::MakeCorelLike(120, kDim, 73);
+  L2Engine live = BuildChurnedDenseEngine(&dataset, extra);
+  ASSERT_TRUE(live.SaveSnapshot(Dir("snap")).ok());
+
+  // Mutate, snapshot again: CURRENT moves, old epoch is GC'd.
+  for (uint32_t id = 1; id < 100; id += 9) {
+    ASSERT_TRUE(live.Remove(id).ok());
+  }
+  ASSERT_TRUE(live.SaveSnapshot(Dir("snap")).ok());
+  EXPECT_EQ(CountEpochDirs(Dir("snap")), 1u);
+
+  data::DenseDataset restored_dataset;
+  auto restored = L2Engine::OpenSnapshot(Dir("snap"), &restored_dataset);
+  ASSERT_TRUE(restored.ok());
+  const data::DenseSplit split = data::SplitQueries(full, 20, 74);
+  ExpectIdenticalServing(live, *restored, split.queries, kRadius);
+}
+
+TEST_F(SnapshotTest, CorruptionInAnyFileIsRejectedCleanly) {
+  const data::DenseDataset full = data::MakeCorelLike(400, kDim, 75);
+  const std::vector<std::string> files = {
+      snapshot::kManifestFile, snapshot::kFunctionsFile,
+      snapshot::kDatasetFile, snapshot::kTombstonesFile,
+      snapshot::ShardFileName(0), snapshot::ShardFileName(1)};
+  for (const std::string& victim : files) {
+    data::DenseDataset dataset = full;
+    auto live = L2Engine::Build(lsh::PStableFamily::L2(kDim, 2 * kRadius),
+                                &dataset, DenseOptions(2));
+    ASSERT_TRUE(live.ok());
+    const std::string root = Dir("snap_" + victim);
+    ASSERT_TRUE(live->SaveSnapshot(root).ok());
+
+    // Locate the single epoch dir and flip one byte mid-file.
+    fs::path epoch;
+    for (const auto& entry : fs::directory_iterator(root)) {
+      if (entry.is_directory()) epoch = entry.path();
+    }
+    ASSERT_FALSE(epoch.empty());
+    const fs::path target = epoch / victim;
+    ASSERT_TRUE(fs::exists(target)) << victim;
+    {
+      std::fstream file(target, std::ios::binary | std::ios::in |
+                                    std::ios::out);
+      file.seekg(0, std::ios::end);
+      const std::streamoff size = static_cast<std::streamoff>(file.tellg());
+      ASSERT_GT(size, 16);
+      char byte = 0;
+      file.seekg(size / 2);
+      file.read(&byte, 1);
+      byte = static_cast<char>(byte ^ 0x5a);
+      file.seekp(size / 2);
+      file.write(&byte, 1);
+    }
+
+    data::DenseDataset restored_dataset;
+    auto restored = L2Engine::OpenSnapshot(root, &restored_dataset);
+    ASSERT_FALSE(restored.ok()) << victim << " corruption parsed";
+    EXPECT_EQ(restored.status().code(), util::StatusCode::kDataLoss)
+        << victim << ": " << restored.status().ToString();
+  }
+}
+
+TEST_F(SnapshotTest, TruncatedShardFileIsRejected) {
+  const data::DenseDataset full = data::MakeCorelLike(400, kDim, 76);
+  data::DenseDataset dataset = full;
+  auto live = L2Engine::Build(lsh::PStableFamily::L2(kDim, 2 * kRadius),
+                              &dataset, DenseOptions(2));
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(live->SaveSnapshot(Dir("snap")).ok());
+  fs::path epoch;
+  for (const auto& entry : fs::directory_iterator(Dir("snap"))) {
+    if (entry.is_directory()) epoch = entry.path();
+  }
+  const fs::path shard = epoch / snapshot::ShardFileName(1);
+  fs::resize_file(shard, fs::file_size(shard) / 2);
+
+  data::DenseDataset restored_dataset;
+  auto restored = L2Engine::OpenSnapshot(Dir("snap"), &restored_dataset);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST_F(SnapshotTest, MissingSnapshotIsNotFound) {
+  data::DenseDataset restored_dataset;
+  auto restored = L2Engine::OpenSnapshot(Dir("nothing"), &restored_dataset);
+  EXPECT_EQ(restored.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, WrongFamilyIsInvalidArgument) {
+  const data::DenseDataset full = data::MakeCorelLike(300, kDim, 77);
+  data::DenseDataset dataset = full;
+  auto live = L2Engine::Build(lsh::PStableFamily::L2(kDim, 2 * kRadius),
+                              &dataset, DenseOptions(1));
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(live->SaveSnapshot(Dir("snap")).ok());
+
+  data::DenseDataset restored_dataset;
+  auto wrong = ShardedEngine<lsh::SimHashFamily>::OpenSnapshot(
+      Dir("snap"), &restored_dataset);
+  EXPECT_EQ(wrong.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, MmapLoadServesIdentically) {
+  const data::DenseDataset full = data::MakeCorelLike(900, kDim, 78);
+  data::DenseDataset dataset = full;
+  const data::DenseDataset extra = data::MakeCorelLike(90, kDim, 79);
+  L2Engine live = BuildChurnedDenseEngine(&dataset, extra);
+  ASSERT_TRUE(live.SaveSnapshot(Dir("snap")).ok());
+
+  snapshot::OpenOptions open_options;
+  open_options.use_mmap = true;
+  data::DenseDataset restored_dataset;
+  auto restored =
+      L2Engine::OpenSnapshot(Dir("snap"), &restored_dataset, open_options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const data::DenseSplit split = data::SplitQueries(full, 20, 80);
+  ExpectIdenticalServing(live, *restored, split.queries, kRadius);
+}
+
+// --- The type-erased facade --------------------------------------------------
+
+TEST_F(SnapshotTest, FacadeRoundTripRestoresTheRightTypedEngine) {
+  data::DenseDataset dataset =
+      data::MakeWebspamLike({.n = 900, .dim = 24, .seed = 91});
+  dataset.PrecomputeNorms();
+  EngineOptions options;
+  options.num_shards = 2;
+  options.num_tables = 12;
+  options.k = 10;
+  options.seed = 92;
+  options.searcher.cost_model = core::CostModel::FromRatio(6.0);
+  auto live = BuildMutableEngine(data::Metric::kCosine, &dataset, options);
+  ASSERT_TRUE(live.ok());
+  for (uint32_t id = 0; id < 200; id += 17) {
+    ASSERT_TRUE((*live)->Remove(id).ok());
+  }
+  ASSERT_TRUE((*live)->SaveSnapshot(Dir("snap")).ok());
+
+  auto restored = OpenSnapshotEngine(Dir("snap"));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->metric(), data::Metric::kCosine);
+  EXPECT_EQ((*restored)->family_tag(), lsh::SimHashFamily::kFamilyTag);
+  EXPECT_EQ((*restored)->size(), (*live)->size());
+  EXPECT_EQ((*restored)->num_shards(), 2u);
+
+  const double radius = 0.2;
+  std::vector<uint32_t> out_a, out_b;
+  for (size_t q = 0; q < 40; ++q) {
+    out_a.clear();
+    out_b.clear();
+    ASSERT_TRUE((*live)->Query(dataset.point(q * 20), radius, &out_a).ok());
+    ASSERT_TRUE(
+        (*restored)->Query(dataset.point(q * 20), radius, &out_b).ok());
+    EXPECT_EQ(out_a, out_b) << "query " << q;
+  }
+
+  // The restored facade owns its dataset and stays fully mutable.
+  std::vector<float> point(24, 0.125f);
+  auto id = (*restored)->Insert(point.data());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, dataset.size());
+  ASSERT_TRUE((*restored)->Remove(*id).ok());
+  ASSERT_TRUE((*restored)->Compact().ok());
+
+  // And it snapshots again through the facade.
+  ASSERT_TRUE((*restored)->SaveSnapshot(Dir("snap2")).ok());
+  auto again = OpenSnapshotEngine(Dir("snap2"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->size(), (*restored)->size());
+}
+
+TEST_F(SnapshotTest, FacadeDispatchesEveryMetric) {
+  // One engine per metric family; each snapshot must restore through the
+  // facade to an engine of the right metric that answers a self-query.
+  EngineOptions options;
+  options.num_shards = 2;
+  options.num_tables = 8;
+  options.k = 6;
+  options.seed = 7;
+
+  {
+    data::BinaryDataset codes = data::MakeRandomCodes(400, 64, 93);
+    auto live = BuildMutableEngine(data::Metric::kHamming, &codes, options);
+    ASSERT_TRUE(live.ok());
+    ASSERT_TRUE((*live)->SaveSnapshot(Dir("ham")).ok());
+    auto restored = OpenSnapshotEngine(Dir("ham"));
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ((*restored)->metric(), data::Metric::kHamming);
+    std::vector<uint32_t> out;
+    ASSERT_TRUE((*restored)->Query(codes.point(5), 10.0, &out).ok());
+    EXPECT_TRUE(std::find(out.begin(), out.end(), 5u) != out.end());
+  }
+  {
+    data::SparseDataset sparse = data::MakeRandomSparse(400, 4000, 25, 94);
+    options.k = 4;
+    auto live = BuildMutableEngine(data::Metric::kJaccard, &sparse, options);
+    ASSERT_TRUE(live.ok());
+    ASSERT_TRUE((*live)->SaveSnapshot(Dir("jac")).ok());
+    auto restored = OpenSnapshotEngine(Dir("jac"));
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ((*restored)->metric(), data::Metric::kJaccard);
+    std::vector<uint32_t> out;
+    ASSERT_TRUE((*restored)->Query(sparse.point(7), 0.7, &out).ok());
+    EXPECT_TRUE(std::find(out.begin(), out.end(), 7u) != out.end());
+  }
+  {
+    const data::DenseDataset dense = data::MakeCorelLike(400, kDim, 95);
+    EngineOptions l2_options = options;
+    l2_options.k = 7;
+    l2_options.pstable_w = 2 * kRadius;
+    auto live = BuildEngine(data::Metric::kL2, &dense, l2_options);
+    ASSERT_TRUE(live.ok());
+    ASSERT_TRUE((*live)->SaveSnapshot(Dir("l2")).ok());
+    auto restored = OpenSnapshotEngine(Dir("l2"));
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ((*restored)->metric(), data::Metric::kL2);
+    std::vector<uint32_t> out;
+    ASSERT_TRUE((*restored)->Query(dense.point(3), kRadius, &out).ok());
+    EXPECT_TRUE(std::find(out.begin(), out.end(), 3u) != out.end());
+  }
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace hybridlsh
