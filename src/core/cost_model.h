@@ -28,6 +28,27 @@
 namespace hybridlsh {
 namespace core {
 
+/// A coherent (live, indexed) pair for one decision. A mutable index's two
+/// counters move independently under concurrent writers; reading them with
+/// two separate calls can observe an impossible state (e.g. live > indexed,
+/// or a fraction > 1) between an insert's increments. Segmented indexes
+/// keep both packed in one atomic word and materialize this struct from a
+/// single load (SegmentedIndex::live_stats), so every decision site prices
+/// LinearCost and the tombstone correction from the same instant.
+struct LiveStats {
+  /// Points a query can report (the linear path's iteration count).
+  size_t live = 0;
+  /// Live + tombstoned-but-not-yet-compacted ids still occupying buckets.
+  size_t indexed = 0;
+
+  /// Fraction of indexed ids that are live (1.0 for a static index).
+  double fraction() const {
+    return indexed == 0
+               ? 1.0
+               : static_cast<double>(live) / static_cast<double>(indexed);
+  }
+};
+
 /// The (alpha, beta) constants of Equations 1-2. Units are arbitrary but
 /// must be shared: only the ratio beta/alpha affects the decision.
 struct CostModel {
@@ -66,6 +87,14 @@ struct CostModel {
                           double live_fraction) const {
     return LshCost(collisions, cand_size) -
            TombstoneCorrection(cand_size, live_fraction);
+  }
+
+  /// CorrectedLshCost from one coherent LiveStats snapshot — the form the
+  /// concurrent query paths use so the correction and the linear
+  /// comparison cannot mix counter values from different instants.
+  double CorrectedLshCost(uint64_t collisions, double cand_size,
+                          const LiveStats& live) const {
+    return CorrectedLshCost(collisions, cand_size, live.fraction());
   }
 
   /// Model with alpha = 1 and beta = `beta_over_alpha` (the paper's

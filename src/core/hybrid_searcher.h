@@ -171,7 +171,7 @@ class HybridSearcher {
 
     if (options_.forced == ForcedStrategy::kAlwaysLinear) {
       s->strategy = Strategy::kLinear;
-      s->linear_cost = options_.cost_model.LinearCost(LiveCount());
+      s->linear_cost = options_.cost_model.LinearCost(LiveStatsSnapshot().live);
       ExecuteLinear(query, radius, out, s);
       s->total_seconds = total_timer.ElapsedSeconds();
       return;
@@ -193,9 +193,10 @@ class HybridSearcher {
     // Alg. 2 lines 3-4: compare model costs, pick the strategy. A
     // segmented index's estimate includes tombstoned ids; subtract their
     // share of the verification cost and scan only live points linearly.
-    s->lsh_cost = options_.cost_model.CorrectedLshCost(
-        s->collisions, s->cand_estimate, LiveFraction());
-    s->linear_cost = options_.cost_model.LinearCost(LiveCount());
+    const LiveStats live = LiveStatsSnapshot();
+    s->lsh_cost = options_.cost_model.CorrectedLshCost(s->collisions,
+                                                       s->cand_estimate, live);
+    s->linear_cost = options_.cost_model.LinearCost(live.live);
     const bool use_lsh = options_.forced == ForcedStrategy::kAlwaysLsh ||
                          s->lsh_cost < s->linear_cost;
 
@@ -248,9 +249,10 @@ class HybridSearcher {
     s.collisions = estimate.collisions;
     s.cand_estimate = estimate.cand_estimate;
     s.estimate_seconds = estimate_timer.ElapsedSeconds();
-    s.lsh_cost = options_.cost_model.CorrectedLshCost(
-        s.collisions, s.cand_estimate, LiveFraction());
-    s.linear_cost = options_.cost_model.LinearCost(LiveCount());
+    const LiveStats live = LiveStatsSnapshot();
+    s.lsh_cost =
+        options_.cost_model.CorrectedLshCost(s.collisions, s.cand_estimate, live);
+    s.linear_cost = options_.cost_model.LinearCost(live.live);
     s.strategy = s.lsh_cost < s.linear_cost ? Strategy::kLsh : Strategy::kLinear;
     s.total_seconds = total_timer.ElapsedSeconds();
     return s;
@@ -291,17 +293,21 @@ class HybridSearcher {
     }
   }
 
-  /// What the linear path would touch: live ids for a segmented index, the
-  /// whole dataset otherwise.
-  size_t LiveCount() const {
-    if constexpr (kSegmented) return index_->live_size();
-    return dataset_->size();
-  }
-
-  /// Tombstone-correction input: 1.0 on a static index (no correction).
-  double LiveFraction() const {
-    if constexpr (kSegmented) return index_->live_fraction();
-    return 1.0;
+  /// One coherent (live, indexed) pair per decision. A concurrent
+  /// segmented index keeps both packed in one atomic word (live_stats()),
+  /// so the tombstone correction and the linear comparison price from the
+  /// same instant; two separate live_size()/live_fraction() calls could
+  /// straddle a writer's update. Static indexes are trivially coherent.
+  LiveStats LiveStatsSnapshot() const {
+    if constexpr (requires(const Index& index) {
+                    { index.live_stats() } -> std::convertible_to<LiveStats>;
+                  }) {
+      return index_->live_stats();
+    } else if constexpr (kSegmented) {
+      return LiveStats{index_->live_size(), index_->indexed_size()};
+    } else {
+      return LiveStats{dataset_->size(), dataset_->size()};
+    }
   }
 
   /// A mutable index's dataset grows between queries; keep the dedup set's

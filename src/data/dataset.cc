@@ -10,14 +10,28 @@ namespace data {
 void DenseDataset::PrecomputeNorms() {
   const size_t n = points_.rows();
   const size_t dim = points_.cols();
-  norms_.resize(n);
+  std::vector<float> norms(n);
   for (size_t i = 0; i < n; ++i) {
     // Canonical-order dot (util/simd.h): the cached norm rounds exactly
     // like the fused cosine kernel's norm sums, so the verifier's cached
     // and uncached paths agree on every candidate, boundary included.
     const float* row = points_.Row(i);
-    norms_[i] = std::sqrt(util::simd::DotF32Scalar(row, row, dim));
+    norms[i] = std::sqrt(util::simd::DotF32Scalar(row, row, dim));
   }
+  norms_.Assign(norms);
+}
+
+void DenseDataset::Append(std::span<const float> point) {
+  // Publish the norm before the row: has_norms() compares the two counts,
+  // so readers either see a complete cache or fall back to the fused
+  // verification path — never a norm slot that lags its point.
+  if (has_norms()) {
+    norms_.PushBack(static_cast<float>(std::sqrt(
+        util::simd::DotF32Scalar(point.data(), point.data(), point.size()))));
+  } else if (!norms_.empty()) {
+    InvalidateNorms();  // stale partial cache (build-time state)
+  }
+  points_.AppendRow(point);
 }
 
 namespace {
@@ -42,7 +56,7 @@ void SaveDataset(const DenseDataset& dataset, util::ByteWriter* writer) {
   writer->WriteArray<float>(dataset.points_.data());
   writer->WriteU8(dataset.has_norms() ? 1 : 0);
   if (dataset.has_norms()) {
-    writer->WriteArray<float>(dataset.norms_);
+    writer->WriteArray<float>(dataset.norms_.span());
   }
 }
 
@@ -75,7 +89,7 @@ util::Status LoadDataset(util::ByteReader* reader, DenseDataset* dataset) {
   dataset->points_ = util::FloatMatrix(static_cast<size_t>(rows),
                                        static_cast<size_t>(cols),
                                        std::move(data));
-  dataset->norms_ = std::move(norms);
+  dataset->norms_.Assign(norms);
   return util::Status::Ok();
 }
 
@@ -99,9 +113,8 @@ util::Status LoadDataset(util::ByteReader* reader, BinaryDataset* dataset) {
   std::vector<uint64_t> words;
   HLSH_RETURN_IF_ERROR(reader->ReadArray<uint64_t>(
       static_cast<size_t>(n) * words_per_code, &words));
-  BinaryDataset loaded(static_cast<size_t>(n),
-                       static_cast<size_t>(width_bits));
-  loaded.mutable_words() = std::move(words);
+  BinaryDataset loaded(0, static_cast<size_t>(width_bits));
+  loaded.AdoptWords(words);
   *dataset = std::move(loaded);
   return util::Status::Ok();
 }
@@ -111,9 +124,9 @@ void SaveDataset(const SparseDataset& dataset, util::ByteWriter* writer) {
   writer->WriteU32(dataset.universe());
   writer->WriteU64(dataset.size());
   writer->WriteU64(dataset.num_entries());
-  writer->WriteArray<uint32_t>(dataset.indices_);
+  writer->WriteArray<uint32_t>(dataset.indices_.span());
   // offsets_ holds size_t; persist as fixed-width u64.
-  for (const size_t offset : dataset.offsets_) {
+  for (const size_t offset : dataset.offsets_.span()) {
     writer->WriteU64(offset);
   }
 }
@@ -137,19 +150,18 @@ util::Status LoadDataset(util::ByteReader* reader, SparseDataset* dataset) {
   if (offsets.front() != 0 || offsets.back() != num_entries) {
     return util::Status::DataLoss("sparse offsets do not bracket the entries");
   }
-  SparseDataset loaded(universe);
-  loaded.offsets_.resize(offsets.size());
+  std::vector<size_t> native_offsets(offsets.size());
   for (size_t i = 0; i < offsets.size(); ++i) {
     if (i > 0 && offsets[i] < offsets[i - 1]) {
       return util::Status::DataLoss("sparse offsets are not monotone");
     }
-    loaded.offsets_[i] = static_cast<size_t>(offsets[i]);
+    native_offsets[i] = static_cast<size_t>(offsets[i]);
   }
   // Re-validate the per-point invariants Append enforces: strictly
   // increasing ids below the universe bound.
-  for (size_t p = 0; p + 1 < offsets.size(); ++p) {
-    for (size_t j = loaded.offsets_[p]; j < loaded.offsets_[p + 1]; ++j) {
-      if (j > loaded.offsets_[p] && indices[j] <= indices[j - 1]) {
+  for (size_t p = 0; p + 1 < native_offsets.size(); ++p) {
+    for (size_t j = native_offsets[p]; j < native_offsets[p + 1]; ++j) {
+      if (j > native_offsets[p] && indices[j] <= indices[j - 1]) {
         return util::Status::DataLoss(
             "sparse point ids are not strictly increasing");
       }
@@ -158,7 +170,9 @@ util::Status LoadDataset(util::ByteReader* reader, SparseDataset* dataset) {
       }
     }
   }
-  loaded.indices_ = std::move(indices);
+  SparseDataset loaded(universe);
+  loaded.offsets_.Assign(native_offsets);
+  loaded.indices_.Assign(indices);
   *dataset = std::move(loaded);
   return util::Status::Ok();
 }
@@ -173,8 +187,10 @@ util::Status SparseDataset::Append(std::span<const uint32_t> sorted_ids) {
       return util::Status::OutOfRange("sparse point id exceeds universe");
     }
   }
-  indices_.insert(indices_.end(), sorted_ids.begin(), sorted_ids.end());
-  offsets_.push_back(indices_.size());
+  // Ids first, covering offset second: a reader that can see offset i+1
+  // (release-published) also sees every id below it.
+  indices_.Append(sorted_ids.data(), sorted_ids.size());
+  offsets_.PushBack(indices_.size());
   return util::Status::Ok();
 }
 

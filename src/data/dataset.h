@@ -8,6 +8,14 @@
 //   DenseDataset   point(i) -> const float*          (L1 / L2 / cosine)
 //   BinaryDataset  point(i) -> const uint64_t*       (Hamming on packed codes)
 //   SparseDataset  point(i) -> span<const uint32_t>  (Jaccard on id sets)
+//
+// Storage is backed by util::PublishedArray: one writer may Append points
+// while query threads concurrently read already-published points (the
+// serving engine's ingest-under-query path). A point's bytes are immutable
+// once the size covering it is release-published, and buffer growth retires
+// the old allocation instead of freeing it under readers. All *other*
+// mutation (mutable_point, mutable_matrix, SetBit, load-time adoption)
+// remains build-time only — not safe under concurrent readers.
 
 #ifndef HYBRIDLSH_DATA_DATASET_H_
 #define HYBRIDLSH_DATA_DATASET_H_
@@ -18,6 +26,7 @@
 #include <vector>
 
 #include "util/matrix.h"
+#include "util/published_array.h"
 #include "util/serialize.h"
 #include "util/status.h"
 
@@ -81,40 +90,50 @@ class DenseDataset {
 
   Point point(size_t i) const { return points_.Row(i); }
   float* mutable_point(size_t i) {
-    norms_.clear();
+    InvalidateNorms();
     return points_.MutableRow(i);
   }
 
   const util::FloatMatrix& matrix() const { return points_; }
   util::FloatMatrix& mutable_matrix() {
-    norms_.clear();
+    InvalidateNorms();
     return points_;
   }
 
   /// Appends one point (dimension must match; sets dim on first append).
-  /// Invalidates the norm cache.
-  void Append(std::span<const float> point) {
-    norms_.clear();
-    points_.AppendRow(point);
+  /// Single-writer: safe concurrently with readers of published points.
+  /// When the norm cache is current, the new point's norm is computed and
+  /// appended in step, keeping the cosine fast path warm under live
+  /// ingest; otherwise the cache stays invalid.
+  void Append(std::span<const float> point);
+
+  /// Pre-allocates capacity for `n` points so appends up to that count
+  /// never reallocate (and thus never retire a buffer).
+  void Reserve(size_t n) {
+    points_.Reserve(n);
+    norms_.Reserve(n);
   }
 
   // --- Per-point Euclidean norms (the cosine verification fast path). ------
   // With norms cached, the block verifier (core/kernels.h) prices a cosine
-  // candidate at one dot product instead of a fused three-sum pass. Any
-  // mutation — Append, mutable_point, mutable_matrix — invalidates the
-  // cache; call PrecomputeNorms again to rebuild it. Plain scalar math, so
-  // the cached values are identical no matter which SIMD tier is resolved.
+  // candidate at one dot product instead of a fused three-sum pass. In-place
+  // mutation — mutable_point, mutable_matrix — invalidates the cache; call
+  // PrecomputeNorms again to rebuild it. Plain scalar math, so the cached
+  // values are identical no matter which SIMD tier is resolved.
 
   /// Computes and caches |point(i)| for every point. O(n * dim).
+  /// Build-time only (rewrites published slots).
   void PrecomputeNorms();
 
-  /// Whether the norm cache is populated and current.
+  /// Whether the norm cache is populated and current. Under a concurrent
+  /// Append this may transiently report false; callers then take the fused
+  /// (uncached) verification path, which agrees on every candidate.
   bool has_norms() const { return norms_.size() == points_.rows(); }
 
   /// The cached norms, one per point. Only valid while has_norms().
   std::span<const float> norms() const {
     HLSH_DCHECK(has_norms());
-    return norms_;
+    return norms_.span();
   }
   float norm(size_t i) const {
     HLSH_DCHECK(has_norms());
@@ -125,8 +144,10 @@ class DenseDataset {
   friend void SaveDataset(const DenseDataset&, util::ByteWriter*);
   friend util::Status LoadDataset(util::ByteReader*, DenseDataset*);
 
+  void InvalidateNorms() { norms_.Assign({}); }
+
   util::FloatMatrix points_;
-  std::vector<float> norms_;  // empty = not cached
+  util::PublishedArray<float> norms_;  // empty = not cached
 };
 
 /// Packed binary codes, `width_bits` bits per point in 64-bit words.
@@ -141,27 +162,29 @@ class BinaryDataset {
   /// Creates n all-zero codes of `width_bits` bits each (must be > 0 and a
   /// multiple is not required; the last word is partially used).
   BinaryDataset(size_t n, size_t width_bits)
-      : n_(n),
-        width_bits_(width_bits),
-        words_per_code_((width_bits + 63) / 64),
-        words_(n * words_per_code_, 0) {
+      : width_bits_(width_bits), words_per_code_((width_bits + 63) / 64) {
     HLSH_CHECK(width_bits > 0);
+    words_.GrowTo(n * words_per_code_, 0);
   }
 
-  size_t size() const { return n_; }
+  /// Code count, derived from the published word count (safe from any
+  /// thread; monotone under one appending writer).
+  size_t size() const {
+    return words_per_code_ == 0 ? 0 : words_.size() / words_per_code_;
+  }
   /// Bits per code (the Hamming-space dimension).
   size_t width_bits() const { return width_bits_; }
   /// 64-bit words per code.
   size_t words_per_code() const { return words_per_code_; }
-  bool empty() const { return n_ == 0; }
+  bool empty() const { return size() == 0; }
 
   Point point(size_t i) const {
-    HLSH_DCHECK(i < n_);
+    HLSH_DCHECK(i < size());
     return words_.data() + i * words_per_code_;
   }
   uint64_t* mutable_point(size_t i) {
-    HLSH_DCHECK(i < n_);
-    return words_.data() + i * words_per_code_;
+    HLSH_DCHECK(i < size());
+    return words_.mutable_data() + i * words_per_code_;
   }
 
   /// Returns bit `bit` of code i.
@@ -170,7 +193,7 @@ class BinaryDataset {
     return (point(i)[bit >> 6] >> (bit & 63)) & 1;
   }
 
-  /// Sets bit `bit` of code i to `value`.
+  /// Sets bit `bit` of code i to `value`. Build-time only.
   void SetBit(size_t i, size_t bit, bool value) {
     HLSH_DCHECK(bit < width_bits_);
     uint64_t& word = mutable_point(i)[bit >> 6];
@@ -183,20 +206,29 @@ class BinaryDataset {
   }
 
   /// Appends one code (must point at words_per_code() words).
+  /// Single-writer: safe concurrently with readers of published codes.
   void Append(const uint64_t* code) {
     HLSH_CHECK(width_bits_ > 0);
-    words_.insert(words_.end(), code, code + words_per_code_);
-    ++n_;
+    words_.Append(code, words_per_code_);
   }
 
-  const std::vector<uint64_t>& words() const { return words_; }
-  std::vector<uint64_t>& mutable_words() { return words_; }
+  /// Pre-allocates capacity for `n` codes.
+  void Reserve(size_t n) { words_.Reserve(n * words_per_code_); }
+
+  /// The packed storage (size() * words_per_code() words).
+  std::span<const uint64_t> words() const { return words_.span(); }
+
+  /// Replaces the packed storage wholesale (bulk-load paths); the word
+  /// count must be a multiple of words_per_code(). Build-time only.
+  void AdoptWords(std::span<const uint64_t> words) {
+    HLSH_CHECK(words_per_code_ != 0 && words.size() % words_per_code_ == 0);
+    words_.Assign(words);
+  }
 
  private:
-  size_t n_ = 0;
   size_t width_bits_ = 0;
   size_t words_per_code_ = 0;
-  std::vector<uint64_t> words_;
+  util::PublishedArray<uint64_t> words_;
 };
 
 /// Sparse binary point set: each point is a strictly increasing sequence of
@@ -205,11 +237,15 @@ class SparseDataset {
  public:
   using Point = std::span<const uint32_t>;
 
-  SparseDataset() : offsets_{0} {}
+  SparseDataset() { offsets_.PushBack(0); }
 
   /// Creates an empty dataset over feature ids [0, universe).
-  explicit SparseDataset(uint32_t universe) : universe_(universe), offsets_{0} {}
+  explicit SparseDataset(uint32_t universe) : universe_(universe) {
+    offsets_.PushBack(0);
+  }
 
+  /// Point count, derived from the published offset count (safe from any
+  /// thread; monotone under one appending writer).
   size_t size() const { return offsets_.size() - 1; }
   /// Exclusive upper bound on feature ids (0 = unknown).
   uint32_t universe() const { return universe_; }
@@ -217,12 +253,21 @@ class SparseDataset {
 
   Point point(size_t i) const {
     HLSH_DCHECK(i + 1 < offsets_.size());
-    return {indices_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+    const size_t* offsets = offsets_.data();
+    return {indices_.data() + offsets[i], offsets[i + 1] - offsets[i]};
   }
 
   /// Appends one point. Ids must be strictly increasing and below the
-  /// universe bound when one was given.
+  /// universe bound when one was given. Single-writer: safe concurrently
+  /// with readers of published points (the ids are filled and published
+  /// before the covering offset).
   util::Status Append(std::span<const uint32_t> sorted_ids);
+
+  /// Pre-allocates capacity for `n` more points of ~`avg_entries` ids each.
+  void Reserve(size_t n, size_t avg_entries) {
+    offsets_.Reserve(offsets_.size() + n);
+    indices_.Reserve(indices_.size() + n * avg_entries);
+  }
 
   /// Total number of stored ids across all points.
   size_t num_entries() const { return indices_.size(); }
@@ -232,8 +277,8 @@ class SparseDataset {
   friend util::Status LoadDataset(util::ByteReader*, SparseDataset*);
 
   uint32_t universe_ = 0;
-  std::vector<uint32_t> indices_;
-  std::vector<size_t> offsets_;
+  util::PublishedArray<uint32_t> indices_;
+  util::PublishedArray<size_t> offsets_;
 };
 
 }  // namespace data

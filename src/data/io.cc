@@ -208,8 +208,9 @@ util::StatusOr<BinaryDataset> ReadCodes(const std::string& path) {
   if (width_bits == 0 || width_bits > (uint64_t{1} << 24)) {
     return util::Status::DataLoss("codes header has invalid width");
   }
-  BinaryDataset dataset(n, width_bits);
-  std::vector<uint64_t>& words = dataset.mutable_words();
+  BinaryDataset dataset(0, width_bits);
+  std::vector<uint64_t> words(static_cast<size_t>(n) *
+                              dataset.words_per_code());
   if (!in.read(reinterpret_cast<char*>(words.data()),
                static_cast<std::streamsize>(words.size() * sizeof(uint64_t)))) {
     return util::Status::DataLoss("codes file truncated");
@@ -219,6 +220,7 @@ util::StatusOr<BinaryDataset> ReadCodes(const std::string& path) {
   if (in.read(&extra, 1)) {
     return util::Status::DataLoss("codes file has trailing bytes");
   }
+  dataset.AdoptWords(words);
   return dataset;
 }
 

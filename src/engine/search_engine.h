@@ -93,7 +93,7 @@ class SearchEngine {
   virtual size_t size() const = 0;
   virtual size_t num_shards() const = 0;
   virtual size_t num_threads() const = 0;
-  virtual const EngineStats& stats() const = 0;
+  virtual EngineStats stats() const = 0;
 
   // --- Single queries, one typed overload per point representation. ------
   // The overload matching the engine's family succeeds and appends global
@@ -192,7 +192,7 @@ class ShardedEngineAdapter final : public SearchEngine {
   size_t size() const override { return engine_.size(); }
   size_t num_shards() const override { return engine_.num_shards(); }
   size_t num_threads() const override { return engine_.num_threads(); }
-  const EngineStats& stats() const override { return engine_.stats(); }
+  EngineStats stats() const override { return engine_.stats(); }
 
   /// The adapted engine, for callers that do know the concrete type.
   Engine& engine() { return engine_; }

@@ -1,5 +1,5 @@
 // LSM-style segmented LSH index: the mutable lifecycle behind the serving
-// engine.
+// engine, with an epoch-published read path that takes zero locks.
 //
 // A classic LshIndex is one-shot: Build() over a frozen dataset, then
 // queries forever. The per-bucket HyperLogLog sketches make in-place
@@ -7,21 +7,27 @@
 // an architectural answer rather than a patch. SegmentedIndex gives it the
 // storage-engine shape:
 //
-//   inserts  -> ACTIVE segment   L hash-map tables (DynamicLshTable), no
-//                                sketches; buckets fold into the query-time
-//                                estimate like small buckets (§3.2);
-//   seal     -> SEALED segment   the active segment frozen into L CSR
-//                                LshTables with fresh HLL sketches
-//                                (automatic at Options::active_seal_threshold);
-//   deletes  -> TOMBSTONES       one shared BitVector over global ids; dead
-//                                ids stay in their buckets (and sketches)
-//                                until compaction, but are dropped before
-//                                distance verification;
-//   compact  -> one fresh sealed segment: every segment's surviving
-//                                (key, id) entries are exported and merged
-//                                (LshTable::BuildFromEntries) — no point is
-//                                rehashed — and sketches are rebuilt without
-//                                the dead ids.
+//   inserts  -> ACTIVE log        a fixed-capacity, insert-only chained hash
+//                                 log (ActiveLshLog) readers walk lock-free;
+//                                 no sketches — buckets fold into the
+//                                 query-time estimate like small buckets
+//                                 (§3.2);
+//   freeze   -> FROZEN log        when the active log fills, the writer swaps
+//                                 in a fresh one; the frozen log stays
+//                                 queryable as-is until a maintenance pass
+//                                 seals it;
+//   seal     -> SEALED segment    a frozen log rebuilt into L CSR LshTables
+//                                 with fresh HLL sketches;
+//   deletes  -> TOMBSTONES        one shared BitVector over global ids,
+//                                 monotone set-only between compactions; dead
+//                                 ids stay in their buckets (and sketches)
+//                                 until compaction, but are dropped before
+//                                 distance verification;
+//   compact  -> one fresh sealed segment: every sealed segment's surviving
+//                                 (key, id) entries are exported and merged
+//                                 (LshTable::BuildFromEntries) — no point is
+//                                 rehashed — and sketches are rebuilt without
+//                                 the dead ids.
 //
 // All segments share ONE FunctionSet (lsh/index.h): a point hashes to the
 // same bucket key in table t no matter which segment currently stores it,
@@ -35,21 +41,51 @@
 // core::CostModel::TombstoneCorrection subtracts before the LSH-vs-linear
 // comparison.
 //
-// Thread-safety matches the rest of the stack: one index = one logical
-// writer/reader. Insert/Remove/Compact/queries must be externally
-// serialized; engine::ShardedEngine runs at most one task per shard when it
-// compacts on its pool.
+// --- Concurrency model (the PR 6 serving core) -----------------------------
+//
+// The segment list is immutable once published: readers acquire a
+// SegmentSnapshot and walk a consistent set of sealed segments and logs
+// with no locks; shared_ptr refcounts are the reader epoch, so a
+// superseded list (and its segments) is reclaimed when the last in-flight
+// reader drops it. Snapshots are cached per reader scratch and re-validated
+// against an atomic version counter, so the steady-state read path is two
+// relaxed/acquire loads; only a version change makes the reader copy the
+// current shared_ptr under a brief mutex (libstdc++'s atomic<shared_ptr>
+// unlocks its load with a relaxed op, which is formally racy and trips
+// TSan, so the slot is mutex-guarded instead — same cost, clean model). Writers (Insert/Remove) are
+// externally serialized against each other (ShardedEngine holds a writer
+// mutex); seal and compaction may run on a background thread concurrently
+// with both readers and the writer:
+//
+//   - Insert appends to the active log (entries become visible through
+//     release-published bucket heads) and never rebuilds anything; when the
+//     log fills it is frozen and a fresh log is published.
+//   - RunMaintenance() (background or inline) seals frozen logs into CSR
+//     segments and compacts sealed segments, building off to the side and
+//     atomically installing a new list under a brief writer-side mutex that
+//     readers never touch.
+//   - Remove marks the shared tombstone bitmap with a release-ordered set;
+//     readers filter with acquire loads. Stale reads are monotone-safe: a
+//     query may return a point removed *during* the query, never one whose
+//     removal happened-before the query began.
+//
+// By default maintenance runs inline at the thresholds (standalone indexes
+// keep the old synchronous behavior); ShardedEngine switches the index to
+// deferred maintenance and drives RunMaintenance() from its pool.
 
 #ifndef HYBRIDLSH_ENGINE_SEGMENTED_INDEX_H_
 #define HYBRIDLSH_ENGINE_SEGMENTED_INDEX_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "core/cost_model.h"
 #include "data/dataset.h"
 #include "hll/hyperloglog.h"
 #include "lsh/index.h"
@@ -115,13 +151,189 @@ inline util::Status AppendDatasetPoint(data::SparseDataset* dataset,
   return dataset->Append(buffer);
 }
 
+/// Fixed-capacity, insert-only chained-hash log over L tables: the active
+/// segment of a SegmentedIndex. One writer appends entries; any number of
+/// readers walk buckets concurrently with no locks.
+///
+/// Layout: per table t, entry i stores its bucket key at keys_[t*cap + i]
+/// and a chain link at next_[t*cap + i]; bucket heads are atomic entry
+/// indexes. The writer fills an entry's id, keys, and links, then
+/// release-stores each table's bucket head — a reader that acquires a head
+/// therefore sees every field of every entry on the chain. Chains list
+/// entries in descending insertion order, so a reader bounding itself to a
+/// count snapshot skips newer entries and never reads a slot that is still
+/// being filled. All storage is allocated up front (capacity entries), so
+/// appends never reallocate under readers.
+class ActiveLshLog {
+ public:
+  ActiveLshLog(size_t num_tables, size_t capacity)
+      : num_tables_(num_tables), capacity_(capacity) {
+    HLSH_CHECK(num_tables >= 1 && capacity >= 1);
+    size_t buckets = 8;
+    while (buckets < 2 * capacity) buckets *= 2;
+    buckets_per_table_ = buckets;
+    bucket_mask_ = buckets - 1;
+    keys_.resize(num_tables * capacity);
+    next_.resize(num_tables * capacity);
+    ids_.resize(capacity);
+    heads_ = std::make_unique<std::atomic<int32_t>[]>(num_tables * buckets);
+    for (size_t i = 0; i < num_tables * buckets; ++i) {
+      heads_[i].store(-1, std::memory_order_relaxed);
+    }
+  }
+
+  ActiveLshLog(const ActiveLshLog&) = delete;
+  ActiveLshLog& operator=(const ActiveLshLog&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  size_t num_tables() const { return num_tables_; }
+  bool full() const { return size() >= capacity_; }
+
+  /// Published entry count (relaxed; monotone under one writer).
+  size_t size() const { return count_.load(std::memory_order_relaxed); }
+  /// Published entry count; entries below it are fully visible afterwards.
+  size_t size_acquire() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  /// Appends one entry (id + its L bucket keys). Writer-only; requires
+  /// !full(). Readers see the entry through the bucket heads (release) and
+  /// the count (release).
+  void Append(std::span<const uint64_t> keys, uint32_t id) {
+    const size_t i = count_.load(std::memory_order_relaxed);
+    HLSH_DCHECK(i < capacity_ && keys.size() == num_tables_);
+    ids_[i] = id;
+    for (size_t t = 0; t < num_tables_; ++t) {
+      keys_[t * capacity_ + i] = keys[t];
+    }
+    for (size_t t = 0; t < num_tables_; ++t) {
+      std::atomic<int32_t>& head = heads_[BucketSlot(t, keys[t])];
+      next_[t * capacity_ + i] = head.load(std::memory_order_relaxed);
+      head.store(static_cast<int32_t>(i), std::memory_order_release);
+    }
+    count_.store(i + 1, std::memory_order_release);
+  }
+
+  /// id of entry i (i below a count snapshot).
+  uint32_t id(size_t i) const { return ids_[i]; }
+  /// Bucket key of entry i in table t.
+  uint64_t key(size_t t, size_t i) const { return keys_[t * capacity_ + i]; }
+
+  /// Alg. 2 estimate contribution over entries [0, limit): adds probed
+  /// collision counts and folds probed ids into *scratch (active buckets
+  /// have no sketches — §3.2 on-demand folding). Mirrors
+  /// lsh::AccumulateProbe's multi-probe dedup.
+  void AccumulateProbe(std::span<const uint64_t> keys, size_t limit,
+                       hll::HyperLogLog* scratch, uint64_t* collisions) const {
+    const size_t probes_per_table = keys.size() / num_tables_;
+    for (size_t p = 0; p < keys.size(); ++p) {
+      const size_t t = p / probes_per_table;
+      if (lsh::IsRepeatedProbe(keys, t * probes_per_table, p)) continue;
+      ForEachInBucket(t, keys[p], limit, [&](uint32_t id) {
+        ++*collisions;
+        scratch->AddPoint(id);
+      });
+    }
+  }
+
+  /// S2 over entries [0, limit): dedups probed live ids into *visited and
+  /// returns the collision count. Mirrors lsh::CollectProbedIds.
+  uint64_t CollectProbedIds(std::span<const uint64_t> keys, size_t limit,
+                            util::VisitedSet* visited,
+                            const util::BitVector* tombstones) const {
+    uint64_t collisions = 0;
+    const size_t probes_per_table = keys.size() / num_tables_;
+    for (size_t p = 0; p < keys.size(); ++p) {
+      const size_t t = p / probes_per_table;
+      if (lsh::IsRepeatedProbe(keys, t * probes_per_table, p)) continue;
+      ForEachInBucket(t, keys[p], limit, [&](uint32_t id) {
+        ++collisions;
+        if (tombstones == nullptr || !tombstones->TestAcquire(id)) {
+          visited->Insert(id);
+        }
+      });
+    }
+    return collisions;
+  }
+
+  /// Heap bytes of the log's fixed storage.
+  size_t MemoryBytes() const {
+    return keys_.capacity() * sizeof(uint64_t) +
+           next_.capacity() * sizeof(int32_t) +
+           ids_.capacity() * sizeof(uint32_t) +
+           num_tables_ * buckets_per_table_ * sizeof(std::atomic<int32_t>);
+  }
+
+ private:
+  size_t BucketSlot(size_t t, uint64_t key) const {
+    // Keys are already avalanched 64-bit hashes (lsh::SignatureKey); fold
+    // the high half in so masking stays well distributed.
+    return t * buckets_per_table_ +
+           (static_cast<size_t>(key ^ (key >> 32)) & bucket_mask_);
+  }
+
+  /// Calls fn(id) for every entry with this bucket key in table t whose
+  /// insertion index is below `limit`.
+  template <typename Fn>
+  void ForEachInBucket(size_t t, uint64_t key, size_t limit, Fn&& fn) const {
+    const size_t base = t * capacity_;
+    for (int32_t i =
+             heads_[BucketSlot(t, key)].load(std::memory_order_acquire);
+         i >= 0; i = next_[base + static_cast<size_t>(i)]) {
+      const size_t entry = static_cast<size_t>(i);
+      if (entry >= limit) continue;  // appended after the caller's snapshot
+      if (keys_[base + entry] == key) fn(ids_[entry]);
+    }
+  }
+
+  size_t num_tables_;
+  size_t capacity_;
+  size_t buckets_per_table_ = 0;
+  size_t bucket_mask_ = 0;
+  std::vector<uint64_t> keys_;  // [t * capacity + i]
+  std::vector<int32_t> next_;   // [t * capacity + i]
+  std::vector<uint32_t> ids_;   // [i]
+  std::unique_ptr<std::atomic<int32_t>[]> heads_;  // [t * buckets + slot]
+  std::atomic<size_t> count_{0};
+};
+
+/// A frozen segment: L CSR tables with sketches plus its live-at-seal id
+/// list (ascending; later tombstones are filtered on read). Immutable once
+/// published in a SegmentListView.
+struct LshSegment {
+  std::vector<lsh::LshTable> tables;
+  std::vector<uint32_t> ids;
+
+  size_t MemoryBytes() const {
+    size_t total = ids.capacity() * sizeof(uint32_t);
+    for (const lsh::LshTable& table : tables) total += table.MemoryBytes();
+    return total;
+  }
+};
+
+/// The epoch-published segment list: an immutable snapshot of which
+/// segments and logs exist. Readers hold it by shared_ptr (the epoch);
+/// writers install a new list and the old one is reclaimed when the last
+/// reader drains.
+struct SegmentListView {
+  std::vector<std::shared_ptr<const LshSegment>> sealed;
+  /// Filled logs awaiting a seal pass, oldest first. Queried as-is.
+  std::vector<std::shared_ptr<const ActiveLshLog>> frozen;
+  /// The log the writer currently appends to (never null; entries keep
+  /// appearing in it after this view is published — readers bound
+  /// themselves by a count snapshot).
+  std::shared_ptr<const ActiveLshLog> active;
+};
+
 /// Mutable LSH index over a (possibly growing) dataset (see file comment).
 ///
 /// Exposes the same query surface as LshIndex — QueryKeys,
 /// QueryKeysMultiProbe, EstimateProbe, CollectCandidates, Distance, size(),
 /// MakeScratchSketch() — so core::HybridSearcher and the sharded fan-out
 /// run over either, plus the lifecycle surface: Insert, Remove, Compact,
-/// live_size, ForEachLiveId.
+/// live_size, ForEachLiveId. The convenience query methods acquire a fresh
+/// snapshot per call; the engine's lock-free path acquires one
+/// SegmentSnapshot per query instead (Acquire()).
 template <typename Family,
           typename Dataset =
               typename DefaultDataset<typename Family::Point>::type>
@@ -134,24 +346,123 @@ class SegmentedIndex {
     /// Table count, k / delta / radius, HLL precision, seed, build threads.
     /// `id_base` is ignored — the covered range is given to Build directly.
     IndexOptions index;
-    /// The active segment seals into a CSR+sketch segment at this many
-    /// points. Smaller = cheaper estimates sooner; larger = cheaper ingest.
+    /// The active log freezes (and, by default, seals) at this many points.
+    /// Smaller = cheaper estimates sooner; larger = cheaper ingest.
     size_t active_seal_threshold = 4096;
-    /// Compact() runs automatically when a seal pushes the sealed-segment
-    /// count past this. 0 disables auto-compaction (call Compact yourself).
+    /// Compaction triggers when a seal pushes the sealed-segment count past
+    /// this. 0 disables auto-compaction (call Compact yourself).
     size_t max_sealed_segments = 4;
   };
 
-  /// Lifecycle observability.
+  /// Lifecycle observability. All counters are atomic snapshots — safe to
+  /// read while writers and maintenance run.
   struct LifecycleStats {
     size_t live_points = 0;      // reported by queries
     size_t indexed_points = 0;   // live + tombstoned-but-not-yet-compacted
-    size_t active_points = 0;    // in the hash-map segment
+    size_t active_points = 0;    // in the active log
+    size_t pending_seal_logs = 0;  // frozen logs awaiting a seal pass
     size_t sealed_segments = 0;
     size_t tombstones = 0;       // dead ids still occupying buckets
     size_t compactions = 0;      // lifetime count
     double last_compact_seconds = 0.0;
     size_t memory_bytes = 0;
+  };
+
+  /// A consistent, immutable handle on the index for one query: the
+  /// segment list view plus a count snapshot of the (still-growing) active
+  /// log and the id bound every contained id is below. Acquiring is one
+  /// atomic shared_ptr load; all query methods on it are lock-free and safe
+  /// concurrently with Insert/Remove/maintenance.
+  class SegmentSnapshot {
+   public:
+    /// Sums the Alg. 2 lines 1-2 estimate across every segment: collisions
+    /// exactly, candSize from ONE merged HLL (sketches from sealed
+    /// buckets, on-demand folding for small/active buckets). Tombstoned
+    /// ids are still counted — apply CostModel::TombstoneCorrection with
+    /// live_fraction() before comparing against the linear cost.
+    lsh::ProbeEstimate EstimateProbe(std::span<const uint64_t> keys,
+                                     hll::HyperLogLog* scratch) const {
+      scratch->Clear();
+      lsh::ProbeEstimate estimate;
+      for (const auto& segment : view_->sealed) {
+        lsh::AccumulateProbe<lsh::LshTable>(segment->tables, keys, scratch,
+                                            &estimate.collisions);
+      }
+      for (const auto& log : view_->frozen) {
+        log->AccumulateProbe(keys, log->size_acquire(), scratch,
+                             &estimate.collisions);
+      }
+      if (active_count_ > 0) {
+        view_->active->AccumulateProbe(keys, active_count_, scratch,
+                                       &estimate.collisions);
+      }
+      estimate.cand_estimate =
+          estimate.collisions == 0 ? 0.0 : scratch->Estimate();
+      return estimate;
+    }
+
+    /// S2 across every segment. Tombstoned ids count as collisions (their
+    /// probe cost was paid) but are never inserted, so S3 only verifies
+    /// live candidates.
+    uint64_t CollectCandidates(std::span<const uint64_t> keys,
+                               util::VisitedSet* visited) const {
+      uint64_t collisions = 0;
+      for (const auto& segment : view_->sealed) {
+        collisions += lsh::CollectProbedIds<lsh::LshTable>(
+            segment->tables, keys, visited, tombstones_);
+      }
+      for (const auto& log : view_->frozen) {
+        collisions += log->CollectProbedIds(keys, log->size_acquire(),
+                                            visited, tombstones_);
+      }
+      if (active_count_ > 0) {
+        collisions += view_->active->CollectProbedIds(keys, active_count_,
+                                                      visited, tombstones_);
+      }
+      return collisions;
+    }
+
+    /// Calls fn(id) for every live id in the snapshot (linear-scan
+    /// support; segment order, ascending within a sealed segment).
+    template <typename Fn>
+    void ForEachLiveId(Fn&& fn) const {
+      for (const auto& segment : view_->sealed) {
+        for (const uint32_t id : segment->ids) {
+          if (!tombstones_->TestAcquire(id)) fn(id);
+        }
+      }
+      for (const auto& log : view_->frozen) {
+        const size_t n = log->size_acquire();
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t id = log->id(i);
+          if (!tombstones_->TestAcquire(id)) fn(id);
+        }
+      }
+      for (size_t i = 0; i < active_count_; ++i) {
+        const uint32_t id = view_->active->id(i);
+        if (!tombstones_->TestAcquire(id)) fn(id);
+      }
+    }
+
+    /// Every id visible through this snapshot is below this bound (sizes a
+    /// VisitedSet / result buffer).
+    size_t id_bound() const { return id_bound_; }
+
+    /// True when the snapshot holds no indexed ids at all.
+    bool empty() const {
+      return view_->sealed.empty() && view_->frozen.empty() &&
+             active_count_ == 0;
+    }
+
+    const SegmentListView& view() const { return *view_; }
+    size_t active_count() const { return active_count_; }
+
+   private:
+    friend class SegmentedIndex;
+    std::shared_ptr<const SegmentListView> view_;
+    const util::BitVector* tombstones_ = nullptr;
+    size_t active_count_ = 0;
+    size_t id_bound_ = 0;
   };
 
   /// Builds an index whose initial sealed segment covers the `count` points
@@ -198,7 +509,6 @@ class SegmentedIndex {
     index.table_options_.hll_precision = options.index.hll_precision;
     index.table_options_.small_bucket_threshold =
         options.index.small_bucket_threshold;
-    index.active_.resize(static_cast<size_t>(options.index.num_tables));
     if (shared_tombstones != nullptr) {
       index.tombstones_ = shared_tombstones;
     } else {
@@ -207,13 +517,14 @@ class SegmentedIndex {
     }
     index.tombstones_->Grow(dataset->size());
 
+    auto view = std::make_shared<SegmentListView>();
     if (count > 0) {
-      Segment segment;
-      segment.tables.resize(static_cast<size_t>(options.index.num_tables));
+      auto segment = std::make_shared<LshSegment>();
+      segment->tables.resize(static_cast<size_t>(options.index.num_tables));
       lsh::LshTable::Options table_options = index.table_options_;
       table_options.id_base = static_cast<uint32_t>(base);
       util::ParallelFor(
-          0, segment.tables.size(), options.index.num_build_threads,
+          0, segment->tables.size(), options.index.num_build_threads,
           [&](size_t t) {
             std::vector<int32_t> slots;
             std::vector<uint64_t> keys(count);
@@ -221,16 +532,64 @@ class SegmentedIndex {
               keys[i] = index.functions_.SignatureKey(
                   dataset->point(base + i), t, &slots);
             }
-            segment.tables[t].Build(keys, table_options);
+            segment->tables[t].Build(keys, table_options);
           });
-      segment.ids.resize(count);
+      segment->ids.resize(count);
       for (size_t i = 0; i < count; ++i) {
-        segment.ids[i] = static_cast<uint32_t>(base + i);
+        segment->ids[i] = static_cast<uint32_t>(base + i);
       }
-      index.sealed_.push_back(std::move(segment));
-      index.num_live_ = count;
+      view->sealed.push_back(std::move(segment));
+      index.live_dead_.store(static_cast<uint64_t>(count) * kLiveOne,
+                             std::memory_order_relaxed);
+    }
+    view->active = index.MakeLog();
+    index.active_writer_ = const_cast<ActiveLshLog*>(view->active.get());
+    {
+      std::lock_guard<std::mutex> lock(index.sync_->publish_mu);
+      index.PublishViewLocked(std::move(view));
     }
     return index;
+  }
+
+  SegmentedIndex(const SegmentedIndex&) = delete;
+  SegmentedIndex& operator=(const SegmentedIndex&) = delete;
+
+  // Moves are build-time operations: neither operand may be under
+  // concurrent access (StatusOr plumbing and engine assembly).
+  SegmentedIndex(SegmentedIndex&& other) noexcept
+      : dataset_(other.dataset_),
+        mutable_dataset_(other.mutable_dataset_),
+        options_(std::move(other.options_)),
+        functions_(std::move(other.functions_)),
+        table_options_(other.table_options_),
+        active_writer_(other.active_writer_),
+        sync_(std::move(other.sync_)),
+        owned_tombstones_(std::move(other.owned_tombstones_)),
+        tombstones_(owned_tombstones_ != nullptr ? owned_tombstones_.get()
+                                                 : other.tombstones_),
+        deferred_maintenance_(other.deferred_maintenance_),
+        id_base_(other.id_base_),
+        initial_count_(other.initial_count_),
+        build_n_(other.build_n_) {
+    view_ = std::move(other.view_);
+    view_version_.store(
+        other.view_version_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    live_dead_.store(other.live_dead_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    compactions_.store(other.compactions_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    last_compact_seconds_.store(
+        other.last_compact_seconds_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    maintenance_inflight_.store(false, std::memory_order_relaxed);
+  }
+  SegmentedIndex& operator=(SegmentedIndex&& other) noexcept {
+    if (this != &other) {
+      this->~SegmentedIndex();
+      new (this) SegmentedIndex(std::move(other));
+    }
+    return *this;
   }
 
   /// Arms Insert: `dataset` must be the pointer Build was given. Separated
@@ -245,9 +604,48 @@ class SegmentedIndex {
   }
   bool updates_enabled() const { return mutable_dataset_ != nullptr; }
 
-  /// Appends the point to the dataset and indexes it in the active segment.
-  /// Returns the new global id. Seals (and maybe compacts) when the active
-  /// segment reaches the configured threshold.
+  /// Deferred mode hands freeze-triggered seal/compaction to an external
+  /// driver (ShardedEngine's background workers) instead of running them
+  /// inline: Insert only swaps logs, and the caller polls
+  /// needs_maintenance() / calls RunMaintenance(). Inline mode (default)
+  /// preserves the synchronous standalone behavior.
+  void SetDeferredMaintenance(bool deferred) {
+    deferred_maintenance_ = deferred;
+  }
+
+  /// Whether background work is pending: frozen logs to seal, or a sealed
+  /// segment count past the compaction watermark.
+  bool needs_maintenance() const {
+    const auto view = AcquireViewPtr();
+    return !view->frozen.empty() ||
+           (options_.max_sealed_segments > 0 &&
+            view->sealed.size() > options_.max_sealed_segments);
+  }
+
+  /// One maintenance pass: seals every frozen log, then compacts if the
+  /// sealed count exceeds the watermark. Safe concurrently with readers
+  /// and with the (externally serialized) writer; at most one maintenance
+  /// pass may run at a time per index (callers rate-limit — ShardedEngine
+  /// keeps one in flight per shard).
+  void RunMaintenance() {
+    std::lock_guard<std::mutex> lock(sync_->maintenance_mu);
+    SealFrozenLocked();
+    if (options_.max_sealed_segments > 0 &&
+        AcquireViewPtr()->sealed.size() > options_.max_sealed_segments) {
+      CompactLocked();
+    }
+  }
+
+  /// True while an engine-scheduled maintenance task is queued or running
+  /// (the engine's one-in-flight rate limit; not used by the index itself).
+  std::atomic<bool>& maintenance_inflight() const {
+    return maintenance_inflight_;
+  }
+
+  /// Appends the point to the dataset and indexes it in the active log.
+  /// Returns the new global id. At the seal threshold the log is frozen
+  /// and — unless deferred maintenance is armed — sealed (and maybe
+  /// compacted) inline.
   util::StatusOr<uint32_t> Insert(Point point) {
     if (mutable_dataset_ == nullptr) {
       return util::Status::FailedPrecondition(
@@ -261,19 +659,24 @@ class SegmentedIndex {
     const uint32_t id = static_cast<uint32_t>(dataset_->size());
     HLSH_RETURN_IF_ERROR(AppendDatasetPoint(mutable_dataset_, point));
     tombstones_->Grow(dataset_->size());
-    // Hash the stored copy: `point` may alias dataset memory that Append
-    // just reallocated.
-    for (size_t t = 0; t < active_.size(); ++t) {
-      active_[t].Insert(
-          functions_.SignatureKey(dataset_->point(id), t, &insert_slots_), id);
+    // Hash the stored copy: `point` may alias dataset memory whose growth
+    // Append just retired.
+    insert_keys_.resize(functions_.num_tables());
+    for (size_t t = 0; t < insert_keys_.size(); ++t) {
+      insert_keys_[t] =
+          functions_.SignatureKey(dataset_->point(id), t, &insert_slots_);
     }
-    active_ids_.push_back(id);
-    ++num_live_;
-    if (active_ids_.size() >= options_.active_seal_threshold) {
-      SealActive();
-      if (options_.max_sealed_segments > 0 &&
-          sealed_.size() > options_.max_sealed_segments) {
-        Compact();
+    active_writer_->Append(insert_keys_, id);
+    live_dead_.fetch_add(kLiveOne, std::memory_order_relaxed);
+    if (active_writer_->full()) {
+      FreezeActive();
+      if (!deferred_maintenance_) {
+        RunMaintenance();
+      } else if (AcquireViewPtr()->frozen.size() >= kMaxFrozenLogs) {
+        // Backpressure: the background driver is not keeping up; seal one
+        // log on the ingest thread so frozen logs stay bounded.
+        std::lock_guard<std::mutex> lock(sync_->maintenance_mu);
+        SealFrozenLocked();
       }
     }
     return id;
@@ -283,7 +686,8 @@ class SegmentedIndex {
   /// Build must fall in the initial [base, base + count) range; later ids
   /// were inserted through *some* index over this dataset, and the caller
   /// routes them to the owning one (ShardedEngine::Remove does). Removing
-  /// an already-dead id is a no-op.
+  /// an already-dead id is a no-op. Safe concurrently with readers and
+  /// maintenance (release-ordered tombstone set).
   util::Status Remove(uint32_t id) {
     tombstones_->Grow(dataset_->size());
     if (id >= tombstones_->size()) {
@@ -295,79 +699,76 @@ class SegmentedIndex {
           "id is not in this index's initial range");
     }
     if (tombstones_->Get(id)) return util::Status::Ok();
-    tombstones_->Set(id);
-    ++num_dead_;
-    --num_live_;
+    tombstones_->SetConcurrent(id);
+    // One RMW moves the id from live to dead: a concurrent live_stats()
+    // load sees both fields change together (unsigned wrap subtracts the
+    // high half cleanly — the fields cannot borrow into each other while
+    // live > 0, which Remove guarantees for an untombstoned owned id).
+    live_dead_.fetch_add(kDeadOne - kLiveOne, std::memory_order_relaxed);
     return util::Status::Ok();
   }
 
-  /// Freezes the active segment into a sealed one (public so callers can
-  /// force sketches into existence before a read-heavy phase).
+  /// Freezes the active log and seals every frozen log into CSR segments
+  /// (public so callers can force sketches into existence before a
+  /// read-heavy phase, and the precondition for SaveTo).
   void SealActive() {
-    if (active_ids_.empty()) return;
-    Segment segment;
-    segment.tables.resize(active_.size());
-    std::vector<uint64_t> keys;
-    std::vector<uint32_t> ids;
-    for (size_t t = 0; t < active_.size(); ++t) {
-      keys.clear();
-      ids.clear();
-      active_[t].ExportEntries(&keys, &ids, tombstones_);
-      segment.tables[t].BuildFromEntries(keys, ids, table_options_);
-      active_[t].Clear();
-    }
-    // Active ids are ascending by construction; dead ones leave the index
-    // here, so they stop counting against the estimate correction.
-    for (const uint32_t id : active_ids_) {
-      if (tombstones_->Get(id)) {
-        --num_dead_;
-      } else {
-        segment.ids.push_back(id);
-      }
-    }
-    active_ids_.clear();
-    if (!segment.ids.empty()) sealed_.push_back(std::move(segment));
+    FreezeActive();
+    std::lock_guard<std::mutex> lock(sync_->maintenance_mu);
+    SealFrozenLocked();
   }
 
-  /// Merges the active + all sealed segments into one fresh sealed segment,
-  /// dropping tombstoned ids and rebuilding sketches. Entries are exported
-  /// and regrouped — no point is rehashed.
+  /// Merges all sealed segments (sealing the active/frozen logs first)
+  /// into one fresh sealed segment, dropping tombstoned ids and rebuilding
+  /// sketches. Entries are exported and regrouped — no point is rehashed.
   void Compact() {
-    util::WallTimer timer;
-    const size_t L = active_.size();
-    Segment merged;
-    merged.tables.resize(L);
-    util::ParallelFor(0, L, options_.index.num_build_threads, [&](size_t t) {
-      std::vector<uint64_t> keys;
-      std::vector<uint32_t> ids;
-      for (const Segment& segment : sealed_) {
-        segment.tables[t].ExportEntries(&keys, &ids, tombstones_);
-      }
-      active_[t].ExportEntries(&keys, &ids, tombstones_);
-      merged.tables[t].BuildFromEntries(keys, ids, table_options_);
-    });
-    for (lsh::DynamicLshTable& table : active_) table.Clear();
-
-    merged.ids.reserve(num_live_);
-    for (const Segment& segment : sealed_) {
-      for (const uint32_t id : segment.ids) {
-        if (!tombstones_->Get(id)) merged.ids.push_back(id);
-      }
-    }
-    for (const uint32_t id : active_ids_) {
-      if (!tombstones_->Get(id)) merged.ids.push_back(id);
-    }
-    std::sort(merged.ids.begin(), merged.ids.end());
-    active_ids_.clear();
-
-    sealed_.clear();
-    if (!merged.ids.empty()) sealed_.push_back(std::move(merged));
-    num_dead_ = 0;
-    ++compactions_;
-    last_compact_seconds_ = timer.ElapsedSeconds();
+    FreezeActive();
+    std::lock_guard<std::mutex> lock(sync_->maintenance_mu);
+    SealFrozenLocked();
+    CompactLocked();
   }
 
-  // --- LshIndex-compatible query surface. --------------------------------
+  // --- Lock-free query surface. ------------------------------------------
+
+  /// Acquires a consistent snapshot for one query (one atomic shared_ptr
+  /// load plus two count loads).
+  SegmentSnapshot Acquire() const {
+    SegmentSnapshot snapshot;
+    snapshot.view_ = AcquireViewPtr();
+    snapshot.tombstones_ = tombstones_;
+    snapshot.active_count_ = snapshot.view_->active->size_acquire();
+    // Read the dataset size AFTER the count acquires above: every id
+    // published into the snapshot was appended to the dataset first, so
+    // this load is guaranteed to cover them.
+    snapshot.id_bound_ = dataset_->size();
+    return snapshot;
+  }
+
+  /// Monotone counter bumped on every segment-list publication; callers
+  /// may cache a SegmentSnapshot and re-acquire only when this changes
+  /// (ShardedEngine's per-scratch view cache).
+  uint64_t view_version() const {
+    return view_version_.load(std::memory_order_acquire);
+  }
+
+  /// Acquire() with a caller-held cache: the shared_ptr load (an atomic RMW
+  /// on the refcount, plus a library-internal lock in libstdc++'s
+  /// atomic<shared_ptr>) only happens when the segment list actually
+  /// changed, so a steady-state query costs two plain atomic loads. The
+  /// version is read BEFORE the view, so a publication racing this call can
+  /// only make the cache conservatively stale (re-acquired next call),
+  /// never wrongly fresh. Counts are refreshed every call — the active log
+  /// grows without a version bump.
+  void AcquireCached(SegmentSnapshot* snapshot,
+                     uint64_t* cached_version) const {
+    const uint64_t version = view_version();
+    if (snapshot->view_ == nullptr || *cached_version != version) {
+      snapshot->view_ = AcquireViewPtr();
+      snapshot->tombstones_ = tombstones_;
+      *cached_version = version;
+    }
+    snapshot->active_count_ = snapshot->view_->active->size_acquire();
+    snapshot->id_bound_ = dataset_->size();
+  }
 
   void QueryKeys(Point query, std::vector<uint64_t>* keys) const {
     functions_.QueryKeys(query, keys);
@@ -377,65 +778,27 @@ class SegmentedIndex {
     return functions_.QueryKeysMultiProbe(query, probes_per_table, keys);
   }
 
-  /// Sums the Alg. 2 lines 1-2 estimate across every segment: collisions
-  /// exactly, candSize from ONE merged HLL (sketches from sealed buckets,
-  /// on-demand folding for small/active buckets). Sketch merges and the
-  /// final estimate run on the dispatched SIMD register kernels
-  /// (util/simd.h), shared with the static index and every shard.
-  /// Tombstoned ids are still counted — apply
-  /// CostModel::TombstoneCorrection with live_fraction() before comparing
-  /// against the linear cost.
+  /// Convenience wrappers over Acquire() — one snapshot per call, so two
+  /// calls may see different epochs; use Acquire() directly when one query
+  /// must estimate and collect against the same snapshot.
   lsh::ProbeEstimate EstimateProbe(std::span<const uint64_t> keys,
                                    hll::HyperLogLog* scratch) const {
     HLSH_DCHECK(scratch->precision() == options_.index.hll_precision);
-    scratch->Clear();
-    lsh::ProbeEstimate estimate;
-    for (const Segment& segment : sealed_) {
-      lsh::AccumulateProbe<lsh::LshTable>(segment.tables, keys, scratch,
-                                          &estimate.collisions);
-    }
-    if (!active_ids_.empty()) {
-      lsh::AccumulateProbe<lsh::DynamicLshTable>(active_, keys, scratch,
-                                                 &estimate.collisions);
-    }
-    estimate.cand_estimate =
-        estimate.collisions == 0 ? 0.0 : scratch->Estimate();
-    return estimate;
+    return Acquire().EstimateProbe(keys, scratch);
   }
 
-  /// S2 across every segment. Tombstoned ids count as collisions (their
-  /// probe cost was paid) but are never inserted, so S3 only verifies live
-  /// candidates.
   uint64_t CollectCandidates(std::span<const uint64_t> keys,
                              util::VisitedSet* visited) const {
-    uint64_t collisions = 0;
-    for (const Segment& segment : sealed_) {
-      collisions += lsh::CollectProbedIds<lsh::LshTable>(
-          segment.tables, keys, visited, tombstones_);
-    }
-    if (!active_ids_.empty()) {
-      collisions += lsh::CollectProbedIds<lsh::DynamicLshTable>(
-          active_, keys, visited, tombstones_);
-    }
-    return collisions;
+    return Acquire().CollectCandidates(keys, visited);
   }
 
-  /// Calls fn(id) for every live id this index holds (linear-scan support;
-  /// segment order, ascending within a segment).
   template <typename Fn>
   void ForEachLiveId(Fn&& fn) const {
-    for (const Segment& segment : sealed_) {
-      for (const uint32_t id : segment.ids) {
-        if (!tombstones_->Get(id)) fn(id);
-      }
-    }
-    for (const uint32_t id : active_ids_) {
-      if (!tombstones_->Get(id)) fn(id);
-    }
+    Acquire().ForEachLiveId(std::forward<Fn>(fn));
   }
 
   bool is_live(uint32_t id) const {
-    return id >= tombstones_->size() || !tombstones_->Get(id);
+    return id >= tombstones_->size() || !tombstones_->TestAcquire(id);
   }
 
   double Distance(Point a, Point b) const {
@@ -444,23 +807,30 @@ class SegmentedIndex {
   const Family& family() const { return functions_.family(); }
   const lsh::FunctionSet<Family>& functions() const { return functions_; }
   int k() const { return functions_.k(); }
-  int num_tables() const { return static_cast<int>(active_.size()); }
+  int num_tables() const {
+    return static_cast<int>(functions_.num_tables());
+  }
   uint32_t id_base() const { return id_base_; }
   int hll_precision() const { return options_.index.hll_precision; }
   const Options& options() const { return options_; }
 
-  /// Live points — what a query can report.
-  size_t size() const { return num_live_; }
-  size_t live_size() const { return num_live_; }
-  /// Live + dead ids still occupying buckets.
-  size_t indexed_size() const { return num_live_ + num_dead_; }
-  /// Fraction of indexed ids that are live (1.0 right after compaction).
-  double live_fraction() const {
-    const size_t indexed = indexed_size();
-    return indexed == 0 ? 1.0
-                        : static_cast<double>(num_live_) /
-                              static_cast<double>(indexed);
+  /// Coherent (live, indexed) pair from ONE atomic load — both counters
+  /// are packed in a single word, so concurrent Insert/Remove can never
+  /// tear the pair apart. This is what the engine's decision sites read.
+  core::LiveStats live_stats() const {
+    const uint64_t packed = live_dead_.load(std::memory_order_relaxed);
+    const size_t live = static_cast<size_t>(packed >> 32);
+    const size_t dead = static_cast<size_t>(packed & 0xFFFFFFFFu);
+    return core::LiveStats{live, live + dead};
   }
+
+  /// Live points — what a query can report. Atomic counter reads.
+  size_t size() const { return live_stats().live; }
+  size_t live_size() const { return size(); }
+  /// Live + dead ids still occupying buckets.
+  size_t indexed_size() const { return live_stats().indexed; }
+  /// Fraction of indexed ids that are live (1.0 right after compaction).
+  double live_fraction() const { return live_stats().fraction(); }
 
   hll::HyperLogLog MakeScratchSketch() const {
     return hll::HyperLogLog(options_.index.hll_precision);
@@ -474,27 +844,30 @@ class SegmentedIndex {
   // multi-shard snapshot O(1) in hash functions instead of O(S).
 
   /// Appends this index's segments and counters to the writer. The active
-  /// segment must be empty — callers SealActive() first, so a snapshot is
-  /// pure CSR and the restored index answers queries through sketches
-  /// identical to the live sealed ones.
+  /// and frozen logs must be empty — callers SealActive() first (with
+  /// writers and maintenance quiesced), so a snapshot is pure CSR and the
+  /// restored index answers queries through sketches identical to the live
+  /// sealed ones.
   util::Status SaveTo(util::ByteWriter* writer) const {
-    if (!active_ids_.empty()) {
+    const auto view = AcquireViewPtr();
+    if (view->active->size() != 0 || !view->frozen.empty()) {
       return util::Status::FailedPrecondition(
           "seal the active segment before snapshotting");
     }
+    const core::LiveStats live = live_stats();
     writer->WriteU32(id_base_);
     writer->WriteU64(initial_count_);
     writer->WriteU64(build_n_);
-    writer->WriteU64(num_live_);
-    writer->WriteU64(num_dead_);
-    writer->WriteU64(sealed_.size());
-    for (const Segment& segment : sealed_) {
-      writer->WriteU64(segment.tables.size());
-      for (const lsh::LshTable& table : segment.tables) {
+    writer->WriteU64(live.live);
+    writer->WriteU64(live.indexed - live.live);
+    writer->WriteU64(view->sealed.size());
+    for (const auto& segment : view->sealed) {
+      writer->WriteU64(segment->tables.size());
+      for (const lsh::LshTable& table : segment->tables) {
         table.Serialize(writer);
       }
-      writer->WriteU64(segment.ids.size());
-      writer->WriteArray<uint32_t>(segment.ids);
+      writer->WriteU64(segment->ids.size());
+      writer->WriteArray<uint32_t>(segment->ids);
     }
     return util::Status::Ok();
   }
@@ -525,7 +898,6 @@ class SegmentedIndex {
     index.table_options_.hll_precision = options.index.hll_precision;
     index.table_options_.small_bucket_threshold =
         options.index.small_bucket_threshold;
-    index.active_.resize(index.functions_.num_tables());
     if (shared_tombstones != nullptr) {
       index.tombstones_ = shared_tombstones;
     } else {
@@ -551,25 +923,27 @@ class SegmentedIndex {
     index.build_n_ = build_n;
 
     size_t live_seen = 0, dead_seen = 0;
-    index.sealed_.reserve(num_segments);
+    auto view = std::make_shared<SegmentListView>();
+    view->sealed.reserve(num_segments);
     for (uint64_t s = 0; s < num_segments; ++s) {
-      Segment segment;
+      auto segment = std::make_shared<LshSegment>();
       uint64_t num_tables = 0;
       HLSH_RETURN_IF_ERROR(reader->ReadU64(&num_tables));
       if (num_tables != index.functions_.num_tables()) {
         return util::Status::DataLoss(
             "segment table count mismatches the function set");
       }
-      segment.tables.reserve(num_tables);
+      segment->tables.reserve(num_tables);
       for (uint64_t t = 0; t < num_tables; ++t) {
         auto table = lsh::LshTable::Deserialize(reader);
         if (!table.ok()) return table.status();
-        segment.tables.push_back(std::move(*table));
+        segment->tables.push_back(std::move(*table));
       }
       uint64_t num_ids = 0;
       HLSH_RETURN_IF_ERROR(reader->ReadU64(&num_ids));
-      HLSH_RETURN_IF_ERROR(reader->ReadArray<uint32_t>(num_ids, &segment.ids));
-      for (const uint32_t id : segment.ids) {
+      HLSH_RETURN_IF_ERROR(
+          reader->ReadArray<uint32_t>(num_ids, &segment->ids));
+      for (const uint32_t id : segment->ids) {
         if (id >= dataset->size()) {
           return util::Status::DataLoss("segment id exceeds the dataset");
         }
@@ -579,53 +953,61 @@ class SegmentedIndex {
           ++live_seen;
         }
       }
-      index.sealed_.push_back(std::move(segment));
+      view->sealed.push_back(std::move(segment));
     }
     if (live_seen != num_live || dead_seen != num_dead) {
       return util::Status::DataLoss(
           "segment id lists disagree with the live/dead counters");
     }
-    index.num_live_ = live_seen;
-    index.num_dead_ = dead_seen;
+    index.live_dead_.store(
+        static_cast<uint64_t>(live_seen) * kLiveOne +
+            static_cast<uint64_t>(dead_seen) * kDeadOne,
+        std::memory_order_relaxed);
+    view->active = index.MakeLog();
+    index.active_writer_ = const_cast<ActiveLshLog*>(view->active.get());
+    {
+      std::lock_guard<std::mutex> lock(index.sync_->publish_mu);
+      index.PublishViewLocked(std::move(view));
+    }
     return index;
   }
 
   LifecycleStats lifecycle() const {
+    const auto view = AcquireViewPtr();
+    const core::LiveStats live = live_stats();
     LifecycleStats stats;
-    stats.live_points = num_live_;
-    stats.indexed_points = indexed_size();
-    stats.active_points = active_ids_.size();
-    stats.sealed_segments = sealed_.size();
-    stats.tombstones = num_dead_;
-    stats.compactions = compactions_;
-    stats.last_compact_seconds = last_compact_seconds_;
+    stats.live_points = live.live;
+    stats.indexed_points = live.indexed;
+    stats.active_points = view->active->size();
+    stats.pending_seal_logs = view->frozen.size();
+    stats.sealed_segments = view->sealed.size();
+    stats.tombstones = live.indexed - live.live;
+    stats.compactions = compactions_.load(std::memory_order_relaxed);
+    stats.last_compact_seconds =
+        last_compact_seconds_.load(std::memory_order_relaxed);
     stats.memory_bytes = MemoryBytes();
     return stats;
   }
 
   size_t MemoryBytes() const {
+    const auto view = AcquireViewPtr();
     size_t total = 0;
-    for (const Segment& segment : sealed_) {
-      for (const lsh::LshTable& table : segment.tables) {
-        total += table.MemoryBytes();
-      }
-      total += segment.ids.capacity() * sizeof(uint32_t);
-    }
-    for (const lsh::DynamicLshTable& table : active_) {
-      total += table.MemoryBytes();
-    }
+    for (const auto& segment : view->sealed) total += segment->MemoryBytes();
+    for (const auto& log : view->frozen) total += log->MemoryBytes();
+    total += view->active->MemoryBytes();
     if (owned_tombstones_ != nullptr) {
       total += owned_tombstones_->MemoryBytes();
     }
     return total;
   }
 
-  /// Bytes used by HLL sketches alone (sealed segments; the active segment
+  /// Bytes used by HLL sketches alone (sealed segments; the active log
   /// has none by design).
   size_t SketchBytes() const {
+    const auto view = AcquireViewPtr();
     size_t total = 0;
-    for (const Segment& segment : sealed_) {
-      for (const lsh::LshTable& table : segment.tables) {
+    for (const auto& segment : view->sealed) {
+      for (const lsh::LshTable& table : segment->tables) {
         total += table.SketchBytes();
       }
     }
@@ -633,36 +1015,208 @@ class SegmentedIndex {
   }
 
  private:
-  /// A frozen segment: L CSR tables with sketches plus its live-at-seal id
-  /// list (ascending; later tombstones are filtered on read).
-  struct Segment {
-    std::vector<lsh::LshTable> tables;
-    std::vector<uint32_t> ids;
+  /// Writer-side mutexes live on the heap so the index stays movable.
+  /// Lock order: maintenance_mu before publish_mu (never the reverse).
+  struct Sync {
+    /// Serializes maintenance passes (seal/compact) against each other and
+    /// against inline backpressure sealing.
+    std::mutex maintenance_mu;
+    /// Guards the view_ slot: every read or swap of the shared_ptr holds
+    /// it, for O(list length) pointer copies at most. Writers take it on
+    /// each publication; readers only when the version counter says their
+    /// cached snapshot is stale (steady state never touches it).
+    std::mutex publish_mu;
   };
 
+  /// Bound on frozen logs before ingest applies backpressure (deferred
+  /// maintenance mode only).
+  static constexpr size_t kMaxFrozenLogs = 4;
+
   explicit SegmentedIndex(lsh::FunctionSet<Family> functions)
-      : functions_(std::move(functions)) {}
+      : functions_(std::move(functions)), sync_(std::make_unique<Sync>()) {}
+
+  std::shared_ptr<const SegmentListView> AcquireViewPtr() const {
+    std::lock_guard<std::mutex> lock(sync_->publish_mu);
+    return view_;
+  }
+
+  /// Requires publish_mu. The version bump is release so a reader that saw
+  /// the new version (acquire) and then copies the slot under the mutex is
+  /// guaranteed at least this view.
+  void PublishViewLocked(std::shared_ptr<const SegmentListView> view) {
+    view_ = std::move(view);
+    view_version_.fetch_add(1, std::memory_order_release);
+  }
+
+  std::shared_ptr<ActiveLshLog> MakeLog() const {
+    return std::make_shared<ActiveLshLog>(
+        functions_.num_tables(),
+        std::max<size_t>(options_.active_seal_threshold, 1));
+  }
+
+  /// Swaps a fresh active log in, moving the current one (if non-empty)
+  /// onto the frozen list. Writer-thread only.
+  void FreezeActive() {
+    if (active_writer_ == nullptr || active_writer_->size() == 0) return;
+    std::lock_guard<std::mutex> lock(sync_->publish_mu);
+    auto next = std::make_shared<SegmentListView>(*view_);
+    next->frozen.push_back(view_->active);
+    next->active = MakeLog();
+    active_writer_ = const_cast<ActiveLshLog*>(next->active.get());
+    PublishViewLocked(std::move(next));
+  }
+
+  /// Seals every frozen log (oldest first) into CSR segments. Requires
+  /// maintenance_mu. Builds off to the side; each install swaps the list.
+  void SealFrozenLocked() {
+    for (;;) {
+      std::shared_ptr<const ActiveLshLog> log;
+      {
+        std::lock_guard<std::mutex> lock(sync_->publish_mu);
+        if (view_->frozen.empty()) return;
+        log = view_->frozen.front();
+      }
+      // Decide survival once per entry (one consistent tombstone read), so
+      // the id list, the counter adjustment, and the per-table bucket
+      // contents all agree even while Remove runs concurrently.
+      const size_t count = log->size_acquire();
+      std::vector<uint32_t> kept_ids;
+      std::vector<bool> keep(count);
+      kept_ids.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        const uint32_t id = log->id(i);
+        keep[i] = !tombstones_->Get(id);
+        if (keep[i]) kept_ids.push_back(id);
+      }
+      auto segment = std::make_shared<LshSegment>();
+      if (!kept_ids.empty()) {
+        const size_t num_tables = log->num_tables();
+        segment->tables.resize(num_tables);
+        std::vector<uint64_t> keys;
+        keys.reserve(kept_ids.size());
+        for (size_t t = 0; t < num_tables; ++t) {
+          keys.clear();
+          for (size_t i = 0; i < count; ++i) {
+            if (keep[i]) keys.push_back(log->key(t, i));
+          }
+          segment->tables[t].BuildFromEntries(keys, kept_ids,
+                                              table_options_);
+        }
+        segment->ids = std::move(kept_ids);
+      }
+      const size_t dead_dropped = count - segment->ids.size();
+      {
+        std::lock_guard<std::mutex> lock(sync_->publish_mu);
+        auto next = std::make_shared<SegmentListView>(*view_);
+        // The sealed log is the oldest frozen entry; only maintenance
+        // removes frozen logs, and maintenance_mu is held.
+        HLSH_CHECK(!next->frozen.empty() && next->frozen.front() == log);
+        next->frozen.erase(next->frozen.begin());
+        if (!segment->ids.empty()) {
+          next->sealed.push_back(std::move(segment));
+        }
+        PublishViewLocked(std::move(next));
+      }
+      // Dead active ids leave the index here, so they stop counting
+      // against the estimate correction.
+      live_dead_.fetch_sub(dead_dropped * kDeadOne,
+                           std::memory_order_relaxed);
+    }
+  }
+
+  /// Merges every sealed segment into one, dropping tombstoned ids.
+  /// Requires maintenance_mu. The merge reads only immutable sealed
+  /// segments, off the publication path; the install swaps the list.
+  void CompactLocked() {
+    util::WallTimer timer;
+    std::vector<std::shared_ptr<const LshSegment>> inputs;
+    {
+      std::lock_guard<std::mutex> lock(sync_->publish_mu);
+      inputs = view_->sealed;
+    }
+    const size_t L = functions_.num_tables();
+    auto merged = std::make_shared<LshSegment>();
+    merged->tables.resize(L);
+    util::ParallelFor(0, L, options_.index.num_build_threads, [&](size_t t) {
+      std::vector<uint64_t> keys;
+      std::vector<uint32_t> ids;
+      for (const auto& segment : inputs) {
+        segment->tables[t].ExportEntries(&keys, &ids, tombstones_);
+      }
+      merged->tables[t].BuildFromEntries(keys, ids, table_options_);
+    });
+
+    size_t input_ids = 0;
+    for (const auto& segment : inputs) {
+      input_ids += segment->ids.size();
+      for (const uint32_t id : segment->ids) {
+        if (!tombstones_->Get(id)) merged->ids.push_back(id);
+      }
+    }
+    std::sort(merged->ids.begin(), merged->ids.end());
+    const size_t dead_dropped = input_ids - merged->ids.size();
+
+    {
+      std::lock_guard<std::mutex> lock(sync_->publish_mu);
+      auto next = std::make_shared<SegmentListView>(*view_);
+      // Replace exactly the merged inputs; segments sealed while the merge
+      // ran (they appended past the input prefix) are preserved.
+      std::vector<std::shared_ptr<const LshSegment>> sealed;
+      if (!merged->ids.empty()) sealed.push_back(std::move(merged));
+      for (const auto& segment : next->sealed) {
+        if (std::find(inputs.begin(), inputs.end(), segment) ==
+            inputs.end()) {
+          sealed.push_back(segment);
+        }
+      }
+      next->sealed = std::move(sealed);
+      PublishViewLocked(std::move(next));
+    }
+    live_dead_.fetch_sub(dead_dropped * kDeadOne, std::memory_order_relaxed);
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+    last_compact_seconds_.store(timer.ElapsedSeconds(),
+                                std::memory_order_relaxed);
+  }
 
   const Dataset* dataset_ = nullptr;
   Dataset* mutable_dataset_ = nullptr;
   Options options_;
   lsh::FunctionSet<Family> functions_;
   lsh::LshTable::Options table_options_;
-  std::vector<Segment> sealed_;
-  std::vector<lsh::DynamicLshTable> active_;
-  std::vector<uint32_t> active_ids_;  // ascending insertion order
+
+  // The epoch-published segment list (see file comment) and its version.
+  // The slot is guarded by sync_->publish_mu (readers copy it only when
+  // view_version_ invalidates their cached snapshot); the version counter
+  // is what the lock-free fast path polls.
+  std::shared_ptr<const SegmentListView> view_;
+  std::atomic<uint64_t> view_version_{0};
+  // Writer-side alias of view_->active (the one log Append may touch).
+  ActiveLshLog* active_writer_ = nullptr;
+  std::unique_ptr<Sync> sync_;
+
   // Tombstone bitmap over the global id space: owned when standalone,
   // engine-provided (shared by all shards) under ShardedEngine.
   std::unique_ptr<util::BitVector> owned_tombstones_;
   util::BitVector* tombstones_ = nullptr;
-  size_t num_live_ = 0;
-  size_t num_dead_ = 0;  // tombstoned ids still in segments
+
+  // Live/dead accounting, packed live<<32 | dead in ONE atomic word so a
+  // single load yields a coherent core::LiveStats (the decision inputs).
+  // Invariant (up to in-flight interleavings): `dead` counts tombstoned
+  // ids still present in some segment or log of this index; `live` the
+  // rest. Id counts fit 32 bits by the Build/Insert guards.
+  static constexpr uint64_t kLiveOne = uint64_t{1} << 32;
+  static constexpr uint64_t kDeadOne = 1;
+  std::atomic<uint64_t> live_dead_{0};
+  std::atomic<size_t> compactions_{0};
+  std::atomic<double> last_compact_seconds_{0.0};
+  mutable std::atomic<bool> maintenance_inflight_{false};
+
+  bool deferred_maintenance_ = false;
   uint32_t id_base_ = 0;
   size_t initial_count_ = 0;  // size of the initial [base, base+count) range
   size_t build_n_ = 0;        // dataset size at Build (pre-insert ids)
-  size_t compactions_ = 0;
-  double last_compact_seconds_ = 0.0;
-  std::vector<int32_t> insert_slots_;  // Insert scratch
+  std::vector<int32_t> insert_slots_;    // Insert scratch
+  std::vector<uint64_t> insert_keys_;    // Insert scratch
 };
 
 }  // namespace engine

@@ -28,10 +28,35 @@
 // parallel on the pool (one task per shard, so no shard is touched by two
 // threads).
 //
-// Thread-safety: Build is a static factory; the returned engine's Query,
-// QueryBatch, Insert, Remove, CompactAll, and stats() must not be called
-// concurrently with each other (one engine = one logical caller, like
-// HybridSearcher).
+// --- Concurrency model (the serving core) ----------------------------------
+//
+// The engine serves reads lock-free while writes and background
+// maintenance run:
+//
+//   - QueryConcurrent + a caller-owned QueryScratch (one per reader
+//     thread, MakeQueryScratch) is the concurrent read path: each query
+//     walks an epoch-published SegmentSnapshot per shard — acquired with
+//     plain atomic loads, re-acquired only when a shard's segment list
+//     actually changed — and takes no lock anywhere. Any number of reader
+//     threads may call it concurrently with each other, with Insert /
+//     Remove, and with background seal / compaction.
+//   - Insert and Remove serialize against each other on an internal writer
+//     mutex (callers need no external locking) and never block readers.
+//   - When ingest fills a shard's active segment, the freeze is published
+//     immediately and the expensive part — CSR-building the sealed segment
+//     and compaction — is scheduled on a dedicated background maintenance
+//     thread, rate-limited to one in-flight task per shard. Ingest applies
+//     backpressure (seals inline) only if the background thread falls
+//     behind by several segments.
+//   - stats(), size(), and live accounting are atomic snapshots, safe to
+//     poll from any thread.
+//   - SaveSnapshot and CompactAll take the writer mutex and drain
+//     maintenance first: they block writers, not readers.
+//
+// The legacy Query / QueryBatch entry points (internal shard fan-out /
+// batch pooling) use engine-owned scratch: at most one thread may be in
+// them at a time, but they may run concurrently with writers and
+// maintenance — they ride the same snapshot path underneath.
 
 #ifndef HYBRIDLSH_ENGINE_SHARDED_ENGINE_H_
 #define HYBRIDLSH_ENGINE_SHARDED_ENGINE_H_
@@ -39,6 +64,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -126,9 +152,39 @@ class ShardedEngine {
     /// Segment lifecycle knobs, applied per shard (segmented_index.h).
     size_t active_seal_threshold = 4096;
     size_t max_sealed_segments = 4;
+    /// Run seal/compaction on the engine's background maintenance thread
+    /// (default). false = the standalone-index behavior: maintenance runs
+    /// inline on the inserting thread at the thresholds, so lifecycle
+    /// counters are deterministic after every Insert (tests, benches that
+    /// measure seal cost on the ingest path).
+    bool background_maintenance = true;
     /// Cost model, multi-probe width, and forced-strategy escape hatch.
     /// The hybrid decision runs per shard with LinearCost(shard_live_n).
     core::SearcherOptions searcher;
+  };
+
+  /// Caller-owned scratch for the lock-free QueryConcurrent path: the
+  /// global-id dedup set, the merged HLL sketch, the probe-key buffer, and
+  /// one cached SegmentSnapshot per shard — re-acquired with two plain
+  /// atomic loads per query and only refreshed (a shared_ptr copy) when
+  /// that shard's segment list actually changed. Create one per reader
+  /// thread with MakeQueryScratch(); a scratch must never be used by two
+  /// queries at once.
+  class QueryScratch {
+   private:
+    friend class ShardedEngine;
+    struct ShardView {
+      typename ShardIndex::SegmentSnapshot snapshot;
+      uint64_t version = 0;
+    };
+    QueryScratch(util::VisitedSet v, hll::HyperLogLog m, size_t num_shards)
+        : visited(std::move(v)), merged(std::move(m)), views(num_shards) {}
+
+    util::VisitedSet visited;
+    hll::HyperLogLog merged;
+    std::vector<uint64_t> keys;
+    std::vector<uint32_t> live_ids;  // flat buffer for the linear path
+    std::vector<ShardView> views;    // per-shard epoch cache
   };
 
   /// Builds all shards in parallel. The dataset is retained by pointer and
@@ -203,13 +259,14 @@ class ShardedEngine {
     engine.stats_.num_threads = num_threads;
     engine.stats_.build_seconds = build_timer.ElapsedSeconds();
     engine.stats_.simd_tier = util::simd::TierName(core::kernels::Kernels().tier);
+    engine.StartMaintenance();
 
     // Fan-out scratch: one per shard (single-query path). Batch scratch is
     // created lazily, one per pool worker.
     engine.fanout_scratch_.reserve(num_shards);
     engine.fanout_out_.resize(num_shards);
     for (size_t s = 0; s < num_shards; ++s) {
-      engine.fanout_scratch_.push_back(engine.MakeScratch());
+      engine.fanout_scratch_.push_back(engine.MakeQueryScratch());
     }
     return engine;
   }
@@ -246,19 +303,31 @@ class ShardedEngine {
   /// the new global id. Ownership needs no side table: every successful
   /// insert appends exactly one point, so the k-th insert gets id
   /// initial_n + k and shard k % S — Remove re-derives that.
+  ///
+  /// Serialized on the internal writer mutex; safe to call from any thread
+  /// and concurrently with queries. When the shard's active segment fills,
+  /// sealing is scheduled on the background maintenance thread (one task
+  /// in flight per shard) instead of running on this call.
   util::StatusOr<uint32_t> Insert(Point point) {
     if (mutable_dataset_ == nullptr) {
       return util::Status::FailedPrecondition(
           "engine is read-only: build from a mutable dataset or call "
           "EnableUpdates to insert");
     }
+    std::lock_guard<std::mutex> lock(sync_->write_mu);
     const size_t inserted = dataset_->size() - initial_n_;
-    return shards_[inserted % shards_.size()].index->Insert(point);
+    Shard& shard = shards_[inserted % shards_.size()];
+    auto id = shard.index->Insert(point);
+    if (id.ok()) MaybeScheduleMaintenance(shard.index.get());
+    return id;
   }
 
   /// Tombstones one global id on the shard that owns it. Removing an
-  /// already-removed id is a no-op; unknown ids are rejected.
+  /// already-removed id is a no-op; unknown ids are rejected. Serialized on
+  /// the writer mutex like Insert; safe concurrently with queries, which
+  /// observe the removal through release/acquire tombstone bits.
   util::Status Remove(uint32_t id) {
+    std::lock_guard<std::mutex> lock(sync_->write_mu);
     const size_t n = static_cast<size_t>(id);
     size_t s = 0;
     if (n < initial_n_) {
@@ -278,11 +347,49 @@ class ShardedEngine {
     return shards_[s].index->Remove(id);
   }
 
+  /// Blocks until every scheduled background seal/compaction has finished.
+  /// Queries and writers may keep running; tasks scheduled after this call
+  /// are not waited for.
+  void DrainMaintenance() {
+    if (maintenance_group_ != nullptr) maintenance_group_->Wait();
+  }
+
   /// Compacts every shard in parallel on the engine's pool (one task per
-  /// shard — segments are never touched by two threads).
+  /// shard — segments are never touched by two threads). Takes the writer
+  /// mutex and drains background maintenance first; queries continue
+  /// serving off the pre-compaction epochs until each shard's merged
+  /// segment is published.
   void CompactAll() {
+    std::lock_guard<std::mutex> lock(sync_->write_mu);
+    DrainMaintenance();
     util::ParallelForOn(pool_.get(), 0, shards_.size(),
                         [&](size_t s) { shards_[s].index->Compact(); });
+  }
+
+  /// The lock-free concurrent read path: answers one query on a
+  /// caller-owned scratch (one per reader thread, MakeQueryScratch). Every
+  /// id with Distance(point, query) <= radius is appended to *out with the
+  /// same per-shard guarantees as Query, each shard walked over an
+  /// epoch-published SegmentSnapshot — consistent even while Insert /
+  /// Remove / background maintenance run, with no lock or shared mutable
+  /// state touched anywhere on the path. Shards are searched sequentially
+  /// on the calling thread; concurrency comes from many callers, not an
+  /// internal fan-out.
+  void QueryConcurrent(Point query, double radius, std::vector<uint32_t>* out,
+                       QueryScratch* scratch,
+                       ShardedQueryStats* stats = nullptr) const {
+    ShardedQueryStats local_stats;
+    ShardedQueryStats* s = stats != nullptr ? stats : &local_stats;
+    QueryOnScratch(query, radius, out, scratch, s);
+  }
+
+  /// A scratch sized for this engine: dedup over the current id space
+  /// (widened automatically as inserts land), sketch at the engine's HLL
+  /// precision, one snapshot slot per shard.
+  QueryScratch MakeQueryScratch() const {
+    return QueryScratch(util::VisitedSet(dataset_->size()),
+                        shards_[0].index->MakeScratchSketch(),
+                        shards_.size());
   }
 
   /// Answers one query with a parallel fan-out across shards: every id with
@@ -295,12 +402,13 @@ class ShardedEngine {
     ShardedQueryStats* s = stats != nullptr ? stats : &local_stats;
     ResetStats(s);
     util::WallTimer timer;
-    EnsureScratchCapacity();
 
     util::ParallelForOn(pool_.get(), 0, shards_.size(), [&](size_t i) {
       fanout_out_[i].clear();
-      QueryShard(shards_[i], query, radius, &fanout_scratch_[i],
-                 &fanout_out_[i], &s->per_shard[i]);
+      QueryScratch& scratch = fanout_scratch_[i];
+      RefreshShardView(i, &scratch);
+      QueryShard(shards_[i], scratch.views[i].snapshot, query, radius,
+                 &scratch, &fanout_out_[i], &s->per_shard[i]);
     });
 
     for (size_t i = 0; i < shards_.size(); ++i) {
@@ -323,24 +431,16 @@ class ShardedEngine {
     util::WallTimer timer;
     if (queries.size() > 0) {
       EnsureBatchScratch();
-      EnsureScratchCapacity();
       const size_t num_workers =
           std::min(batch_scratch_.size(), queries.size());
       std::atomic<size_t> next{0};
       util::ParallelForOn(pool_.get(), 0, num_workers, [&](size_t w) {
-        Scratch& scratch = batch_scratch_[w];
+        QueryScratch& scratch = batch_scratch_[w];
         for (size_t q = next.fetch_add(1); q < queries.size();
              q = next.fetch_add(1)) {
           ShardedBatchResult& result = results[q];
-          ResetStats(&result.stats);
-          util::WallTimer query_timer;
-          for (const Shard& shard : shards_) {
-            QueryShard(shard, queries.point(q), radius, &scratch,
-                       &result.neighbors,
-                       &result.stats.per_shard[&shard - shards_.data()]);
-          }
-          FoldStats(&result.stats);
-          result.stats.total_seconds = query_timer.ElapsedSeconds();
+          QueryOnScratch(queries.point(q), radius, &result.neighbors,
+                         &scratch, &result.stats);
         }
       });
     }
@@ -370,21 +470,24 @@ class ShardedEngine {
     return live;
   }
   size_t live_size() const { return size(); }
-  /// Build-time shape plus *current* memory accounting (segments grow with
-  /// ingest and shrink at compaction, so bytes are recomputed per call).
-  /// Part of the single-caller surface like Query/Insert: it walks the
-  /// live segment structures, so don't poll it from another thread.
-  const EngineStats& stats() const {
-    stats_.memory_bytes = 0;
-    stats_.sketch_bytes = 0;
+  /// Build-time shape plus *current* point and memory accounting (segments
+  /// grow with ingest and shrink at compaction, so bytes are recomputed
+  /// per call). Returns a by-value snapshot assembled from atomic reads
+  /// and epoch-published segment lists — safe to poll from any thread
+  /// while writers and background maintenance run.
+  EngineStats stats() const {
+    EngineStats stats = stats_;
+    stats.num_points = dataset_->size();
+    stats.memory_bytes = 0;
+    stats.sketch_bytes = 0;
     for (const Shard& shard : shards_) {
-      stats_.memory_bytes += shard.index->MemoryBytes();
-      stats_.sketch_bytes += shard.index->SketchBytes();
+      stats.memory_bytes += shard.index->MemoryBytes();
+      stats.sketch_bytes += shard.index->SketchBytes();
     }
     if (tombstones_ != nullptr) {
-      stats_.memory_bytes += tombstones_->MemoryBytes();
+      stats.memory_bytes += tombstones_->MemoryBytes();
     }
-    return stats_;
+    return stats;
   }
   const Options& options() const { return options_; }
   const Dataset& dataset() const { return *dataset_; }
@@ -404,9 +507,13 @@ class ShardedEngine {
   /// continues serving from exactly the state it saved. Atomic at the
   /// directory level: a crash mid-save never disturbs the previous
   /// snapshot, and the new one only becomes visible when its CURRENT
-  /// pointer commits. Part of the single-caller surface (it seals
-  /// segments); don't call it concurrently with queries or updates.
+  /// pointer commits. Takes the writer mutex and drains background
+  /// maintenance (counters must agree with the sealed view it persists),
+  /// so it blocks writers for its duration — but not readers, which keep
+  /// serving off their epochs.
   util::Status SaveSnapshot(const std::string& dir) {
+    std::lock_guard<std::mutex> lock(sync_->write_mu);
+    DrainMaintenance();
     for (Shard& shard : shards_) shard.index->SealActive();
 
     auto writer = snapshot::SnapshotWriter::Begin(dir);
@@ -611,10 +718,11 @@ class ShardedEngine {
     engine.stats_.simd_tier =
         util::simd::TierName(core::kernels::Kernels().tier);
 
+    engine.StartMaintenance();
     engine.fanout_scratch_.reserve(num_shards);
     engine.fanout_out_.resize(num_shards);
     for (size_t s = 0; s < num_shards; ++s) {
-      engine.fanout_scratch_.push_back(engine.MakeScratch());
+      engine.fanout_scratch_.push_back(engine.MakeQueryScratch());
     }
     HLSH_RETURN_IF_ERROR(engine.EnableUpdates(dataset));
     return engine;
@@ -671,40 +779,77 @@ class ShardedEngine {
     std::unique_ptr<ShardIndex> index;  // pointer keeps Shard movable
   };
 
-  /// Per-worker query scratch. VisitedSet spans the *global* id space —
-  /// shard buckets store global ids, so no translation is needed anywhere.
-  struct Scratch {
-    util::VisitedSet visited;
-    hll::HyperLogLog merged;
-    std::vector<uint64_t> keys;
-    std::vector<uint32_t> live_ids;  // flat buffer for the linear path
+  /// Writer-side synchronization, heap-allocated so engine moves keep the
+  /// mutex address stable.
+  struct EngineSync {
+    std::mutex write_mu;
   };
 
-  ShardedEngine() : stats_() {}
+  ShardedEngine() : sync_(std::make_unique<EngineSync>()) {}
 
-  Scratch MakeScratch() const {
-    return Scratch{util::VisitedSet(dataset_->size()),
-                   shards_[0].index->MakeScratchSketch(), {}, {}};
+  /// Arms deferred maintenance on every shard and spins up the dedicated
+  /// one-thread maintenance pool. No-op in inline mode
+  /// (options_.background_maintenance == false).
+  void StartMaintenance() {
+    if (!options_.background_maintenance) return;
+    for (Shard& shard : shards_) shard.index->SetDeferredMaintenance(true);
+    maintenance_pool_ = std::make_unique<util::ThreadPool>(1);
+    maintenance_group_ =
+        std::make_unique<util::TaskGroup>(maintenance_pool_.get());
+  }
+
+  /// Schedules one background maintenance pass for the shard if it has
+  /// pending work and none in flight — the per-shard rate limit that keeps
+  /// a burst of inserts from queueing redundant seal tasks. Called under
+  /// write_mu; the task captures the heap-stable index pointer, so the
+  /// engine stays movable while tasks are queued.
+  void MaybeScheduleMaintenance(ShardIndex* index) {
+    if (maintenance_group_ == nullptr || !index->needs_maintenance()) return;
+    if (index->maintenance_inflight().exchange(true,
+                                               std::memory_order_acq_rel)) {
+      return;
+    }
+    maintenance_group_->Submit([index] {
+      index->RunMaintenance();
+      index->maintenance_inflight().store(false, std::memory_order_release);
+    });
   }
 
   void EnsureBatchScratch() {
     if (!batch_scratch_.empty()) return;
     batch_scratch_.reserve(pool_->num_threads());
     for (size_t w = 0; w < pool_->num_threads(); ++w) {
-      batch_scratch_.push_back(MakeScratch());
+      batch_scratch_.push_back(MakeQueryScratch());
     }
   }
 
-  /// Inserts grow the dataset past the capacity the scratch was created
-  /// with; re-target the dedup sets before the next query touches them.
-  void EnsureScratchCapacity() {
-    const size_t n = dataset_->size();
-    for (Scratch& scratch : fanout_scratch_) {
-      if (scratch.visited.capacity() < n) scratch.visited.Resize(n);
+  /// Re-acquires shard s's snapshot into the scratch's view cache (two
+  /// atomic loads when the segment list is unchanged) and widens the dedup
+  /// set to cover every id the snapshot can emit. VisitedSet spans the
+  /// *global* id space — shard buckets store global ids, so no translation
+  /// is needed anywhere.
+  void RefreshShardView(size_t s, QueryScratch* scratch) const {
+    auto& view = scratch->views[s];
+    shards_[s].index->AcquireCached(&view.snapshot, &view.version);
+    if (scratch->visited.capacity() < view.snapshot.id_bound()) {
+      scratch->visited.Resize(view.snapshot.id_bound());
     }
-    for (Scratch& scratch : batch_scratch_) {
-      if (scratch.visited.capacity() < n) scratch.visited.Resize(n);
+  }
+
+  /// One full query over every shard on the caller's scratch: refresh each
+  /// shard's snapshot, run Algorithm 2 per shard sequentially, fold stats.
+  /// Lock-free — shared by QueryConcurrent and the batch workers.
+  void QueryOnScratch(Point query, double radius, std::vector<uint32_t>* out,
+                      QueryScratch* scratch, ShardedQueryStats* s) const {
+    ResetStats(s);
+    util::WallTimer timer;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      RefreshShardView(i, scratch);
+      QueryShard(shards_[i], scratch->views[i].snapshot, query, radius,
+                 scratch, out, &s->per_shard[i]);
     }
+    FoldStats(s);
+    s->total_seconds = timer.ElapsedSeconds();
   }
 
   void ResetStats(ShardedQueryStats* s) const {
@@ -728,20 +873,24 @@ class ShardedEngine {
     }
   }
 
-  /// The paper's Algorithm 2 on one shard: estimate (summed across the
-  /// shard's segments), decide against LinearCost(shard_live_n), execute.
-  /// Appends global ids to *out.
-  void QueryShard(const Shard& shard, Point query, double radius,
-                  Scratch* scratch, std::vector<uint32_t>* out,
-                  core::QueryStats* st) const {
+  /// The paper's Algorithm 2 on one shard over an epoch-published
+  /// snapshot: estimate (summed across the snapshot's segments), decide
+  /// against LinearCost(shard_live_n), execute. The decision is priced
+  /// from ONE coherent LiveStats read, so the tombstone correction and
+  /// the linear side cannot mix counter values from different instants.
+  /// Appends global ids to *out. Lock-free.
+  void QueryShard(const Shard& shard,
+                  const typename ShardIndex::SegmentSnapshot& snap,
+                  Point query, double radius, QueryScratch* scratch,
+                  std::vector<uint32_t>* out, core::QueryStats* st) const {
     *st = core::QueryStats{};
     util::WallTimer total_timer;
     const core::CostModel& model = options_.searcher.cost_model;
 
     if (options_.searcher.forced == core::ForcedStrategy::kAlwaysLinear) {
       st->strategy = core::Strategy::kLinear;
-      st->linear_cost = model.LinearCost(shard.index->live_size());
-      ExecuteLinear(shard, query, radius, out, st, scratch);
+      st->linear_cost = model.LinearCost(shard.index->live_stats().live);
+      ExecuteLinear(shard, snap, query, radius, out, st, scratch);
       st->total_seconds = total_timer.ElapsedSeconds();
       return;
     }
@@ -749,11 +898,10 @@ class ShardedEngine {
     // S1: bucket keys of this shard's tables.
     ComputeKeys(shard, query, scratch);
 
-    // Alg. 2 lines 1-2 over the shard's segments.
+    // Alg. 2 lines 1-2 over the snapshot's segments.
     {
       util::WallTimer estimate_timer;
-      const auto estimate =
-          shard.index->EstimateProbe(scratch->keys, &scratch->merged);
+      const auto estimate = snap.EstimateProbe(scratch->keys, &scratch->merged);
       st->collisions = estimate.collisions;
       st->cand_estimate = estimate.cand_estimate;
       st->estimate_seconds = estimate_timer.ElapsedSeconds();
@@ -761,9 +909,10 @@ class ShardedEngine {
 
     // Alg. 2 lines 3-4 with the shard-local live linear cost; tombstoned
     // ids inflate the estimate, so subtract their verification share.
-    st->lsh_cost = model.CorrectedLshCost(st->collisions, st->cand_estimate,
-                                          shard.index->live_fraction());
-    st->linear_cost = model.LinearCost(shard.index->live_size());
+    const core::LiveStats live = shard.index->live_stats();
+    st->lsh_cost =
+        model.CorrectedLshCost(st->collisions, st->cand_estimate, live);
+    st->linear_cost = model.LinearCost(live.live);
     const bool use_lsh =
         options_.searcher.forced == core::ForcedStrategy::kAlwaysLsh ||
         st->lsh_cost < st->linear_cost;
@@ -772,31 +921,33 @@ class ShardedEngine {
       st->strategy = core::Strategy::kLsh;
       scratch->visited.Reset();
       st->collisions =
-          shard.index->CollectCandidates(scratch->keys, &scratch->visited);
+          snap.CollectCandidates(scratch->keys, &scratch->visited);
       st->cand_actual = scratch->visited.size();
       st->output_size += core::kernels::VerifyCandidates(
           *shard.index, *dataset_, query, scratch->visited.touched(), radius,
           out);
     } else {
       st->strategy = core::Strategy::kLinear;
-      ExecuteLinear(shard, query, radius, out, st, scratch);
+      ExecuteLinear(shard, snap, query, radius, out, st, scratch);
     }
     st->total_seconds = total_timer.ElapsedSeconds();
   }
 
-  void ComputeKeys(const Shard& shard, Point query, Scratch* scratch) const {
+  void ComputeKeys(const Shard& shard, Point query,
+                   QueryScratch* scratch) const {
     core::ComputeProbeKeys(*shard.index, query,
                            options_.searcher.probes_per_table, &scratch->keys);
   }
 
-  void ExecuteLinear(const Shard& shard, Point query, double radius,
-                     std::vector<uint32_t>* out, core::QueryStats* st,
-                     Scratch* scratch) const {
-    // Flatten the shard's live ids, then verify them in one block-batched
-    // kernel pass (core/kernels.h) instead of per-id Distance calls.
+  void ExecuteLinear(const Shard& shard,
+                     const typename ShardIndex::SegmentSnapshot& snap,
+                     Point query, double radius, std::vector<uint32_t>* out,
+                     core::QueryStats* st, QueryScratch* scratch) const {
+    // Flatten the snapshot's live ids, then verify them in one
+    // block-batched kernel pass (core/kernels.h) instead of per-id
+    // Distance calls.
     scratch->live_ids.clear();
-    shard.index->ForEachLiveId(
-        [&](uint32_t id) { scratch->live_ids.push_back(id); });
+    snap.ForEachLiveId([&](uint32_t id) { scratch->live_ids.push_back(id); });
     st->output_size += core::kernels::VerifyCandidates(
         *shard.index, *dataset_, query, scratch->live_ids, radius, out);
   }
@@ -804,17 +955,25 @@ class ShardedEngine {
   Options options_;
   const Dataset* dataset_ = nullptr;
   Dataset* mutable_dataset_ = nullptr;
+  // Writer mutex (heap-stable across engine moves).
+  std::unique_ptr<EngineSync> sync_;
   std::unique_ptr<util::ThreadPool> pool_;
-  std::vector<Shard> shards_;
   // One tombstone bitmap shared by every shard (heap-stable across moves).
   std::unique_ptr<util::BitVector> tombstones_;
+  std::vector<Shard> shards_;
+  // Background seal/compaction: a dedicated one-thread pool plus its
+  // completion latch. Declared after shards_ so destruction drains every
+  // queued task (which captures raw ShardIndex pointers) before any shard
+  // index dies.
+  std::unique_ptr<util::ThreadPool> maintenance_pool_;
+  std::unique_ptr<util::TaskGroup> maintenance_group_;
   size_t initial_n_ = 0;  // dataset size at Build
-  mutable EngineStats stats_;  // memory fields recomputed in stats()
+  EngineStats stats_;     // build-time shape; dynamic fields redone in stats()
   // Single-query fan-out scratch (one per shard) and shard result buffers.
-  std::vector<Scratch> fanout_scratch_;
+  std::vector<QueryScratch> fanout_scratch_;
   std::vector<std::vector<uint32_t>> fanout_out_;
   // Batch scratch (one per pool worker), created on first QueryBatch.
-  std::vector<Scratch> batch_scratch_;
+  std::vector<QueryScratch> batch_scratch_;
 };
 
 }  // namespace engine

@@ -7,29 +7,33 @@ namespace util {
 
 size_t BitVector::Count() const {
   size_t total = 0;
-  for (uint64_t word : words_) total += static_cast<size_t>(std::popcount(word));
+  for (uint64_t word : words_.span()) {
+    total += static_cast<size_t>(std::popcount(word));
+  }
   return total;
 }
 
 void BitVector::Serialize(ByteWriter* writer) const {
-  writer->WriteU64(size_);
-  writer->WriteArray<uint64_t>(words_);
+  writer->WriteU64(size());
+  writer->WriteArray<uint64_t>(words_.span());
 }
 
 util::StatusOr<BitVector> BitVector::Deserialize(ByteReader* reader) {
   uint64_t size = 0;
   HLSH_RETURN_IF_ERROR(reader->ReadU64(&size));
-  BitVector bits;
-  bits.size_ = static_cast<size_t>(size);
   // size / 64 (not (size + 63) / 64): the latter wraps for sizes near
   // 2^64, accepting a huge bit count backed by zero words.
   const uint64_t num_words = size / 64 + (size % 64 != 0 ? 1 : 0);
-  HLSH_RETURN_IF_ERROR(reader->ReadArray<uint64_t>(num_words, &bits.words_));
+  std::vector<uint64_t> words;
+  HLSH_RETURN_IF_ERROR(reader->ReadArray<uint64_t>(num_words, &words));
   // Bits past `size` must be zero — Grow and Count both assume it.
-  if (size % 64 != 0 && !bits.words_.empty() &&
-      (bits.words_.back() >> (size % 64)) != 0) {
+  if (size % 64 != 0 && !words.empty() &&
+      (words.back() >> (size % 64)) != 0) {
     return util::Status::DataLoss("bit vector has set bits past its size");
   }
+  BitVector bits;
+  bits.words_.Assign(words);
+  bits.size_.store(static_cast<size_t>(size), std::memory_order_relaxed);
   return bits;
 }
 

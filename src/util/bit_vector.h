@@ -6,47 +6,103 @@
 // constant in the cost model, so the structure must be O(1) per probe with
 // a tiny constant: VisitedSet is a bit vector plus a touched-id list so that
 // clearing between queries is O(#touched), not O(n).
+//
+// BitVector doubles as the engine-wide tombstone bitmap, which is read by
+// concurrent query threads while one writer marks deletes and grows the
+// vector under live ingest. Two access families coexist:
+//
+//   - Plain ops (Set/Clear/TestAndSet/ClearAll/Resize): thread-private
+//     scratch and build-time fills. Not safe under concurrent readers.
+//   - Concurrent ops (SetConcurrent/TestAcquire/Get): word-atomic. Between
+//     compactions the shared bitmap is monotone set-only, so a stale read
+//     can only under-report a delete — semantically "the point was live at
+//     some point during the query", never a wrong result. Grow() is
+//     publication-safe: within Reserve()d capacity it touches only words
+//     past the published prefix; past capacity it allocate-copy-swaps and
+//     retires the old buffer so in-flight readers never dangle.
 
 #ifndef HYBRIDLSH_UTIL_BIT_VECTOR_H_
 #define HYBRIDLSH_UTIL_BIT_VECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "util/published_array.h"
 #include "util/serialize.h"
 #include "util/status.h"
 
 namespace hybridlsh {
 namespace util {
 
-/// Fixed-size dense bit vector.
+/// Dense bit vector (see file comment for the concurrency contract).
 class BitVector {
  public:
   BitVector() = default;
 
   /// Creates a vector of `size` bits, all zero.
-  explicit BitVector(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+  explicit BitVector(size_t size) { Resize(size); }
 
-  /// Number of bits.
-  size_t size() const { return size_; }
+  BitVector(const BitVector& other)
+      : size_(other.size()), words_(other.words_) {}
+  BitVector& operator=(const BitVector& other) {
+    if (this != &other) {
+      size_.store(other.size(), std::memory_order_relaxed);
+      words_ = other.words_;
+    }
+    return *this;
+  }
+  BitVector(BitVector&& other) noexcept
+      : size_(other.size()), words_(std::move(other.words_)) {
+    other.size_.store(0, std::memory_order_relaxed);
+  }
+  BitVector& operator=(BitVector&& other) noexcept {
+    if (this != &other) {
+      size_.store(other.size(), std::memory_order_relaxed);
+      words_ = std::move(other.words_);
+      other.size_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
-  /// Returns bit i.
+  /// Number of bits. Monotone under one writer; safe from any thread.
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Returns bit i. Word-atomic (relaxed): safe concurrently with
+  /// SetConcurrent, but carries no ordering — use TestAcquire when the
+  /// caller needs to observe writes published before its epoch.
   bool Get(size_t i) const {
-    HLSH_DCHECK(i < size_);
-    return (words_[i >> 6] >> (i & 63)) & 1;
+    HLSH_DCHECK(i < size());
+    return (LoadWord(i >> 6, std::memory_order_relaxed) >> (i & 63)) & 1;
   }
 
-  /// Sets bit i to one.
+  /// Returns bit i with acquire ordering: a set that happens-before the
+  /// caller's synchronization point (epoch acquire, clock handshake) is
+  /// guaranteed visible. The tombstone read on the query path.
+  bool TestAcquire(size_t i) const {
+    HLSH_DCHECK(i < size());
+    return (LoadWord(i >> 6, std::memory_order_acquire) >> (i & 63)) & 1;
+  }
+
+  /// Sets bit i to one. Plain read-modify-write: single-thread use only.
   void Set(size_t i) {
-    HLSH_DCHECK(i < size_);
-    words_[i >> 6] |= uint64_t{1} << (i & 63);
+    HLSH_DCHECK(i < size());
+    words_.mutable_data()[i >> 6] |= uint64_t{1} << (i & 63);
   }
 
-  /// Sets bit i to zero.
+  /// Sets bit i to one with a release-ordered atomic RMW: safe while other
+  /// threads Get/TestAcquire concurrently.
+  void SetConcurrent(size_t i) {
+    HLSH_DCHECK(i < size());
+    std::atomic_ref<uint64_t> word(words_.mutable_data()[i >> 6]);
+    word.fetch_or(uint64_t{1} << (i & 63), std::memory_order_release);
+  }
+
+  /// Sets bit i to zero. Plain RMW: single-thread use only.
   void Clear(size_t i) {
-    HLSH_DCHECK(i < size_);
-    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    HLSH_DCHECK(i < size());
+    words_.mutable_data()[i >> 6] &= ~(uint64_t{1} << (i & 63));
   }
 
   /// Prefetches the word holding bit i (bulk random-probe loops issue this
@@ -64,37 +120,52 @@ class BitVector {
     }
   }
 
-  /// Sets bit i and returns its previous value (single word access).
+  /// Sets bit i and returns its previous value (plain single word RMW;
+  /// thread-private scratch only).
   bool TestAndSet(size_t i) {
-    HLSH_DCHECK(i < size_);
-    uint64_t& word = words_[i >> 6];
+    HLSH_DCHECK(i < size());
+    uint64_t& word = words_.mutable_data()[i >> 6];
     const uint64_t mask = uint64_t{1} << (i & 63);
     const bool was_set = (word & mask) != 0;
     word |= mask;
     return was_set;
   }
 
-  /// Zeroes every bit. O(size/64).
-  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+  /// Zeroes every bit. O(size/64). Single-thread use only.
+  void ClearAll() {
+    uint64_t* words = words_.mutable_data();
+    const size_t n = words_.size();
+    for (size_t w = 0; w < n; ++w) words[w] = 0;
+  }
 
   /// Number of one bits. O(size/64).
   size_t Count() const;
 
-  /// Heap bytes of the word storage (memory accounting).
-  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+  /// Heap bytes of the word storage, retired growth buffers included.
+  size_t MemoryBytes() const { return words_.MemoryBytes(); }
 
-  /// Resizes to `size` bits; new bits are zero.
+  /// Pre-allocates capacity for `size` bits so that subsequent Grow calls
+  /// up to that size extend in place (no buffer swap, no retired copy).
+  void Reserve(size_t size) { words_.Reserve((size + 63) / 64); }
+
+  /// Resizes to `size` bits, zeroing everything. Single-thread use only.
   void Resize(size_t size) {
-    size_ = size;
-    words_.assign((size + 63) / 64, 0);
+    const size_t num_words = (size + 63) / 64;
+    words_.Reserve(num_words);
+    words_.GrowTo(num_words, 0);
+    ClearAll();
+    size_.store(size, std::memory_order_relaxed);
   }
 
   /// Extends to `size` bits, preserving existing bits; new bits are zero.
-  /// No-op when already at least `size` bits.
+  /// No-op when already at least `size` bits. Publication-safe: concurrent
+  /// readers of bits below their own published bound stay valid (new words
+  /// are zero-filled before the size is release-published, and growth past
+  /// capacity retires the old word buffer instead of freeing it).
   void Grow(size_t size) {
-    if (size <= size_) return;
-    size_ = size;
-    words_.resize((size + 63) / 64, 0);
+    if (size <= this->size()) return;
+    words_.GrowTo((size + 63) / 64, 0);
+    size_.store(size, std::memory_order_release);
   }
 
   /// Appends [size:u64][words] to the writer (snapshot persistence of the
@@ -106,8 +177,16 @@ class BitVector {
   static util::StatusOr<BitVector> Deserialize(ByteReader* reader);
 
  private:
-  size_t size_ = 0;
-  std::vector<uint64_t> words_;
+  uint64_t LoadWord(size_t w, std::memory_order order) const {
+    // atomic_ref<const T> is not available until C++26; the const_cast is
+    // sound because only load() is performed.
+    std::atomic_ref<uint64_t> word(
+        const_cast<uint64_t*>(words_.data())[w]);
+    return word.load(order);
+  }
+
+  std::atomic<size_t> size_{0};
+  PublishedArray<uint64_t> words_;
 };
 
 /// Duplicate-elimination set over ids [0, capacity).
@@ -115,7 +194,9 @@ class BitVector {
 /// Insert() is the alpha-cost operation of the cost model: one bit probe
 /// plus, for first occurrences, a push onto the touched list. Reset() undoes
 /// only the touched bits, so a VisitedSet can be reused across queries with
-/// cost proportional to the previous candidate set, not to n.
+/// cost proportional to the previous candidate set, not to n. A VisitedSet
+/// is thread-private scratch; only the tombstone argument of
+/// InsertSpanFiltered may be shared with concurrent writers.
 class VisitedSet {
  public:
   VisitedSet() = default;
@@ -151,7 +232,9 @@ class VisitedSet {
 
   /// Like InsertSpan, but skips ids whose `tombstones` bit is set (the
   /// mutable-index probe path); the tombstone word and the dedup word are
-  /// both prefetched ahead of the probe.
+  /// both prefetched ahead of the probe. The tombstone reads are
+  /// acquire-ordered, so deletes published before this query's epoch are
+  /// always honored even while a writer marks new ones.
   void InsertSpanFiltered(std::span<const uint32_t> ids,
                           const BitVector& tombstones) {
     constexpr size_t kPrefetchAhead = 8;
@@ -162,7 +245,7 @@ class VisitedSet {
         tombstones.PrefetchWord(ahead);  // read-shared across query threads
         bits_.PrefetchWord(ahead, /*for_write=*/true);
       }
-      if (!tombstones.Get(ids[j])) Insert(ids[j]);
+      if (!tombstones.TestAcquire(ids[j])) Insert(ids[j]);
     }
   }
 

@@ -4,10 +4,13 @@ namespace hybridlsh {
 namespace util {
 
 void FloatMatrix::AppendRow(std::span<const float> row) {
-  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  const size_t n = rows();
+  if (n == 0 && cols_ == 0) cols_ = row.size();
   HLSH_CHECK(row.size() == cols_);
-  data_.insert(data_.end(), row.begin(), row.end());
-  ++rows_;
+  // Fill the floats first (PublishedArray release-publishes the element
+  // count), then release-publish the row count readers key off.
+  data_.Append(row.data(), row.size());
+  rows_.store(n + 1, std::memory_order_release);
 }
 
 }  // namespace util

@@ -1,17 +1,26 @@
 // Row-major dense float matrix — the in-memory layout for real-valued
 // point sets (one point per row).
 //
-// The layout is deliberately flat (single contiguous vector<float>) so that
+// The layout is deliberately flat (single contiguous buffer) so that
 // linear scans stream sequentially and LSH projections can hand rows to
 // dot-product kernels without indirection.
+//
+// Storage is a util::PublishedArray so the serving engine can append rows
+// from one writer thread while query threads read already-published rows
+// lock-free: a row's floats are immutable once the row count covering it
+// has been release-published, and growth retires the old buffer instead of
+// freeing it under readers. Plain mutation (MutableRow/Set/mutable_data)
+// remains build-time only.
 
 #ifndef HYBRIDLSH_UTIL_MATRIX_H_
 #define HYBRIDLSH_UTIL_MATRIX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "util/published_array.h"
 #include "util/status.h"
 
 namespace hybridlsh {
@@ -23,27 +32,68 @@ class FloatMatrix {
   FloatMatrix() = default;
 
   /// Creates a rows x cols matrix of zeros.
-  FloatMatrix(size_t rows, size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
-
-  /// Creates a matrix adopting `data` (size must equal rows*cols).
-  FloatMatrix(size_t rows, size_t cols, std::vector<float> data)
-      : rows_(rows), cols_(cols), data_(std::move(data)) {
-    HLSH_CHECK(data_.size() == rows_ * cols_);
+  FloatMatrix(size_t rows, size_t cols) : cols_(cols) {
+    data_.GrowTo(rows * cols, 0.0f);
+    rows_.store(rows, std::memory_order_relaxed);
   }
 
-  size_t rows() const { return rows_; }
-  size_t cols() const { return cols_; }
-  bool empty() const { return rows_ == 0; }
+  /// Creates a matrix adopting `data` (size must equal rows*cols).
+  FloatMatrix(size_t rows, size_t cols, std::vector<float> data) : cols_(cols) {
+    HLSH_CHECK(data.size() == rows * cols);
+    data_.Assign(data);
+    rows_.store(rows, std::memory_order_relaxed);
+  }
 
-  /// Pointer to the start of row i.
+  // Copies and moves are build/load-time operations (not safe concurrently
+  // with any access to either operand).
+  FloatMatrix(const FloatMatrix& other)
+      : cols_(other.cols_), data_(other.data_) {
+    rows_.store(other.rows(), std::memory_order_relaxed);
+  }
+  FloatMatrix& operator=(const FloatMatrix& other) {
+    if (this != &other) {
+      cols_ = other.cols_;
+      data_ = other.data_;
+      rows_.store(other.rows(), std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  FloatMatrix(FloatMatrix&& other) noexcept
+      : cols_(other.cols_), data_(std::move(other.data_)) {
+    rows_.store(other.rows(), std::memory_order_relaxed);
+    other.rows_.store(0, std::memory_order_relaxed);
+    other.cols_ = 0;
+  }
+  FloatMatrix& operator=(FloatMatrix&& other) noexcept {
+    if (this != &other) {
+      cols_ = other.cols_;
+      data_ = std::move(other.data_);
+      rows_.store(other.rows(), std::memory_order_relaxed);
+      other.rows_.store(0, std::memory_order_relaxed);
+      other.cols_ = 0;
+    }
+    return *this;
+  }
+
+  /// Row count. Monotone under one appending writer; safe from any thread.
+  size_t rows() const { return rows_.load(std::memory_order_relaxed); }
+  /// Row count with acquire ordering: rows below the result are fully
+  /// written and safe to read on this thread.
+  size_t rows_acquire() const {
+    return rows_.load(std::memory_order_acquire);
+  }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows() == 0; }
+
+  /// Pointer to the start of row i. Safe for rows below a bound obtained
+  /// via rows_acquire() or an epoch-published view.
   const float* Row(size_t i) const {
-    HLSH_DCHECK(i < rows_);
+    HLSH_DCHECK(i < rows());
     return data_.data() + i * cols_;
   }
   float* MutableRow(size_t i) {
-    HLSH_DCHECK(i < rows_);
-    return data_.data() + i * cols_;
+    HLSH_DCHECK(i < rows());
+    return data_.mutable_data() + i * cols_;
   }
 
   /// Row i as a span of cols() floats.
@@ -60,16 +110,23 @@ class FloatMatrix {
   }
 
   /// Flat storage (rows*cols floats, row-major).
-  const std::vector<float>& data() const { return data_; }
-  std::vector<float>& mutable_data() { return data_; }
+  std::span<const float> data() const { return data_.span(); }
+
+  /// Pre-allocates capacity for `rows` rows so appends up to that count
+  /// never reallocate (and thus never retire a buffer).
+  void Reserve(size_t rows) { data_.Reserve(rows * cols_); }
+
+  /// Heap bytes of the float storage, retired growth buffers included.
+  size_t MemoryBytes() const { return data_.MemoryBytes(); }
 
   /// Appends one row (span size must equal cols(); sets cols on first row).
+  /// Single-writer: safe concurrently with readers of published rows.
   void AppendRow(std::span<const float> row);
 
  private:
-  size_t rows_ = 0;
+  std::atomic<size_t> rows_{0};
   size_t cols_ = 0;
-  std::vector<float> data_;
+  PublishedArray<float> data_;
 };
 
 }  // namespace util

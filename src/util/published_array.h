@@ -1,0 +1,234 @@
+// Single-writer append-only array with lock-free readers.
+//
+// The concurrent serving core (engine/sharded_engine.h) lets queries run
+// while one writer appends points, norms, tombstone words, and CSR rows.
+// std::vector cannot back any of that: resize() frees the old buffer while
+// a reader may still be walking it, and the (data, size) pair is updated
+// non-atomically. PublishedArray is the minimal replacement:
+//
+//   - Element storage is append-only: slots in [0, size) are immutable once
+//     the size covering them has been published (the writer fills a slot,
+//     then release-stores the new size).
+//   - Growth never invalidates readers: a larger buffer is allocated, the
+//     live prefix is memcpy'd, the read pointer is swapped, and the old
+//     buffer is *retired* (kept alive until destruction) so a reader that
+//     loaded the old pointer keeps dereferencing valid memory. Doubling
+//     bounds total retired memory by the size of the current buffer.
+//   - Readers pair size_acquire() with data(): the acquire load of the size
+//     orders the element reads after the writer's fills, and the acquire
+//     load of the pointer orders them after the grow-time copy (a reader
+//     can observe a buffer swapped after its last size acquire). A reader
+//     whose index bound arrives through some *other* release/acquire edge
+//     (an epoch-published segment view) may load size() relaxed; the edge
+//     already makes the covering elements visible.
+//
+// Exactly one thread may call writer methods at a time (the engine holds a
+// writer mutex); reader methods are safe from any thread concurrently with
+// the writer. T must be trivially copyable.
+
+#ifndef HYBRIDLSH_UTIL_PUBLISHED_ARRAY_H_
+#define HYBRIDLSH_UTIL_PUBLISHED_ARRAY_H_
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace util {
+
+template <typename T>
+class PublishedArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "PublishedArray elements are grown with memcpy");
+
+ public:
+  PublishedArray() = default;
+
+  /// Creates an array of `n` copies of `fill`.
+  explicit PublishedArray(size_t n, T fill = T{}) {
+    Reserve(n);
+    for (size_t i = 0; i < n; ++i) buf_[i] = fill;
+    Publish(n);
+  }
+
+  // Copies and moves are build/load-time operations: they must not run
+  // concurrently with any access to either operand. Copies drop the
+  // retired buffers (no reader can hold them by precondition).
+  PublishedArray(const PublishedArray& other) { CopyFrom(other); }
+  PublishedArray& operator=(const PublishedArray& other) {
+    if (this != &other) {
+      retired_.clear();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  PublishedArray(PublishedArray&& other) noexcept { MoveFrom(&other); }
+  PublishedArray& operator=(PublishedArray&& other) noexcept {
+    if (this != &other) {
+      retired_.clear();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  // --- Reader surface (any thread). ----------------------------------------
+
+  /// Current storage. Valid for indexes below a size obtained with
+  /// size_acquire(), or below a bound that reached this thread through a
+  /// release/acquire edge published after the covering writer calls.
+  ///
+  /// The load is acquire, pairing with the release store in GrowCapacity:
+  /// a reader may observe a buffer swapped *after* its last size/epoch
+  /// acquire (the pointer is re-read on every call), and only the acquire
+  /// orders that reader's element loads after the writer's grow-time copy
+  /// of the published prefix. Free on x86; cheap everywhere.
+  const T* data() const { return data_.load(std::memory_order_acquire); }
+
+  /// Published element count (no ordering; monotone under one writer).
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Published element count; orders subsequent data()/element reads after
+  /// the writer's fills of slots [0, result).
+  size_t size_acquire() const { return size_.load(std::memory_order_acquire); }
+
+  bool empty() const { return size() == 0; }
+
+  const T& operator[](size_t i) const {
+    HLSH_DCHECK(i < size());
+    return data()[i];
+  }
+
+  /// The published prefix as a span (acquire-ordered size).
+  std::span<const T> span() const {
+    const size_t n = size_acquire();
+    return {data(), n};
+  }
+
+  /// Heap bytes currently allocated, including retired buffers. Safe to
+  /// read concurrently with the writer (memory accounting).
+  size_t MemoryBytes() const {
+    return alloc_bytes_.load(std::memory_order_relaxed);
+  }
+
+  // --- Writer surface (one thread, serialized externally). ------------------
+
+  /// Ensures capacity for at least `n` elements without publishing them.
+  /// Growth past the current capacity retires the old buffer.
+  void Reserve(size_t n) {
+    if (n > cap_) GrowCapacity(n);
+  }
+
+  size_t capacity() const { return cap_; }
+
+  /// Appends one element and publishes the new size (release).
+  void PushBack(const T& value) {
+    const size_t n = size_.load(std::memory_order_relaxed);
+    Reserve(n + 1);
+    buf_[n] = value;
+    Publish(n + 1);
+  }
+
+  /// Appends `count` elements and publishes once (release).
+  void Append(const T* src, size_t count) {
+    const size_t n = size_.load(std::memory_order_relaxed);
+    Reserve(n + count);
+    if (count > 0) std::memcpy(buf_.get() + n, src, count * sizeof(T));
+    Publish(n + count);
+  }
+
+  /// Extends to `n` elements filled with `fill`; no-op if already that
+  /// large. Publishes once (release).
+  void GrowTo(size_t n, T fill = T{}) {
+    const size_t old = size_.load(std::memory_order_relaxed);
+    if (n <= old) return;
+    Reserve(n);
+    for (size_t i = old; i < n; ++i) buf_[i] = fill;
+    Publish(n);
+  }
+
+  /// Replaces the contents wholesale. Only valid while no reader is active
+  /// (build and snapshot-load paths): the size may shrink, and published
+  /// slots are overwritten in place.
+  void Assign(std::span<const T> values) {
+    Reserve(values.size());
+    if (!values.empty()) {
+      std::memcpy(buf_.get(), values.data(), values.size() * sizeof(T));
+    }
+    Publish(values.size());
+  }
+
+  /// Direct writable storage. In-place writes to slots that are already
+  /// published are NOT safe under concurrent readers; this is for
+  /// thread-private scratch (util::VisitedSet) and build-time fills.
+  T* mutable_data() { return buf_.get(); }
+
+ private:
+  void Publish(size_t n) { size_.store(n, std::memory_order_release); }
+
+  void GrowCapacity(size_t need) {
+    size_t cap = cap_ < 8 ? 8 : cap_;
+    while (cap < need) cap *= 2;
+    std::unique_ptr<T[]> grown(new T[cap]);
+    const size_t n = size_.load(std::memory_order_relaxed);
+    if (n > 0) std::memcpy(grown.get(), buf_.get(), n * sizeof(T));
+    if (buf_ != nullptr) retired_.push_back(std::move(buf_));
+    buf_ = std::move(grown);
+    cap_ = cap;
+    // Pointer swap before any size publication that depends on the new
+    // capacity; readers reach the new pointer through the same
+    // release/acquire edge that publishes the larger size.
+    data_.store(buf_.get(), std::memory_order_release);
+    alloc_bytes_.store(alloc_bytes_.load(std::memory_order_relaxed) +
+                           cap * sizeof(T),
+                       std::memory_order_relaxed);
+  }
+
+  void CopyFrom(const PublishedArray& other) {
+    const size_t n = other.size();
+    cap_ = 0;
+    buf_.reset();
+    alloc_bytes_.store(0, std::memory_order_relaxed);
+    data_.store(nullptr, std::memory_order_relaxed);
+    size_.store(0, std::memory_order_relaxed);
+    if (n > 0) {
+      GrowCapacity(n);
+      std::memcpy(buf_.get(), other.data(), n * sizeof(T));
+    }
+    Publish(n);
+  }
+
+  void MoveFrom(PublishedArray* other) {
+    buf_ = std::move(other->buf_);
+    cap_ = other->cap_;
+    retired_ = std::move(other->retired_);
+    data_.store(other->data_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    size_.store(other->size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    alloc_bytes_.store(other->alloc_bytes_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    other->cap_ = 0;
+    other->data_.store(nullptr, std::memory_order_relaxed);
+    other->size_.store(0, std::memory_order_relaxed);
+    other->alloc_bytes_.store(0, std::memory_order_relaxed);
+  }
+
+  std::unique_ptr<T[]> buf_;  // writer's current buffer
+  size_t cap_ = 0;
+  // Buffers superseded by growth; freed only at destruction so stale
+  // readers stay valid. Doubling keeps their total below cap_ * sizeof(T).
+  std::vector<std::unique_ptr<T[]>> retired_;
+  std::atomic<const T*> data_{nullptr};
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> alloc_bytes_{0};
+};
+
+}  // namespace util
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_UTIL_PUBLISHED_ARRAY_H_

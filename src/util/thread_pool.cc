@@ -37,6 +37,39 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
 }
 
+size_t ThreadPool::pending() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+  HLSH_CHECK(pool != nullptr);
+}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    task();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--outstanding_ == 0) done_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+size_t TaskGroup::outstanding() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -96,26 +129,17 @@ void ParallelForOn(ThreadPool* pool, size_t begin, size_t end,
 
   // Private completion latch: pool->Wait() would also wait on unrelated
   // tasks from other callers sharing the pool.
-  std::mutex mu;
-  std::condition_variable done;
-  size_t remaining = 0;
+  TaskGroup group(pool);
   const size_t chunk = (count + chunks - 1) / chunks;
   for (size_t t = 0; t < chunks; ++t) {
     const size_t lo = begin + t * chunk;
     const size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      ++remaining;
-    }
-    pool->Submit([lo, hi, &fn, &mu, &done, &remaining] {
+    group.Submit([lo, hi, &fn] {
       for (size_t i = lo; i < hi; ++i) fn(i);
-      std::unique_lock<std::mutex> lock(mu);
-      if (--remaining == 0) done.notify_all();
     });
   }
-  std::unique_lock<std::mutex> lock(mu);
-  done.wait(lock, [&remaining] { return remaining == 0; });
+  group.Wait();
 }
 
 }  // namespace util

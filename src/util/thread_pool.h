@@ -42,16 +42,53 @@ class ThreadPool {
   /// Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks queued but not yet started (approximate; for rate limiting and
+  /// observability, not synchronization).
+  size_t pending() const;
+
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   std::queue<std::function<void()>> tasks_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// Counts a related set of tasks on a shared pool and lets the submitter
+/// wait for exactly those tasks — pool->Wait() would also wait on unrelated
+/// callers' work. The engine uses one long-lived group per concern (e.g.
+/// background segment maintenance) and Wait() as its drain barrier before
+/// snapshots and shutdown; ParallelForOn uses a short-lived group as its
+/// completion latch.
+///
+/// Submit may race with tasks finishing; Wait blocks until the count of
+/// submitted-but-unfinished tasks reaches zero. The destructor waits.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `task` on the pool, tracked by this group.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Submitted-but-unfinished task count (approximate).
+  size_t outstanding() const;
+
+ private:
+  ThreadPool* pool_;
+  mutable std::mutex mu_;
+  std::condition_variable done_;
+  size_t outstanding_ = 0;
 };
 
 /// Runs fn(i) for i in [begin, end) across up to `num_threads` threads in

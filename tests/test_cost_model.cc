@@ -43,6 +43,24 @@ TEST(CostModelTest, DecisionBoundary) {
   EXPECT_GT(model.LshCost(5000, 700), model.LinearCost(1000));
 }
 
+TEST(CostModelTest, LiveStatsFraction) {
+  EXPECT_EQ((LiveStats{75, 100}).fraction(), 0.75);
+  EXPECT_EQ((LiveStats{100, 100}).fraction(), 1.0);
+  EXPECT_EQ((LiveStats{0, 100}).fraction(), 0.0);
+  // Empty index: no correction (fraction 1.0), never a divide by zero.
+  EXPECT_EQ((LiveStats{0, 0}).fraction(), 1.0);
+}
+
+TEST(CostModelTest, CorrectedLshCostFromLiveStatsMatchesFractionForm) {
+  const CostModel model{1.0, 10.0};
+  const LiveStats live{60, 80};  // fraction 0.75
+  EXPECT_EQ(model.CorrectedLshCost(500, 120.0, live),
+            model.CorrectedLshCost(500, 120.0, live.fraction()));
+  // No tombstones: the coherent overload reduces to plain Eq. 1.
+  EXPECT_EQ(model.CorrectedLshCost(500, 120.0, LiveStats{80, 80}),
+            model.LshCost(500, 120.0));
+}
+
 TEST(CostCalibratorTest, AlphaIsPositiveAndSmall) {
   const auto alpha = CostCalibrator::MeasureAlpha(100000, 200000, 1);
   ASSERT_TRUE(alpha.ok());

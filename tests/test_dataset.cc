@@ -217,7 +217,7 @@ TEST(DatasetSerializationTest, DenseRoundTripsWithNormCache) {
   const DenseDataset loaded = RoundTrip(dataset);
   ASSERT_EQ(loaded.size(), dataset.size());
   ASSERT_EQ(loaded.dim(), dataset.dim());
-  EXPECT_EQ(loaded.matrix().data(), dataset.matrix().data());
+  EXPECT_TRUE(std::ranges::equal(loaded.matrix().data(), dataset.matrix().data()));
   // The norm cache travels with the points — no recompute on restore.
   ASSERT_TRUE(loaded.has_norms());
   for (size_t i = 0; i < loaded.size(); ++i) {
@@ -241,7 +241,7 @@ TEST(DatasetSerializationTest, BinaryRoundTrips) {
   const BinaryDataset loaded = RoundTrip(dataset);
   ASSERT_EQ(loaded.size(), 3u);
   EXPECT_EQ(loaded.width_bits(), 96u);
-  EXPECT_EQ(loaded.words(), dataset.words());
+  EXPECT_TRUE(std::ranges::equal(loaded.words(), dataset.words()));
 }
 
 TEST(DatasetSerializationTest, SparseRoundTrips) {

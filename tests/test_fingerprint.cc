@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "data/metric.h"
 #include "data/synthetic.h"
 #include "util/random.h"
@@ -27,7 +29,7 @@ TEST(FingerprinterTest, ShapeAndDeterminism) {
   auto a = fp.Transform(dataset);
   auto b = fp.Transform(dataset);
   ASSERT_TRUE(a.ok() && b.ok());
-  EXPECT_EQ(a->words(), b->words());
+  EXPECT_TRUE(std::ranges::equal(a->words(), b->words()));
   EXPECT_EQ(a->size(), 50u);
   EXPECT_EQ(a->width_bits(), 64u);
 }
@@ -37,7 +39,7 @@ TEST(FingerprinterTest, DifferentSeedsGiveDifferentCodes) {
   auto a = Fingerprinter(20, 64, 1).Transform(dataset);
   auto b = Fingerprinter(20, 64, 2).Transform(dataset);
   ASSERT_TRUE(a.ok() && b.ok());
-  EXPECT_NE(a->words(), b->words());
+  EXPECT_FALSE(std::ranges::equal(a->words(), b->words()));
 }
 
 TEST(FingerprinterTest, RejectsDimensionMismatch) {

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "data/synthetic.h"
 
 namespace hybridlsh {
@@ -37,7 +39,7 @@ TEST_F(IoTest, FvecsRoundTrip) {
   ASSERT_TRUE(restored.ok());
   ASSERT_EQ(restored->size(), original.size());
   ASSERT_EQ(restored->dim(), original.dim());
-  EXPECT_EQ(restored->matrix().data(), original.matrix().data());
+  EXPECT_TRUE(std::ranges::equal(restored->matrix().data(), original.matrix().data()));
 }
 
 TEST_F(IoTest, FvecsMissingFileIsNotFound) {
@@ -169,7 +171,7 @@ TEST_F(IoTest, CodesRoundTrip) {
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->size(), 30u);
   EXPECT_EQ(restored->width_bits(), 96u);
-  EXPECT_EQ(restored->words(), original.words());
+  EXPECT_TRUE(std::ranges::equal(restored->words(), original.words()));
 }
 
 TEST_F(IoTest, CodesTruncatedIsDataLoss) {

@@ -384,16 +384,15 @@ TEST(DenseNormCacheTest, PrecomputeAndInvalidate) {
     EXPECT_FLOAT_EQ(dataset.norm(i), data::Norm(dataset.point(i), 16));
   }
 
-  // Append invalidates...
+  // Append keeps a current cache warm by computing the new point's norm in
+  // step (the serving engine relies on this under live ingest)...
   const std::vector<float> extra(16, 0.5f);
   dataset.Append(extra);
-  EXPECT_FALSE(dataset.has_norms());
-  dataset.PrecomputeNorms();
-  EXPECT_TRUE(dataset.has_norms());
+  ASSERT_TRUE(dataset.has_norms());
   EXPECT_FLOAT_EQ(dataset.norm(dataset.size() - 1),
                   data::Norm(extra.data(), 16));
 
-  // ...and so does any mutable access.
+  // ...but any in-place mutable access invalidates.
   dataset.mutable_point(0)[0] += 1.0f;
   EXPECT_FALSE(dataset.has_norms());
   dataset.PrecomputeNorms();

@@ -33,7 +33,7 @@ TEST(GaussianMixtureTest, DeterministicInSeed) {
   config.seed = 7;
   const DenseDataset a = MakeGaussianMixture(config);
   const DenseDataset b = MakeGaussianMixture(config);
-  EXPECT_EQ(a.matrix().data(), b.matrix().data());
+  EXPECT_TRUE(std::ranges::equal(a.matrix().data(), b.matrix().data()));
 }
 
 TEST(GaussianMixtureTest, DifferentSeedsDiffer) {
@@ -44,7 +44,7 @@ TEST(GaussianMixtureTest, DifferentSeedsDiffer) {
   const DenseDataset a = MakeGaussianMixture(config);
   config.seed = 2;
   const DenseDataset b = MakeGaussianMixture(config);
-  EXPECT_NE(a.matrix().data(), b.matrix().data());
+  EXPECT_FALSE(std::ranges::equal(a.matrix().data(), b.matrix().data()));
 }
 
 TEST(GaussianMixtureTest, SkewProducesUnevenClusters) {

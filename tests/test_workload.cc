@@ -44,7 +44,7 @@ TEST(SplitQueriesTest, DeterministicInSeed) {
   const DenseDataset dataset = MakeUniformCube(100, 3, 1);
   const DenseSplit a = SplitQueries(dataset, 20, 5);
   const DenseSplit b = SplitQueries(dataset, 20, 5);
-  EXPECT_EQ(a.queries.matrix().data(), b.queries.matrix().data());
+  EXPECT_TRUE(std::ranges::equal(a.queries.matrix().data(), b.queries.matrix().data()));
 }
 
 TEST(SplitQueriesBinaryTest, SizesAddUp) {
