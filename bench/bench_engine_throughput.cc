@@ -12,7 +12,9 @@
 // Comment lines (starting with '#') carry the human-readable context and
 // are not part of the JSON stream.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "engine/search_engine.h"
@@ -42,6 +44,10 @@ int main(int argc, char** argv) {
   std::printf("# n=%zu batch=%zu d=32 L=50 k=7 radius=%.2f beta/alpha=6\n",
               split.base.size(), batch.size(), radius);
 
+  // The quantized dimension brackets the int8 verification tier: identical
+  // results either way (the screen rescores borderline candidates with the
+  // exact float kernels), so the row pair isolates the verify-path cost.
+  for (const bool quantized : {true, false}) {
   for (size_t num_shards : {1, 2, 4, 8}) {
     for (size_t num_threads : {1, 2, 4, 8}) {
       engine::EngineOptions options;
@@ -52,16 +58,28 @@ int main(int argc, char** argv) {
       options.radius = radius;  // w = 2r
       options.seed = 313;
       options.searcher.cost_model = core::CostModel::FromRatio(6.0);
+      options.quantized_verify = quantized;
 
       auto built = engine::BuildEngine(data::Metric::kL2, &split.base, options);
       HLSH_CHECK(built.ok());
       engine::SearchEngine& engine = **built;
 
-      // Warmup pass (allocates per-worker scratch), then the timed pass.
+      // Warmup pass (allocates per-worker scratch), then three timed
+      // passes keeping the median wall time — the committed QPS rows gate
+      // CI at a 30% threshold, so a single run's scheduler hiccup must not
+      // become the baseline.
       HLSH_CHECK(engine.QueryBatch(batch, radius).ok());
-      double wall_seconds = 0;
-      auto results = engine.QueryBatch(batch, radius, &wall_seconds);
-      HLSH_CHECK(results.ok());
+      std::vector<double> walls;
+      util::StatusOr<std::vector<engine::ShardedBatchResult>> results =
+          engine.QueryBatch(batch, radius);
+      for (int run = 0; run < 3; ++run) {
+        double run_seconds = 0;
+        results = engine.QueryBatch(batch, radius, &run_seconds);
+        HLSH_CHECK(results.ok());
+        walls.push_back(run_seconds);
+      }
+      std::sort(walls.begin(), walls.end());
+      const double wall_seconds = walls[walls.size() / 2];
 
       size_t lsh_shards = 0, linear_shards = 0;
       double total_output = 0;
@@ -77,15 +95,17 @@ int main(int argc, char** argv) {
       std::printf(
           "{\"bench\":\"engine_throughput\",\"metric\":\"L2\","
           "\"n\":%zu,\"dim\":32,\"batch\":%zu,\"radius\":%.2f,"
-          "\"shards\":%zu,\"threads\":%zu,"
+          "\"shards\":%zu,\"threads\":%zu,\"quantized\":%s,"
           "\"build_seconds\":%.4f,\"wall_seconds\":%.4f,\"qps\":%.1f,"
           "\"avg_output\":%.1f,\"pct_linear_shards\":%.1f}\n",
           split.base.size(), results->size(), radius, num_shards, num_threads,
-          engine.stats().build_seconds, wall_seconds, qps,
+          quantized ? "true" : "false", engine.stats().build_seconds,
+          wall_seconds, qps,
           total_output / static_cast<double>(results->size()),
           100.0 * static_cast<double>(linear_shards) /
               static_cast<double>(lsh_shards + linear_shards));
     }
+  }
   }
   return 0;
 }

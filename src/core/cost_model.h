@@ -54,19 +54,40 @@ struct LiveStats {
 struct CostModel {
   /// Average cost of removing one duplicate (a VisitedSet insert).
   double alpha = 1.0;
-  /// Average cost of one distance computation.
+  /// Average cost of one EXACT distance computation (the float kernels).
   double beta = 10.0;
+
+  /// Quantized-verification split of the per-candidate cost. Under the
+  /// int8 screen (engine option quantized_verify) every candidate pays a
+  /// cheap screen pass and only the borderline fraction pays the full
+  /// float32 rescore, so the effective per-candidate verification cost is
+  ///
+  ///     VerifyBeta() = beta_screen + rescore_fraction * beta.
+  ///
+  /// The defaults (0, 1) reproduce the single-beta model exactly — the
+  /// decision arithmetic is unchanged unless a caller installs a split
+  /// (the engine never does so silently, which keeps quantized-on and
+  /// quantized-off strategy decisions — and thus LSH candidate sets —
+  /// identical). Both strategies verify through the same screen, so
+  /// VerifyBeta() replaces beta in Eq. 1, Eq. 2, and the tombstone
+  /// correction alike; the decision stays exact either way, only its
+  /// LSH-vs-linear pick shifts with the cheaper verify.
+  double beta_screen = 0.0;
+  double rescore_fraction = 1.0;
+
+  /// Effective cost of verifying one candidate (screen + expected rescore).
+  double VerifyBeta() const { return beta_screen + rescore_fraction * beta; }
 
   /// Eq. 1. `cand_size` may be the HLL estimate (query time) or the exact
   /// distinct count (analysis).
   double LshCost(uint64_t collisions, double cand_size) const {
-    return alpha * static_cast<double>(collisions) + beta * cand_size;
+    return alpha * static_cast<double>(collisions) + VerifyBeta() * cand_size;
   }
 
   /// Eq. 2. For a segmented index n is the LIVE point count: the linear
   /// path iterates live ids only, so tombstoned points cost nothing there.
   double LinearCost(size_t n) const {
-    return beta * static_cast<double>(n);
+    return VerifyBeta() * static_cast<double>(n);
   }
 
   /// Tombstone correction for segmented indexes (engine/segmented_index.h).
@@ -76,7 +97,7 @@ struct CostModel {
   /// whose alpha cost is already fully counted in #collisions). Subtract
   /// this from LshCost before comparing against LinearCost(live_n).
   double TombstoneCorrection(double cand_size, double live_fraction) const {
-    return beta * cand_size * (1.0 - live_fraction);
+    return VerifyBeta() * cand_size * (1.0 - live_fraction);
   }
 
   /// The LSH side of the hybrid decision with the tombstone correction

@@ -295,6 +295,442 @@ __attribute__((target("avx2"))) float CosineAvx2(const float* a,
 
 #endif  // HLSH_SIMD_X86
 
+// --- Int8 screen kernels. ---------------------------------------------------
+// Integer sums are exact in any order, so tiers agree bit-for-bit by
+// construction; no canonical-lane choreography needed. Overflow is bounded
+// by data::QuantizedMirror::kMaxDim (elements <= 254^2 per product).
+
+int32_t Int8L1Scalar(const int8_t* a, const int8_t* b, size_t d) {
+  int32_t sum = 0;
+  for (size_t i = 0; i < d; ++i) {
+    const int32_t diff = static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]);
+    sum += diff < 0 ? -diff : diff;
+  }
+  return sum;
+}
+
+int32_t Int8L2SqScalar(const int8_t* a, const int8_t* b, size_t d) {
+  int32_t sum = 0;
+  for (size_t i = 0; i < d; ++i) {
+    const int32_t diff = static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+int32_t Int8DotScalar(const int8_t* a, const int8_t* b, size_t d) {
+  int32_t sum = 0;
+  for (size_t i = 0; i < d; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+#if defined(HLSH_SIMD_X86)
+
+// L1 tiers ride PSADBW: xor with 0x80 biases signed bytes to unsigned
+// without changing differences, and the sum-of-absolute-differences unit
+// folds 8 bytes per 64-bit lane in one instruction.
+
+__attribute__((target("sse2"))) int32_t Int8L1Sse2(const int8_t* a,
+                                                   const int8_t* b, size_t d) {
+  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  __m128i acc = _mm_setzero_si128();  // two u64 partial sums
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m128i x = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)), bias);
+    const __m128i y = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)), bias);
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(x, y));
+  }
+  int32_t sum =
+      _mm_cvtsi128_si32(_mm_add_epi64(acc, _mm_srli_si128(acc, 8)));
+  for (; i < d; ++i) {
+    const int32_t diff = static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]);
+    sum += diff < 0 ? -diff : diff;
+  }
+  return sum;
+}
+
+/// Sign-extends 16 packed int8 into two 8x16 registers (SSE2 has no
+/// PMOVSXBW: interleave into the high byte, then arithmetic-shift down).
+__attribute__((target("sse2"))) inline void SignExtend8To16Sse2(
+    __m128i v, __m128i* lo, __m128i* hi) {
+  const __m128i zero = _mm_setzero_si128();
+  *lo = _mm_srai_epi16(_mm_unpacklo_epi8(zero, v), 8);
+  *hi = _mm_srai_epi16(_mm_unpackhi_epi8(zero, v), 8);
+}
+
+__attribute__((target("sse2"))) inline int32_t ReduceI32Sse2(__m128i acc) {
+  acc = _mm_add_epi32(acc, _mm_srli_si128(acc, 8));
+  acc = _mm_add_epi32(acc, _mm_srli_si128(acc, 4));
+  return _mm_cvtsi128_si32(acc);
+}
+
+__attribute__((target("sse2"))) int32_t Int8L2SqSse2(const int8_t* a,
+                                                     const int8_t* b,
+                                                     size_t d) {
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    __m128i x_lo, x_hi, y_lo, y_hi;
+    SignExtend8To16Sse2(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)), &x_lo, &x_hi);
+    SignExtend8To16Sse2(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)), &y_lo, &y_hi);
+    const __m128i d_lo = _mm_sub_epi16(x_lo, y_lo);
+    const __m128i d_hi = _mm_sub_epi16(x_hi, y_hi);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(d_lo, d_lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(d_hi, d_hi));
+  }
+  int32_t sum = ReduceI32Sse2(acc);
+  for (; i < d; ++i) {
+    const int32_t diff = static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+__attribute__((target("sse2"))) int32_t Int8DotSse2(const int8_t* a,
+                                                    const int8_t* b, size_t d) {
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    __m128i x_lo, x_hi, y_lo, y_hi;
+    SignExtend8To16Sse2(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)), &x_lo, &x_hi);
+    SignExtend8To16Sse2(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)), &y_lo, &y_hi);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(x_lo, y_lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(x_hi, y_hi));
+  }
+  int32_t sum = ReduceI32Sse2(acc);
+  for (; i < d; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) int32_t Int8L1Avx2(const int8_t* a,
+                                                   const int8_t* b, size_t d) {
+  const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+  __m256i acc = _mm256_setzero_si256();  // four u64 partial sums
+  size_t i = 0;
+  for (; i + 32 <= d; i += 32) {
+    const __m256i x = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)), bias);
+    const __m256i y = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)), bias);
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(x, y));
+  }
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                                  _mm256_extracti128_si256(acc, 1));
+  int32_t sum = _mm_cvtsi128_si32(_mm_add_epi64(s, _mm_srli_si128(s, 8)));
+  for (; i < d; ++i) {
+    const int32_t diff = static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]);
+    sum += diff < 0 ? -diff : diff;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) inline int32_t ReduceI32Avx2(__m256i acc) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+  return _mm_cvtsi128_si32(s);
+}
+
+__attribute__((target("avx2"))) int32_t Int8L2SqAvx2(const int8_t* a,
+                                                     const int8_t* b,
+                                                     size_t d) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= d; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i d_lo =
+        _mm256_sub_epi16(_mm256_cvtepi8_epi16(_mm256_castsi256_si128(x)),
+                         _mm256_cvtepi8_epi16(_mm256_castsi256_si128(y)));
+    const __m256i d_hi =
+        _mm256_sub_epi16(_mm256_cvtepi8_epi16(_mm256_extracti128_si256(x, 1)),
+                         _mm256_cvtepi8_epi16(_mm256_extracti128_si256(y, 1)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d_lo, d_lo));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d_hi, d_hi));
+  }
+  int32_t sum = ReduceI32Avx2(acc);
+  for (; i < d; ++i) {
+    const int32_t diff = static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) int32_t Int8DotAvx2(const int8_t* a,
+                                                    const int8_t* b, size_t d) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= d; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi32(
+        acc,
+        _mm256_madd_epi16(_mm256_cvtepi8_epi16(_mm256_castsi256_si128(x)),
+                          _mm256_cvtepi8_epi16(_mm256_castsi256_si128(y))));
+    acc = _mm256_add_epi32(
+        acc, _mm256_madd_epi16(
+                 _mm256_cvtepi8_epi16(_mm256_extracti128_si256(x, 1)),
+                 _mm256_cvtepi8_epi16(_mm256_extracti128_si256(y, 1))));
+  }
+  int32_t sum = ReduceI32Avx2(acc);
+  for (; i < d; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+#endif  // HLSH_SIMD_X86
+
+// Block forms. The screen's candidate rows are a random gather, so every
+// implementation prefetches this many candidates ahead of the one it is
+// summing; the AVX2 tier additionally interleaves two candidates against
+// shared query registers (independent accumulator chains hide the
+// madd/add latency that bounds the pair kernels).
+constexpr size_t kInt8BlockPrefetchAhead = 8;
+
+inline void PrefetchInt8Row(const int8_t* row, size_t bytes) {
+  for (size_t offset = 0; offset < bytes; offset += 64) {
+    __builtin_prefetch(row + offset, /*rw=*/0, /*locality=*/1);
+  }
+}
+
+/// Pair kernel in a prefetching gather loop (the scalar / SSE2 tiers).
+template <int32_t (*Pair)(const int8_t*, const int8_t*, size_t)>
+void Int8BlockGeneric(const int8_t* codes, size_t dim, const uint32_t* ids,
+                      size_t count, const int8_t* query, int32_t* sums) {
+  for (size_t k = 0; k < count; ++k) {
+    if (k + kInt8BlockPrefetchAhead < count) {
+      PrefetchInt8Row(
+          codes + static_cast<size_t>(ids[k + kInt8BlockPrefetchAhead]) * dim,
+          dim);
+    }
+    sums[k] = Pair(codes + static_cast<size_t>(ids[k]) * dim, query, dim);
+  }
+}
+
+#if defined(HLSH_SIMD_X86)
+
+__attribute__((target("avx2"))) void Int8L1BlockAvx2(
+    const int8_t* codes, size_t dim, const uint32_t* ids, size_t count,
+    const int8_t* query, int32_t* sums) {
+  const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+  size_t k = 0;
+  for (; k + 2 <= count; k += 2) {
+    if (k + kInt8BlockPrefetchAhead + 1 < count) {
+      PrefetchInt8Row(
+          codes + static_cast<size_t>(ids[k + kInt8BlockPrefetchAhead]) * dim,
+          dim);
+      PrefetchInt8Row(
+          codes +
+              static_cast<size_t>(ids[k + kInt8BlockPrefetchAhead + 1]) * dim,
+          dim);
+    }
+    const int8_t* a0 = codes + static_cast<size_t>(ids[k]) * dim;
+    const int8_t* a1 = codes + static_cast<size_t>(ids[k + 1]) * dim;
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 32 <= dim; i += 32) {
+      const __m256i y = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(query + i)),
+          bias);
+      const __m256i x0 = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + i)), bias);
+      const __m256i x1 = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + i)), bias);
+      acc0 = _mm256_add_epi64(acc0, _mm256_sad_epu8(x0, y));
+      acc1 = _mm256_add_epi64(acc1, _mm256_sad_epu8(x1, y));
+    }
+    const __m128i s0 = _mm_add_epi64(_mm256_castsi256_si128(acc0),
+                                     _mm256_extracti128_si256(acc0, 1));
+    const __m128i s1 = _mm_add_epi64(_mm256_castsi256_si128(acc1),
+                                     _mm256_extracti128_si256(acc1, 1));
+    int32_t sum0 =
+        _mm_cvtsi128_si32(_mm_add_epi64(s0, _mm_srli_si128(s0, 8)));
+    int32_t sum1 =
+        _mm_cvtsi128_si32(_mm_add_epi64(s1, _mm_srli_si128(s1, 8)));
+    for (; i < dim; ++i) {
+      const int32_t y = query[i];
+      const int32_t d0 = static_cast<int32_t>(a0[i]) - y;
+      const int32_t d1 = static_cast<int32_t>(a1[i]) - y;
+      sum0 += d0 < 0 ? -d0 : d0;
+      sum1 += d1 < 0 ? -d1 : d1;
+    }
+    sums[k] = sum0;
+    sums[k + 1] = sum1;
+  }
+  for (; k < count; ++k) {
+    sums[k] = Int8L1Avx2(codes + static_cast<size_t>(ids[k]) * dim, query, dim);
+  }
+}
+
+__attribute__((target("avx2"))) void Int8L2SqBlockAvx2(
+    const int8_t* codes, size_t dim, const uint32_t* ids, size_t count,
+    const int8_t* query, int32_t* sums) {
+  size_t k = 0;
+  for (; k + 2 <= count; k += 2) {
+    if (k + kInt8BlockPrefetchAhead + 1 < count) {
+      PrefetchInt8Row(
+          codes + static_cast<size_t>(ids[k + kInt8BlockPrefetchAhead]) * dim,
+          dim);
+      PrefetchInt8Row(
+          codes +
+              static_cast<size_t>(ids[k + kInt8BlockPrefetchAhead + 1]) * dim,
+          dim);
+    }
+    const int8_t* a0 = codes + static_cast<size_t>(ids[k]) * dim;
+    const int8_t* a1 = codes + static_cast<size_t>(ids[k + 1]) * dim;
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 32 <= dim; i += 32) {
+      const __m256i y =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(query + i));
+      const __m256i y_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(y));
+      const __m256i y_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(y, 1));
+      const __m256i x0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + i));
+      const __m256i x1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + i));
+      const __m256i d0_lo = _mm256_sub_epi16(
+          _mm256_cvtepi8_epi16(_mm256_castsi256_si128(x0)), y_lo);
+      const __m256i d0_hi = _mm256_sub_epi16(
+          _mm256_cvtepi8_epi16(_mm256_extracti128_si256(x0, 1)), y_hi);
+      const __m256i d1_lo = _mm256_sub_epi16(
+          _mm256_cvtepi8_epi16(_mm256_castsi256_si128(x1)), y_lo);
+      const __m256i d1_hi = _mm256_sub_epi16(
+          _mm256_cvtepi8_epi16(_mm256_extracti128_si256(x1, 1)), y_hi);
+      acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(d0_lo, d0_lo));
+      acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(d0_hi, d0_hi));
+      acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(d1_lo, d1_lo));
+      acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(d1_hi, d1_hi));
+    }
+    int32_t sum0 = ReduceI32Avx2(acc0);
+    int32_t sum1 = ReduceI32Avx2(acc1);
+    for (; i < dim; ++i) {
+      const int32_t y = query[i];
+      const int32_t d0 = static_cast<int32_t>(a0[i]) - y;
+      const int32_t d1 = static_cast<int32_t>(a1[i]) - y;
+      sum0 += d0 * d0;
+      sum1 += d1 * d1;
+    }
+    sums[k] = sum0;
+    sums[k + 1] = sum1;
+  }
+  for (; k < count; ++k) {
+    sums[k] =
+        Int8L2SqAvx2(codes + static_cast<size_t>(ids[k]) * dim, query, dim);
+  }
+}
+
+__attribute__((target("avx2"))) void Int8DotBlockAvx2(
+    const int8_t* codes, size_t dim, const uint32_t* ids, size_t count,
+    const int8_t* query, int32_t* sums) {
+  size_t k = 0;
+  for (; k + 2 <= count; k += 2) {
+    if (k + kInt8BlockPrefetchAhead + 1 < count) {
+      PrefetchInt8Row(
+          codes + static_cast<size_t>(ids[k + kInt8BlockPrefetchAhead]) * dim,
+          dim);
+      PrefetchInt8Row(
+          codes +
+              static_cast<size_t>(ids[k + kInt8BlockPrefetchAhead + 1]) * dim,
+          dim);
+    }
+    const int8_t* a0 = codes + static_cast<size_t>(ids[k]) * dim;
+    const int8_t* a1 = codes + static_cast<size_t>(ids[k + 1]) * dim;
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 32 <= dim; i += 32) {
+      const __m256i y =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(query + i));
+      const __m256i y_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(y));
+      const __m256i y_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(y, 1));
+      const __m256i x0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + i));
+      const __m256i x1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + i));
+      acc0 = _mm256_add_epi32(
+          acc0, _mm256_madd_epi16(
+                    _mm256_cvtepi8_epi16(_mm256_castsi256_si128(x0)), y_lo));
+      acc0 = _mm256_add_epi32(
+          acc0,
+          _mm256_madd_epi16(
+              _mm256_cvtepi8_epi16(_mm256_extracti128_si256(x0, 1)), y_hi));
+      acc1 = _mm256_add_epi32(
+          acc1, _mm256_madd_epi16(
+                    _mm256_cvtepi8_epi16(_mm256_castsi256_si128(x1)), y_lo));
+      acc1 = _mm256_add_epi32(
+          acc1,
+          _mm256_madd_epi16(
+              _mm256_cvtepi8_epi16(_mm256_extracti128_si256(x1, 1)), y_hi));
+    }
+    int32_t sum0 = ReduceI32Avx2(acc0);
+    int32_t sum1 = ReduceI32Avx2(acc1);
+    for (; i < dim; ++i) {
+      const int32_t y = query[i];
+      sum0 += static_cast<int32_t>(a0[i]) * y;
+      sum1 += static_cast<int32_t>(a1[i]) * y;
+    }
+    sums[k] = sum0;
+    sums[k + 1] = sum1;
+  }
+  for (; k < count; ++k) {
+    sums[k] =
+        Int8DotAvx2(codes + static_cast<size_t>(ids[k]) * dim, query, dim);
+  }
+}
+
+#endif  // HLSH_SIMD_X86
+
+const Int8KernelTable kInt8ScalarTable = {
+    .tier = util::simd::Tier::kScalar,
+    .l1 = &Int8L1Scalar,
+    .l2sq = &Int8L2SqScalar,
+    .dot = &Int8DotScalar,
+    .l1_block = &Int8BlockGeneric<&Int8L1Scalar>,
+    .l2sq_block = &Int8BlockGeneric<&Int8L2SqScalar>,
+    .dot_block = &Int8BlockGeneric<&Int8DotScalar>,
+};
+
+#if defined(HLSH_SIMD_X86)
+const Int8KernelTable kInt8Sse2Table = {
+    .tier = util::simd::Tier::kSse2,
+    .l1 = &Int8L1Sse2,
+    .l2sq = &Int8L2SqSse2,
+    .dot = &Int8DotSse2,
+    .l1_block = &Int8BlockGeneric<&Int8L1Sse2>,
+    .l2sq_block = &Int8BlockGeneric<&Int8L2SqSse2>,
+    .dot_block = &Int8BlockGeneric<&Int8DotSse2>,
+};
+
+const Int8KernelTable kInt8Avx2Table = {
+    .tier = util::simd::Tier::kAvx2,
+    .l1 = &Int8L1Avx2,
+    .l2sq = &Int8L2SqAvx2,
+    .dot = &Int8DotAvx2,
+    .l1_block = &Int8L1BlockAvx2,
+    .l2sq_block = &Int8L2SqBlockAvx2,
+    .dot_block = &Int8DotBlockAvx2,
+};
+#endif  // HLSH_SIMD_X86
+
 const KernelTable kScalarTable = {
     .tier = util::simd::Tier::kScalar,
     .l1 = &L1Scalar,
@@ -464,7 +900,27 @@ const KernelTable& KernelsForTier(util::simd::Tier tier) {
 }
 
 const KernelTable& Kernels() {
-  return KernelsForTier(util::simd::ResolvedTier());
+  return KernelsForTier(util::ResolvedSimdTier());
+}
+
+const Int8KernelTable& Int8KernelsForTier(util::simd::Tier tier) {
+#if defined(HLSH_SIMD_X86)
+  switch (std::min(tier, util::simd::MaxSupportedTier())) {
+    case util::simd::Tier::kAvx2:
+      return kInt8Avx2Table;
+    case util::simd::Tier::kSse2:
+      return kInt8Sse2Table;
+    case util::simd::Tier::kScalar:
+      break;
+  }
+#else
+  (void)tier;
+#endif
+  return kInt8ScalarTable;
+}
+
+const Int8KernelTable& Int8Kernels() {
+  return Int8KernelsForTier(util::ResolvedSimdTier());
 }
 
 size_t VerifyBlock(const data::DenseDataset& dataset, data::Metric metric,
@@ -482,6 +938,319 @@ size_t VerifyRange(const data::DenseDataset& dataset, data::Metric metric,
   return VerifyDenseImpl(
       dataset, metric, query, static_cast<size_t>(end - begin),
       [&](size_t j) { return begin + static_cast<uint32_t>(j); }, radius, out);
+}
+
+size_t VerifyBlockQuantized(const data::DenseDataset& dataset,
+                            const data::QuantizedMirror& mirror,
+                            data::Metric metric, const float* query,
+                            std::span<const uint32_t> ids, double radius,
+                            std::vector<uint32_t>* out,
+                            QuantizedScreenStats* stats) {
+  const size_t dim = dataset.dim();
+  const bool cosine = metric == data::Metric::kCosine;
+  if (!mirror.enabled() || mirror.dim() != dim ||
+      (cosine && (!dataset.has_norms() || radius >= 2.0))) {
+    // No screen to run (or, for cosine with radius >= 2, the clamp in
+    // CosineFromParts caps every float distance at 2 and the out-test
+    // would wrongly reject): exact path for everything.
+    return VerifyBlock(dataset, metric, query, ids, radius, out);
+  }
+
+  const double scale = mirror.scale();
+  const double inv_scale = 1.0 / scale;
+
+  // Quantize the query once and measure its quantization error EXACTLY
+  // (the data side is bounded by scale/2 per element; the query side need
+  // not be — out-of-range or non-finite elements clamp to codes whose
+  // error these sums still capture, except NaN, which poisons the sums so
+  // every comparison below fails and every candidate goes borderline).
+  thread_local std::vector<int8_t> qquery;
+  qquery.resize(dim);
+  double query_l1_err = 0.0;  // sum |y - s*qy|
+  double query_l2_err_sq = 0.0;  // sum (y - s*qy)^2
+  double query_norm_sq = 0.0;  // sum y^2 (cosine bound)
+  for (size_t d = 0; d < dim; ++d) {
+    const double y = static_cast<double>(query[d]);
+    long long q = 0;
+    if (std::isfinite(y)) {
+      q = std::llround(y * inv_scale);
+      if (q > 127) q = 127;
+      if (q < -127) q = -127;
+    }
+    qquery[d] = static_cast<int8_t>(q);
+    const double e = y - scale * static_cast<double>(q);
+    query_l1_err += std::fabs(e);
+    query_l2_err_sq += e * e;
+    query_norm_sq += y * y;
+  }
+  const double query_l2_err = std::sqrt(query_l2_err_sq);
+  const double query_norm = std::sqrt(query_norm_sq);
+  if (cosine && !(query_norm > 0.0)) {
+    // A zero (or non-finite) query norm voids every cosine denominator:
+    // nothing can screen, so take the exact path directly.
+    return VerifyBlock(dataset, metric, query, ids, radius, out);
+  }
+
+  // Slack covering the float32 kernels' own rounding: their sums are
+  // within ~dim * 2^-24 relative of exact, so inflating the quantization
+  // band by kFpSlackPerDim * dim (two orders looser) guarantees the
+  // screen's verdict never disagrees with the float kernel's.
+  constexpr double kFpSlackPerDim = 1e-6;
+  const double fp_slack = 1e-7 + kFpSlackPerDim * static_cast<double>(dim);
+  // Data-side quantization error per element is <= scale/2.
+  const double half_l1 = 0.5 * scale * static_cast<double>(dim);
+  const double half_l2 = 0.5 * scale * std::sqrt(static_cast<double>(dim));
+
+  const Int8KernelTable& table = Int8Kernels();
+  const int8_t* qy = qquery.data();
+  const size_t mirror_rows = mirror.size_acquire();
+  const std::span<const float> norms =
+      cosine ? dataset.norms() : std::span<const float>{};
+
+  // Screen verdicts are recorded per candidate position and results are
+  // emitted in a final pass, so *out receives ids in exactly the order
+  // VerifyBlock would have appended them (the linear path's callers rely
+  // on ascending emission; the screen must not reorder).
+  constexpr uint8_t kOut = 0, kIn = 1, kBorderline = 2;
+  thread_local std::vector<uint8_t> verdicts;
+  thread_local std::vector<uint32_t> rescore;
+  thread_local std::vector<uint32_t> rescored_hits;
+  const size_t count = ids.size();
+  verdicts.resize(count);
+  rescore.clear();
+  rescore.reserve(count);
+  rescored_hits.clear();
+  // The L1/L2 verdict predicates are monotone in the int8 kernel sum S, so
+  // the per-candidate double math (sqrt, scale-backs, slack inflation)
+  // folds into two integer cut points found once per call by binary search
+  // over the SAME double predicates: verdicts are identical, but the hot
+  // loop compares one int64 against two constants. Sums are bounded by
+  // dim * 254^2.
+  const int64_t max_sum = static_cast<int64_t>(dim) * 254 * 254;
+  // Largest S in [0, max_sum] where pred holds, -1 if none (pred must be
+  // monotone true -> false in S).
+  const auto last_true = [max_sum](auto pred) -> int64_t {
+    if (!pred(int64_t{0})) return -1;
+    int64_t lo = 0, hi = max_sum;
+    while (lo < hi) {
+      const int64_t mid = lo + (hi - lo + 1) / 2;
+      if (pred(mid)) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  };
+  // Smallest S in [0, max_sum] where pred holds, max_sum + 1 if none (pred
+  // must be monotone false -> true in S).
+  const auto first_true = [max_sum](auto pred) -> int64_t {
+    if (!pred(max_sum)) return max_sum + 1;
+    int64_t lo = 0, hi = max_sum;
+    while (lo < hi) {
+      const int64_t mid = lo + (hi - lo) / 2;
+      if (pred(mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  };
+
+  // Pass 1: pick the screen batch. The COMMON case — every candidate id
+  // below the acquired mirror row count, and no visible exact_only rows
+  // (one relaxed counter load; the writer bumps the counter before
+  // publishing the row) — screens `ids` itself: no copy, no position
+  // indirection, no per-candidate flag gather. Otherwise unmirrorable ids
+  // — a racing reader can hold an id the writer indexed before the mirror
+  // append published, and exact_only rows are outside the calibrated
+  // range — default to borderline, and the rest are gathered with their
+  // positions for one batched kernel call. The mirror's base pointers are
+  // acquire-loaded ONCE: rows below the already-acquired mirror_rows stay
+  // valid across concurrent appends (growth retires, never frees,
+  // superseded buffers).
+  const int8_t* codes = mirror.codes_data();
+  const uint8_t* exact_flags = mirror.exact_only_data();
+  thread_local std::vector<uint32_t> screen_ids;
+  thread_local std::vector<uint32_t> screen_pos;
+  thread_local std::vector<int32_t> sums;
+  bool identity = mirror.exact_only_count() == 0;
+  if (identity) {
+    for (size_t j = 0; j < count; ++j) {
+      if (ids[j] >= mirror_rows) {
+        identity = false;
+        break;
+      }
+    }
+  }
+  const uint32_t* screen_ids_ptr = ids.data();
+  size_t screened_count = count;
+  if (!identity) {
+    screen_ids.clear();
+    screen_pos.clear();
+    for (size_t j = 0; j < count; ++j) {
+      verdicts[j] = kBorderline;
+      const uint32_t id = ids[j];
+      if (id < mirror_rows && exact_flags[id] == 0) {
+        screen_ids.push_back(id);
+        screen_pos.push_back(static_cast<uint32_t>(j));
+      }
+    }
+    screen_ids_ptr = screen_ids.data();
+    screened_count = screen_ids.size();
+  }
+  sums.resize(screened_count);
+
+  // Classifies kernel sums against the two integer cut points. The
+  // identity variant writes all three verdicts (pass 1 skipped the
+  // borderline pre-fill) and collects borderline ids inline — k IS the
+  // candidate position, so the rescore list stays in candidate order,
+  // which the emit merge below requires.
+  const auto classify_cuts = [&](int64_t t_in, int64_t t_out) {
+    if (identity) {
+      for (size_t k = 0; k < screened_count; ++k) {
+        const int64_t s = sums[k];
+        const uint8_t v = s <= t_in ? kIn : (s >= t_out ? kOut : kBorderline);
+        verdicts[k] = v;
+        if (v == kBorderline) rescore.push_back(screen_ids_ptr[k]);
+      }
+    } else {
+      for (size_t k = 0; k < screened_count; ++k) {
+        const int64_t s = sums[k];
+        if (s <= t_in) {
+          verdicts[screen_pos[k]] = kIn;
+        } else if (s >= t_out) {
+          verdicts[screen_pos[k]] = kOut;
+        }
+      }
+    }
+  };
+
+  const double r2 = radius * radius;
+  switch (metric) {
+    case data::Metric::kL2: {
+      const double eps = half_l2 + query_l2_err;
+      const int64_t t_in = last_true([&](int64_t s) {
+        const double hi =
+            scale * std::sqrt(static_cast<double>(s)) + eps;
+        return hi * hi * (1.0 + fp_slack) <= r2;
+      });
+      const int64_t t_out = first_true([&](int64_t s) {
+        const double lo = scale * std::sqrt(static_cast<double>(s)) - eps;
+        return lo > 0.0 && lo * lo * (1.0 - fp_slack) > r2;
+      });
+      table.l2sq_block(codes, dim, screen_ids_ptr, screened_count, qy,
+                       sums.data());
+      classify_cuts(t_in, t_out);
+      break;
+    }
+    case data::Metric::kL1: {
+      const double eps = half_l1 + query_l1_err;
+      const int64_t t_in = last_true([&](int64_t s) {
+        const double v = scale * static_cast<double>(s);
+        return (v + eps) * (1.0 + fp_slack) <= radius;
+      });
+      const int64_t t_out = first_true([&](int64_t s) {
+        const double lo = scale * static_cast<double>(s) - eps;
+        return lo > 0.0 && lo * (1.0 - fp_slack) > radius;
+      });
+      table.l1_block(codes, dim, screen_ids_ptr, screened_count, qy,
+                     sums.data());
+      classify_cuts(t_in, t_out);
+      break;
+    }
+    case data::Metric::kCosine: {
+      // With denom = norms[id] * query_norm > 0, the verdict tests
+      //   in:  1 - dot/denom + (dot_eps + fp*(|dot| + denom))/denom + fp
+      //        <= radius
+      //   out: 1 - dot/denom - (dot_eps + fp*(|dot| + denom))/denom - fp
+      //        > radius
+      // (dot_eps = half_l2*query_norm + (norms[id] + half_l2)*query_l2_err)
+      // multiply through by denom into one fused-multiply form per side;
+      // double rounding of the rearrangement is orders below fp_slack.
+      //   in:  dot - fp*|dot| >= norms[id]*k_in + c0   (and radius >= 0,
+      //        since the float path clamps its distance into [0, 2])
+      //   out: dot + fp*|dot| <  norms[id]*k_out - c0
+      const double s2 = scale * scale;
+      const double c0 = half_l2 * (query_norm + query_l2_err);
+      const double k_in =
+          query_norm * (1.0 + 2.0 * fp_slack - radius) + query_l2_err;
+      const double k_out =
+          query_norm * (1.0 - 2.0 * fp_slack - radius) - query_l2_err;
+      const bool in_possible = radius >= 0.0;
+      table.dot_block(codes, dim, screen_ids_ptr, screened_count, qy,
+                      sums.data());
+      if (identity) {
+        for (size_t k = 0; k < screened_count; ++k) {
+          const double nid = static_cast<double>(norms[screen_ids_ptr[k]]);
+          uint8_t v = kBorderline;  // zero vector: borderline
+          if (nid > 0.0) {
+            const double t = s2 * static_cast<double>(sums[k]);
+            const double ft = fp_slack * std::fabs(t);
+            if (in_possible && t - ft >= nid * k_in + c0) {
+              v = kIn;
+            } else if (t + ft < nid * k_out - c0) {
+              v = kOut;
+            }
+          }
+          verdicts[k] = v;
+          if (v == kBorderline) rescore.push_back(screen_ids_ptr[k]);
+        }
+      } else {
+        for (size_t k = 0; k < screened_count; ++k) {
+          const double nid = static_cast<double>(norms[screen_ids_ptr[k]]);
+          if (!(nid > 0.0)) continue;  // zero vector: borderline
+          const double t = s2 * static_cast<double>(sums[k]);
+          const double ft = fp_slack * std::fabs(t);
+          if (in_possible && t - ft >= nid * k_in + c0) {
+            verdicts[screen_pos[k]] = kIn;
+          } else if (t + ft < nid * k_out - c0) {
+            verdicts[screen_pos[k]] = kOut;
+          }
+        }
+      }
+      break;
+    }
+    default:
+      HLSH_CHECK(false &&
+                 "VerifyBlockQuantized: metric does not apply to dense rows");
+  }
+
+  // Rescore the borderline batch exactly, then emit: rescore is built in
+  // candidate order (inline above for the identity path), so rescored_hits
+  // is a subsequence of rescore (which is a subsequence of ids) and one
+  // forward pointer recovers each borderline candidate's exact verdict in
+  // order.
+  if (!identity) {
+    for (size_t j = 0; j < count; ++j) {
+      if (verdicts[j] == kBorderline) rescore.push_back(ids[j]);
+    }
+  }
+  VerifyBlock(dataset, metric, query, std::span<const uint32_t>(rescore),
+              radius, &rescored_hits);
+  size_t reported = 0;
+  size_t p = 0;
+  size_t definite_in = 0;
+  for (size_t j = 0; j < count; ++j) {
+    if (verdicts[j] == kIn) {
+      out->push_back(ids[j]);
+      ++reported;
+      ++definite_in;
+    } else if (verdicts[j] == kBorderline && p < rescored_hits.size() &&
+               rescored_hits[p] == ids[j]) {
+      out->push_back(ids[j]);
+      ++reported;
+      ++p;
+    }
+  }
+  if (stats != nullptr) {
+    stats->screened += count;
+    stats->definite_in += definite_in;
+    stats->definite_out += count - definite_in - rescore.size();
+    stats->borderline += rescore.size();
+  }
+  return reported;
 }
 
 size_t VerifyBlock(const data::BinaryDataset& dataset, const uint64_t* query,

@@ -48,6 +48,7 @@
 
 #include "data/dataset.h"
 #include "data/metric.h"
+#include "data/quantized.h"
 #include "util/simd.h"
 
 namespace hybridlsh {
@@ -76,12 +77,60 @@ struct KernelTable {
   double (*hll_sum)(const uint8_t* regs, size_t m, size_t* zeros);
 };
 
-/// The kernel table for util::simd::ResolvedTier(). Follows
+/// The kernel table for util::ResolvedSimdTier(). Follows
 /// SetResolvedTierForTest, so tier-equivalence tests can swap mid-process.
 const KernelTable& Kernels();
 
 /// The kernel table for one specific tier (clamped to CPU support).
 const KernelTable& KernelsForTier(util::simd::Tier tier);
+
+// --- Int8 screen kernels (quantized verification). --------------------------
+// Distance sums over int8 codes from a data::QuantizedMirror. All integer:
+// exact in any accumulation order, so every tier returns the same int32 by
+// construction (no canonical-lane contract needed). The caller maps sums
+// back to real distances with the mirror's scale (L1 = scale * l1,
+// L2^2 = scale^2 * l2sq, <a,b> = scale^2 * dot). Sums stay inside int32
+// for dim <= data::QuantizedMirror::kMaxDim.
+
+struct Int8KernelTable {
+  util::simd::Tier tier;
+  /// Sum of |a[i] - b[i]| (AVX2/SSE2: bias-to-unsigned + PSADBW).
+  int32_t (*l1)(const int8_t* a, const int8_t* b, size_t d);
+  /// Sum of (a[i] - b[i])^2 (AVX2/SSE2: sign-extend + VPMADDWD).
+  int32_t (*l2sq)(const int8_t* a, const int8_t* b, size_t d);
+  /// Sum of a[i] * b[i] — the cosine screen composes this with the
+  /// dataset's cached float norms.
+  int32_t (*dot)(const int8_t* a, const int8_t* b, size_t d);
+
+  /// Block forms: sums[k] = the corresponding pair sum between `query`
+  /// and row ids[k] of `codes` (row-major, `dim` int8 per row). One call
+  /// per candidate batch is what the quantized screen runs: it removes
+  /// the per-candidate indirect call, prefetches upcoming rows, and (AVX2)
+  /// interleaves two candidates against shared query registers to hide
+  /// accumulator latency. Sums are bit-identical to the pair kernels.
+  void (*l1_block)(const int8_t* codes, size_t dim, const uint32_t* ids,
+                   size_t count, const int8_t* query, int32_t* sums);
+  void (*l2sq_block)(const int8_t* codes, size_t dim, const uint32_t* ids,
+                     size_t count, const int8_t* query, int32_t* sums);
+  void (*dot_block)(const int8_t* codes, size_t dim, const uint32_t* ids,
+                    size_t count, const int8_t* query, int32_t* sums);
+};
+
+/// The int8 table for util::ResolvedSimdTier() (same dispatch and test
+/// override as Kernels()).
+const Int8KernelTable& Int8Kernels();
+
+/// The int8 table for one specific tier (clamped to CPU support).
+const Int8KernelTable& Int8KernelsForTier(util::simd::Tier tier);
+
+/// Outcome counters for one quantized verification call (optional; tests
+/// and benches use them to show the screen actually classifies).
+struct QuantizedScreenStats {
+  size_t screened = 0;      ///< candidates the int8 screen classified
+  size_t definite_in = 0;   ///< reported without touching float rows
+  size_t definite_out = 0;  ///< rejected without touching float rows
+  size_t borderline = 0;    ///< rescored with the exact float kernels
+};
 
 // --- Block-batched verification. -------------------------------------------
 // Each call appends every id whose distance to `query` is <= radius to
@@ -100,6 +149,32 @@ size_t VerifyBlock(const data::DenseDataset& dataset, data::Metric metric,
 size_t VerifyRange(const data::DenseDataset& dataset, data::Metric metric,
                    const float* query, uint32_t begin, uint32_t end,
                    double radius, std::vector<uint32_t>* out);
+
+/// Two-phase quantized verification: an int8 screen over the mirror's
+/// codes classifies each candidate as definitely-in / definitely-out /
+/// borderline under a conservative error bound, and only borderline
+/// candidates are rescored with the exact float32 kernels. The appended
+/// output is bit-identical to VerifyBlock's — same ids in the same
+/// (candidate) order — so callers relying on ascending emission from the
+/// linear path see no difference.
+///
+/// The bound: with global scale s, every calibrated element obeys
+/// |x - s*qx| <= s/2 and the query's quantization error is computed
+/// exactly per call, so (e.g. L1) the true distance lies within
+/// dim*s/2 + sum|y - s*qy| of s * screen_sum; the threshold test inflates
+/// that band by a float-rounding slack so the verdict can never disagree
+/// with what the float32 kernel would report. Candidates the bound cannot
+/// cover — rows flagged exact_only, ids at or beyond the mirror's
+/// published size (a racing reader), non-finite queries — fall into the
+/// borderline set. Falls back to VerifyBlock entirely when the mirror is
+/// disabled, the metric is cosine without cached norms, or radius >= 2
+/// under cosine (where clamping breaks the out-test).
+size_t VerifyBlockQuantized(const data::DenseDataset& dataset,
+                            const data::QuantizedMirror& mirror,
+                            data::Metric metric, const float* query,
+                            std::span<const uint32_t> ids, double radius,
+                            std::vector<uint32_t>* out,
+                            QuantizedScreenStats* stats = nullptr);
 
 /// Packed binary codes under Hamming distance.
 size_t VerifyBlock(const data::BinaryDataset& dataset, const uint64_t* query,
@@ -146,6 +221,26 @@ size_t VerifyCandidates(const Index& index, const Dataset& dataset,
     }
     return reported;
   }
+}
+
+/// VerifyCandidates with the quantized screen in front: dense datasets
+/// with a live mirror screen through VerifyBlockQuantized; every other
+/// container (and a null/disabled mirror) takes the exact path unchanged.
+/// The engine's query paths call this with its engine-level mirror.
+template <typename Index, typename Dataset>
+size_t VerifyCandidatesQuantized(const Index& index, const Dataset& dataset,
+                                 const data::QuantizedMirror* mirror,
+                                 typename Index::Point query,
+                                 std::span<const uint32_t> ids, double radius,
+                                 std::vector<uint32_t>* out) {
+  if constexpr (std::is_same_v<Dataset, data::DenseDataset> &&
+                detail::HasFamilyMetric<Index>) {
+    if (mirror != nullptr && mirror->enabled()) {
+      return VerifyBlockQuantized(dataset, *mirror, index.family().metric(),
+                                  query, ids, radius, out);
+    }
+  }
+  return VerifyCandidates(index, dataset, query, ids, radius, out);
 }
 
 /// Verifies the contiguous id range [begin, end) — the static linear-scan

@@ -100,6 +100,12 @@ class DenseDataset {
     return points_;
   }
 
+  /// Heap bytes held by the point storage and norm cache (including
+  /// retired grow buffers). Safe concurrently with the writer.
+  size_t MemoryBytes() const {
+    return points_.MemoryBytes() + norms_.MemoryBytes();
+  }
+
   /// Appends one point (dimension must match; sets dim on first append).
   /// Single-writer: safe concurrently with readers of published points.
   /// When the norm cache is current, the new point's norm is computed and
@@ -218,6 +224,10 @@ class BinaryDataset {
   /// The packed storage (size() * words_per_code() words).
   std::span<const uint64_t> words() const { return words_.span(); }
 
+  /// Heap bytes held by the packed code storage (including retired grow
+  /// buffers). Safe concurrently with the writer.
+  size_t MemoryBytes() const { return words_.MemoryBytes(); }
+
   /// Replaces the packed storage wholesale (bulk-load paths); the word
   /// count must be a multiple of words_per_code(). Build-time only.
   void AdoptWords(std::span<const uint64_t> words) {
@@ -271,6 +281,12 @@ class SparseDataset {
 
   /// Total number of stored ids across all points.
   size_t num_entries() const { return indices_.size(); }
+
+  /// Heap bytes held by the CSR arrays (including retired grow buffers).
+  /// Safe concurrently with the writer.
+  size_t MemoryBytes() const {
+    return indices_.MemoryBytes() + offsets_.MemoryBytes();
+  }
 
  private:
   friend void SaveDataset(const SparseDataset&, util::ByteWriter*);

@@ -1,0 +1,132 @@
+// Int8 quantized mirror of a DenseDataset for screened verification.
+//
+// Candidate verification is memory-bandwidth-bound (BENCH_kernels.json):
+// the float kernels stall on loads, not arithmetic. The mirror stores every
+// dataset row as int8 codes under ONE global symmetric scale
+//
+//   scale = max_i max_d |x[i][d]| / 127,      q = round(x / scale)
+//
+// so the verifier touches 4x fewer bytes per candidate. A single global
+// scale — rather than the per-dimension scales common in ANN quantizers —
+// is deliberate: integer SIMD accumulates sum_d f(qx[d], qy[d]) in one
+// int32 register chain, and only a uniform scale lets that whole sum be
+// mapped back with one multiply (L1 = scale * S1, L2^2 = scale^2 * S2,
+// dot = scale^2 * Sdot), which is what the conservative error bound in
+// core/kernels.cc::VerifyBlockQuantized needs. Per-dimension scales would
+// force the fold-back inside the loop and erase the bandwidth win.
+//
+// Error contract: calibration never clamps — the scale is derived from the
+// data's own maximum, so every calibrated element obeys
+// |x - scale * q| <= scale / 2. Rows appended AFTER calibration may fall
+// outside the calibrated range; those are stored clamped and flagged
+// `exact_only`, and the verifier routes them straight to the exact float
+// rescore (so the bound never has to cover them).
+//
+// Concurrency matches the dataset containers: one writer (the engine's
+// writer mutex) appends rows; readers are lock-free. Codes are published
+// before the row's exact_only flag, and the reader-visible row count is
+// the flag array's acquire-loaded size — a reader that observes row i also
+// observes its codes. Candidate ids at or beyond size_acquire() (a racing
+// reader that saw the index insert before the mirror append) are treated
+// as borderline by the verifier, which keeps results exact.
+
+#ifndef HYBRIDLSH_DATA_QUANTIZED_H_
+#define HYBRIDLSH_DATA_QUANTIZED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "data/dataset.h"
+#include "util/published_array.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace data {
+
+class QuantizedMirror {
+ public:
+  /// Largest mirrored dimensionality: keeps every screen sum (elements
+  /// bounded by 254^2) inside an int32 accumulator.
+  static constexpr size_t kMaxDim = 16384;
+
+  QuantizedMirror() = default;
+
+  /// Calibrates the global scale over `dataset`'s current rows and
+  /// quantizes all of them. Build/load-time only (no concurrent readers).
+  /// Returns a disabled mirror (enabled() == false) when the dataset shape
+  /// is not mirrorable (dim 0 or above kMaxDim).
+  static QuantizedMirror Build(const DenseDataset& dataset);
+
+  /// Whether the mirror holds codes worth screening with. A zero scale
+  /// (all-zero calibration set) keeps the mirror disabled: every screen
+  /// would be borderline anyway.
+  bool enabled() const { return dim_ != 0 && scale_ > 0.0; }
+
+  /// Quantizes one row of `dim()` floats and appends it. Writer-side;
+  /// must be serialized with other writer calls (the engine holds its
+  /// writer mutex). Rows outside the calibrated range (or non-finite) are
+  /// clamped and flagged exact_only.
+  void AppendRow(const float* point);
+
+  size_t dim() const { return dim_; }
+  double scale() const { return scale_; }
+
+  /// Reader-visible row count; orders the covered codes and flags.
+  size_t size_acquire() const { return exact_only_.size_acquire(); }
+  /// Row count without ordering (writer side / tests).
+  size_t size() const { return exact_only_.size(); }
+
+  /// Codes for row `i` (valid below a size from size_acquire()).
+  const int8_t* row(size_t i) const { return codes_.data() + i * dim_; }
+
+  /// True when row `i` must skip the screen and go straight to the exact
+  /// float kernels.
+  bool exact_only(size_t i) const { return exact_only_.data()[i] != 0; }
+
+  /// Number of exact_only rows, loaded AFTER size_acquire(): the writer
+  /// bumps this counter before publishing the row, so a reader that
+  /// observes N rows and then reads 0 here knows none of those N rows is
+  /// flagged — the verifier can skip the per-candidate flag gather.
+  size_t exact_only_count() const {
+    // atomic_ref<const T> lands in C++26; the cast only adds atomicity.
+    return std::atomic_ref<size_t>(const_cast<size_t&>(exact_count_))
+        .load(std::memory_order_relaxed);
+  }
+
+  /// Raw base pointers for a verification loop: one acquire load each,
+  /// hoisted out of the per-candidate path. Rows below a size obtained
+  /// from size_acquire() BEFORE these calls stay valid for the pointers'
+  /// lifetime even across concurrent appends (growth retires, never frees,
+  /// superseded buffers).
+  const int8_t* codes_data() const { return codes_.data(); }
+  const uint8_t* exact_only_data() const { return exact_only_.data(); }
+
+  /// Heap bytes held by codes + flags (including retired grow buffers).
+  size_t MemoryBytes() const {
+    return codes_.MemoryBytes() + exact_only_.MemoryBytes();
+  }
+
+  /// Serializes the mirror (snapshot sidecar). Format: magic, dim, scale,
+  /// row count, codes, flags.
+  void Save(util::ByteWriter* writer) const;
+
+  /// Parses a mirror written by Save. Validates shape against `expect_dim`
+  /// and `expect_rows_max` (the restored dataset's bounds).
+  static util::StatusOr<QuantizedMirror> Load(util::ByteReader* reader,
+                                              size_t expect_dim,
+                                              size_t expect_rows_max);
+
+ private:
+  size_t dim_ = 0;
+  double scale_ = 0.0;
+  size_t exact_count_ = 0;  // accessed via std::atomic_ref
+  util::PublishedArray<int8_t> codes_;       // rows * dim_, row-major
+  util::PublishedArray<uint8_t> exact_only_; // 1 = always rescore exactly
+};
+
+}  // namespace data
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_DATA_QUANTIZED_H_

@@ -42,6 +42,7 @@ typename Engine::Options ToEngineOptions(const EngineOptions& options) {
   engine_options.index.seed = options.seed;
   engine_options.active_seal_threshold = options.active_seal_threshold;
   engine_options.max_sealed_segments = options.max_sealed_segments;
+  engine_options.quantized_verify = options.quantized_verify;
   engine_options.searcher = options.searcher;
   return engine_options;
 }

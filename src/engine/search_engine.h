@@ -68,6 +68,11 @@ struct EngineOptions {
   size_t active_seal_threshold = 4096;
   size_t max_sealed_segments = 4;
 
+  /// Int8 quantized verification tier (dense datasets; see
+  /// ShardedEngine::Options::quantized_verify). false = exact-float
+  /// verification everywhere. Results are identical either way.
+  bool quantized_verify = true;
+
   /// Cost model, multi-probe width, and forced-strategy escape hatch.
   core::SearcherOptions searcher;
 };

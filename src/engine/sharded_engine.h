@@ -75,11 +75,13 @@
 #include "core/hybrid_searcher.h"
 #include "core/kernels.h"
 #include "data/dataset.h"
+#include "data/quantized.h"
 #include "engine/dataset_slice.h"
 #include "engine/segmented_index.h"
 #include "engine/snapshot.h"
 #include "lsh/index.h"
 #include "util/bit_vector.h"
+#include "util/simd.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -119,6 +121,17 @@ struct EngineStats {
   double build_seconds = 0.0;   // wall time of the parallel shard build
   size_t memory_bytes = 0;      // summed over shard indexes
   size_t sketch_bytes = 0;
+  /// Memory accounting, split by what the bytes buy: the point container
+  /// (with its norm cache), the int8 quantized mirror (0 when the screen
+  /// is off or the container is not dense — expect ~dataset_bytes/4 when
+  /// on), and the index structures (segments + tombstones; equals
+  /// memory_bytes, kept under both names for compatibility).
+  size_t dataset_bytes = 0;
+  size_t mirror_bytes = 0;
+  size_t index_bytes = 0;
+  /// Whether the int8 screen is active (a mirror is built and queries
+  /// verify through VerifyBlockQuantized).
+  bool quantized_verify = false;
   /// Instruction-set tier resolved at build ("scalar"/"sse2"/"avx2"). The
   /// kernel dispatch is process-wide (util/simd.h), so every shard and
   /// segment of every engine verifies through the same kernel table.
@@ -158,6 +171,14 @@ class ShardedEngine {
     /// counters are deterministic after every Insert (tests, benches that
     /// measure seal cost on the ingest path).
     bool background_maintenance = true;
+    /// Quantized verification tier (dense datasets only): build an int8
+    /// mirror of the dataset and screen every candidate with integer SIMD
+    /// kernels plus a conservative error bound, rescoring only the
+    /// borderline ones with the exact float kernels. Result sets are
+    /// bit-identical to the all-float path; this knob is the escape hatch
+    /// back to exact-float-everywhere verification. Ignored (no mirror,
+    /// no overhead) for binary and sparse containers.
+    bool quantized_verify = true;
     /// Cost model, multi-probe width, and forced-strategy escape hatch.
     /// The hybrid decision runs per shard with LinearCost(shard_live_n).
     core::SearcherOptions searcher;
@@ -253,12 +274,13 @@ class ShardedEngine {
       if (!status.ok()) return status;
     }
 
+    engine.SetupMirror();
     engine.initial_n_ = n;
     engine.stats_.num_points = n;
     engine.stats_.num_shards = num_shards;
     engine.stats_.num_threads = num_threads;
     engine.stats_.build_seconds = build_timer.ElapsedSeconds();
-    engine.stats_.simd_tier = util::simd::TierName(core::kernels::Kernels().tier);
+    engine.stats_.simd_tier = util::simd::TierName(util::ResolvedSimdTier());
     engine.StartMaintenance();
 
     // Fan-out scratch: one per shard (single-query path). Batch scratch is
@@ -318,7 +340,15 @@ class ShardedEngine {
     const size_t inserted = dataset_->size() - initial_n_;
     Shard& shard = shards_[inserted % shards_.size()];
     auto id = shard.index->Insert(point);
-    if (id.ok()) MaybeScheduleMaintenance(shard.index.get());
+    if (id.ok()) {
+      // Quantize the stored copy of the point (published by the dataset
+      // append inside Insert) so the mirror stays row-for-row with the
+      // dataset. Still under write_mu: the mirror has one writer.
+      if constexpr (std::is_same_v<Dataset, data::DenseDataset>) {
+        if (mirror_ != nullptr) mirror_->AppendRow(dataset_->point(*id));
+      }
+      MaybeScheduleMaintenance(shard.index.get());
+    }
     return id;
   }
 
@@ -487,6 +517,10 @@ class ShardedEngine {
     if (tombstones_ != nullptr) {
       stats.memory_bytes += tombstones_->MemoryBytes();
     }
+    stats.index_bytes = stats.memory_bytes;
+    stats.dataset_bytes = dataset_->MemoryBytes();
+    stats.mirror_bytes = mirror_ != nullptr ? mirror_->MemoryBytes() : 0;
+    stats.quantized_verify = mirror_ != nullptr;
     return stats;
   }
   const Options& options() const { return options_; }
@@ -535,6 +569,13 @@ class ShardedEngine {
       tombstones_->Serialize(&payload);
       HLSH_RETURN_IF_ERROR(
           writer->WriteFile(snapshot::kTombstonesFile, payload.bytes()));
+    }
+    if (mirror_ != nullptr) {
+      // v2 sidecar: the int8 mirror, so a restore skips requantization.
+      util::ByteWriter payload;
+      mirror_->Save(&payload);
+      HLSH_RETURN_IF_ERROR(
+          writer->WriteFile(snapshot::kMirrorFile, payload.bytes()));
     }
     for (size_t s = 0; s < shards_.size(); ++s) {
       util::ByteWriter payload;
@@ -711,12 +752,37 @@ class ShardedEngine {
       if (!status.ok()) return status;
     }
 
+    // Mirror restore: load the v2 sidecar when the snapshot carries one,
+    // else (a v1 snapshot, or one saved with the screen off and re-opened
+    // with it on) requantize from the freshly loaded dataset. Both paths
+    // produce the same mirror — quantization is deterministic.
+    if constexpr (std::is_same_v<Dataset, data::DenseDataset>) {
+      if (engine.options_.quantized_verify) {
+        if (manifest.FindFile(snapshot::kMirrorFile) != nullptr) {
+          auto blob = reader->ReadFile(snapshot::kMirrorFile);
+          if (!blob.ok()) return blob.status();
+          util::ByteReader bytes(blob->payload());
+          auto mirror = data::QuantizedMirror::Load(&bytes, dataset->dim(),
+                                                    dataset->size());
+          if (!mirror.ok()) return mirror.status();
+          HLSH_RETURN_IF_ERROR(bytes.ExpectEnd());
+          if (mirror->size() != dataset->size()) {
+            return util::Status::DataLoss(
+                "snapshot mirror row count mismatches the dataset");
+          }
+          engine.mirror_ =
+              std::make_unique<data::QuantizedMirror>(std::move(*mirror));
+        } else {
+          engine.SetupMirror();
+        }
+      }
+    }
+
     engine.stats_.num_points = manifest.num_points;
     engine.stats_.num_shards = num_shards;
     engine.stats_.num_threads = num_threads;
     engine.stats_.build_seconds = restore_timer.ElapsedSeconds();
-    engine.stats_.simd_tier =
-        util::simd::TierName(core::kernels::Kernels().tier);
+    engine.stats_.simd_tier = util::simd::TierName(util::ResolvedSimdTier());
 
     engine.StartMaintenance();
     engine.fanout_scratch_.reserve(num_shards);
@@ -749,6 +815,10 @@ class ShardedEngine {
     config.probes_per_table = options_.searcher.probes_per_table;
     config.forced_strategy =
         static_cast<uint32_t>(options_.searcher.forced);
+    config.quantized_verify = options_.quantized_verify ? 1 : 0;
+    config.cost_beta_screen = options_.searcher.cost_model.beta_screen;
+    config.cost_rescore_fraction =
+        options_.searcher.cost_model.rescore_fraction;
     return config;
   }
 
@@ -767,9 +837,13 @@ class ShardedEngine {
     options.max_sealed_segments = config.max_sealed_segments;
     options.searcher.cost_model.alpha = config.cost_alpha;
     options.searcher.cost_model.beta = config.cost_beta;
+    options.searcher.cost_model.beta_screen = config.cost_beta_screen;
+    options.searcher.cost_model.rescore_fraction =
+        config.cost_rescore_fraction;
     options.searcher.probes_per_table = config.probes_per_table;
     options.searcher.forced =
         static_cast<core::ForcedStrategy>(config.forced_strategy);
+    options.quantized_verify = config.quantized_verify != 0;
     return options;
   }
 
@@ -786,6 +860,19 @@ class ShardedEngine {
   };
 
   ShardedEngine() : sync_(std::make_unique<EngineSync>()) {}
+
+  /// Builds the int8 mirror over the engine's dataset when the container
+  /// is dense, the option is on, and the data quantizes (non-degenerate
+  /// scale). No-op otherwise — queries then verify all-float, which is the
+  /// same result set either way.
+  void SetupMirror() {
+    if constexpr (std::is_same_v<Dataset, data::DenseDataset>) {
+      if (!options_.quantized_verify) return;
+      auto mirror = data::QuantizedMirror::Build(*dataset_);
+      if (!mirror.enabled()) return;
+      mirror_ = std::make_unique<data::QuantizedMirror>(std::move(mirror));
+    }
+  }
 
   /// Arms deferred maintenance on every shard and spins up the dedicated
   /// one-thread maintenance pool. No-op in inline mode
@@ -923,9 +1010,9 @@ class ShardedEngine {
       st->collisions =
           snap.CollectCandidates(scratch->keys, &scratch->visited);
       st->cand_actual = scratch->visited.size();
-      st->output_size += core::kernels::VerifyCandidates(
-          *shard.index, *dataset_, query, scratch->visited.touched(), radius,
-          out);
+      st->output_size += core::kernels::VerifyCandidatesQuantized(
+          *shard.index, *dataset_, mirror_.get(), query,
+          scratch->visited.touched(), radius, out);
     } else {
       st->strategy = core::Strategy::kLinear;
       ExecuteLinear(shard, snap, query, radius, out, st, scratch);
@@ -948,8 +1035,9 @@ class ShardedEngine {
     // Distance calls.
     scratch->live_ids.clear();
     snap.ForEachLiveId([&](uint32_t id) { scratch->live_ids.push_back(id); });
-    st->output_size += core::kernels::VerifyCandidates(
-        *shard.index, *dataset_, query, scratch->live_ids, radius, out);
+    st->output_size += core::kernels::VerifyCandidatesQuantized(
+        *shard.index, *dataset_, mirror_.get(), query, scratch->live_ids,
+        radius, out);
   }
 
   Options options_;
@@ -960,6 +1048,11 @@ class ShardedEngine {
   std::unique_ptr<util::ThreadPool> pool_;
   // One tombstone bitmap shared by every shard (heap-stable across moves).
   std::unique_ptr<util::BitVector> tombstones_;
+  // Int8 mirror of the (dense) dataset for the quantized screen; null when
+  // the option is off, the container is not dense, or the data does not
+  // quantize. Heap-stable across engine moves; appended under write_mu,
+  // read lock-free by queries through acquire-published row counts.
+  std::unique_ptr<data::QuantizedMirror> mirror_;
   std::vector<Shard> shards_;
   // Background seal/compaction: a dedicated one-thread pool plus its
   // completion latch. Declared after shards_ so destruction drains every

@@ -90,6 +90,11 @@ void Manifest::Serialize(util::ByteWriter* writer) const {
   writer->WriteF64(config.cost_beta);
   writer->WriteU64(config.probes_per_table);
   writer->WriteU32(config.forced_strategy);
+  // v2 config fields sit between the v1 config block and the file list so
+  // the version-gated Parse below can skip them for v1 payloads.
+  writer->WriteU32(config.quantized_verify);
+  writer->WriteF64(config.cost_beta_screen);
+  writer->WriteF64(config.cost_rescore_fraction);
 
   writer->WriteU64(files.size());
   for (const FileEntry& file : files) {
@@ -107,7 +112,8 @@ util::StatusOr<Manifest> Manifest::Parse(util::ByteReader* reader) {
     return util::Status::DataLoss("not a hybridlsh snapshot manifest");
   }
   HLSH_RETURN_IF_ERROR(reader->ReadU32(&manifest.format_version));
-  if (manifest.format_version != kFormatVersion) {
+  if (manifest.format_version < kMinFormatVersion ||
+      manifest.format_version > kFormatVersion) {
     return util::Status::DataLoss("unsupported snapshot format version");
   }
   HLSH_RETURN_IF_ERROR(reader->ReadU32(&manifest.family_tag));
@@ -132,13 +138,24 @@ util::StatusOr<Manifest> Manifest::Parse(util::ByteReader* reader) {
   HLSH_RETURN_IF_ERROR(reader->ReadF64(&config.cost_beta));
   HLSH_RETURN_IF_ERROR(reader->ReadU64(&config.probes_per_table));
   HLSH_RETURN_IF_ERROR(reader->ReadU32(&config.forced_strategy));
+  if (manifest.format_version >= 2) {
+    HLSH_RETURN_IF_ERROR(reader->ReadU32(&config.quantized_verify));
+    HLSH_RETURN_IF_ERROR(reader->ReadF64(&config.cost_beta_screen));
+    HLSH_RETURN_IF_ERROR(reader->ReadF64(&config.cost_rescore_fraction));
+  }
+  // A v1 snapshot predates quantized verification: restore with the
+  // default-on screen and the single-beta cost model (the EngineConfig
+  // initializers), and rebuild the mirror from the dataset at open.
   // Bound the fields that size allocations (shard vectors, thread pool)
   // before any shard payload is validated — same 2^20 cap as num_files,
   // FunctionSet::Load, and SegmentedIndex::LoadFrom.
   constexpr uint64_t kMaxCount = uint64_t{1} << 20;
   if (config.num_shards == 0 || config.num_shards > kMaxCount ||
       config.num_threads > kMaxCount || config.num_tables <= 0 ||
-      config.probes_per_table == 0 || config.forced_strategy > 2) {
+      config.probes_per_table == 0 || config.forced_strategy > 2 ||
+      config.quantized_verify > 1 ||
+      !(config.cost_beta_screen >= 0.0) ||
+      !(config.cost_rescore_fraction >= 0.0)) {
     return util::Status::DataLoss("snapshot manifest has invalid config");
   }
 

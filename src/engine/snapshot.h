@@ -46,13 +46,21 @@ namespace hybridlsh {
 namespace engine {
 namespace snapshot {
 
-inline constexpr uint32_t kFormatVersion = 1;
+/// v1: initial format. v2: adds the quantized-verification fields to the
+/// config block and an optional int8 mirror sidecar (mirror.bin). Readers
+/// accept both: a v1 snapshot restores with the mirror rebuilt from the
+/// dataset instead of loaded (kMinFormatVersion tracks the floor).
+inline constexpr uint32_t kFormatVersion = 2;
+inline constexpr uint32_t kMinFormatVersion = 1;
 
 inline constexpr char kCurrentFile[] = "CURRENT";
 inline constexpr char kManifestFile[] = "MANIFEST";
 inline constexpr char kFunctionsFile[] = "functions.bin";
 inline constexpr char kDatasetFile[] = "dataset.bin";
 inline constexpr char kTombstonesFile[] = "tombstones.bin";
+/// Optional (v2, dense datasets with quantized_verify): the serialized
+/// data::QuantizedMirror sidecar, so a restore skips requantization.
+inline constexpr char kMirrorFile[] = "mirror.bin";
 
 /// "shard-000.bin", "shard-001.bin", ...
 std::string ShardFileName(size_t shard);
@@ -87,6 +95,10 @@ struct EngineConfig {
   double cost_beta = 10.0;
   uint64_t probes_per_table = 1;
   uint32_t forced_strategy = 0;  // core::ForcedStrategy underlying value
+  // --- v2 fields (defaults are what a v1 snapshot restores to). ---
+  uint32_t quantized_verify = 1;  // int8 screen enabled (dense datasets)
+  double cost_beta_screen = 0.0;
+  double cost_rescore_fraction = 1.0;
 };
 
 /// One data file recorded in the manifest.

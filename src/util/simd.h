@@ -35,6 +35,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
+#include <vector>
 
 #if defined(__x86_64__) || defined(__i386__)
 #define HLSH_SIMD_X86 1
@@ -92,13 +93,34 @@ inline bool ParseTier(const char* name, Tier* out) {
   return false;
 }
 
-/// Best tier this CPU can execute.
-inline Tier MaxSupportedTier() {
+namespace detail {
+/// Raw CPUID probe. Callers go through MaxSupportedTier(), which caches
+/// the answer process-wide.
+inline Tier ProbeMaxSupportedTier() {
 #if defined(HLSH_SIMD_X86)
   if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
   if (__builtin_cpu_supports("sse2")) return Tier::kSse2;
 #endif
   return Tier::kScalar;
+}
+}  // namespace detail
+
+/// Best tier this CPU can execute, probed once per process (inline
+/// function static shared by every translation unit).
+inline Tier MaxSupportedTier() {
+  static const Tier tier = detail::ProbeMaxSupportedTier();
+  return tier;
+}
+
+/// Every tier this CPU can execute, ascending ({kScalar, ...}). The one
+/// list tests and benches iterate when forcing each dispatch path.
+inline std::vector<Tier> SupportedTiers() {
+  std::vector<Tier> tiers;
+  const Tier max = MaxSupportedTier();
+  for (int t = 0; t <= static_cast<int>(max); ++t) {
+    tiers.push_back(static_cast<Tier>(t));
+  }
+  return tiers;
 }
 
 namespace detail {
@@ -312,6 +334,16 @@ inline void HllMergeMax(uint8_t* dst, const uint8_t* src, size_t m) {
 }
 
 }  // namespace simd
+
+/// The process-wide SIMD tier, resolved once from HLSH_SIMD + CPUID. This
+/// is the single entry point every dispatch table keys on — the float
+/// kernel table, the int8 screen table, and the HLL register kernels all
+/// read this same cached value, and EngineStats surfaces its name once
+/// per engine. (Alias of simd::ResolvedTier() at the util:: level so
+/// consumers outside the simd details can name it without reaching into
+/// the sub-namespace.)
+inline simd::Tier ResolvedSimdTier() { return simd::ResolvedTier(); }
+
 }  // namespace util
 }  // namespace hybridlsh
 

@@ -43,17 +43,8 @@ class TierGuard {
   Tier saved_;
 };
 
-/// The tiers this CPU can actually run (always includes kScalar).
-std::vector<Tier> SupportedTiers() {
-  std::vector<Tier> tiers = {Tier::kScalar};
-  if (util::simd::MaxSupportedTier() >= Tier::kSse2) {
-    tiers.push_back(Tier::kSse2);
-  }
-  if (util::simd::MaxSupportedTier() >= Tier::kAvx2) {
-    tiers.push_back(Tier::kAvx2);
-  }
-  return tiers;
-}
+/// The tiers this CPU can actually run, scalar first (util/simd.h).
+std::vector<Tier> SupportedTiers() { return util::simd::SupportedTiers(); }
 
 std::vector<float> RandomFloats(size_t n, util::Rng* rng) {
   std::vector<float> v(n);
