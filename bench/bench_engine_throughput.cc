@@ -83,27 +83,42 @@ int main(int argc, char** argv) {
 
       size_t lsh_shards = 0, linear_shards = 0;
       double total_output = 0;
+      double hash_seconds = 0;  // S1 share: once per query, not per shard
       for (const engine::ShardedBatchResult& result : *results) {
         lsh_shards += result.stats.lsh_shards;
         linear_shards += result.stats.linear_shards;
         total_output += static_cast<double>(result.neighbors.size());
+        hash_seconds += result.stats.hash_seconds;
       }
       const double qps =
           wall_seconds > 0
               ? static_cast<double>(results->size()) / wall_seconds
               : 0.0;
+      // Hash-phase breakdown of the batch: mean S1 microseconds per query
+      // (the amortized blocked-kernel plan computation) and its share of
+      // the total per-query work (sum over workers, so it can only shrink
+      // as the hash-once plan replaces per-shard rehashing).
+      const double hash_us_per_query =
+          hash_seconds * 1e6 / static_cast<double>(results->size());
+      const double hash_pct =
+          wall_seconds > 0 ? 100.0 * hash_seconds /
+                                 (wall_seconds * static_cast<double>(
+                                                     engine.num_threads()))
+                           : 0.0;
       std::printf(
           "{\"bench\":\"engine_throughput\",\"metric\":\"L2\","
           "\"n\":%zu,\"dim\":32,\"batch\":%zu,\"radius\":%.2f,"
           "\"shards\":%zu,\"threads\":%zu,\"quantized\":%s,"
           "\"build_seconds\":%.4f,\"wall_seconds\":%.4f,\"qps\":%.1f,"
-          "\"avg_output\":%.1f,\"pct_linear_shards\":%.1f}\n",
+          "\"avg_output\":%.1f,\"pct_linear_shards\":%.1f,"
+          "\"hash_us_per_query\":%.2f,\"hash_pct\":%.2f}\n",
           split.base.size(), results->size(), radius, num_shards, num_threads,
           quantized ? "true" : "false", engine.stats().build_seconds,
           wall_seconds, qps,
           total_output / static_cast<double>(results->size()),
           100.0 * static_cast<double>(linear_shards) /
-              static_cast<double>(lsh_shards + linear_shards));
+              static_cast<double>(lsh_shards + linear_shards),
+          hash_us_per_query, hash_pct);
     }
   }
   }

@@ -7,6 +7,9 @@
 //
 //   {"bench":"kernels","kind":"distance","kernel":"l2sq","tier":"avx2",
 //    "dim":64,"ns_per_distance":3.1}
+//   {"bench":"kernels","kind":"projection","form":"blocked","tier":"avx2",
+//    "dim":64,"k":16,"ns_per_signature":120.0,
+//    "speedup_vs_scalar_single":5.1}
 //   {"bench":"kernels","kind":"hll","op":"merge","tier":"avx2",
 //    "precision":7,"ns_per_op":9.8}
 //   {"bench":"kernels","kind":"verify","metric":"L2","tier":"avx2",
@@ -184,6 +187,77 @@ void BenchHllKernels(size_t reps) {
   }
 }
 
+void BenchProjectionKernels(size_t reps) {
+  // S1 cost per signature (k = 16 projections of one query), per tier and
+  // per kernel form. "single" is the per-query matvec the plan path runs on
+  // Query; "blocked" is the GEMM-shaped multi-query form QueryBatch pushes
+  // whole batches through — same bits, each matrix row streamed once and
+  // served to every query from registers. speedup_vs_scalar_single anchors
+  // every row to the scalar per-query cost at the same dim.
+  constexpr size_t kProjK = 16;
+  constexpr size_t kBatch = 16;
+  util::Rng rng(104);
+  for (const size_t dim : {size_t{64}, size_t{256}, size_t{960}}) {
+    std::vector<float> matrix(kProjK * dim);
+    for (float& x : matrix) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    std::vector<std::vector<float>> queries(kBatch);
+    std::vector<const float*> query_ptrs(kBatch);
+    for (size_t q = 0; q < kBatch; ++q) {
+      queries[q].resize(dim);
+      for (float& x : queries[q]) {
+        x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      }
+      query_ptrs[q] = queries[q].data();
+    }
+    std::vector<float> out(kBatch * kProjK);
+    const size_t rounds = std::max<size_t>(reps / (64 * kBatch), 1);
+
+    double scalar_single_ns = 0.0;
+    for (const util::simd::Tier tier : SupportedTiers()) {
+      const core::kernels::ProjectionKernelTable& table =
+          core::kernels::ProjectionKernelsForTier(tier);
+      const double single_seconds = MinSeconds(5, [&] {
+        float sink = 0;
+        for (size_t r = 0; r < rounds; ++r) {
+          for (size_t q = 0; q < kBatch; ++q) {
+            table.matvec(matrix.data(), kProjK, dim, query_ptrs[q],
+                         out.data() + q * kProjK);
+          }
+          sink += out[r % out.size()];
+        }
+        g_sink_f = g_sink_f + sink;
+      });
+      const double single_ns =
+          single_seconds * 1e9 / static_cast<double>(rounds * kBatch);
+      if (tier == util::simd::Tier::kScalar) scalar_single_ns = single_ns;
+      std::printf(
+          "{\"bench\":\"kernels\",\"kind\":\"projection\",\"form\":\"single\","
+          "\"tier\":\"%s\",\"dim\":%zu,\"k\":%zu,\"ns_per_signature\":%.1f,"
+          "\"speedup_vs_scalar_single\":%.2f}\n",
+          std::string(util::simd::TierName(table.tier)).c_str(), dim, kProjK,
+          single_ns, scalar_single_ns / single_ns);
+
+      const double blocked_seconds = MinSeconds(5, [&] {
+        float sink = 0;
+        for (size_t r = 0; r < rounds; ++r) {
+          table.matvec_block(matrix.data(), kProjK, dim, query_ptrs.data(),
+                             kBatch, out.data());
+          sink += out[r % out.size()];
+        }
+        g_sink_f = g_sink_f + sink;
+      });
+      const double blocked_ns =
+          blocked_seconds * 1e9 / static_cast<double>(rounds * kBatch);
+      std::printf(
+          "{\"bench\":\"kernels\",\"kind\":\"projection\",\"form\":\"blocked\","
+          "\"tier\":\"%s\",\"dim\":%zu,\"k\":%zu,\"ns_per_signature\":%.1f,"
+          "\"speedup_vs_scalar_single\":%.2f}\n",
+          std::string(util::simd::TierName(table.tier)).c_str(), dim, kProjK,
+          blocked_ns, scalar_single_ns / blocked_ns);
+    }
+  }
+}
+
 /// The pre-kernel verification loop: one data/metric.h call per candidate.
 size_t VerifyPerIdScalar(const data::DenseDataset& dataset, data::Metric metric,
                          const float* query, std::span<const uint32_t> ids,
@@ -312,6 +386,7 @@ int main(int argc, char** argv) {
 
   BenchDistanceKernels(kernel_rows, reps);
   BenchHammingKernel(reps);
+  BenchProjectionKernels(reps);
   BenchHllKernels(scale.full ? 400000 : 100000);
 
   // The verify rows deliberately dwarf the last-level cache (quick mode:

@@ -30,6 +30,7 @@
 #include "core/cost_model.h"
 #include "core/kernels.h"
 #include "hll/hyperloglog.h"
+#include "lsh/index.h"
 #include "util/bit_vector.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -66,6 +67,15 @@ struct QueryStats {
   double estimate_seconds = 0.0;
   /// Wall seconds for the whole query (S1 + estimate + execution).
   double total_seconds = 0.0;
+  /// Per-table hash signatures evaluated for this query: L on any path
+  /// that runs S1 (hybrid, forced-LSH), 0 on forced-linear. Under a
+  /// sharded engine the per-shard value is 0 — the engine hashes once and
+  /// every shard walk reuses the plan.
+  uint64_t hash_evals = 0;
+  /// 1 when this query (or shard walk) consumed a precomputed ProbePlan
+  /// instead of rehashing; 0 on the legacy key-buffer path and on
+  /// forced-linear.
+  size_t plan_reuse = 0;
 };
 
 /// Mutually exclusive execution modes (see Query()).
@@ -177,14 +187,15 @@ class HybridSearcher {
       return;
     }
 
-    // S1: bucket keys (home buckets, or the multi-probe sequence).
-    ComputeKeys(query);
+    // S1: the probe plan (or legacy bucket keys) — home buckets plus the
+    // multi-probe sequence.
+    ComputeKeys(query, s);
 
     // Alg. 2 lines 1-2: exact #collisions + candSize estimate via HLLs
     // (summed across segments for a segmented index).
     {
       util::WallTimer estimate_timer;
-      const auto estimate = index_->EstimateProbe(keys_, &merged_);
+      const auto estimate = EstimateNow();
       s->collisions = estimate.collisions;
       s->cand_estimate = estimate.cand_estimate;
       s->estimate_seconds = estimate_timer.ElapsedSeconds();
@@ -219,7 +230,7 @@ class HybridSearcher {
     *s = QueryStats{};
     util::WallTimer total_timer;
     EnsureCapacity();
-    ComputeKeys(query);
+    ComputeKeys(query, s);
     s->strategy = Strategy::kLsh;
     ExecuteLsh(query, radius, out, s);
     s->total_seconds = total_timer.ElapsedSeconds();
@@ -243,9 +254,9 @@ class HybridSearcher {
   QueryStats EstimateOnly(Point query) {
     QueryStats s;
     util::WallTimer total_timer;
-    ComputeKeys(query);
+    ComputeKeys(query, &s);
     util::WallTimer estimate_timer;
-    const auto estimate = index_->EstimateProbe(keys_, &merged_);
+    const auto estimate = EstimateNow();
     s.collisions = estimate.collisions;
     s.cand_estimate = estimate.cand_estimate;
     s.estimate_seconds = estimate_timer.ElapsedSeconds();
@@ -262,8 +273,41 @@ class HybridSearcher {
   const SearcherOptions& options() const { return options_; }
 
  private:
-  void ComputeKeys(Point query) {
-    ComputeProbeKeys(*index_, query, options_.probes_per_table, &keys_);
+  /// Does the index speak the hash-once ProbePlan protocol (lsh/index.h)?
+  /// LshIndex and SegmentedIndex do; CoveringLshIndex stays on the legacy
+  /// key buffer.
+  static constexpr bool kHasPlan =
+      requires(const Index& i, Point p, size_t probes,
+               lsh::PlanScratch* scratch, lsh::ProbePlan* plan,
+               hll::HyperLogLog* merged, util::VisitedSet* visited) {
+        { i.ComputePlan(p, probes, scratch, plan) } -> std::same_as<util::Status>;
+        i.EstimateProbe(*plan, merged);
+        i.CollectCandidates(*plan, visited);
+      };
+
+  /// S1: compute the probe plan (and record the hash accounting), or fall
+  /// back to the flat key buffer for indexes without plan support.
+  void ComputeKeys(Point query, QueryStats* s) {
+    if constexpr (kHasPlan) {
+      HLSH_CHECK(index_
+                     ->ComputePlan(query, options_.probes_per_table,
+                                   &plan_scratch_, &plan_)
+                     .ok());
+      s->hash_evals = plan_.num_tables();
+      s->plan_reuse = 1;
+    } else {
+      ComputeProbeKeys(*index_, query, options_.probes_per_table, &keys_);
+      s->hash_evals = static_cast<uint64_t>(index_->num_tables());
+    }
+  }
+
+  /// Alg. 2 lines 1-2 on whichever probe representation S1 produced.
+  auto EstimateNow() {
+    if constexpr (kHasPlan) {
+      return index_->EstimateProbe(plan_, &merged_);
+    } else {
+      return index_->EstimateProbe(keys_, &merged_);
+    }
   }
 
   // S2 + S3: dedup candidates into the flat touched() buffer, then verify
@@ -271,7 +315,11 @@ class HybridSearcher {
   void ExecuteLsh(Point query, double radius, std::vector<uint32_t>* out,
                   QueryStats* s) {
     visited_.Reset();
-    s->collisions = index_->CollectCandidates(keys_, &visited_);
+    if constexpr (kHasPlan) {
+      s->collisions = index_->CollectCandidates(plan_, &visited_);
+    } else {
+      s->collisions = index_->CollectCandidates(keys_, &visited_);
+    }
     s->cand_actual = visited_.size();
     s->output_size += kernels::VerifyCandidates(
         *index_, *dataset_, query, visited_.touched(), radius, out);
@@ -325,7 +373,9 @@ class HybridSearcher {
   SearcherOptions options_;
   util::VisitedSet visited_;
   hll::HyperLogLog merged_;
-  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> keys_;        // legacy S1 buffer (non-plan indexes)
+  lsh::PlanScratch plan_scratch_;     // hash-once S1 workspace
+  lsh::ProbePlan plan_;               // the query's reusable probe plan
   std::vector<uint32_t> linear_ids_;  // live-id scratch (segmented linear)
 };
 

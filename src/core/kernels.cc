@@ -782,6 +782,225 @@ inline void PrefetchRow(const void* row, size_t bytes) {
   }
 }
 
+// --- Projection kernels (S1 query hashing). ---------------------------------
+// See ProjectionKernelTable in kernels.h. Each (row, query) dot product
+// follows the canonical 8-lane order; the block forms only reorder which
+// pair is computed when, never how a pair accumulates, so single and
+// blocked forms agree bit-exactly across every tier.
+
+/// Matrix rows ahead of the current one to prefetch. Projection matrices
+/// are small (k rows) and walked front to back, so a shallow distance
+/// keeps the next row in flight without evicting the query vector.
+constexpr size_t kProjRowPrefetchAhead = 2;
+
+void ProjectMatvecScalar(const float* matrix, size_t k, size_t dim,
+                         const float* query, float* out) {
+  const size_t row_bytes = dim * sizeof(float);
+  for (size_t i = 0; i < k; ++i) {
+    if (i + kProjRowPrefetchAhead < k) {
+      PrefetchRow(matrix + (i + kProjRowPrefetchAhead) * dim, row_bytes);
+    }
+    out[i] = util::simd::DotF32Scalar(matrix + i * dim, query, dim);
+  }
+}
+
+/// Generic block form over any pair dot kernel: rows outer, queries inner,
+/// so each matrix row is loaded from memory once and served to every query
+/// of the batch from cache (the GEMM-shaped traversal).
+template <float (*Dot)(const float*, const float*, size_t)>
+void ProjectBlockGeneric(const float* matrix, size_t k, size_t dim,
+                         const float* const* queries, size_t count,
+                         float* out) {
+  const size_t row_bytes = dim * sizeof(float);
+  for (size_t i = 0; i < k; ++i) {
+    if (i + kProjRowPrefetchAhead < k) {
+      PrefetchRow(matrix + (i + kProjRowPrefetchAhead) * dim, row_bytes);
+    }
+    const float* row = matrix + i * dim;
+    for (size_t q = 0; q < count; ++q) {
+      out[q * k + i] = Dot(row, queries[q], dim);
+    }
+  }
+}
+
+#if defined(HLSH_SIMD_X86)
+
+__attribute__((target("sse2"))) void ProjectMatvecSse2(const float* matrix,
+                                                       size_t k, size_t dim,
+                                                       const float* query,
+                                                       float* out) {
+  const size_t row_bytes = dim * sizeof(float);
+  for (size_t i = 0; i < k; ++i) {
+    if (i + kProjRowPrefetchAhead < k) {
+      PrefetchRow(matrix + (i + kProjRowPrefetchAhead) * dim, row_bytes);
+    }
+    out[i] = DotSse2(matrix + i * dim, query, dim);
+  }
+}
+
+/// AVX2 matvec: four matrix rows interleave against one pass over the
+/// query. A single canonical-order dot is one add chain (latency-bound at
+/// ~2 elements/cycle regardless of vector width — which is why a naive
+/// AVX2 matvec ties the auto-vectorized scalar tier); four rows give four
+/// independent chains while each row's own accumulation stays in
+/// DotAvx2's exact order, so results remain bit-identical.
+__attribute__((target("avx2"))) void ProjectMatvecAvx2(const float* matrix,
+                                                       size_t k, size_t dim,
+                                                       const float* query,
+                                                       float* out) {
+  const size_t row_bytes = dim * sizeof(float);
+  size_t i = 0;
+  for (; i + 4 <= k; i += 4) {
+    if (i + 4 < k) {
+      const size_t next = i + 4;
+      const size_t stop = next + 4 < k ? next + 4 : k;
+      for (size_t p = next; p < stop; ++p) {
+        PrefetchRow(matrix + p * dim, row_bytes);
+      }
+    }
+    const float* r0 = matrix + i * dim;
+    const float* r1 = matrix + (i + 1) * dim;
+    const float* r2 = matrix + (i + 2) * dim;
+    const float* r3 = matrix + (i + 3) * dim;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    size_t j = 0;
+    for (; j + 8 <= dim; j += 8) {
+      const __m256 q = _mm256_loadu_ps(query + j);
+      acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(q, _mm256_loadu_ps(r0 + j)));
+      acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(q, _mm256_loadu_ps(r1 + j)));
+      acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(q, _mm256_loadu_ps(r2 + j)));
+      acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(q, _mm256_loadu_ps(r3 + j)));
+    }
+    float sum0 = ReduceLanesAvx2(acc0);
+    float sum1 = ReduceLanesAvx2(acc1);
+    float sum2 = ReduceLanesAvx2(acc2);
+    float sum3 = ReduceLanesAvx2(acc3);
+    for (; j < dim; ++j) {
+      const float q = query[j];
+      sum0 += r0[j] * q;
+      sum1 += r1[j] * q;
+      sum2 += r2[j] * q;
+      sum3 += r3[j] * q;
+    }
+    out[i] = sum0;
+    out[i + 1] = sum1;
+    out[i + 2] = sum2;
+    out[i + 3] = sum3;
+  }
+  for (; i < k; ++i) {
+    out[i] = DotAvx2(matrix + i * dim, query, dim);
+  }
+}
+
+/// AVX2 block form: query groups of four outer, matrix rows inner. The
+/// four active queries stay L1-resident while the matrix streams through
+/// once per group, so large-dim batches read each row count/4 times
+/// instead of per-row re-reading every query vector (the dominant L2
+/// traffic when count*dim outgrows L1); the four accumulator chains per
+/// row hide add latency exactly like ProjectMatvecAvx2's row interleave.
+/// Each query keeps its own accumulator register fed in DotAvx2's exact
+/// order, so single and blocked forms agree bitwise.
+__attribute__((target("avx2"))) void ProjectBlockAvx2(
+    const float* matrix, size_t k, size_t dim, const float* const* queries,
+    size_t count, float* out) {
+  const size_t row_bytes = dim * sizeof(float);
+  size_t q = 0;
+  for (; q + 4 <= count; q += 4) {
+    const float* qa = queries[q];
+    const float* qb = queries[q + 1];
+    const float* qc = queries[q + 2];
+    const float* qd = queries[q + 3];
+    for (size_t i = 0; i < k; ++i) {
+      if (i + kProjRowPrefetchAhead < k) {
+        PrefetchRow(matrix + (i + kProjRowPrefetchAhead) * dim, row_bytes);
+      }
+      const float* row = matrix + i * dim;
+      __m256 acc_a = _mm256_setzero_ps();
+      __m256 acc_b = _mm256_setzero_ps();
+      __m256 acc_c = _mm256_setzero_ps();
+      __m256 acc_d = _mm256_setzero_ps();
+      size_t j = 0;
+      for (; j + 8 <= dim; j += 8) {
+        const __m256 r = _mm256_loadu_ps(row + j);
+        acc_a = _mm256_add_ps(acc_a, _mm256_mul_ps(r, _mm256_loadu_ps(qa + j)));
+        acc_b = _mm256_add_ps(acc_b, _mm256_mul_ps(r, _mm256_loadu_ps(qb + j)));
+        acc_c = _mm256_add_ps(acc_c, _mm256_mul_ps(r, _mm256_loadu_ps(qc + j)));
+        acc_d = _mm256_add_ps(acc_d, _mm256_mul_ps(r, _mm256_loadu_ps(qd + j)));
+      }
+      float sum_a = ReduceLanesAvx2(acc_a);
+      float sum_b = ReduceLanesAvx2(acc_b);
+      float sum_c = ReduceLanesAvx2(acc_c);
+      float sum_d = ReduceLanesAvx2(acc_d);
+      for (; j < dim; ++j) {
+        const float r = row[j];
+        sum_a += r * qa[j];
+        sum_b += r * qb[j];
+        sum_c += r * qc[j];
+        sum_d += r * qd[j];
+      }
+      out[q * k + i] = sum_a;
+      out[(q + 1) * k + i] = sum_b;
+      out[(q + 2) * k + i] = sum_c;
+      out[(q + 3) * k + i] = sum_d;
+    }
+  }
+  if (q + 2 <= count) {
+    const float* qa = queries[q];
+    const float* qb = queries[q + 1];
+    for (size_t i = 0; i < k; ++i) {
+      if (i + kProjRowPrefetchAhead < k) {
+        PrefetchRow(matrix + (i + kProjRowPrefetchAhead) * dim, row_bytes);
+      }
+      const float* row = matrix + i * dim;
+      __m256 acc_a = _mm256_setzero_ps();
+      __m256 acc_b = _mm256_setzero_ps();
+      size_t j = 0;
+      for (; j + 8 <= dim; j += 8) {
+        const __m256 r = _mm256_loadu_ps(row + j);
+        acc_a = _mm256_add_ps(acc_a, _mm256_mul_ps(r, _mm256_loadu_ps(qa + j)));
+        acc_b = _mm256_add_ps(acc_b, _mm256_mul_ps(r, _mm256_loadu_ps(qb + j)));
+      }
+      float sum_a = ReduceLanesAvx2(acc_a);
+      float sum_b = ReduceLanesAvx2(acc_b);
+      for (; j < dim; ++j) {
+        sum_a += row[j] * qa[j];
+        sum_b += row[j] * qb[j];
+      }
+      out[q * k + i] = sum_a;
+      out[(q + 1) * k + i] = sum_b;
+    }
+    q += 2;
+  }
+  for (; q < count; ++q) {
+    ProjectMatvecAvx2(matrix, k, dim, queries[q], out + q * k);
+  }
+}
+
+#endif  // HLSH_SIMD_X86
+
+const ProjectionKernelTable kProjScalarTable = {
+    .tier = util::simd::Tier::kScalar,
+    .matvec = &ProjectMatvecScalar,
+    .matvec_block = &ProjectBlockGeneric<&DotScalar>,
+};
+
+#if defined(HLSH_SIMD_X86)
+const ProjectionKernelTable kProjSse2Table = {
+    .tier = util::simd::Tier::kSse2,
+    .matvec = &ProjectMatvecSse2,
+    .matvec_block = &ProjectBlockGeneric<&DotSse2>,
+};
+
+const ProjectionKernelTable kProjAvx2Table = {
+    .tier = util::simd::Tier::kAvx2,
+    .matvec = &ProjectMatvecAvx2,
+    .matvec_block = &ProjectBlockAvx2,
+};
+#endif  // HLSH_SIMD_X86
+
 /// Dense verification over any id sequence. `id_at(j)` maps a block
 /// position to a candidate id; the flat-buffer and contiguous-range entry
 /// points both inline through here so their behavior cannot diverge.
@@ -921,6 +1140,26 @@ const Int8KernelTable& Int8KernelsForTier(util::simd::Tier tier) {
 
 const Int8KernelTable& Int8Kernels() {
   return Int8KernelsForTier(util::ResolvedSimdTier());
+}
+
+const ProjectionKernelTable& ProjectionKernelsForTier(util::simd::Tier tier) {
+#if defined(HLSH_SIMD_X86)
+  switch (std::min(tier, util::simd::MaxSupportedTier())) {
+    case util::simd::Tier::kAvx2:
+      return kProjAvx2Table;
+    case util::simd::Tier::kSse2:
+      return kProjSse2Table;
+    case util::simd::Tier::kScalar:
+      break;
+  }
+#else
+  (void)tier;
+#endif
+  return kProjScalarTable;
+}
+
+const ProjectionKernelTable& ProjectionKernels() {
+  return ProjectionKernelsForTier(util::ResolvedSimdTier());
 }
 
 size_t VerifyBlock(const data::DenseDataset& dataset, data::Metric metric,

@@ -123,6 +123,41 @@ const Int8KernelTable& Int8Kernels();
 /// The int8 table for one specific tier (clamped to CPU support).
 const Int8KernelTable& Int8KernelsForTier(util::simd::Tier tier);
 
+// --- Projection kernels (query hashing, LSH step S1). -----------------------
+// The k x dim projection matrices of the dense LSH families (SimHash
+// hyperplanes, Gaussian/Cauchy p-stable projections; util::FloatMatrix, so
+// row-major contiguous) applied to queries. Row i is one sampled hash
+// function; out[i] is the raw projection <row_i, query> from which the
+// family derives slot i and its probe cost. Every (row, query) pair
+// accumulates in the canonical 8-lane order (util/simd.h DotF32Scalar is
+// the reference), so all tiers and both forms below produce bit-identical
+// floats: signatures, probe costs, and therefore LSH-vs-linear decisions
+// cannot depend on the dispatched tier or on whether a query was hashed
+// alone or inside a batch.
+
+struct ProjectionKernelTable {
+  util::simd::Tier tier;
+
+  /// Single query: out[i] = <matrix row i, query> for i in [0, k).
+  void (*matvec)(const float* matrix, size_t k, size_t dim, const float* query,
+                 float* out);
+
+  /// Multi-query blocked (GEMM-shaped) form: out[q*k + i] = <row i,
+  /// queries[q]>. Rows traverse the outer loop so each matrix row is
+  /// streamed from memory once and served to every query from cache; the
+  /// AVX2 tier additionally interleaves two queries against shared row
+  /// registers. Bit-identical to k x count matvec calls.
+  void (*matvec_block)(const float* matrix, size_t k, size_t dim,
+                       const float* const* queries, size_t count, float* out);
+};
+
+/// The projection table for util::ResolvedSimdTier() (same dispatch and
+/// test override as Kernels()).
+const ProjectionKernelTable& ProjectionKernels();
+
+/// The projection table for one specific tier (clamped to CPU support).
+const ProjectionKernelTable& ProjectionKernelsForTier(util::simd::Tier tier);
+
 /// Outcome counters for one quantized verification call (optional; tests
 /// and benches use them to show the screen actually classifies).
 struct QuantizedScreenStats {

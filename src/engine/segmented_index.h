@@ -236,6 +236,21 @@ class ActiveLshLog {
     }
   }
 
+  /// AccumulateProbe over a precomputed plan: per-table keys are already
+  /// unique, so the walk is a straight replay with no dedup rescans.
+  void AccumulateProbe(const lsh::ProbePlan& plan, size_t limit,
+                       hll::HyperLogLog* scratch, uint64_t* collisions) const {
+    HLSH_DCHECK(plan.num_tables() == num_tables_);
+    for (size_t t = 0; t < num_tables_; ++t) {
+      for (const uint64_t key : plan.TableKeys(t)) {
+        ForEachInBucket(t, key, limit, [&](uint32_t id) {
+          ++*collisions;
+          scratch->AddPoint(id);
+        });
+      }
+    }
+  }
+
   /// S2 over entries [0, limit): dedups probed live ids into *visited and
   /// returns the collision count. Mirrors lsh::CollectProbedIds.
   uint64_t CollectProbedIds(std::span<const uint64_t> keys, size_t limit,
@@ -252,6 +267,25 @@ class ActiveLshLog {
           visited->Insert(id);
         }
       });
+    }
+    return collisions;
+  }
+
+  /// CollectProbedIds over a precomputed plan (no dedup rescans).
+  uint64_t CollectProbedIds(const lsh::ProbePlan& plan, size_t limit,
+                            util::VisitedSet* visited,
+                            const util::BitVector* tombstones) const {
+    HLSH_DCHECK(plan.num_tables() == num_tables_);
+    uint64_t collisions = 0;
+    for (size_t t = 0; t < num_tables_; ++t) {
+      for (const uint64_t key : plan.TableKeys(t)) {
+        ForEachInBucket(t, key, limit, [&](uint32_t id) {
+          ++collisions;
+          if (tombstones == nullptr || !tombstones->TestAcquire(id)) {
+            visited->Insert(id);
+          }
+        });
+      }
     }
     return collisions;
   }
@@ -401,6 +435,29 @@ class SegmentedIndex {
       return estimate;
     }
 
+    /// EstimateProbe over a precomputed plan (hash-once path): the same
+    /// summed estimate, replaying one ProbePlan against every segment.
+    lsh::ProbeEstimate EstimateProbe(const lsh::ProbePlan& plan,
+                                     hll::HyperLogLog* scratch) const {
+      scratch->Clear();
+      lsh::ProbeEstimate estimate;
+      for (const auto& segment : view_->sealed) {
+        lsh::AccumulateProbe<lsh::LshTable>(segment->tables, plan, scratch,
+                                            &estimate.collisions);
+      }
+      for (const auto& log : view_->frozen) {
+        log->AccumulateProbe(plan, log->size_acquire(), scratch,
+                             &estimate.collisions);
+      }
+      if (active_count_ > 0) {
+        view_->active->AccumulateProbe(plan, active_count_, scratch,
+                                       &estimate.collisions);
+      }
+      estimate.cand_estimate =
+          estimate.collisions == 0 ? 0.0 : scratch->Estimate();
+      return estimate;
+    }
+
     /// S2 across every segment. Tombstoned ids count as collisions (their
     /// probe cost was paid) but are never inserted, so S3 only verifies
     /// live candidates.
@@ -417,6 +474,25 @@ class SegmentedIndex {
       }
       if (active_count_ > 0) {
         collisions += view_->active->CollectProbedIds(keys, active_count_,
+                                                      visited, tombstones_);
+      }
+      return collisions;
+    }
+
+    /// S2 over a precomputed plan (hash-once path).
+    uint64_t CollectCandidates(const lsh::ProbePlan& plan,
+                               util::VisitedSet* visited) const {
+      uint64_t collisions = 0;
+      for (const auto& segment : view_->sealed) {
+        collisions += lsh::CollectProbedIds<lsh::LshTable>(
+            segment->tables, plan, visited, tombstones_);
+      }
+      for (const auto& log : view_->frozen) {
+        collisions += log->CollectProbedIds(plan, log->size_acquire(),
+                                            visited, tombstones_);
+      }
+      if (active_count_ > 0) {
+        collisions += view_->active->CollectProbedIds(plan, active_count_,
                                                       visited, tombstones_);
       }
       return collisions;
@@ -776,6 +852,23 @@ class SegmentedIndex {
   util::Status QueryKeysMultiProbe(Point query, size_t probes_per_table,
                                    std::vector<uint64_t>* keys) const {
     return functions_.QueryKeysMultiProbe(query, probes_per_table, keys);
+  }
+
+  /// S1, hash-once form (see lsh::FunctionSet::ComputePlan). The plan is
+  /// valid for every snapshot of this index — segments share the one
+  /// FunctionSet — and for any other index sampled with the same
+  /// (family, num_tables, k, seed).
+  util::Status ComputePlan(Point query, size_t probes_per_table,
+                           lsh::PlanScratch* scratch,
+                           lsh::ProbePlan* plan) const {
+    return functions_.ComputePlan(query, probes_per_table, scratch, plan);
+  }
+  util::Status ComputePlanBatch(const Point* queries, size_t count,
+                                size_t probes_per_table,
+                                lsh::PlanScratch* scratch,
+                                lsh::ProbePlan* plans) const {
+    return functions_.ComputePlanBatch(queries, count, probes_per_table,
+                                       scratch, plans);
   }
 
   /// Convenience wrappers over Acquire() — one snapshot per call, so two

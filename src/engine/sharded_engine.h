@@ -101,6 +101,16 @@ struct ShardedQueryStats {
   double cand_estimate = 0.0;
   size_t cand_actual = 0;
   size_t output_size = 0;
+  /// Per-table hash signatures evaluated for this query: L with the
+  /// hash-once ProbePlan regardless of shard count, 0 on forced-linear
+  /// (the plan is skipped entirely).
+  uint64_t hash_evals = 0;
+  /// Shard walks served by the one precomputed plan (== shards queried on
+  /// the hybrid/LSH paths; 0 on forced-linear).
+  size_t plan_reuse = 0;
+  /// Wall seconds computing the probe plan (S1; amortized share of the
+  /// batch plan computation on the QueryBatch path).
+  double hash_seconds = 0.0;
   /// Wall seconds for the whole fan-out (not the per-shard sum).
   double total_seconds = 0.0;
   /// Per-shard detail, indexed by shard ordinal.
@@ -132,6 +142,13 @@ struct EngineStats {
   /// Whether the int8 screen is active (a mirror is built and queries
   /// verify through VerifyBlockQuantized).
   bool quantized_verify = false;
+  /// Cumulative query-side hash counters (atomic snapshots): per-table
+  /// signature evaluations performed, and shard walks that reused a
+  /// precomputed ProbePlan instead of rehashing. With S shards,
+  /// plan_reuse grows S times faster than hash_evals / num_tables — the
+  /// hash-once pipeline's savings made visible.
+  uint64_t hash_evals = 0;
+  uint64_t plan_reuse = 0;
   /// Instruction-set tier resolved at build ("scalar"/"sse2"/"avx2"). The
   /// kernel dispatch is process-wide (util/simd.h), so every shard and
   /// segment of every engine verifies through the same kernel table.
@@ -185,8 +202,8 @@ class ShardedEngine {
   };
 
   /// Caller-owned scratch for the lock-free QueryConcurrent path: the
-  /// global-id dedup set, the merged HLL sketch, the probe-key buffer, and
-  /// one cached SegmentSnapshot per shard — re-acquired with two plain
+  /// global-id dedup set, the merged HLL sketch, the hash-once plan
+  /// workspace, and one cached SegmentSnapshot per shard — re-acquired with two plain
   /// atomic loads per query and only refreshed (a shared_ptr copy) when
   /// that shard's segment list actually changed. Create one per reader
   /// thread with MakeQueryScratch(); a scratch must never be used by two
@@ -203,9 +220,10 @@ class ShardedEngine {
 
     util::VisitedSet visited;
     hll::HyperLogLog merged;
-    std::vector<uint64_t> keys;
     std::vector<uint32_t> live_ids;  // flat buffer for the linear path
     std::vector<ShardView> views;    // per-shard epoch cache
+    lsh::PlanScratch plan_scratch;   // hash-once S1 workspace
+    lsh::ProbePlan plan;             // the query's plan, shared by all shards
   };
 
   /// Builds all shards in parallel. The dataset is retained by pointer and
@@ -433,11 +451,22 @@ class ShardedEngine {
     ResetStats(s);
     util::WallTimer timer;
 
+    // S1 once, on the calling thread: every worker reads the one plan
+    // (const; the pool dispatch orders the writes before the reads).
+    const lsh::ProbePlan* plan = nullptr;
+    if (options_.searcher.forced != core::ForcedStrategy::kAlwaysLinear) {
+      util::WallTimer hash_timer;
+      ComputePlan(query, &fanout_plan_scratch_, &fanout_plan_);
+      s->hash_seconds = hash_timer.ElapsedSeconds();
+      s->hash_evals = fanout_plan_.num_tables();
+      plan = &fanout_plan_;
+    }
+
     util::ParallelForOn(pool_.get(), 0, shards_.size(), [&](size_t i) {
       fanout_out_[i].clear();
       QueryScratch& scratch = fanout_scratch_[i];
       RefreshShardView(i, &scratch);
-      QueryShard(shards_[i], scratch.views[i].snapshot, query, radius,
+      QueryShard(shards_[i], scratch.views[i].snapshot, query, radius, plan,
                  &scratch, &fanout_out_[i], &s->per_shard[i]);
     });
 
@@ -445,6 +474,7 @@ class ShardedEngine {
       out->insert(out->end(), fanout_out_[i].begin(), fanout_out_[i].end());
     }
     FoldStats(s);
+    NoteQueryCounters(*s);
     s->total_seconds = timer.ElapsedSeconds();
   }
 
@@ -461,6 +491,28 @@ class ShardedEngine {
     util::WallTimer timer;
     if (queries.size() > 0) {
       EnsureBatchScratch();
+      // S1 for the whole batch up front: every table's projections run
+      // through the blocked (multi-query) kernel form, and the workers
+      // consume the precomputed plans read-only.
+      const bool hash_once =
+          options_.searcher.forced != core::ForcedStrategy::kAlwaysLinear;
+      double hash_share = 0.0;
+      if (hash_once) {
+        util::WallTimer hash_timer;
+        batch_points_.resize(queries.size());
+        for (size_t q = 0; q < queries.size(); ++q) {
+          batch_points_[q] = queries.point(q);
+        }
+        batch_plans_.resize(queries.size());
+        HLSH_CHECK(shards_[0]
+                       .index
+                       ->ComputePlanBatch(batch_points_.data(), queries.size(),
+                                          options_.searcher.probes_per_table,
+                                          &batch_plan_scratch_,
+                                          batch_plans_.data())
+                       .ok());
+        hash_share = hash_timer.ElapsedSeconds() / queries.size();
+      }
       const size_t num_workers =
           std::min(batch_scratch_.size(), queries.size());
       std::atomic<size_t> next{0};
@@ -470,7 +522,8 @@ class ShardedEngine {
              q = next.fetch_add(1)) {
           ShardedBatchResult& result = results[q];
           QueryOnScratch(queries.point(q), radius, &result.neighbors,
-                         &scratch, &result.stats);
+                         &scratch, &result.stats,
+                         hash_once ? &batch_plans_[q] : nullptr, hash_share);
         }
       });
     }
@@ -521,6 +574,8 @@ class ShardedEngine {
     stats.dataset_bytes = dataset_->MemoryBytes();
     stats.mirror_bytes = mirror_ != nullptr ? mirror_->MemoryBytes() : 0;
     stats.quantized_verify = mirror_ != nullptr;
+    stats.hash_evals = counters_->hash_evals.load(std::memory_order_relaxed);
+    stats.plan_reuse = counters_->plan_reuse.load(std::memory_order_relaxed);
     return stats;
   }
   const Options& options() const { return options_; }
@@ -859,7 +914,16 @@ class ShardedEngine {
     std::mutex write_mu;
   };
 
-  ShardedEngine() : sync_(std::make_unique<EngineSync>()) {}
+  /// Engine-lifetime query counters, heap-allocated (atomics are neither
+  /// movable nor copyable, and the engine must stay movable).
+  struct QueryCounters {
+    std::atomic<uint64_t> hash_evals{0};
+    std::atomic<uint64_t> plan_reuse{0};
+  };
+
+  ShardedEngine()
+      : sync_(std::make_unique<EngineSync>()),
+        counters_(std::make_unique<QueryCounters>()) {}
 
   /// Builds the int8 mirror over the engine's dataset when the container
   /// is dense, the option is on, and the data quantizes (non-degenerate
@@ -923,20 +987,51 @@ class ShardedEngine {
     }
   }
 
-  /// One full query over every shard on the caller's scratch: refresh each
-  /// shard's snapshot, run Algorithm 2 per shard sequentially, fold stats.
-  /// Lock-free — shared by QueryConcurrent and the batch workers.
+  /// One full query over every shard on the caller's scratch: compute (or
+  /// adopt) the probe plan once, refresh each shard's snapshot, run
+  /// Algorithm 2 per shard sequentially, fold stats. Lock-free — shared by
+  /// QueryConcurrent and the batch workers. `shared_plan` (batch path) is a
+  /// plan precomputed for this query; nullptr computes one into the
+  /// scratch. Forced-linear skips planning entirely — no hash function
+  /// runs.
   void QueryOnScratch(Point query, double radius, std::vector<uint32_t>* out,
-                      QueryScratch* scratch, ShardedQueryStats* s) const {
+                      QueryScratch* scratch, ShardedQueryStats* s,
+                      const lsh::ProbePlan* shared_plan = nullptr,
+                      double shared_hash_seconds = 0.0) const {
     ResetStats(s);
     util::WallTimer timer;
+    const lsh::ProbePlan* plan = shared_plan;
+    if (plan != nullptr) {
+      s->hash_seconds = shared_hash_seconds;
+    } else if (options_.searcher.forced !=
+               core::ForcedStrategy::kAlwaysLinear) {
+      util::WallTimer hash_timer;
+      ComputePlan(query, &scratch->plan_scratch, &scratch->plan);
+      s->hash_seconds = hash_timer.ElapsedSeconds();
+      plan = &scratch->plan;
+    }
+    if (plan != nullptr) s->hash_evals = plan->num_tables();
     for (size_t i = 0; i < shards_.size(); ++i) {
       RefreshShardView(i, scratch);
-      QueryShard(shards_[i], scratch->views[i].snapshot, query, radius,
+      QueryShard(shards_[i], scratch->views[i].snapshot, query, radius, plan,
                  scratch, out, &s->per_shard[i]);
     }
     FoldStats(s);
+    NoteQueryCounters(*s);
     s->total_seconds = timer.ElapsedSeconds();
+  }
+
+  /// S1 once per query: all shards sample identical functions from the
+  /// shared seed (the engine's equivalence invariant), so shard 0's
+  /// function set plans for every shard. Aborts if multi-probe is
+  /// requested on a family without it — same contract as ComputeProbeKeys.
+  void ComputePlan(Point query, lsh::PlanScratch* scratch,
+                   lsh::ProbePlan* plan) const {
+    HLSH_CHECK(shards_[0]
+                   .index
+                   ->ComputePlan(query, options_.searcher.probes_per_table,
+                                 scratch, plan)
+                   .ok());
   }
 
   void ResetStats(ShardedQueryStats* s) const {
@@ -957,7 +1052,16 @@ class ShardedEngine {
       s->cand_estimate += shard.cand_estimate;
       s->cand_actual += shard.cand_actual;
       s->output_size += shard.output_size;
+      s->plan_reuse += shard.plan_reuse;
     }
+  }
+
+  /// Folds one query's hash accounting into the engine-lifetime counters
+  /// surfaced by stats(). Relaxed: the counters are monotonic telemetry,
+  /// not synchronization.
+  void NoteQueryCounters(const ShardedQueryStats& s) const {
+    counters_->hash_evals.fetch_add(s.hash_evals, std::memory_order_relaxed);
+    counters_->plan_reuse.fetch_add(s.plan_reuse, std::memory_order_relaxed);
   }
 
   /// The paper's Algorithm 2 on one shard over an epoch-published
@@ -968,8 +1072,9 @@ class ShardedEngine {
   /// Appends global ids to *out. Lock-free.
   void QueryShard(const Shard& shard,
                   const typename ShardIndex::SegmentSnapshot& snap,
-                  Point query, double radius, QueryScratch* scratch,
-                  std::vector<uint32_t>* out, core::QueryStats* st) const {
+                  Point query, double radius, const lsh::ProbePlan* plan,
+                  QueryScratch* scratch, std::vector<uint32_t>* out,
+                  core::QueryStats* st) const {
     *st = core::QueryStats{};
     util::WallTimer total_timer;
     const core::CostModel& model = options_.searcher.cost_model;
@@ -982,13 +1087,16 @@ class ShardedEngine {
       return;
     }
 
-    // S1: bucket keys of this shard's tables.
-    ComputeKeys(shard, query, scratch);
+    // S1 already ran: this walk consumes the query's one shared plan —
+    // valid here because every shard samples identical functions from the
+    // shared seed. No hash function evaluates inside the shard.
+    HLSH_DCHECK(plan != nullptr);
+    st->plan_reuse = 1;
 
     // Alg. 2 lines 1-2 over the snapshot's segments.
     {
       util::WallTimer estimate_timer;
-      const auto estimate = snap.EstimateProbe(scratch->keys, &scratch->merged);
+      const auto estimate = snap.EstimateProbe(*plan, &scratch->merged);
       st->collisions = estimate.collisions;
       st->cand_estimate = estimate.cand_estimate;
       st->estimate_seconds = estimate_timer.ElapsedSeconds();
@@ -1007,8 +1115,7 @@ class ShardedEngine {
     if (use_lsh) {
       st->strategy = core::Strategy::kLsh;
       scratch->visited.Reset();
-      st->collisions =
-          snap.CollectCandidates(scratch->keys, &scratch->visited);
+      st->collisions = snap.CollectCandidates(*plan, &scratch->visited);
       st->cand_actual = scratch->visited.size();
       st->output_size += core::kernels::VerifyCandidatesQuantized(
           *shard.index, *dataset_, mirror_.get(), query,
@@ -1018,12 +1125,6 @@ class ShardedEngine {
       ExecuteLinear(shard, snap, query, radius, out, st, scratch);
     }
     st->total_seconds = total_timer.ElapsedSeconds();
-  }
-
-  void ComputeKeys(const Shard& shard, Point query,
-                   QueryScratch* scratch) const {
-    core::ComputeProbeKeys(*shard.index, query,
-                           options_.searcher.probes_per_table, &scratch->keys);
   }
 
   void ExecuteLinear(const Shard& shard,
@@ -1045,6 +1146,8 @@ class ShardedEngine {
   Dataset* mutable_dataset_ = nullptr;
   // Writer mutex (heap-stable across engine moves).
   std::unique_ptr<EngineSync> sync_;
+  // Cumulative hash/plan counters (heap-stable across engine moves).
+  std::unique_ptr<QueryCounters> counters_;
   std::unique_ptr<util::ThreadPool> pool_;
   // One tombstone bitmap shared by every shard (heap-stable across moves).
   std::unique_ptr<util::BitVector> tombstones_;
@@ -1065,8 +1168,17 @@ class ShardedEngine {
   // Single-query fan-out scratch (one per shard) and shard result buffers.
   std::vector<QueryScratch> fanout_scratch_;
   std::vector<std::vector<uint32_t>> fanout_out_;
-  // Batch scratch (one per pool worker), created on first QueryBatch.
+  // Hash-once plan of the in-flight Query (computed on the calling thread,
+  // read by every fan-out worker).
+  lsh::PlanScratch fanout_plan_scratch_;
+  lsh::ProbePlan fanout_plan_;
+  // Batch scratch (one per pool worker), created on first QueryBatch, plus
+  // the batched S1 buffers: materialized query points, one plan per query,
+  // and the blocked-projection workspace.
   std::vector<QueryScratch> batch_scratch_;
+  std::vector<Point> batch_points_;
+  std::vector<lsh::ProbePlan> batch_plans_;
+  lsh::PlanScratch batch_plan_scratch_;
 };
 
 }  // namespace engine

@@ -3,11 +3,33 @@
 #include <cmath>
 #include <limits>
 
+#include "core/kernels.h"
 #include "lsh/params.h"
 #include "util/hash.h"
 
 namespace hybridlsh {
 namespace lsh {
+
+namespace {
+
+// The dense families' signature paths project through the dispatched
+// matvec kernels (core/kernels.h). k is small (paper: 7-8), so the raw
+// projections live on the stack unless a caller samples an unusually wide
+// signature.
+constexpr size_t kStackProjections = 64;
+
+struct ProjBuffer {
+  float stack[kStackProjections];
+  std::vector<float> heap;
+
+  float* Acquire(size_t k) {
+    if (k <= kStackProjections) return stack;
+    heap.resize(k);
+    return heap.data();
+  }
+};
+
+}  // namespace
 
 // --- SimHashFamily ----------------------------------------------------------
 
@@ -26,9 +48,12 @@ void SimHashFamily::Signature(const Functions& fns, Point point,
                               std::span<int32_t> slots) const {
   const size_t k = slots.size();
   HLSH_DCHECK(fns.hyperplanes.rows() == k);
-  for (size_t i = 0; i < k; ++i) {
-    slots[i] = data::DotProduct(fns.hyperplanes.Row(i), point, dim_) >= 0.0f;
-  }
+  if (k == 0) return;
+  ProjBuffer buffer;
+  float* proj = buffer.Acquire(k);
+  core::kernels::ProjectionKernels().matvec(fns.hyperplanes.Row(0), k, dim_,
+                                            point, proj);
+  SignatureFromProjections(fns, {proj, k}, slots);
 }
 
 void SimHashFamily::SignatureWithProbeCosts(const Functions& fns, Point point,
@@ -36,10 +61,42 @@ void SimHashFamily::SignatureWithProbeCosts(const Functions& fns, Point point,
                                             std::span<double> flip_costs) const {
   const size_t k = slots.size();
   HLSH_DCHECK(flip_costs.size() == k);
+  if (k == 0) return;
+  ProjBuffer buffer;
+  float* proj = buffer.Acquire(k);
+  core::kernels::ProjectionKernels().matvec(fns.hyperplanes.Row(0), k, dim_,
+                                            point, proj);
+  SignatureWithProbeCostsFromProjections(fns, {proj, k}, slots, flip_costs);
+}
+
+void SimHashFamily::ProjectBatch(const Functions& fns, const Point* points,
+                                 size_t count, std::span<float> proj) const {
+  const size_t k = fns.hyperplanes.rows();
+  HLSH_DCHECK(proj.size() == k * count);
+  if (k == 0 || count == 0) return;
+  core::kernels::ProjectionKernels().matvec_block(fns.hyperplanes.Row(0), k,
+                                                  dim_, points, count,
+                                                  proj.data());
+}
+
+void SimHashFamily::SignatureFromProjections(const Functions& fns,
+                                             std::span<const float> proj,
+                                             std::span<int32_t> slots) const {
+  (void)fns;
+  const size_t k = slots.size();
+  HLSH_DCHECK(proj.size() == k);
+  for (size_t i = 0; i < k; ++i) slots[i] = proj[i] >= 0.0f;
+}
+
+void SimHashFamily::SignatureWithProbeCostsFromProjections(
+    const Functions& fns, std::span<const float> proj,
+    std::span<int32_t> slots, std::span<double> flip_costs) const {
+  (void)fns;
+  const size_t k = slots.size();
+  HLSH_DCHECK(proj.size() == k && flip_costs.size() == k);
   for (size_t i = 0; i < k; ++i) {
-    const float proj = data::DotProduct(fns.hyperplanes.Row(i), point, dim_);
-    slots[i] = proj >= 0.0f;
-    flip_costs[i] = std::fabs(static_cast<double>(proj));
+    slots[i] = proj[i] >= 0.0f;
+    flip_costs[i] = std::fabs(static_cast<double>(proj[i]));
   }
 }
 
@@ -67,14 +124,12 @@ void PStableFamily::Signature(const Functions& fns, Point point,
                               std::span<int32_t> slots) const {
   const size_t k = slots.size();
   HLSH_DCHECK(fns.projections.rows() == k);
-  for (size_t i = 0; i < k; ++i) {
-    const double value =
-        (static_cast<double>(data::DotProduct(fns.projections.Row(i), point,
-                                              dim_)) +
-         fns.offsets[i]) /
-        w_;
-    slots[i] = static_cast<int32_t>(std::floor(value));
-  }
+  if (k == 0) return;
+  ProjBuffer buffer;
+  float* proj = buffer.Acquire(k);
+  core::kernels::ProjectionKernels().matvec(fns.projections.Row(0), k, dim_,
+                                            point, proj);
+  SignatureFromProjections(fns, {proj, k}, slots);
 }
 
 void PStableFamily::SignatureWithProbeCosts(const Functions& fns, Point point,
@@ -83,12 +138,47 @@ void PStableFamily::SignatureWithProbeCosts(const Functions& fns, Point point,
                                             std::span<double> up_costs) const {
   const size_t k = slots.size();
   HLSH_DCHECK(down_costs.size() == k && up_costs.size() == k);
+  if (k == 0) return;
+  ProjBuffer buffer;
+  float* proj = buffer.Acquire(k);
+  core::kernels::ProjectionKernels().matvec(fns.projections.Row(0), k, dim_,
+                                            point, proj);
+  SignatureWithProbeCostsFromProjections(fns, {proj, k}, slots, down_costs,
+                                         up_costs);
+}
+
+void PStableFamily::ProjectBatch(const Functions& fns, const Point* points,
+                                 size_t count, std::span<float> proj) const {
+  const size_t k = fns.projections.rows();
+  HLSH_DCHECK(proj.size() == k * count);
+  if (k == 0 || count == 0) return;
+  core::kernels::ProjectionKernels().matvec_block(fns.projections.Row(0), k,
+                                                  dim_, points, count,
+                                                  proj.data());
+}
+
+void PStableFamily::SignatureFromProjections(const Functions& fns,
+                                             std::span<const float> proj,
+                                             std::span<int32_t> slots) const {
+  const size_t k = slots.size();
+  HLSH_DCHECK(proj.size() == k);
   for (size_t i = 0; i < k; ++i) {
     const double value =
-        (static_cast<double>(data::DotProduct(fns.projections.Row(i), point,
-                                              dim_)) +
-         fns.offsets[i]) /
-        w_;
+        (static_cast<double>(proj[i]) + fns.offsets[i]) / w_;
+    slots[i] = static_cast<int32_t>(std::floor(value));
+  }
+}
+
+void PStableFamily::SignatureWithProbeCostsFromProjections(
+    const Functions& fns, std::span<const float> proj,
+    std::span<int32_t> slots, std::span<double> down_costs,
+    std::span<double> up_costs) const {
+  const size_t k = slots.size();
+  HLSH_DCHECK(proj.size() == k);
+  HLSH_DCHECK(down_costs.size() == k && up_costs.size() == k);
+  for (size_t i = 0; i < k; ++i) {
+    const double value =
+        (static_cast<double>(proj[i]) + fns.offsets[i]) / w_;
     const double floor_value = std::floor(value);
     slots[i] = static_cast<int32_t>(floor_value);
     const double frac = value - floor_value;  // position inside the window

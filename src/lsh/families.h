@@ -60,7 +60,8 @@ class SimHashFamily {
 
   Functions Sample(size_t k, util::Rng* rng) const;
 
-  /// slots[i] = 1 if <a_i, x> >= 0 else 0.
+  /// slots[i] = 1 if <a_i, x> >= 0 else 0. Runs on the dispatched
+  /// projection kernels (core/kernels.h), canonical 8-lane accumulation.
   void Signature(const Functions& fns, Point point,
                  std::span<int32_t> slots) const;
 
@@ -69,6 +70,22 @@ class SimHashFamily {
   void SignatureWithProbeCosts(const Functions& fns, Point point,
                                std::span<int32_t> slots,
                                std::span<double> flip_costs) const;
+
+  // Raw-projection split, used by the hash-once batch plan path
+  // (lsh/index.h FunctionSet::ComputePlans): ProjectBatch pushes many
+  // queries through the blocked matvec kernel at once, then the
+  // *FromProjections finishers derive each query's slots/costs. Signature
+  // == Project + SignatureFromProjections bit-exactly.
+
+  /// proj[q*k + i] = <a_i, points[q]> for `count` queries (blocked kernel).
+  void ProjectBatch(const Functions& fns, const Point* points, size_t count,
+                    std::span<float> proj) const;
+  void SignatureFromProjections(const Functions& fns,
+                                std::span<const float> proj,
+                                std::span<int32_t> slots) const;
+  void SignatureWithProbeCostsFromProjections(
+      const Functions& fns, std::span<const float> proj,
+      std::span<int32_t> slots, std::span<double> flip_costs) const;
 
   double CollisionProbability(double cosine_dist) const;
   double Distance(Point a, Point b) const {
@@ -125,7 +142,8 @@ class PStableFamily {
 
   Functions Sample(size_t k, util::Rng* rng) const;
 
-  /// slots[i] = floor((<a_i, x> + b_i) / w).
+  /// slots[i] = floor((<a_i, x> + b_i) / w). Runs on the dispatched
+  /// projection kernels (core/kernels.h), canonical 8-lane accumulation.
   void Signature(const Functions& fns, Point point,
                  std::span<int32_t> slots) const;
 
@@ -135,6 +153,20 @@ class PStableFamily {
                                std::span<int32_t> slots,
                                std::span<double> down_costs,
                                std::span<double> up_costs) const;
+
+  // Raw-projection split for the batch plan path (see SimHashFamily).
+
+  /// proj[q*k + i] = <a_i, points[q]> for `count` queries (blocked kernel).
+  void ProjectBatch(const Functions& fns, const Point* points, size_t count,
+                    std::span<float> proj) const;
+  void SignatureFromProjections(const Functions& fns,
+                                std::span<const float> proj,
+                                std::span<int32_t> slots) const;
+  void SignatureWithProbeCostsFromProjections(const Functions& fns,
+                                              std::span<const float> proj,
+                                              std::span<int32_t> slots,
+                                              std::span<double> down_costs,
+                                              std::span<double> up_costs) const;
 
   double CollisionProbability(double dist) const;
   double Distance(Point a, Point b) const {

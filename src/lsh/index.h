@@ -54,6 +54,42 @@ struct ProbeEstimate {
   double cand_estimate = 0.0;  // candSize estimate from merged HLLs
 };
 
+/// A query's complete S1 product, computed ONCE and then replayed against
+/// any number of table ranges (shards, segments): the unique probe keys of
+/// every table, in probe order, in CSR layout. Deduplication happens at
+/// plan-build time — exhausted perturbation pools simply contribute fewer
+/// keys instead of home-key padding — so probe walks never rescan for
+/// repeated probes and collision counts stay exact by construction.
+struct ProbePlan {
+  std::vector<uint64_t> keys;           // unique probe keys, grouped by table
+  std::vector<uint32_t> table_offsets;  // CSR offsets, num_tables() + 1 long
+
+  size_t num_tables() const {
+    return table_offsets.empty() ? 0 : table_offsets.size() - 1;
+  }
+  std::span<const uint64_t> TableKeys(size_t t) const {
+    return std::span<const uint64_t>(keys.data() + table_offsets[t],
+                                     table_offsets[t + 1] - table_offsets[t]);
+  }
+  void Clear() {
+    keys.clear();
+    table_offsets.clear();
+  }
+};
+
+/// Reusable workspace for FunctionSet::ComputePlan / ComputePlanBatch. One
+/// instance per query worker; every member keeps its capacity across
+/// queries, so steady-state plan computation allocates nothing.
+struct PlanScratch {
+  std::vector<int32_t> slots;      // home signature of the current table
+  std::vector<int32_t> perturbed;  // slots with one probe set applied
+  std::vector<double> down, up;    // per-slot perturbation costs
+  std::vector<ProbeAtom> atoms;    // candidate perturbations of one table
+  ProbeGenScratch probe_gen;       // heap scratch for GenerateProbeSetsInto
+  std::vector<ProbeSet> sets;      // emitted probe sets of one table
+  std::vector<float> projections;  // batch path: raw L x count x k dots
+};
+
 // --- Hash-evaluation instrumentation (tests and benches only). -------------
 // Counts k-wise signature computations (one per point-table pair) across
 // every FunctionSet. The snapshot tests use it to prove that restoring an
@@ -227,6 +263,82 @@ class FunctionSet {
     return util::Status::Ok();
   }
 
+  /// S1, hash-once form: computes the query's full probe plan — the unique
+  /// probe keys of every table, home bucket first then perturbed buckets in
+  /// increasing cost (see ProbePlan). probes_per_table == 1 plans only the
+  /// home buckets and works for every family; larger values require a
+  /// multi-probe family, exactly like QueryKeysMultiProbe. The plan replays
+  /// against any table range sharing this function set, so an engine with S
+  /// shards evaluates L hash signatures per query instead of S * L.
+  util::Status ComputePlan(Point query, size_t probes_per_table,
+                           PlanScratch* scratch, ProbePlan* plan) const {
+    HLSH_RETURN_IF_ERROR(ValidatePlanRequest(probes_per_table));
+    const size_t L = functions_.size();
+    const size_t k = static_cast<size_t>(k_);
+    internal::NoteHashEvals(L);
+    ResetPlan(L, probes_per_table, plan);
+    scratch->slots.resize(k);
+    for (size_t t = 0; t < L; ++t) {
+      if (probes_per_table == 1) {
+        family_.Signature(functions_[t], query, scratch->slots);
+        scratch->atoms.clear();
+      } else {
+        SignatureAndAtoms(t, query, scratch);
+      }
+      AppendTablePlan(t, probes_per_table, scratch, plan);
+    }
+    return util::Status::Ok();
+  }
+
+  /// ComputePlan for a whole batch of queries. Dense projection families
+  /// push all count x k dot products of each table through the blocked
+  /// (GEMM-shaped) projection kernel in one call — bit-identical to the
+  /// per-query form — before finishing each query's slots and probe sets;
+  /// other families fall back to a per-query loop. plans must hold `count`
+  /// entries.
+  util::Status ComputePlanBatch(const Point* queries, size_t count,
+                                size_t probes_per_table, PlanScratch* scratch,
+                                ProbePlan* plans) const {
+    if constexpr (HasBatchProjection<Family>) {
+      HLSH_RETURN_IF_ERROR(ValidatePlanRequest(probes_per_table));
+      if (count == 0) return util::Status::Ok();
+      const size_t L = functions_.size();
+      const size_t k = static_cast<size_t>(k_);
+      internal::NoteHashEvals(L * count);
+      scratch->projections.resize(L * count * k);
+      for (size_t t = 0; t < L; ++t) {
+        family_.ProjectBatch(
+            functions_[t], queries, count,
+            std::span<float>(scratch->projections.data() + t * count * k,
+                             count * k));
+      }
+      scratch->slots.resize(k);
+      for (size_t q = 0; q < count; ++q) {
+        ProbePlan* plan = plans + q;
+        ResetPlan(L, probes_per_table, plan);
+        for (size_t t = 0; t < L; ++t) {
+          const std::span<const float> proj(
+              scratch->projections.data() + (t * count + q) * k, k);
+          if (probes_per_table == 1) {
+            family_.SignatureFromProjections(functions_[t], proj,
+                                             scratch->slots);
+            scratch->atoms.clear();
+          } else {
+            SignatureAndAtomsFromProjections(t, proj, scratch);
+          }
+          AppendTablePlan(t, probes_per_table, scratch, plan);
+        }
+      }
+      return util::Status::Ok();
+    } else {
+      for (size_t q = 0; q < count; ++q) {
+        HLSH_RETURN_IF_ERROR(
+            ComputePlan(queries[q], probes_per_table, scratch, plans + q));
+      }
+      return util::Status::Ok();
+    }
+  }
+
   const Family& family() const { return family_; }
   int k() const { return k_; }
   size_t num_tables() const { return functions_.size(); }
@@ -317,6 +429,154 @@ class FunctionSet {
     f.SignatureWithProbeCosts(fns, p, s, c);
   };
 
+  // The raw-projection split of dense families (lsh/families.h), which is
+  // what lets ComputePlanBatch run one blocked kernel per table.
+  template <typename F>
+  static constexpr bool HasBatchProjection = requires(
+      const F& f, const typename F::Functions& fns,
+      const typename F::Point* pts, std::span<float> proj,
+      std::span<const float> cproj, std::span<int32_t> s) {
+    f.ProjectBatch(fns, pts, size_t{1}, proj);
+    f.SignatureFromProjections(fns, cproj, s);
+  };
+  template <typename F>
+  static constexpr bool HasTwoSidedCostsFromProj = requires(
+      const F& f, const typename F::Functions& fns,
+      std::span<const float> proj, std::span<int32_t> s, std::span<double> c) {
+    f.SignatureWithProbeCostsFromProjections(fns, proj, s, c, c);
+  };
+  template <typename F>
+  static constexpr bool HasFlipCostsFromProj = requires(
+      const F& f, const typename F::Functions& fns,
+      std::span<const float> proj, std::span<int32_t> s, std::span<double> c) {
+    f.SignatureWithProbeCostsFromProjections(fns, proj, s, c);
+  };
+
+  util::Status ValidatePlanRequest(size_t probes_per_table) const {
+    if (probes_per_table == 0) {
+      return util::Status::InvalidArgument("probes_per_table must be >= 1");
+    }
+    if (probes_per_table > 1 && family_.probe_kind() == ProbeKind::kNone) {
+      return util::Status::Unimplemented(
+          "multi-probe is not defined for this family");
+    }
+    return util::Status::Ok();
+  }
+
+  static void ResetPlan(size_t num_tables, size_t probes_per_table,
+                        ProbePlan* plan) {
+    plan->keys.clear();
+    plan->keys.reserve(num_tables * probes_per_table);
+    plan->table_offsets.clear();
+    plan->table_offsets.reserve(num_tables + 1);
+    plan->table_offsets.push_back(0);
+  }
+
+  /// Fills scratch->slots and scratch->atoms for table t by hashing the
+  /// query with probe costs (multi-probe path of ComputePlan).
+  void SignatureAndAtoms(size_t t, Point query, PlanScratch* scratch) const {
+    const size_t k = static_cast<size_t>(k_);
+    scratch->atoms.clear();
+    if constexpr (HasTwoSidedCosts<Family>) {
+      if (family_.probe_kind() == ProbeKind::kTwoSided) {
+        scratch->down.resize(k);
+        scratch->up.resize(k);
+        family_.SignatureWithProbeCosts(functions_[t], query, scratch->slots,
+                                        scratch->down, scratch->up);
+        BuildAtomsFromCosts(scratch);
+        return;
+      }
+    }
+    if constexpr (HasFlipCosts<Family>) {
+      if (family_.probe_kind() == ProbeKind::kFlip) {
+        scratch->down.resize(k);
+        family_.SignatureWithProbeCosts(functions_[t], query, scratch->slots,
+                                        scratch->down);
+        BuildAtomsFromCosts(scratch);
+        return;
+      }
+    }
+  }
+
+  /// SignatureAndAtoms from precomputed raw projections (batch path).
+  void SignatureAndAtomsFromProjections(size_t t, std::span<const float> proj,
+                                        PlanScratch* scratch) const {
+    const size_t k = static_cast<size_t>(k_);
+    scratch->atoms.clear();
+    if constexpr (HasTwoSidedCostsFromProj<Family>) {
+      if (family_.probe_kind() == ProbeKind::kTwoSided) {
+        scratch->down.resize(k);
+        scratch->up.resize(k);
+        family_.SignatureWithProbeCostsFromProjections(
+            functions_[t], proj, scratch->slots, scratch->down, scratch->up);
+        BuildAtomsFromCosts(scratch);
+        return;
+      }
+    }
+    if constexpr (HasFlipCostsFromProj<Family>) {
+      if (family_.probe_kind() == ProbeKind::kFlip) {
+        scratch->down.resize(k);
+        family_.SignatureWithProbeCostsFromProjections(
+            functions_[t], proj, scratch->slots, scratch->down);
+        BuildAtomsFromCosts(scratch);
+        return;
+      }
+    }
+  }
+
+  /// Turns the costs in scratch->down / scratch->up into probe atoms,
+  /// matching QueryKeysMultiProbe's atom construction exactly.
+  void BuildAtomsFromCosts(PlanScratch* scratch) const {
+    const uint32_t k = static_cast<uint32_t>(k_);
+    if (family_.probe_kind() == ProbeKind::kTwoSided) {
+      for (uint32_t i = 0; i < k; ++i) {
+        scratch->atoms.push_back(ProbeAtom{i, -1, scratch->down[i]});
+        scratch->atoms.push_back(ProbeAtom{i, +1, scratch->up[i]});
+      }
+    } else {
+      for (uint32_t i = 0; i < k; ++i) {
+        scratch->atoms.push_back(ProbeAtom{i, +1, scratch->down[i]});
+      }
+    }
+  }
+
+  /// Appends table t's unique probe keys (home bucket first, then perturbed
+  /// buckets in increasing cost) and closes the table's CSR range. Expects
+  /// scratch->slots / scratch->atoms already filled for table t. The dedup
+  /// scan runs over at most probes_per_table emitted keys, once per query —
+  /// not once per shard walk as IsRepeatedProbe used to.
+  void AppendTablePlan(size_t t, size_t probes_per_table, PlanScratch* scratch,
+                       ProbePlan* plan) const {
+    const size_t table_begin = plan->keys.size();
+    plan->keys.push_back(KeyOf(scratch->slots, t));
+    if (probes_per_table > 1) {
+      const size_t num_sets =
+          GenerateProbeSetsInto(scratch->atoms, probes_per_table - 1,
+                                &scratch->probe_gen, &scratch->sets);
+      std::vector<int32_t>& perturbed = scratch->perturbed;
+      for (size_t p = 0; p < num_sets; ++p) {
+        perturbed.assign(scratch->slots.begin(), scratch->slots.end());
+        for (const ProbeAtom& atom : scratch->sets[p]) {
+          if (family_.probe_kind() == ProbeKind::kFlip) {
+            perturbed[atom.slot] ^= 1;
+          } else {
+            perturbed[atom.slot] += atom.delta;
+          }
+        }
+        const uint64_t key = KeyOf(perturbed, t);
+        bool duplicate = false;
+        for (size_t j = table_begin; j < plan->keys.size(); ++j) {
+          if (plan->keys[j] == key) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) plan->keys.push_back(key);
+      }
+    }
+    plan->table_offsets.push_back(static_cast<uint32_t>(plan->keys.size()));
+  }
+
   /// Reduces a k-slot signature to the 64-bit bucket key of table t.
   /// Distinct signatures collide with probability ~2^-64; such a collision
   /// only adds spurious candidates, which S3's distance check removes.
@@ -392,6 +652,86 @@ uint64_t CollectProbedIds(std::span<const Table> tables,
       visited->InsertSpan(bucket.ids);
     } else {
       visited->InsertSpanFiltered(bucket.ids, *tombstones);
+    }
+  }
+  return collisions;
+}
+
+// --- Plan-based probe walks. ------------------------------------------------
+// The ProbePlan forms of AccumulateProbe / CollectProbedIds: per-table keys
+// are already unique (no IsRepeatedProbe rescans), and the walk is windowed —
+// a batch of bucket views is resolved and its id/sketch storage prefetched
+// before any bucket is consumed, hiding the dependent-load latency of the
+// bucket lookups behind the HLL merges and dedup inserts.
+
+namespace internal {
+/// Buckets resolved (and prefetched) ahead of consumption in one window.
+inline constexpr size_t kProbeWindow = 8;
+
+inline void PrefetchBucket(const LshTable::BucketView& bucket) {
+  if (bucket.empty()) return;
+  __builtin_prefetch(bucket.ids.data());
+  if (bucket.sketch != nullptr) __builtin_prefetch(bucket.sketch);
+}
+}  // namespace internal
+
+/// AccumulateProbe over a precomputed plan (see the keys form above for the
+/// contract: *scratch is NOT cleared, segments sum into one estimate).
+template <typename Table>
+void AccumulateProbe(std::span<const Table> tables, const ProbePlan& plan,
+                     hll::HyperLogLog* scratch, uint64_t* collisions) {
+  HLSH_DCHECK(plan.num_tables() == tables.size());
+  LshTable::BucketView window[internal::kProbeWindow];
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const std::span<const uint64_t> keys = plan.TableKeys(t);
+    for (size_t base = 0; base < keys.size();
+         base += internal::kProbeWindow) {
+      const size_t n = std::min(internal::kProbeWindow, keys.size() - base);
+      for (size_t w = 0; w < n; ++w) {
+        window[w] = tables[t].Lookup(keys[base + w]);
+        internal::PrefetchBucket(window[w]);
+      }
+      for (size_t w = 0; w < n; ++w) {
+        const LshTable::BucketView& bucket = window[w];
+        if (bucket.empty()) continue;
+        *collisions += bucket.size();
+        if (bucket.sketch != nullptr) {
+          HLSH_CHECK(scratch->Merge(*bucket.sketch).ok());
+        } else {
+          // Small bucket: fold ids on demand (paper §3.2).
+          for (uint32_t id : bucket.ids) scratch->AddPoint(id);
+        }
+      }
+    }
+  }
+}
+
+/// CollectProbedIds over a precomputed plan (see the keys form above).
+template <typename Table>
+uint64_t CollectProbedIds(std::span<const Table> tables, const ProbePlan& plan,
+                          util::VisitedSet* visited,
+                          const util::BitVector* tombstones = nullptr) {
+  HLSH_DCHECK(plan.num_tables() == tables.size());
+  uint64_t collisions = 0;
+  LshTable::BucketView window[internal::kProbeWindow];
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const std::span<const uint64_t> keys = plan.TableKeys(t);
+    for (size_t base = 0; base < keys.size();
+         base += internal::kProbeWindow) {
+      const size_t n = std::min(internal::kProbeWindow, keys.size() - base);
+      for (size_t w = 0; w < n; ++w) {
+        window[w] = tables[t].Lookup(keys[base + w]);
+        internal::PrefetchBucket(window[w]);
+      }
+      for (size_t w = 0; w < n; ++w) {
+        const LshTable::BucketView& bucket = window[w];
+        collisions += bucket.size();
+        if (tombstones == nullptr) {
+          visited->InsertSpan(bucket.ids);
+        } else {
+          visited->InsertSpanFiltered(bucket.ids, *tombstones);
+        }
+      }
     }
   }
   return collisions;
@@ -518,6 +858,12 @@ class LshIndex {
     return functions_.QueryKeysMultiProbe(query, probes_per_table, keys);
   }
 
+  /// S1, hash-once form (see FunctionSet::ComputePlan).
+  util::Status ComputePlan(Point query, size_t probes_per_table,
+                           PlanScratch* scratch, ProbePlan* plan) const {
+    return functions_.ComputePlan(query, probes_per_table, scratch, plan);
+  }
+
   /// Estimates #collisions (exact) and candSize (merged HLLs) for a set of
   /// probe keys produced by QueryKeys*. `scratch` must have the index's HLL
   /// precision; it is cleared first. Paper Alg. 2, lines 1-2. The sketch
@@ -534,12 +880,30 @@ class LshIndex {
     return estimate;
   }
 
+  /// EstimateProbe over a precomputed plan (hash-once path).
+  ProbeEstimate EstimateProbe(const ProbePlan& plan,
+                              hll::HyperLogLog* scratch) const {
+    HLSH_DCHECK(scratch->precision() == options_.hll_precision);
+    scratch->Clear();
+    ProbeEstimate estimate;
+    AccumulateProbe<LshTable>(tables_, plan, scratch, &estimate.collisions);
+    estimate.cand_estimate =
+        estimate.collisions == 0 ? 0.0 : scratch->Estimate();
+    return estimate;
+  }
+
   /// S2: inserts every probed id into `visited` (deduplicating) and returns
   /// the exact number of collisions. visited->touched() is then the
   /// distinct candidate set for S3.
   uint64_t CollectCandidates(std::span<const uint64_t> keys,
                              util::VisitedSet* visited) const {
     return CollectProbedIds<LshTable>(tables_, keys, visited);
+  }
+
+  /// S2 over a precomputed plan (hash-once path).
+  uint64_t CollectCandidates(const ProbePlan& plan,
+                             util::VisitedSet* visited) const {
+    return CollectProbedIds<LshTable>(tables_, plan, visited);
   }
 
   /// Bucket access for inspection and tests.

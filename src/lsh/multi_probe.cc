@@ -1,7 +1,7 @@
 #include "lsh/multi_probe.h"
 
 #include <algorithm>
-#include <queue>
+#include <utility>
 
 #include "util/status.h"
 
@@ -9,13 +9,15 @@ namespace hybridlsh {
 namespace lsh {
 namespace {
 
-// A perturbation set as sorted indices into the cost-sorted atom array.
-struct HeapEntry {
-  double total_cost;
-  std::vector<uint32_t> indices;  // strictly increasing
+using internal::ProbeHeapEntry;
 
-  bool operator>(const HeapEntry& other) const {
-    return total_cost > other.total_cost;
+// Min-heap comparator for std::push_heap / std::pop_heap (which build a
+// max-heap under the comparator, so "greater" yields cheapest-first). Ties
+// break exactly as std::priority_queue<_, _, std::greater<>> used to, since
+// the standard heap algorithms are what priority_queue runs on.
+struct CostGreater {
+  bool operator()(const ProbeHeapEntry& a, const ProbeHeapEntry& b) const {
+    return a.total_cost > b.total_cost;
   }
 };
 
@@ -31,49 +33,94 @@ bool HasSlotConflict(const std::vector<uint32_t>& indices,
   return false;
 }
 
+// Hands back a cleared index vector, reusing a recycled one when available.
+std::vector<uint32_t> AcquireIndices(ProbeGenScratch* scratch) {
+  if (scratch->free_indices.empty()) return {};
+  std::vector<uint32_t> v = std::move(scratch->free_indices.back());
+  scratch->free_indices.pop_back();
+  v.clear();
+  return v;
+}
+
 }  // namespace
 
-std::vector<ProbeSet> GenerateProbeSets(std::span<const ProbeAtom> atoms,
-                                        size_t max_sets) {
-  std::vector<ProbeSet> result;
-  if (atoms.empty() || max_sets == 0) return result;
+size_t GenerateProbeSetsInto(std::span<const ProbeAtom> atoms, size_t max_sets,
+                             ProbeGenScratch* scratch,
+                             std::vector<ProbeSet>* out) {
+  size_t count = 0;
+  if (atoms.empty() || max_sets == 0) {
+    out->clear();
+    return 0;
+  }
 
   // Sort atoms by cost ascending (Lv et al.'s pi ordering).
-  std::vector<ProbeAtom> sorted(atoms.begin(), atoms.end());
+  std::vector<ProbeAtom>& sorted = scratch->sorted;
+  sorted.assign(atoms.begin(), atoms.end());
   std::sort(sorted.begin(), sorted.end(),
             [](const ProbeAtom& a, const ProbeAtom& b) { return a.cost < b.cost; });
   const uint32_t pool = static_cast<uint32_t>(sorted.size());
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-  heap.push(HeapEntry{sorted[0].cost, {0}});
+  std::vector<ProbeHeapEntry>& heap = scratch->heap;
+  for (ProbeHeapEntry& entry : heap) {
+    scratch->free_indices.push_back(std::move(entry.indices));
+  }
+  heap.clear();
 
-  while (!heap.empty() && result.size() < max_sets) {
-    HeapEntry top = heap.top();
-    heap.pop();
+  {
+    ProbeHeapEntry first;
+    first.total_cost = sorted[0].cost;
+    first.indices = AcquireIndices(scratch);
+    first.indices.push_back(0);
+    heap.push_back(std::move(first));
+  }
+  const CostGreater cmp;
+
+  while (!heap.empty() && count < max_sets) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    ProbeHeapEntry top = std::move(heap.back());
+    heap.pop_back();
 
     const uint32_t last = top.indices.back();
-    // Shift: replace the max index by its successor.
     if (last + 1 < pool) {
-      HeapEntry shifted = top;
-      shifted.total_cost += sorted[last + 1].cost - sorted[last].cost;
+      // Shift: replace the max index by its successor.
+      ProbeHeapEntry shifted;
+      shifted.total_cost =
+          top.total_cost + sorted[last + 1].cost - sorted[last].cost;
+      shifted.indices = AcquireIndices(scratch);
+      shifted.indices.assign(top.indices.begin(), top.indices.end());
       shifted.indices.back() = last + 1;
-      heap.push(std::move(shifted));
-    }
-    // Expand: append the successor of the max index.
-    if (last + 1 < pool) {
-      HeapEntry expanded = top;
-      expanded.total_cost += sorted[last + 1].cost;
+      heap.push_back(std::move(shifted));
+      std::push_heap(heap.begin(), heap.end(), cmp);
+      // Expand: append the successor of the max index.
+      ProbeHeapEntry expanded;
+      expanded.total_cost = top.total_cost + sorted[last + 1].cost;
+      expanded.indices = AcquireIndices(scratch);
+      expanded.indices.assign(top.indices.begin(), top.indices.end());
       expanded.indices.push_back(last + 1);
-      heap.push(std::move(expanded));
+      heap.push_back(std::move(expanded));
+      std::push_heap(heap.begin(), heap.end(), cmp);
     }
 
-    if (HasSlotConflict(top.indices, sorted)) continue;
-    ProbeSet set;
-    set.reserve(top.indices.size());
-    for (uint32_t idx : top.indices) set.push_back(sorted[idx]);
-    result.push_back(std::move(set));
+    if (!HasSlotConflict(top.indices, sorted)) {
+      if (count == out->size()) out->emplace_back();
+      ProbeSet& set = (*out)[count];
+      set.clear();
+      set.reserve(top.indices.size());
+      for (uint32_t idx : top.indices) set.push_back(sorted[idx]);
+      ++count;
+    }
+    scratch->free_indices.push_back(std::move(top.indices));
   }
-  return result;
+  if (out->size() > count) out->resize(count);
+  return count;
+}
+
+std::vector<ProbeSet> GenerateProbeSets(std::span<const ProbeAtom> atoms,
+                                        size_t max_sets) {
+  ProbeGenScratch scratch;
+  std::vector<ProbeSet> out;
+  GenerateProbeSetsInto(atoms, max_sets, &scratch, &out);
+  return out;
 }
 
 }  // namespace lsh

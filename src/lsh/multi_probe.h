@@ -34,6 +34,25 @@ struct ProbeAtom {
 /// A perturbation set: atoms applied together to form one probe.
 using ProbeSet = std::vector<ProbeAtom>;
 
+namespace internal {
+/// Heap node of the Lv et al. generator: a candidate set as strictly
+/// increasing indices into the cost-sorted atom array. Exposed only so
+/// ProbeGenScratch can recycle the nodes; not part of the public API.
+struct ProbeHeapEntry {
+  double total_cost = 0.0;
+  std::vector<uint32_t> indices;
+};
+}  // namespace internal
+
+/// Reusable allocations for GenerateProbeSetsInto. One instance per scratch
+/// context (per query worker); carrying it across tables and queries makes
+/// probe-sequence generation allocation-free in steady state.
+struct ProbeGenScratch {
+  std::vector<ProbeAtom> sorted;                    // cost-sorted atom copy
+  std::vector<internal::ProbeHeapEntry> heap;       // binary min-heap storage
+  std::vector<std::vector<uint32_t>> free_indices;  // recycled index vectors
+};
+
 /// Emits up to `max_sets` perturbation sets in non-decreasing total cost.
 /// Sets never contain two atoms for the same slot (a slot cannot move both
 /// ways at once). The empty set (home bucket) is NOT emitted; callers probe
@@ -41,6 +60,15 @@ using ProbeSet = std::vector<ProbeAtom>;
 /// exhausted.
 std::vector<ProbeSet> GenerateProbeSets(std::span<const ProbeAtom> atoms,
                                         size_t max_sets);
+
+/// Scratch-reusing form of GenerateProbeSets: fills `*out` with the same
+/// sets in the same order and returns how many were emitted. `*out` is
+/// resized to the result; its inner vectors (and everything in `*scratch`)
+/// keep their capacity across calls, so repeated invocations allocate
+/// nothing once warm.
+size_t GenerateProbeSetsInto(std::span<const ProbeAtom> atoms, size_t max_sets,
+                             ProbeGenScratch* scratch,
+                             std::vector<ProbeSet>* out);
 
 }  // namespace lsh
 }  // namespace hybridlsh

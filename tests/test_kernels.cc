@@ -182,6 +182,86 @@ TEST_F(KernelPropertyTest, HammingMatchesReferenceExactly) {
   }
 }
 
+// --- Projection kernels (LSH step S1). ---------------------------------------
+
+class ProjectionKernelTest : public ::testing::Test {
+ protected:
+  const std::vector<size_t> dims_ = {1, 3, 7, 8, 9, 16, 17, 33, 64, 100};
+  const std::vector<size_t> ks_ = {1, 2, 5, 16};
+};
+
+TEST_F(ProjectionKernelTest, MatvecMatchesCanonicalScalarDot) {
+  // The scalar projection kernel IS k canonical 8-lane dots — the anchor
+  // every other tier and the blocked form must reproduce bitwise.
+  util::Rng rng(51);
+  const kernels::ProjectionKernelTable& scalar =
+      kernels::ProjectionKernelsForTier(Tier::kScalar);
+  for (const size_t dim : dims_) {
+    for (const size_t k : ks_) {
+      const std::vector<float> matrix = RandomFloats(k * dim, &rng);
+      const std::vector<float> query = RandomFloats(dim, &rng);
+      std::vector<float> out(k, -1.0f);
+      scalar.matvec(matrix.data(), k, dim, query.data(), out.data());
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_EQ(out[i], util::simd::DotF32Scalar(matrix.data() + i * dim,
+                                                   query.data(), dim))
+            << "dim " << dim << " k " << k << " row " << i;
+      }
+    }
+  }
+}
+
+TEST_F(ProjectionKernelTest, AllTiersAndBothFormsBitIdentical) {
+  // Signatures, probe costs, and the LSH-vs-linear decision all derive
+  // from these floats, so exact equality — across tiers AND between the
+  // single-query and blocked forms — is the property the hash-once
+  // pipeline's determinism rests on.
+  util::Rng rng(52);
+  const kernels::ProjectionKernelTable& scalar =
+      kernels::ProjectionKernelsForTier(Tier::kScalar);
+  for (const size_t dim : dims_) {
+    for (const size_t k : ks_) {
+      const std::vector<float> matrix = RandomFloats(k * dim, &rng);
+      // Batch sizes around the AVX2 2-query interleave: odd tail, exact
+      // pairs, singleton.
+      for (const size_t count : {size_t{1}, size_t{2}, size_t{3}, size_t{5}}) {
+        std::vector<std::vector<float>> queries;
+        std::vector<const float*> query_ptrs;
+        for (size_t q = 0; q < count; ++q) {
+          queries.push_back(RandomFloats(dim, &rng));
+          query_ptrs.push_back(queries.back().data());
+        }
+        std::vector<float> reference(count * k);
+        for (size_t q = 0; q < count; ++q) {
+          scalar.matvec(matrix.data(), k, dim, query_ptrs[q],
+                        reference.data() + q * k);
+        }
+        for (Tier tier : SupportedTiers()) {
+          const kernels::ProjectionKernelTable& table =
+              kernels::ProjectionKernelsForTier(tier);
+          std::vector<float> single(k);
+          for (size_t q = 0; q < count; ++q) {
+            table.matvec(matrix.data(), k, dim, query_ptrs[q], single.data());
+            for (size_t i = 0; i < k; ++i) {
+              EXPECT_EQ(single[i], reference[q * k + i])
+                  << util::simd::TierName(tier) << " matvec dim " << dim
+                  << " k " << k << " query " << q;
+            }
+          }
+          std::vector<float> blocked(count * k, -1.0f);
+          table.matvec_block(matrix.data(), k, dim, query_ptrs.data(), count,
+                             blocked.data());
+          for (size_t i = 0; i < count * k; ++i) {
+            EXPECT_EQ(blocked[i], reference[i])
+                << util::simd::TierName(tier) << " blocked dim " << dim
+                << " k " << k << " count " << count;
+          }
+        }
+      }
+    }
+  }
+}
+
 // --- HLL register kernels. ---------------------------------------------------
 
 TEST(HllKernelTest, MergeMatchesReferenceAcrossTiersAndPrecisions) {

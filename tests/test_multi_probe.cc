@@ -123,6 +123,101 @@ TEST(GenerateProbeSetsTest, EqualCostsAreAllEmitted) {
   EXPECT_EQ(sets[6].size(), 3u);
 }
 
+TEST(GenerateProbeSetsTest, DuplicateCostsAcrossSlotsStayValid) {
+  // Several atoms tie exactly (degenerate queries land on window
+  // boundaries): every emitted set must still be slot-unique and the cost
+  // sequence non-decreasing, regardless of how the ties sort.
+  std::vector<ProbeAtom> atoms;
+  for (uint32_t i = 0; i < 5; ++i) {
+    atoms.push_back({i, -1, 0.25});
+    atoms.push_back({i, +1, 0.25});
+  }
+  const auto sets = GenerateProbeSets(atoms, 50);
+  ASSERT_GT(sets.size(), 5u);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    std::set<uint32_t> slots;
+    for (const ProbeAtom& atom : sets[i]) {
+      EXPECT_TRUE(slots.insert(atom.slot).second);
+    }
+    if (i > 0) EXPECT_GE(TotalCost(sets[i]), TotalCost(sets[i - 1]) - 1e-9);
+  }
+}
+
+// --- GenerateProbeSetsInto: the scratch-reusing form used per query. -----
+
+TEST(GenerateProbeSetsIntoTest, MatchesAllocatingFormExactly) {
+  std::vector<ProbeAtom> atoms;
+  for (uint32_t i = 0; i < 7; ++i) {
+    atoms.push_back({i, -1, 0.05 + 0.11 * i});
+    atoms.push_back({i, +1, 0.97 - 0.12 * i});
+  }
+  const auto expected = GenerateProbeSets(atoms, 30);
+
+  ProbeGenScratch scratch;
+  std::vector<ProbeSet> out;
+  const size_t count = GenerateProbeSetsInto(atoms, 30, &scratch, &out);
+  ASSERT_EQ(count, expected.size());
+  ASSERT_EQ(out.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(out[i].size(), expected[i].size()) << "set " << i;
+    for (size_t j = 0; j < expected[i].size(); ++j) {
+      EXPECT_EQ(out[i][j].slot, expected[i][j].slot);
+      EXPECT_EQ(out[i][j].delta, expected[i][j].delta);
+      EXPECT_DOUBLE_EQ(out[i][j].cost, expected[i][j].cost);
+    }
+  }
+}
+
+TEST(GenerateProbeSetsIntoTest, ReusedScratchStaysDeterministic) {
+  // Same scratch across many tables/queries (the per-query pattern): every
+  // call must reproduce the fresh-scratch output and keep costs
+  // non-decreasing, independent of what the previous call left behind.
+  std::vector<ProbeAtom> big;
+  for (uint32_t i = 0; i < 9; ++i) big.push_back({i, +1, 0.1 * (i + 1)});
+  const std::vector<ProbeAtom> small{{0, -1, 0.4}, {1, +1, 0.2}, {2, -1, 0.6}};
+  const auto expect_big = GenerateProbeSets(big, 25);
+  const auto expect_small = GenerateProbeSets(small, 25);
+
+  ProbeGenScratch scratch;
+  std::vector<ProbeSet> out;
+  for (int round = 0; round < 4; ++round) {
+    const auto& atoms = (round % 2 == 0) ? big : small;
+    const auto& expected = (round % 2 == 0) ? expect_big : expect_small;
+    const size_t count = GenerateProbeSetsInto(atoms, 25, &scratch, &out);
+    ASSERT_EQ(count, expected.size()) << "round " << round;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(TotalCost(out[i]), TotalCost(expected[i]), 1e-12);
+      if (i > 0) EXPECT_GE(TotalCost(out[i]), TotalCost(out[i - 1]) - 1e-9);
+    }
+  }
+}
+
+TEST(GenerateProbeSetsIntoTest, PoolExhaustionShrinksReusedOutput) {
+  // A big emission followed by a tiny pool must resize *out down — stale
+  // sets from the previous query may not leak into this one.
+  std::vector<ProbeAtom> big;
+  for (uint32_t i = 0; i < 6; ++i) big.push_back({i, +1, 0.1 * (i + 1)});
+  const std::vector<ProbeAtom> tiny{{0, +1, 0.5}};
+
+  ProbeGenScratch scratch;
+  std::vector<ProbeSet> out;
+  ASSERT_GT(GenerateProbeSetsInto(big, 40, &scratch, &out), 1u);
+  const size_t count = GenerateProbeSetsInto(tiny, 40, &scratch, &out);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].size(), 1u);
+  EXPECT_EQ(out[0][0].slot, 0u);
+}
+
+TEST(GenerateProbeSetsIntoTest, EmptyAtomsClearReusedOutput) {
+  const std::vector<ProbeAtom> atoms{{0, +1, 0.3}, {1, +1, 0.4}};
+  ProbeGenScratch scratch;
+  std::vector<ProbeSet> out;
+  ASSERT_GT(GenerateProbeSetsInto(atoms, 10, &scratch, &out), 0u);
+  EXPECT_EQ(GenerateProbeSetsInto({}, 10, &scratch, &out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
 }  // namespace
 }  // namespace lsh
 }  // namespace hybridlsh

@@ -206,6 +206,79 @@ TEST_F(ShardedEngineTest, StatsAggregateAcrossShards) {
   EXPECT_GT(engine.stats().memory_bytes, 0u);
 }
 
+TEST_F(ShardedEngineTest, HashOncePlanEvaluatesLSignaturesPerQuery) {
+  // The tentpole guarantee: S1 runs once per query, not once per shard.
+  // With 4 shards and L = 25 tables, exactly 25 signature evaluations are
+  // observed per query — the plan is computed on shard 0's functions and
+  // walked by all 4 shards.
+  auto engine = MakeEngine(4);
+  const uint64_t L = index_options_.num_tables;
+  std::vector<uint32_t> out;
+  ShardedQueryStats stats;
+
+  lsh::SetHashEvalCounting(true);
+  const uint64_t before = lsh::HashEvalCountForTest();
+  engine.Query(queries_.point(0), kRadius, &out, &stats);
+  const uint64_t after = lsh::HashEvalCountForTest();
+  lsh::SetHashEvalCounting(false);
+
+  EXPECT_EQ(after - before, L);
+  EXPECT_EQ(stats.hash_evals, L);
+  EXPECT_EQ(stats.plan_reuse, 4u);  // every shard walk consumed the plan
+  EXPECT_GE(stats.hash_seconds, 0.0);
+  // Per-shard stats reflect hash-once: no shard evaluated anything itself.
+  for (const core::QueryStats& shard : stats.per_shard) {
+    EXPECT_EQ(shard.hash_evals, 0u);
+    EXPECT_EQ(shard.plan_reuse, 1u);
+  }
+  // Engine-lifetime counters accumulate the same accounting.
+  EXPECT_EQ(engine.stats().hash_evals, L);
+  EXPECT_EQ(engine.stats().plan_reuse, 4u);
+}
+
+TEST_F(ShardedEngineTest, ForcedLinearSkipsHashingEntirely) {
+  auto engine = MakeEngine(3, core::ForcedStrategy::kAlwaysLinear);
+  std::vector<uint32_t> out;
+  ShardedQueryStats stats;
+
+  lsh::SetHashEvalCounting(true);
+  const uint64_t before = lsh::HashEvalCountForTest();
+  engine.Query(queries_.point(0), kRadius, &out, &stats);
+  const uint64_t after = lsh::HashEvalCountForTest();
+  lsh::SetHashEvalCounting(false);
+
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(stats.hash_evals, 0u);
+  EXPECT_EQ(stats.plan_reuse, 0u);
+  EXPECT_EQ(stats.hash_seconds, 0.0);
+  EXPECT_EQ(engine.stats().hash_evals, 0u);
+}
+
+TEST_F(ShardedEngineTest, BatchHashesOncePerQueryThroughBlockedKernels) {
+  // The batch path pushes all queries through ComputePlanBatch (blocked
+  // projection form): still exactly L evaluations per query, and every
+  // result identical to the single-query plan path.
+  auto engine = MakeEngine(4);
+  const uint64_t L = index_options_.num_tables;
+
+  lsh::SetHashEvalCounting(true);
+  const uint64_t before = lsh::HashEvalCountForTest();
+  const auto batch = engine.QueryBatch(queries_, kRadius);
+  const uint64_t after = lsh::HashEvalCountForTest();
+  lsh::SetHashEvalCounting(false);
+
+  EXPECT_EQ(after - before, L * queries_.size());
+  ASSERT_EQ(batch.size(), queries_.size());
+  std::vector<uint32_t> out;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    EXPECT_EQ(batch[q].stats.hash_evals, L);
+    EXPECT_EQ(batch[q].stats.plan_reuse, 4u);
+    out.clear();
+    engine.Query(queries_.point(q), kRadius, &out);
+    EXPECT_EQ(Sorted(batch[q].neighbors), Sorted(out)) << "query " << q;
+  }
+}
+
 TEST_F(ShardedEngineTest, BatchMatchesSingleQueries) {
   auto engine = MakeEngine(3);
   double wall_seconds = 0;

@@ -30,12 +30,14 @@ RATIO_METRICS = {
     "speedup_vs_float_block": "higher",
     "speedup_vs_per_id_scalar": "higher",
     "speedup_restore_vs_build": "higher",
+    "speedup_vs_scalar_single": "higher",
 }
 ABSOLUTE_METRICS = {
     "mcand_per_sec": "higher",
     "qps": "higher",
     "ns_per_distance": "lower",
     "ns_per_op": "lower",
+    "ns_per_signature": "lower",
     "p50_us": "lower",
     "save_seconds": "lower",
     "restore_seconds": "lower",
@@ -54,6 +56,8 @@ UNGATED = {
     "writer_ops_per_sec",
     "avg_output",
     "pct_linear_shards",
+    "hash_us_per_query",
+    "hash_pct",
     "borderline_pct",
     "queries",
     "snapshot_bytes",
