@@ -78,6 +78,34 @@ class BatchRunner {
     return results;
   }
 
+  /// Run with a pushdown filter: every query verifies only ids whose bit
+  /// is set in *filter (see HybridSearcher::QueryFiltered — the filter is
+  /// applied before any distance is computed, and the per-query hybrid
+  /// decision prices the linear side at the filter's selectivity). The
+  /// filter is shared read-only by all workers; it must not be mutated
+  /// while the batch runs. A null filter is the plain Run.
+  template <typename QuerySet>
+  std::vector<BatchResult> RunFiltered(const QuerySet& queries, double radius,
+                                       const util::BitVector* filter,
+                                       double* wall_seconds = nullptr) {
+    std::vector<BatchResult> results(queries.size());
+    util::WallTimer timer;
+    if (queries.size() > 0) {
+      const size_t num_workers = std::min(searchers_.size(), queries.size());
+      std::atomic<size_t> next{0};
+      util::ParallelForOn(pool_, 0, num_workers, [&](size_t w) {
+        HybridSearcher<Index, Dataset>& searcher = searchers_[w];
+        for (size_t q = next.fetch_add(1); q < queries.size();
+             q = next.fetch_add(1)) {
+          searcher.QueryFiltered(queries.point(q), radius, filter,
+                                 &results[q].neighbors, &results[q].stats);
+        }
+      });
+    }
+    if (wall_seconds != nullptr) *wall_seconds = timer.ElapsedSeconds();
+    return results;
+  }
+
   size_t num_workers() const { return searchers_.size(); }
 
  private:

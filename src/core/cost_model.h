@@ -86,8 +86,30 @@ struct CostModel {
 
   /// Eq. 2. For a segmented index n is the LIVE point count: the linear
   /// path iterates live ids only, so tombstoned points cost nothing there.
-  double LinearCost(size_t n) const {
-    return VerifyBeta() * static_cast<double>(n);
+  /// With a pushed-down predicate filter, `selectivity` is the fraction of
+  /// live points that pass the filter: the filtered linear path enumerates
+  /// filter survivors by word-skipping the composed bitmap, so only
+  /// survivors reach the distance check.
+  double LinearCost(size_t n, double selectivity = 1.0) const {
+    return VerifyBeta() * static_cast<double>(n) * Clamp01(selectivity);
+  }
+
+  /// The one clamped live-fraction helper every discount flows through.
+  ///
+  /// `live_fraction` is live/indexed (tombstone share); `selectivity` is
+  /// the fraction of LIVE points passing the pushed-down filter — it is
+  /// measured on the composed filter∧¬tombstone bitmap, i.e. already
+  /// conditioned on liveness. The expected fraction of indexed candidates
+  /// that reach the exact distance check is therefore the clamped product:
+  /// each point deleted AND filtered out is discounted exactly once
+  /// (through live_fraction; the conditional selectivity never re-counts
+  /// it). Deriving both the tombstone and the filter discount from this
+  /// single value — instead of subtracting two independently computed
+  /// corrections — is what keeps the combined correction from
+  /// double-discounting and driving the LSH estimate negative.
+  static double EffectiveLiveFraction(double live_fraction,
+                                      double selectivity) {
+    return Clamp01(Clamp01(live_fraction) * Clamp01(selectivity));
   }
 
   /// Tombstone correction for segmented indexes (engine/segmented_index.h).
@@ -97,25 +119,34 @@ struct CostModel {
   /// whose alpha cost is already fully counted in #collisions). Subtract
   /// this from LshCost before comparing against LinearCost(live_n).
   double TombstoneCorrection(double cand_size, double live_fraction) const {
-    return VerifyBeta() * cand_size * (1.0 - live_fraction);
+    return DeadWeightCorrection(cand_size,
+                                EffectiveLiveFraction(live_fraction, 1.0));
   }
 
-  /// The LSH side of the hybrid decision with the tombstone correction
-  /// applied — the single formula every decision site (HybridSearcher,
-  /// ShardedEngine::QueryShard) compares against LinearCost(live_n).
-  /// live_fraction == 1.0 (no tombstones / static index) reduces to Eq. 1.
+  /// The LSH side of the hybrid decision with the tombstone and filter
+  /// discounts applied — the single formula every decision site
+  /// (HybridSearcher, ShardedEngine::QueryShard) compares against
+  /// LinearCost(live_n, selectivity). Candidates that are dead or filtered
+  /// are rejected by a bit test at S2/verify-screen whose cost is already
+  /// inside alpha*#collisions + the screen share of VerifyBeta(); only the
+  /// effective live fraction of them pays an exact distance. The defaults
+  /// (live_fraction 1, selectivity 1) reduce to Eq. 1.
   double CorrectedLshCost(uint64_t collisions, double cand_size,
-                          double live_fraction) const {
+                          double live_fraction,
+                          double selectivity = 1.0) const {
     return LshCost(collisions, cand_size) -
-           TombstoneCorrection(cand_size, live_fraction);
+           DeadWeightCorrection(
+               cand_size, EffectiveLiveFraction(live_fraction, selectivity));
   }
 
   /// CorrectedLshCost from one coherent LiveStats snapshot — the form the
   /// concurrent query paths use so the correction and the linear
   /// comparison cannot mix counter values from different instants.
   double CorrectedLshCost(uint64_t collisions, double cand_size,
-                          const LiveStats& live) const {
-    return CorrectedLshCost(collisions, cand_size, live.fraction());
+                          const LiveStats& live,
+                          double selectivity = 1.0) const {
+    return CorrectedLshCost(collisions, cand_size, live.fraction(),
+                            selectivity);
   }
 
   /// Model with alpha = 1 and beta = `beta_over_alpha` (the paper's
@@ -126,6 +157,18 @@ struct CostModel {
 
   /// beta / alpha.
   double Ratio() const { return beta / alpha; }
+
+ private:
+  static double Clamp01(double f) { return f < 0.0 ? 0.0 : (f > 1.0 ? 1.0 : f); }
+
+  /// Cost of the exact distances NOT paid because (1 - effective_fraction)
+  /// of the estimated candidates are rejected by bit tests. Private: the
+  /// effective fraction must come from EffectiveLiveFraction so no call
+  /// site can stack two independent corrections.
+  double DeadWeightCorrection(double cand_size,
+                              double effective_fraction) const {
+    return VerifyBeta() * cand_size * (1.0 - effective_fraction);
+  }
 };
 
 /// Measures alpha and beta empirically (paper §4.2's procedure). Degenerate

@@ -1,0 +1,84 @@
+#include "core/fusion.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hybridlsh {
+namespace core {
+
+util::Status FuseScoredLists(std::span<ScoredList> lists,
+                             const FusionOptions& options,
+                             FusionScratch* scratch,
+                             std::vector<FusedHit>* out) {
+  out->clear();
+  FusionScratch local;
+  FusionScratch* s = scratch != nullptr ? scratch : &local;
+  s->contributions.clear();
+
+  for (size_t i = 0; i < lists.size(); ++i) {
+    const ScoredList& list = lists[i];
+    const size_t n = list.ids.size();
+    if (list.distances.size() != n) {
+      return util::Status::InvalidArgument(
+          "ScoredList ids/distances length mismatch");
+    }
+    if (options.mode == FusionMode::kRrf) {
+      // Rank by (distance ascending, id ascending) — a total order, so
+      // equal distances cannot make ranks run-dependent.
+      s->order.resize(n);
+      std::iota(s->order.begin(), s->order.end(), 0u);
+      std::sort(s->order.begin(), s->order.end(),
+                [&](uint32_t a, uint32_t b) {
+                  if (list.distances[a] != list.distances[b]) {
+                    return list.distances[a] < list.distances[b];
+                  }
+                  return list.ids[a] < list.ids[b];
+                });
+      for (size_t r = 0; r < n; ++r) {
+        const uint32_t id = list.ids[s->order[r]];
+        const double contrib =
+            list.weight / (options.rrf_k + static_cast<double>(r + 1));
+        s->contributions.emplace_back(
+            (uint64_t{id} << 32) | static_cast<uint32_t>(i), contrib);
+      }
+    } else {
+      for (size_t j = 0; j < n; ++j) {
+        const double contrib = list.weight / (1.0 + list.distances[j]);
+        s->contributions.emplace_back(
+            (uint64_t{list.ids[j]} << 32) | static_cast<uint32_t>(i),
+            contrib);
+      }
+    }
+  }
+
+  // Accumulate in (id, subquery) key order: the floating-point sum for
+  // every id folds its subquery contributions in one fixed sequence, no
+  // matter what order the subqueries reported in.
+  std::sort(s->contributions.begin(), s->contributions.end());
+  for (size_t j = 0; j + 1 < s->contributions.size(); ++j) {
+    if (s->contributions[j].first == s->contributions[j + 1].first) {
+      return util::Status::InvalidArgument(
+          "duplicate id within one fused subquery result list");
+    }
+  }
+
+  for (size_t j = 0; j < s->contributions.size();) {
+    const uint32_t id = static_cast<uint32_t>(s->contributions[j].first >> 32);
+    double score = 0.0;
+    while (j < s->contributions.size() &&
+           static_cast<uint32_t>(s->contributions[j].first >> 32) == id) {
+      score += s->contributions[j].second;
+      ++j;
+    }
+    out->push_back(FusedHit{id, score});
+  }
+
+  std::sort(out->begin(), out->end(), [](const FusedHit& a, const FusedHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  return util::Status::Ok();
+}
+
+}  // namespace core
+}  // namespace hybridlsh

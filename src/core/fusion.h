@@ -1,0 +1,89 @@
+// Deterministic multi-subquery result fusion (the merge stage of the
+// composable query pipeline).
+//
+// A fused query runs N subqueries — different radii, different metrics, or
+// an attribute-only scan — against one snapshot and combines their result
+// lists into a single scored ranking, following the RRF / LINEAR scoring
+// shapes of RediSearch's FT.HYBRID:
+//
+//   RRF:    fused(id) = sum_i  weight_i / (rrf_k + rank_i(id))
+//   LINEAR: fused(id) = sum_i  weight_i * sim_i(id),  sim = 1 / (1 + dist)
+//
+// where rank_i is the 1-based rank of id in subquery i ordered by
+// (distance ascending, id ascending), and a subquery that did not report
+// id contributes nothing. The final ranking orders by (fused score
+// descending, id ascending). Every tie-break is total, and contributions
+// are accumulated in a fixed order (id-major, then subquery order), so the
+// merge is bit-deterministic across runs, thread counts, and SIMD tiers —
+// the per-id distances it consumes come from the scalar scoring helpers,
+// not the vectorized verify kernels.
+
+#ifndef HYBRIDLSH_CORE_FUSION_H_
+#define HYBRIDLSH_CORE_FUSION_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hybridlsh {
+namespace core {
+
+enum class FusionMode : uint8_t {
+  kRrf,     // reciprocal-rank fusion (rank-based, scale-free)
+  kLinear,  // weighted sum of 1/(1+distance) similarities
+};
+
+inline const char* FusionModeName(FusionMode mode) {
+  return mode == FusionMode::kRrf ? "rrf" : "linear";
+}
+
+struct FusionOptions {
+  FusionMode mode = FusionMode::kRrf;
+  /// RRF rank constant: larger values flatten the rank curve. 60 is the
+  /// conventional default from the TREC fusion literature.
+  double rrf_k = 60.0;
+};
+
+/// One fused result: a point id and its combined score (higher = better).
+struct FusedHit {
+  uint32_t id = 0;
+  double score = 0.0;
+};
+
+/// One subquery's results: parallel id/distance arrays plus the
+/// subquery's fusion weight. Distances must be >= 0 (radius-search
+/// distances are); an attribute-only subquery reports distance 0 for
+/// every id, making its ranks degenerate to ascending-id order and its
+/// LINEAR similarity 1.
+struct ScoredList {
+  double weight = 1.0;
+  std::vector<uint32_t> ids;
+  std::vector<double> distances;
+};
+
+/// Reusable allocation scratch for FuseScoredLists (the query paths keep
+/// one per QueryScratch so steady-state fusion does not allocate).
+struct FusionScratch {
+  std::vector<uint32_t> order;
+  /// (id << 32 | subquery index, contribution): sorting by the packed key
+  /// fixes the accumulation order and makes an in-list duplicate a
+  /// repeated key.
+  std::vector<std::pair<uint64_t, double>> contributions;
+};
+
+/// Merges `lists` into *out (cleared first) under `options`; see the file
+/// comment for the exact semantics. Duplicate ids within one list are
+/// invalid (the radius-search paths never produce them) and flagged with
+/// InvalidArgument. `scratch` may be null (a local is used).
+util::Status FuseScoredLists(std::span<ScoredList> lists,
+                             const FusionOptions& options,
+                             FusionScratch* scratch,
+                             std::vector<FusedHit>* out);
+
+}  // namespace core
+}  // namespace hybridlsh
+
+#endif  // HYBRIDLSH_CORE_FUSION_H_

@@ -221,6 +221,71 @@ class HybridSearcher {
     s->total_seconds = total_timer.ElapsedSeconds();
   }
 
+  /// Predicate-filtered Query(): the pipeline's searcher leg. `filter`
+  /// holds raw predicate bits over [0, bound) — bit set iff the id passes
+  /// the predicate (engine/query_pipeline.h BuildFilterContext evaluates
+  /// it; here it need NOT be composed with tombstones: the LSH path drops
+  /// dead ids at S2 as always, the linear path iterates live ids only).
+  /// Null filter degrades to Query(). The strategy decision folds the
+  /// filter's selectivity through CostModel::EffectiveLiveFraction, so at
+  /// low selectivity the linear path — which verifies only filter
+  /// survivors — wins even when the unfiltered decision would pick LSH.
+  /// Results are exactly the unfiltered results restricted to ids whose
+  /// filter bit is set (ids at or past filter->size() fail).
+  void QueryFiltered(Point query, double radius, const util::BitVector* filter,
+                     std::vector<uint32_t>* out, QueryStats* stats = nullptr) {
+    if (filter == nullptr) {
+      Query(query, radius, out, stats);
+      return;
+    }
+    QueryStats local_stats;
+    QueryStats* s = stats != nullptr ? stats : &local_stats;
+    *s = QueryStats{};
+    util::WallTimer total_timer;
+    EnsureCapacity();
+
+    const LiveStats live = LiveStatsSnapshot();
+    // Survivor estimate: predicate passers (dead passers inflate it for a
+    // standalone segmented index, which only nudges the decision toward
+    // LSH — the clamp keeps the fraction sane).
+    double selectivity =
+        live.live == 0 ? 0.0
+                       : static_cast<double>(filter->Count()) /
+                             static_cast<double>(live.live);
+    if (selectivity > 1.0) selectivity = 1.0;
+
+    if (options_.forced == ForcedStrategy::kAlwaysLinear) {
+      s->strategy = Strategy::kLinear;
+      s->linear_cost = options_.cost_model.LinearCost(live.live, selectivity);
+      ExecuteLinearFiltered(query, radius, filter, out, s);
+      s->total_seconds = total_timer.ElapsedSeconds();
+      return;
+    }
+
+    ComputeKeys(query, s);
+    {
+      util::WallTimer estimate_timer;
+      const auto estimate = EstimateNow();
+      s->collisions = estimate.collisions;
+      s->cand_estimate = estimate.cand_estimate;
+      s->estimate_seconds = estimate_timer.ElapsedSeconds();
+    }
+
+    s->lsh_cost = options_.cost_model.CorrectedLshCost(
+        s->collisions, s->cand_estimate, live.fraction(), selectivity);
+    s->linear_cost = options_.cost_model.LinearCost(live.live, selectivity);
+    const bool use_lsh = options_.forced == ForcedStrategy::kAlwaysLsh ||
+                         s->lsh_cost < s->linear_cost;
+    if (use_lsh) {
+      s->strategy = Strategy::kLsh;
+      ExecuteLsh(query, radius, out, s, filter);
+    } else {
+      s->strategy = Strategy::kLinear;
+      ExecuteLinearFiltered(query, radius, filter, out, s);
+    }
+    s->total_seconds = total_timer.ElapsedSeconds();
+  }
+
   /// Classic LSH-based search (no decision, no estimation overhead beyond
   /// stats collection).
   void QueryLsh(Point query, double radius, std::vector<uint32_t>* out,
@@ -311,9 +376,11 @@ class HybridSearcher {
   }
 
   // S2 + S3: dedup candidates into the flat touched() buffer, then verify
-  // it in one block-batched kernel pass (core/kernels.h).
+  // it in one block-batched kernel pass (core/kernels.h). A pushed-down
+  // filter rides into the verify call: filtered candidates pay a bit test,
+  // not a distance.
   void ExecuteLsh(Point query, double radius, std::vector<uint32_t>* out,
-                  QueryStats* s) {
+                  QueryStats* s, const util::BitVector* filter = nullptr) {
     visited_.Reset();
     if constexpr (kHasPlan) {
       s->collisions = index_->CollectCandidates(plan_, &visited_);
@@ -322,7 +389,7 @@ class HybridSearcher {
     }
     s->cand_actual = visited_.size();
     s->output_size += kernels::VerifyCandidates(
-        *index_, *dataset_, query, visited_.touched(), radius, out);
+        *index_, *dataset_, query, visited_.touched(), radius, out, filter);
   }
 
   void ExecuteLinear(Point query, double radius, std::vector<uint32_t>* out,
@@ -338,6 +405,28 @@ class HybridSearcher {
       s->output_size += kernels::VerifyAllIds(
           *index_, *dataset_, query, 0,
           static_cast<uint32_t>(dataset_->size()), radius, out);
+    }
+  }
+
+  /// The filtered linear path verifies only filter survivors. Static
+  /// indexes let the range kernel word-skip the bitmap directly; a
+  /// segmented index intersects during the live-id walk so dead passers
+  /// never reach the verify buffer.
+  void ExecuteLinearFiltered(Point query, double radius,
+                             const util::BitVector* filter,
+                             std::vector<uint32_t>* out, QueryStats* s) {
+    if constexpr (kSegmented) {
+      linear_ids_.clear();
+      const size_t bound = filter->size();
+      index_->ForEachLiveId([&](uint32_t id) {
+        if (id < bound && filter->Get(id)) linear_ids_.push_back(id);
+      });
+      s->output_size += kernels::VerifyCandidates(*index_, *dataset_, query,
+                                                  linear_ids_, radius, out);
+    } else {
+      s->output_size += kernels::VerifyAllIds(
+          *index_, *dataset_, query, 0,
+          static_cast<uint32_t>(dataset_->size()), radius, out, filter);
     }
   }
 

@@ -1100,6 +1100,41 @@ size_t VerifyBinaryImpl(const data::BinaryDataset& dataset,
   return reported;
 }
 
+/// Compacts `ids` to the subsequence whose filter bit is set (ids the
+/// filter does not cover are dropped — see the kernels.h contract). The
+/// filtered entry points run the unfiltered kernels over the compacted
+/// buffer: order is preserved, so a filtered call emits exactly what the
+/// unfiltered call would have emitted, restricted to surviving ids, and
+/// the distance loops never pay a per-candidate filter branch.
+void CompactFiltered(std::span<const uint32_t> ids,
+                     const util::BitVector& filter,
+                     std::vector<uint32_t>* survivors) {
+  survivors->clear();
+  const size_t bound = filter.size();
+  const size_t n = ids.size();
+  constexpr size_t kFilterPrefetchAhead = 8;
+  for (size_t j = 0; j < n; ++j) {
+    if (j + kFilterPrefetchAhead < n &&
+        ids[j + kFilterPrefetchAhead] < bound) {
+      filter.PrefetchWord(ids[j + kFilterPrefetchAhead]);
+    }
+    const uint32_t id = ids[j];
+    if (id < bound && filter.Get(id)) survivors->push_back(id);
+  }
+}
+
+/// The contiguous-range analogue: survivors of [begin, end) by
+/// word-skipping the filter bitmap — O(range/64 + survivors), which is
+/// what makes the filtered linear scan profitable at low selectivity.
+void CompactFilteredRange(uint32_t begin, uint32_t end,
+                          const util::BitVector& filter,
+                          std::vector<uint32_t>* survivors) {
+  survivors->clear();
+  filter.ForEachSetBitInRange(begin, end, [&](size_t id) {
+    survivors->push_back(static_cast<uint32_t>(id));
+  });
+}
+
 }  // namespace
 
 const KernelTable& KernelsForTier(util::simd::Tier tier) {
@@ -1164,7 +1199,15 @@ const ProjectionKernelTable& ProjectionKernels() {
 
 size_t VerifyBlock(const data::DenseDataset& dataset, data::Metric metric,
                    const float* query, std::span<const uint32_t> ids,
-                   double radius, std::vector<uint32_t>* out) {
+                   double radius, std::vector<uint32_t>* out,
+                   const util::BitVector* filter) {
+  if (filter != nullptr) {
+    thread_local std::vector<uint32_t> survivors;
+    CompactFiltered(ids, *filter, &survivors);
+    return VerifyDenseImpl(
+        dataset, metric, query, survivors.size(),
+        [&](size_t j) { return survivors[j]; }, radius, out);
+  }
   return VerifyDenseImpl(
       dataset, metric, query, ids.size(), [&](size_t j) { return ids[j]; },
       radius, out);
@@ -1172,8 +1215,16 @@ size_t VerifyBlock(const data::DenseDataset& dataset, data::Metric metric,
 
 size_t VerifyRange(const data::DenseDataset& dataset, data::Metric metric,
                    const float* query, uint32_t begin, uint32_t end,
-                   double radius, std::vector<uint32_t>* out) {
+                   double radius, std::vector<uint32_t>* out,
+                   const util::BitVector* filter) {
   if (end <= begin) return 0;
+  if (filter != nullptr) {
+    thread_local std::vector<uint32_t> survivors;
+    CompactFilteredRange(begin, end, *filter, &survivors);
+    return VerifyDenseImpl(
+        dataset, metric, query, survivors.size(),
+        [&](size_t j) { return survivors[j]; }, radius, out);
+  }
   return VerifyDenseImpl(
       dataset, metric, query, static_cast<size_t>(end - begin),
       [&](size_t j) { return begin + static_cast<uint32_t>(j); }, radius, out);
@@ -1184,7 +1235,19 @@ size_t VerifyBlockQuantized(const data::DenseDataset& dataset,
                             data::Metric metric, const float* query,
                             std::span<const uint32_t> ids, double radius,
                             std::vector<uint32_t>* out,
-                            QuantizedScreenStats* stats) {
+                            QuantizedScreenStats* stats,
+                            const util::BitVector* filter) {
+  if (filter != nullptr) {
+    // Filter before the screen: filtered-out candidates pay one bit test,
+    // not an int8 kernel row. Stats then count survivors only. The
+    // compacted buffer is a subsequence of `ids`, so emission order still
+    // matches the unfiltered call restricted to survivors.
+    thread_local std::vector<uint32_t> filter_survivors;
+    CompactFiltered(ids, *filter, &filter_survivors);
+    return VerifyBlockQuantized(dataset, mirror, metric, query,
+                                std::span<const uint32_t>(filter_survivors),
+                                radius, out, stats, nullptr);
+  }
   const size_t dim = dataset.dim();
   const bool cosine = metric == data::Metric::kCosine;
   if (!mirror.enabled() || mirror.dim() != dim ||
@@ -1494,7 +1557,14 @@ size_t VerifyBlockQuantized(const data::DenseDataset& dataset,
 
 size_t VerifyBlock(const data::BinaryDataset& dataset, const uint64_t* query,
                    std::span<const uint32_t> ids, double radius,
-                   std::vector<uint32_t>* out) {
+                   std::vector<uint32_t>* out, const util::BitVector* filter) {
+  if (filter != nullptr) {
+    thread_local std::vector<uint32_t> survivors;
+    CompactFiltered(ids, *filter, &survivors);
+    return VerifyBinaryImpl(
+        dataset, query, survivors.size(),
+        [&](size_t j) { return survivors[j]; }, radius, out);
+  }
   return VerifyBinaryImpl(
       dataset, query, ids.size(), [&](size_t j) { return ids[j]; }, radius,
       out);
@@ -1502,8 +1572,15 @@ size_t VerifyBlock(const data::BinaryDataset& dataset, const uint64_t* query,
 
 size_t VerifyRange(const data::BinaryDataset& dataset, const uint64_t* query,
                    uint32_t begin, uint32_t end, double radius,
-                   std::vector<uint32_t>* out) {
+                   std::vector<uint32_t>* out, const util::BitVector* filter) {
   if (end <= begin) return 0;
+  if (filter != nullptr) {
+    thread_local std::vector<uint32_t> survivors;
+    CompactFilteredRange(begin, end, *filter, &survivors);
+    return VerifyBinaryImpl(
+        dataset, query, survivors.size(),
+        [&](size_t j) { return survivors[j]; }, radius, out);
+  }
   return VerifyBinaryImpl(
       dataset, query, static_cast<size_t>(end - begin),
       [&](size_t j) { return begin + static_cast<uint32_t>(j); }, radius, out);

@@ -49,6 +49,7 @@
 #include "data/dataset.h"
 #include "data/metric.h"
 #include "data/quantized.h"
+#include "util/bit_vector.h"
 #include "util/simd.h"
 
 namespace hybridlsh {
@@ -171,19 +172,32 @@ struct QuantizedScreenStats {
 // Each call appends every id whose distance to `query` is <= radius to
 // *out and returns the number appended. Candidates are processed in
 // blocks with software prefetch of upcoming rows.
+//
+// Every entry point takes an optional pushed-down `filter`: when non-null,
+// an id is verified (and can be reported) only if its filter bit is set;
+// ids at or past filter->size() are rejected (the filter was built over
+// the id bound visible at query start, so a concurrently inserted id has
+// no evaluated predicate and must not leak through). The bit test runs
+// BEFORE the distance computation — that is the pushdown: at low
+// selectivity almost every candidate costs one word probe instead of a
+// row load plus a kernel call. The filter is query-private scratch
+// (already composed with the tombstone bitmap via
+// util::BitVector::AndWithNot), so plain relaxed reads suffice.
 
 /// Dense rows under metric (kL1, kL2, or kCosine). For kCosine the
 /// dataset's cached norms (data::DenseDataset::PrecomputeNorms) are used
 /// when present; otherwise the fused cosine kernel runs per candidate.
 size_t VerifyBlock(const data::DenseDataset& dataset, data::Metric metric,
                    const float* query, std::span<const uint32_t> ids,
-                   double radius, std::vector<uint32_t>* out);
+                   double radius, std::vector<uint32_t>* out,
+                   const util::BitVector* filter = nullptr);
 
 /// Dense contiguous id range [begin, end) — the linear-scan path, which
 /// streams rows without an id gather.
 size_t VerifyRange(const data::DenseDataset& dataset, data::Metric metric,
                    const float* query, uint32_t begin, uint32_t end,
-                   double radius, std::vector<uint32_t>* out);
+                   double radius, std::vector<uint32_t>* out,
+                   const util::BitVector* filter = nullptr);
 
 /// Two-phase quantized verification: an int8 screen over the mirror's
 /// codes classifies each candidate as definitely-in / definitely-out /
@@ -209,15 +223,18 @@ size_t VerifyBlockQuantized(const data::DenseDataset& dataset,
                             data::Metric metric, const float* query,
                             std::span<const uint32_t> ids, double radius,
                             std::vector<uint32_t>* out,
-                            QuantizedScreenStats* stats = nullptr);
+                            QuantizedScreenStats* stats = nullptr,
+                            const util::BitVector* filter = nullptr);
 
 /// Packed binary codes under Hamming distance.
 size_t VerifyBlock(const data::BinaryDataset& dataset, const uint64_t* query,
                    std::span<const uint32_t> ids, double radius,
-                   std::vector<uint32_t>* out);
+                   std::vector<uint32_t>* out,
+                   const util::BitVector* filter = nullptr);
 size_t VerifyRange(const data::BinaryDataset& dataset, const uint64_t* query,
                    uint32_t begin, uint32_t end, double radius,
-                   std::vector<uint32_t>* out);
+                   std::vector<uint32_t>* out,
+                   const util::BitVector* filter = nullptr);
 
 // --- Generic entry points for the searcher / engine layers. ----------------
 
@@ -229,6 +246,13 @@ template <typename Index>
 concept HasFamilyMetric = requires(const Index& index) {
   { index.family().metric() } -> std::convertible_to<data::Metric>;
 };
+
+/// The one filter predicate every verify path applies (see the
+/// block-batched section comment): null filter passes everything, ids the
+/// filter does not cover fail.
+inline bool FilterPass(const util::BitVector* filter, uint32_t id) {
+  return filter == nullptr || (id < filter->size() && filter->Get(id));
+}
 }  // namespace detail
 
 /// Verifies a flat candidate-id buffer (e.g. VisitedSet::touched() after
@@ -239,16 +263,18 @@ template <typename Index, typename Dataset>
 size_t VerifyCandidates(const Index& index, const Dataset& dataset,
                         typename Index::Point query,
                         std::span<const uint32_t> ids, double radius,
-                        std::vector<uint32_t>* out) {
+                        std::vector<uint32_t>* out,
+                        const util::BitVector* filter = nullptr) {
   if constexpr (std::is_same_v<Dataset, data::DenseDataset> &&
                 detail::HasFamilyMetric<Index>) {
     return VerifyBlock(dataset, index.family().metric(), query, ids, radius,
-                       out);
+                       out, filter);
   } else if constexpr (std::is_same_v<Dataset, data::BinaryDataset>) {
-    return VerifyBlock(dataset, query, ids, radius, out);
+    return VerifyBlock(dataset, query, ids, radius, out, filter);
   } else {
     size_t reported = 0;
     for (const uint32_t id : ids) {
+      if (!detail::FilterPass(filter, id)) continue;
       if (index.Distance(dataset.point(id), query) <= radius) {
         out->push_back(id);
         ++reported;
@@ -267,15 +293,16 @@ size_t VerifyCandidatesQuantized(const Index& index, const Dataset& dataset,
                                  const data::QuantizedMirror* mirror,
                                  typename Index::Point query,
                                  std::span<const uint32_t> ids, double radius,
-                                 std::vector<uint32_t>* out) {
+                                 std::vector<uint32_t>* out,
+                                 const util::BitVector* filter = nullptr) {
   if constexpr (std::is_same_v<Dataset, data::DenseDataset> &&
                 detail::HasFamilyMetric<Index>) {
     if (mirror != nullptr && mirror->enabled()) {
       return VerifyBlockQuantized(dataset, *mirror, index.family().metric(),
-                                  query, ids, radius, out);
+                                  query, ids, radius, out, nullptr, filter);
     }
   }
-  return VerifyCandidates(index, dataset, query, ids, radius, out);
+  return VerifyCandidates(index, dataset, query, ids, radius, out, filter);
 }
 
 /// Verifies the contiguous id range [begin, end) — the static linear-scan
@@ -283,16 +310,18 @@ size_t VerifyCandidatesQuantized(const Index& index, const Dataset& dataset,
 template <typename Index, typename Dataset>
 size_t VerifyAllIds(const Index& index, const Dataset& dataset,
                     typename Index::Point query, uint32_t begin, uint32_t end,
-                    double radius, std::vector<uint32_t>* out) {
+                    double radius, std::vector<uint32_t>* out,
+                    const util::BitVector* filter = nullptr) {
   if constexpr (std::is_same_v<Dataset, data::DenseDataset> &&
                 detail::HasFamilyMetric<Index>) {
     return VerifyRange(dataset, index.family().metric(), query, begin, end,
-                       radius, out);
+                       radius, out, filter);
   } else if constexpr (std::is_same_v<Dataset, data::BinaryDataset>) {
-    return VerifyRange(dataset, query, begin, end, radius, out);
+    return VerifyRange(dataset, query, begin, end, radius, out, filter);
   } else {
     size_t reported = 0;
     for (uint32_t id = begin; id < end; ++id) {
+      if (!detail::FilterPass(filter, id)) continue;
       if (index.Distance(dataset.point(id), query) <= radius) {
         out->push_back(id);
         ++reported;

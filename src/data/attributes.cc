@@ -1,0 +1,65 @@
+#include "data/attributes.h"
+
+#include <algorithm>
+
+namespace hybridlsh {
+namespace data {
+
+bool Predicate::Matches(const AttributeStore& store, size_t id) const {
+  if (id >= store.size()) return false;
+  for (const Term& term : all_of) {
+    HLSH_DCHECK(term.column < store.num_columns());
+    const uint32_t v = store.value(term.column, id);
+    if (v < term.lo || v > term.hi) return false;
+  }
+  return true;
+}
+
+void EvaluateFilter(const AttributeStore& store, const Predicate& pred,
+                    size_t id_limit, util::BitVector* filter) {
+  filter->Resize(id_limit);
+  const size_t rows = std::min(store.size(), id_limit);
+  if (rows == 0) return;
+
+  if (pred.all_of.empty()) {
+    // Empty conjunction: every visible row passes.
+    for (size_t i = 0; i < rows; ++i) filter->Set(i);
+    return;
+  }
+
+  // Term-major within each 64-row block: the first term builds the word,
+  // later terms AND into it, and a block that goes all-zero skips the
+  // remaining terms. Column reads are sequential per term, so the access
+  // pattern is streaming even with several conjuncts.
+  std::vector<std::span<const uint32_t>> cols;
+  cols.reserve(pred.all_of.size());
+  for (const Predicate::Term& term : pred.all_of) {
+    HLSH_DCHECK(term.column < store.num_columns());
+    cols.push_back(store.column_span(term.column, rows));
+  }
+
+  for (size_t base = 0; base < rows; base += 64) {
+    const size_t block = std::min<size_t>(64, rows - base);
+    uint64_t word = 0;
+    for (size_t t = 0; t < pred.all_of.size(); ++t) {
+      const Predicate::Term& term = pred.all_of[t];
+      const uint32_t* v = cols[t].data() + base;
+      uint64_t term_word = 0;
+      for (size_t j = 0; j < block; ++j) {
+        term_word |= uint64_t{v[j] >= term.lo && v[j] <= term.hi} << j;
+      }
+      word = (t == 0) ? term_word : (word & term_word);
+      if (word == 0) break;
+    }
+    if (word == 0) continue;
+    uint64_t w = word;
+    while (w != 0) {
+      const size_t bit = static_cast<size_t>(__builtin_ctzll(w));
+      filter->Set(base + bit);
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace data
+}  // namespace hybridlsh

@@ -162,6 +162,45 @@ util::Status SearchEngine::Query(std::span<const uint32_t>, double,
   return WrongPointType("sparse id-set");
 }
 
+util::Status SearchEngine::AttachAttributes(const data::AttributeStore*) {
+  return util::Status::Unimplemented(
+      "this engine does not support attribute filters");
+}
+
+util::Status SearchEngine::Query(const float*, const QuerySpec&,
+                                 std::vector<uint32_t>*, ShardedQueryStats*) {
+  return WrongPointType("dense float");
+}
+
+util::Status SearchEngine::Query(const uint64_t*, const QuerySpec&,
+                                 std::vector<uint32_t>*, ShardedQueryStats*) {
+  return WrongPointType("packed binary");
+}
+
+util::Status SearchEngine::Query(std::span<const uint32_t>, const QuerySpec&,
+                                 std::vector<uint32_t>*, ShardedQueryStats*) {
+  return WrongPointType("sparse id-set");
+}
+
+util::Status SearchEngine::QueryFused(const float*, const QuerySpec&,
+                                      std::vector<core::FusedHit>*,
+                                      ShardedQueryStats*) {
+  return WrongPointType("dense float");
+}
+
+util::Status SearchEngine::QueryFused(const uint64_t*, const QuerySpec&,
+                                      std::vector<core::FusedHit>*,
+                                      ShardedQueryStats*) {
+  return WrongPointType("packed binary");
+}
+
+util::Status SearchEngine::QueryFused(std::span<const uint32_t>,
+                                      const QuerySpec&,
+                                      std::vector<core::FusedHit>*,
+                                      ShardedQueryStats*) {
+  return WrongPointType("sparse id-set");
+}
+
 util::StatusOr<std::vector<ShardedBatchResult>> SearchEngine::QueryBatch(
     const data::DenseDataset&, double, double*) {
   return WrongPointType("dense float");

@@ -33,8 +33,11 @@
 #include <variant>
 #include <vector>
 
+#include "core/fusion.h"
+#include "data/attributes.h"
 #include "data/dataset.h"
 #include "data/metric.h"
+#include "engine/query_pipeline.h"
 #include "engine/sharded_engine.h"
 #include "util/status.h"
 
@@ -117,6 +120,44 @@ class SearchEngine {
   virtual util::Status Query(std::span<const uint32_t> query, double radius,
                              std::vector<uint32_t>* out,
                              ShardedQueryStats* stats = nullptr);
+
+  // --- Composable pipeline queries (engine/query_pipeline.h). ------------
+  // One QuerySpec describes radius, optional pushdown predicate, and
+  // optional fusion clauses; the engine validates it (a predicate needs an
+  // attached AttributeStore, metric overrides need dense data) and
+  // executes every spec through the same plan→probe→gather→filter→verify→
+  // score→merge chain the radius overloads ride.
+
+  /// Attaches the attribute table predicates evaluate against (row r
+  /// describes global id r; must outlive the engine). nullptr detaches.
+  virtual util::Status AttachAttributes(const data::AttributeStore* attributes);
+
+  /// Non-fused spec (radius + optional predicate): appends matching global
+  /// ids to *out, exactly the post-filtered result set of the radius
+  /// overload but with the predicate pushed below the distance kernels.
+  virtual util::Status Query(const float* query, const QuerySpec& spec,
+                             std::vector<uint32_t>* out,
+                             ShardedQueryStats* stats = nullptr);
+  virtual util::Status Query(const uint64_t* query, const QuerySpec& spec,
+                             std::vector<uint32_t>* out,
+                             ShardedQueryStats* stats = nullptr);
+  virtual util::Status Query(std::span<const uint32_t> query,
+                             const QuerySpec& spec,
+                             std::vector<uint32_t>* out,
+                             ShardedQueryStats* stats = nullptr);
+
+  /// Fused spec (N subqueries): merged (id, score) hits under the spec's
+  /// RRF / LINEAR fusion options, deterministically ordered.
+  virtual util::Status QueryFused(const float* query, const QuerySpec& spec,
+                                  std::vector<core::FusedHit>* out,
+                                  ShardedQueryStats* stats = nullptr);
+  virtual util::Status QueryFused(const uint64_t* query, const QuerySpec& spec,
+                                  std::vector<core::FusedHit>* out,
+                                  ShardedQueryStats* stats = nullptr);
+  virtual util::Status QueryFused(std::span<const uint32_t> query,
+                                  const QuerySpec& spec,
+                                  std::vector<core::FusedHit>* out,
+                                  ShardedQueryStats* stats = nullptr);
 
   // --- Batches, one typed overload per dataset container. ---------------
   // Pooled execution with per-worker scratch reuse (ShardedEngine::
@@ -204,8 +245,48 @@ class ShardedEngineAdapter final : public SearchEngine {
   const Engine& engine() const { return engine_; }
 
   using SearchEngine::Query;
+  using SearchEngine::QueryFused;
   using SearchEngine::QueryBatch;
   using SearchEngine::Insert;
+
+  util::Status AttachAttributes(
+      const data::AttributeStore* attributes) override {
+    engine_.AttachAttributes(attributes);
+    return util::Status::Ok();
+  }
+
+  util::Status Query(const float* query, const QuerySpec& spec,
+                     std::vector<uint32_t>* out,
+                     ShardedQueryStats* stats) override {
+    return SpecQueryImpl(query, spec, out, stats, "dense float");
+  }
+  util::Status Query(const uint64_t* query, const QuerySpec& spec,
+                     std::vector<uint32_t>* out,
+                     ShardedQueryStats* stats) override {
+    return SpecQueryImpl(query, spec, out, stats, "packed binary");
+  }
+  util::Status Query(std::span<const uint32_t> query, const QuerySpec& spec,
+                     std::vector<uint32_t>* out,
+                     ShardedQueryStats* stats) override {
+    return SpecQueryImpl(query, spec, out, stats, "sparse id-set");
+  }
+
+  util::Status QueryFused(const float* query, const QuerySpec& spec,
+                          std::vector<core::FusedHit>* out,
+                          ShardedQueryStats* stats) override {
+    return FusedQueryImpl(query, spec, out, stats, "dense float");
+  }
+  util::Status QueryFused(const uint64_t* query, const QuerySpec& spec,
+                          std::vector<core::FusedHit>* out,
+                          ShardedQueryStats* stats) override {
+    return FusedQueryImpl(query, spec, out, stats, "packed binary");
+  }
+  util::Status QueryFused(std::span<const uint32_t> query,
+                          const QuerySpec& spec,
+                          std::vector<core::FusedHit>* out,
+                          ShardedQueryStats* stats) override {
+    return FusedQueryImpl(query, spec, out, stats, "sparse id-set");
+  }
 
   util::Status Query(const float* query, double radius,
                      std::vector<uint32_t>* out,
@@ -291,6 +372,26 @@ class ShardedEngineAdapter final : public SearchEngine {
   }
 
  private:
+  template <typename P>
+  util::Status SpecQueryImpl(P query, const QuerySpec& spec,
+                             std::vector<uint32_t>* out,
+                             ShardedQueryStats* stats, const char* got) {
+    if constexpr (std::is_same_v<P, Point>) {
+      return engine_.Query(query, spec, out, stats);
+    } else {
+      return WrongPointType(got);
+    }
+  }
+  template <typename P>
+  util::Status FusedQueryImpl(P query, const QuerySpec& spec,
+                              std::vector<core::FusedHit>* out,
+                              ShardedQueryStats* stats, const char* got) {
+    if constexpr (std::is_same_v<P, Point>) {
+      return engine_.QueryFused(query, spec, out, stats);
+    } else {
+      return WrongPointType(got);
+    }
+  }
   template <typename P>
   util::StatusOr<uint32_t> InsertImpl(P point, const char* got) {
     if constexpr (std::is_same_v<P, Point>) {

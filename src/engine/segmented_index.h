@@ -520,6 +520,21 @@ class SegmentedIndex {
       }
     }
 
+    /// ForEachLiveId through a pushdown filter: fn(id) for every live id
+    /// whose bit is set in `filter` (ids at or past the filter's bound
+    /// fail — the filter was built over the id space visible when the
+    /// query started). Emission order is exactly ForEachLiveId's with
+    /// non-survivors skipped — a subsequence — which is what makes
+    /// filtered linear scans bit-identical to post-filtered ones.
+    template <typename Fn>
+    void ForEachLiveIdFiltered(const util::BitVector& filter,
+                               Fn&& fn) const {
+      const size_t bound = filter.size();
+      ForEachLiveId([&](uint32_t id) {
+        if (id < bound && filter.Get(id)) fn(id);
+      });
+    }
+
     /// Every id visible through this snapshot is below this bound (sizes a
     /// VisitedSet / result buffer).
     size_t id_bound() const { return id_bound_; }

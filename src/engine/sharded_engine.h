@@ -57,6 +57,19 @@
 // batch pooling) use engine-owned scratch: at most one thread may be in
 // them at a time, but they may run concurrently with writers and
 // maintenance — they ride the same snapshot path underneath.
+//
+// --- The composable query pipeline (engine/query_pipeline.h) ----------------
+//
+// Every entry point executes one QuerySpec through the same stage chain:
+// plan -> probe -> gather -> filter -> verify -> score -> merge. The legacy
+// radius calls are thin wrappers over QuerySpec::Radius(r); a predicate
+// pushes a BitVector filter into the verify kernels (candidates pay a bit
+// test before a distance, and the cost model prices the linear scan at
+// LinearCost(live, selectivity)); fusion runs N subqueries against the
+// same per-shard snapshot acquisition, sharing the hash-once plan and the
+// filter, and merges with deterministic RRF / LINEAR scoring
+// (core/fusion.h). Attach an AttributeStore (row == global id) with
+// AttachAttributes before issuing filtered specs.
 
 #ifndef HYBRIDLSH_ENGINE_SHARDED_ENGINE_H_
 #define HYBRIDLSH_ENGINE_SHARDED_ENGINE_H_
@@ -72,11 +85,15 @@
 #include <utility>
 #include <vector>
 
+#include "core/fusion.h"
 #include "core/hybrid_searcher.h"
 #include "core/kernels.h"
+#include "data/attributes.h"
 #include "data/dataset.h"
+#include "data/metric.h"
 #include "data/quantized.h"
 #include "engine/dataset_slice.h"
+#include "engine/query_pipeline.h"
 #include "engine/segmented_index.h"
 #include "engine/snapshot.h"
 #include "lsh/index.h"
@@ -113,7 +130,19 @@ struct ShardedQueryStats {
   double hash_seconds = 0.0;
   /// Wall seconds for the whole fan-out (not the per-shard sum).
   double total_seconds = 0.0;
-  /// Per-shard detail, indexed by shard ordinal.
+  /// Filter stage (pushdown predicate): whether this query carried one,
+  /// the fraction of live points passing it, the composed-bitmap
+  /// popcount, and the wall seconds spent evaluating + composing it (0
+  /// when the filter was prebuilt and shared, e.g. across a batch).
+  bool filtered = false;
+  double filter_selectivity = 1.0;
+  size_t filter_survivors = 0;
+  double filter_seconds = 0.0;
+  /// Fusion clauses executed (0 for plain queries).
+  size_t fusion_subqueries = 0;
+  /// Per-shard detail, indexed by shard ordinal. On fused queries each
+  /// shard's counters accumulate over its geometric subqueries and
+  /// `strategy` reflects the last one.
   std::vector<core::QueryStats> per_shard;
 };
 
@@ -224,6 +253,10 @@ class ShardedEngine {
     std::vector<ShardView> views;    // per-shard epoch cache
     lsh::PlanScratch plan_scratch;   // hash-once S1 workspace
     lsh::ProbePlan plan;             // the query's plan, shared by all shards
+    util::BitVector filter;          // filter stage: predicate ∧ ¬tombstone
+    std::vector<core::ScoredList> sub_lists;  // fused per-subquery results
+    std::vector<uint32_t> sub_ids;   // per-(shard, subquery) gather buffer
+    core::FusionScratch fusion;      // merge-stage workspace
   };
 
   /// Builds all shards in parallel. The dataset is retained by pointer and
@@ -338,6 +371,17 @@ class ShardedEngine {
   }
   bool updates_enabled() const { return mutable_dataset_ != nullptr; }
 
+  /// Attaches the attribute table the filter stage evaluates predicates
+  /// against. Row r describes global id r; ids past the store's current
+  /// row count match no predicate. The store must outlive the engine and
+  /// may keep growing (AppendRow) while queries run — the filter stage
+  /// reads it through acquire-published row counts. Passing nullptr
+  /// detaches (filtered specs then fail ValidateSpec).
+  void AttachAttributes(const data::AttributeStore* attributes) {
+    attributes_ = attributes;
+  }
+  const data::AttributeStore* attributes() const { return attributes_; }
+
   /// Appends the point to the shared dataset and indexes it in one shard's
   /// active segment (round-robin, so ingest load spreads evenly). Returns
   /// the new global id. Ownership needs no side table: every successful
@@ -426,9 +470,37 @@ class ShardedEngine {
   void QueryConcurrent(Point query, double radius, std::vector<uint32_t>* out,
                        QueryScratch* scratch,
                        ShardedQueryStats* stats = nullptr) const {
+    HLSH_CHECK(
+        QueryConcurrent(query, QuerySpec::Radius(radius), out, scratch, stats)
+            .ok());
+  }
+
+  /// Spec form of the concurrent read path: same lock-free guarantees,
+  /// plus the filter stage (evaluated into the scratch's BitVector) when
+  /// the spec carries a predicate. Rejects fused specs — those return
+  /// scored hits, use QueryFusedConcurrent.
+  util::Status QueryConcurrent(Point query, const QuerySpec& spec,
+                               std::vector<uint32_t>* out,
+                               QueryScratch* scratch,
+                               ShardedQueryStats* stats = nullptr) const {
+    HLSH_RETURN_IF_ERROR(ValidateSpec(spec, /*fused=*/false));
     ShardedQueryStats local_stats;
     ShardedQueryStats* s = stats != nullptr ? stats : &local_stats;
-    QueryOnScratch(query, radius, out, scratch, s);
+    QueryOnScratch(query, spec, out, scratch, s);
+    return util::Status::Ok();
+  }
+
+  /// Concurrent fused query: N subqueries against one snapshot acquisition
+  /// per shard, merged into (id, score) hits under the spec's fusion mode.
+  /// Lock-free like QueryConcurrent; one scratch per reader thread.
+  util::Status QueryFusedConcurrent(Point query, const QuerySpec& spec,
+                                    std::vector<core::FusedHit>* out,
+                                    QueryScratch* scratch,
+                                    ShardedQueryStats* stats = nullptr) const {
+    HLSH_RETURN_IF_ERROR(ValidateSpec(spec, /*fused=*/true));
+    ShardedQueryStats local_stats;
+    ShardedQueryStats* s = stats != nullptr ? stats : &local_stats;
+    return QueryFusedOnScratch(query, spec, out, scratch, s);
   }
 
   /// A scratch sized for this engine: dedup over the current id space
@@ -446,10 +518,23 @@ class ShardedEngine {
   /// shard (ascending id ranges); ids are global.
   void Query(Point query, double radius, std::vector<uint32_t>* out,
              ShardedQueryStats* stats = nullptr) {
+    HLSH_CHECK(Query(query, QuerySpec::Radius(radius), out, stats).ok());
+  }
+
+  /// Spec form of the parallel fan-out: the filter stage runs once on the
+  /// calling thread (into engine-owned storage), then every shard worker
+  /// reads the composed bitmap const. Rejects fused specs — use
+  /// QueryFused. Engine-owned scratch: one caller at a time, like the
+  /// radius overload.
+  util::Status Query(Point query, const QuerySpec& spec,
+                     std::vector<uint32_t>* out,
+                     ShardedQueryStats* stats = nullptr) {
+    HLSH_RETURN_IF_ERROR(ValidateSpec(spec, /*fused=*/false));
     ShardedQueryStats local_stats;
     ShardedQueryStats* s = stats != nullptr ? stats : &local_stats;
     ResetStats(s);
     util::WallTimer timer;
+    const FilterContext fctx = BuildFilterStage(spec, &fanout_filter_, s);
 
     // S1 once, on the calling thread: every worker reads the one plan
     // (const; the pool dispatch orders the writes before the reads).
@@ -466,8 +551,8 @@ class ShardedEngine {
       fanout_out_[i].clear();
       QueryScratch& scratch = fanout_scratch_[i];
       RefreshShardView(i, &scratch);
-      QueryShard(shards_[i], scratch.views[i].snapshot, query, radius, plan,
-                 &scratch, &fanout_out_[i], &s->per_shard[i]);
+      QueryShard(shards_[i], scratch.views[i].snapshot, query, spec.radius,
+                 plan, fctx, &scratch, &fanout_out_[i], &s->per_shard[i]);
     });
 
     for (size_t i = 0; i < shards_.size(); ++i) {
@@ -476,6 +561,21 @@ class ShardedEngine {
     FoldStats(s);
     NoteQueryCounters(*s);
     s->total_seconds = timer.ElapsedSeconds();
+    return util::Status::Ok();
+  }
+
+  /// Fused query on engine-owned scratch (one caller at a time): executes
+  /// every subquery per shard over one snapshot acquisition, scores with
+  /// the scalar reference metrics, and merges under the spec's fusion
+  /// options. Shards run sequentially — fusion gathers per-subquery lists,
+  /// which the parallel fan-out buffers are not shaped for.
+  util::Status QueryFused(Point query, const QuerySpec& spec,
+                          std::vector<core::FusedHit>* out,
+                          ShardedQueryStats* stats = nullptr) {
+    HLSH_RETURN_IF_ERROR(ValidateSpec(spec, /*fused=*/true));
+    ShardedQueryStats local_stats;
+    ShardedQueryStats* s = stats != nullptr ? stats : &local_stats;
+    return QueryFusedOnScratch(query, spec, out, &fanout_scratch_[0], s);
   }
 
   /// Answers a whole query set (any container with size() and point(i)) on
@@ -487,10 +587,31 @@ class ShardedEngine {
   std::vector<ShardedBatchResult> QueryBatch(const QuerySet& queries,
                                              double radius,
                                              double* wall_seconds = nullptr) {
+    auto results = QueryBatch(queries, QuerySpec::Radius(radius), wall_seconds);
+    HLSH_CHECK(results.ok());
+    return std::move(*results);
+  }
+
+  /// Spec form of the batch path. The filter stage runs ONCE for the whole
+  /// batch — predicates do not depend on the query point, so every worker
+  /// shares the one composed bitmap read-only (per-query stats report
+  /// filter_seconds = 0 and the shared selectivity). Rejects fused specs.
+  template <typename QuerySet>
+  util::StatusOr<std::vector<ShardedBatchResult>> QueryBatch(
+      const QuerySet& queries, const QuerySpec& spec,
+      double* wall_seconds = nullptr) {
+    HLSH_RETURN_IF_ERROR(ValidateSpec(spec, /*fused=*/false));
     std::vector<ShardedBatchResult> results(queries.size());
     util::WallTimer timer;
     if (queries.size() > 0) {
       EnsureBatchScratch();
+      FilterContext batch_fctx;
+      const FilterContext* shared_filter = nullptr;
+      if (spec.predicate != nullptr) {
+        ShardedQueryStats filter_stats;
+        batch_fctx = BuildFilterStage(spec, &batch_filter_, &filter_stats);
+        shared_filter = &batch_fctx;
+      }
       // S1 for the whole batch up front: every table's projections run
       // through the blocked (multi-query) kernel form, and the workers
       // consume the precomputed plans read-only.
@@ -521,9 +642,9 @@ class ShardedEngine {
         for (size_t q = next.fetch_add(1); q < queries.size();
              q = next.fetch_add(1)) {
           ShardedBatchResult& result = results[q];
-          QueryOnScratch(queries.point(q), radius, &result.neighbors,
-                         &scratch, &result.stats,
-                         hash_once ? &batch_plans_[q] : nullptr, hash_share);
+          QueryOnScratch(queries.point(q), spec, &result.neighbors, &scratch,
+                         &result.stats, hash_once ? &batch_plans_[q] : nullptr,
+                         hash_share, shared_filter);
         }
       });
     }
@@ -994,12 +1115,23 @@ class ShardedEngine {
   /// plan precomputed for this query; nullptr computes one into the
   /// scratch. Forced-linear skips planning entirely — no hash function
   /// runs.
-  void QueryOnScratch(Point query, double radius, std::vector<uint32_t>* out,
-                      QueryScratch* scratch, ShardedQueryStats* s,
+  void QueryOnScratch(Point query, const QuerySpec& spec,
+                      std::vector<uint32_t>* out, QueryScratch* scratch,
+                      ShardedQueryStats* s,
                       const lsh::ProbePlan* shared_plan = nullptr,
-                      double shared_hash_seconds = 0.0) const {
+                      double shared_hash_seconds = 0.0,
+                      const FilterContext* shared_filter = nullptr) const {
     ResetStats(s);
     util::WallTimer timer;
+    FilterContext fctx;
+    if (shared_filter != nullptr) {
+      // Prebuilt for the whole batch: adopt it (filter_seconds stays 0 —
+      // the cost was paid once, not per query).
+      fctx = *shared_filter;
+      NoteFilterStats(fctx, s);
+    } else {
+      fctx = BuildFilterStage(spec, &scratch->filter, s);
+    }
     const lsh::ProbePlan* plan = shared_plan;
     if (plan != nullptr) {
       s->hash_seconds = shared_hash_seconds;
@@ -1013,12 +1145,110 @@ class ShardedEngine {
     if (plan != nullptr) s->hash_evals = plan->num_tables();
     for (size_t i = 0; i < shards_.size(); ++i) {
       RefreshShardView(i, scratch);
-      QueryShard(shards_[i], scratch->views[i].snapshot, query, radius, plan,
-                 scratch, out, &s->per_shard[i]);
+      QueryShard(shards_[i], scratch->views[i].snapshot, query, spec.radius,
+                 plan, fctx, scratch, out, &s->per_shard[i]);
     }
     FoldStats(s);
     NoteQueryCounters(*s);
     s->total_seconds = timer.ElapsedSeconds();
+  }
+
+  /// The fused execution path (score + merge stages live here). Shards are
+  /// walked sequentially; each shard's snapshot is acquired ONCE and every
+  /// subquery runs against it, so all clauses see the same epoch. Gather
+  /// results land in per-subquery ScoredLists; the score stage prices every
+  /// id with the scalar reference metrics (data/metric.h) — deterministic
+  /// across SIMD tiers, so fused scores are reproducible bit-for-bit — and
+  /// FuseScoredLists merges with stable tie-breaks.
+  util::Status QueryFusedOnScratch(Point query, const QuerySpec& spec,
+                                   std::vector<core::FusedHit>* out,
+                                   QueryScratch* scratch,
+                                   ShardedQueryStats* s) const {
+    ResetStats(s);
+    util::WallTimer timer;
+    s->fusion_subqueries = spec.subqueries.size();
+    const FilterContext fctx = BuildFilterStage(spec, &scratch->filter, s);
+
+    // Plan once iff some clause runs the hybrid path: metric overrides
+    // bypass the index (their buckets hash a different geometry) and
+    // attribute-only clauses never touch it.
+    const data::Metric engine_metric = shards_[0].index->family().metric();
+    bool needs_plan = false;
+    if (options_.searcher.forced != core::ForcedStrategy::kAlwaysLinear) {
+      for (const SubquerySpec& sub : spec.subqueries) {
+        needs_plan |= !sub.attribute_only &&
+                      (!sub.metric.has_value() || *sub.metric == engine_metric);
+      }
+    }
+    const lsh::ProbePlan* plan = nullptr;
+    if (needs_plan) {
+      util::WallTimer hash_timer;
+      ComputePlan(query, &scratch->plan_scratch, &scratch->plan);
+      s->hash_seconds = hash_timer.ElapsedSeconds();
+      s->hash_evals = scratch->plan.num_tables();
+      plan = &scratch->plan;
+    }
+
+    auto& lists = scratch->sub_lists;
+    lists.resize(spec.subqueries.size());
+    for (size_t j = 0; j < lists.size(); ++j) {
+      lists[j].weight = spec.subqueries[j].weight;
+      lists[j].ids.clear();
+      lists[j].distances.clear();
+    }
+
+    // Gather: shard-major so each snapshot is acquired once per query, not
+    // once per (shard, subquery).
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      RefreshShardView(i, scratch);
+      const auto& snap = scratch->views[i].snapshot;
+      for (size_t j = 0; j < spec.subqueries.size(); ++j) {
+        const SubquerySpec& sub = spec.subqueries[j];
+        if (sub.attribute_only) continue;  // global, handled below
+        if (sub.metric.has_value() && *sub.metric != engine_metric) {
+          ExecuteOverrideScan(snap, query, sub, fctx, &lists[j]);
+          continue;
+        }
+        scratch->sub_ids.clear();
+        core::QueryStats sub_st;
+        QueryShard(shards_[i], snap, query, sub.radius, plan, fctx, scratch,
+                   &scratch->sub_ids, &sub_st);
+        AccumulateShardStats(sub_st, &s->per_shard[i]);
+        lists[j].ids.insert(lists[j].ids.end(), scratch->sub_ids.begin(),
+                            scratch->sub_ids.end());
+      }
+    }
+
+    // Score: exact scalar distances under the engine's metric for every
+    // hybrid clause (override clauses scored theirs during the scan).
+    for (size_t j = 0; j < spec.subqueries.size(); ++j) {
+      const SubquerySpec& sub = spec.subqueries[j];
+      if (sub.attribute_only) {
+        // Every composed-filter survivor, distance 0: the predicate IS the
+        // clause. ForEachSetBitInRange emits ascending ids — stable.
+        fctx.filter->ForEachSetBitInRange(
+            0, fctx.filter->size(), [&](size_t id) {
+              lists[j].ids.push_back(static_cast<uint32_t>(id));
+              lists[j].distances.push_back(0.0);
+            });
+        continue;
+      }
+      if (sub.metric.has_value() && *sub.metric != engine_metric) continue;
+      lists[j].distances.reserve(lists[j].ids.size());
+      for (const uint32_t id : lists[j].ids) {
+        lists[j].distances.push_back(ExactDistance(query, id, engine_metric));
+      }
+    }
+
+    // Merge.
+    HLSH_RETURN_IF_ERROR(core::FuseScoredLists(
+        std::span<core::ScoredList>(lists.data(), lists.size()), spec.fusion,
+        &scratch->fusion, out));
+    FoldStats(s);
+    s->output_size = out->size();  // fused hits, not the per-shard sum
+    NoteQueryCounters(*s);
+    s->total_seconds = timer.ElapsedSeconds();
+    return util::Status::Ok();
   }
 
   /// S1 once per query: all shards sample identical functions from the
@@ -1073,16 +1303,17 @@ class ShardedEngine {
   void QueryShard(const Shard& shard,
                   const typename ShardIndex::SegmentSnapshot& snap,
                   Point query, double radius, const lsh::ProbePlan* plan,
-                  QueryScratch* scratch, std::vector<uint32_t>* out,
-                  core::QueryStats* st) const {
+                  const FilterContext& fctx, QueryScratch* scratch,
+                  std::vector<uint32_t>* out, core::QueryStats* st) const {
     *st = core::QueryStats{};
     util::WallTimer total_timer;
     const core::CostModel& model = options_.searcher.cost_model;
 
     if (options_.searcher.forced == core::ForcedStrategy::kAlwaysLinear) {
       st->strategy = core::Strategy::kLinear;
-      st->linear_cost = model.LinearCost(shard.index->live_stats().live);
-      ExecuteLinear(shard, snap, query, radius, out, st, scratch);
+      st->linear_cost = model.LinearCost(shard.index->live_stats().live,
+                                         fctx.selectivity);
+      ExecuteLinear(shard, snap, query, radius, fctx, out, st, scratch);
       st->total_seconds = total_timer.ElapsedSeconds();
       return;
     }
@@ -1103,11 +1334,16 @@ class ShardedEngine {
     }
 
     // Alg. 2 lines 3-4 with the shard-local live linear cost; tombstoned
-    // ids inflate the estimate, so subtract their verification share.
+    // ids inflate the estimate, so subtract their verification share, and
+    // a pushdown filter shrinks BOTH sides through the one effective live
+    // fraction (cost_model.h): the linear scan only pays exact distances
+    // on filter survivors, and LSH candidates that fail the bit test stop
+    // before the distance. At low selectivity the model therefore finds
+    // that the filtered linear scan wins.
     const core::LiveStats live = shard.index->live_stats();
-    st->lsh_cost =
-        model.CorrectedLshCost(st->collisions, st->cand_estimate, live);
-    st->linear_cost = model.LinearCost(live.live);
+    st->lsh_cost = model.CorrectedLshCost(st->collisions, st->cand_estimate,
+                                          live, fctx.selectivity);
+    st->linear_cost = model.LinearCost(live.live, fctx.selectivity);
     const bool use_lsh =
         options_.searcher.forced == core::ForcedStrategy::kAlwaysLsh ||
         st->lsh_cost < st->linear_cost;
@@ -1119,31 +1355,172 @@ class ShardedEngine {
       st->cand_actual = scratch->visited.size();
       st->output_size += core::kernels::VerifyCandidatesQuantized(
           *shard.index, *dataset_, mirror_.get(), query,
-          scratch->visited.touched(), radius, out);
+          scratch->visited.touched(), radius, out, fctx.filter);
     } else {
       st->strategy = core::Strategy::kLinear;
-      ExecuteLinear(shard, snap, query, radius, out, st, scratch);
+      ExecuteLinear(shard, snap, query, radius, fctx, out, st, scratch);
     }
     st->total_seconds = total_timer.ElapsedSeconds();
   }
 
   void ExecuteLinear(const Shard& shard,
                      const typename ShardIndex::SegmentSnapshot& snap,
-                     Point query, double radius, std::vector<uint32_t>* out,
-                     core::QueryStats* st, QueryScratch* scratch) const {
-    // Flatten the snapshot's live ids, then verify them in one
-    // block-batched kernel pass (core/kernels.h) instead of per-id
-    // Distance calls.
+                     Point query, double radius, const FilterContext& fctx,
+                     std::vector<uint32_t>* out, core::QueryStats* st,
+                     QueryScratch* scratch) const {
+    // Flatten the snapshot's live ids — through the filter's bit test when
+    // one is pushed down, so non-survivors never reach the kernels — then
+    // verify in one block-batched pass (core/kernels.h) instead of per-id
+    // Distance calls. The filtered walk keeps the unfiltered emission
+    // order (a subsequence), which is what makes pushdown results
+    // bit-identical to post-filtering.
     scratch->live_ids.clear();
-    snap.ForEachLiveId([&](uint32_t id) { scratch->live_ids.push_back(id); });
+    if (fctx.filter != nullptr) {
+      snap.ForEachLiveIdFiltered(*fctx.filter, [&](uint32_t id) {
+        scratch->live_ids.push_back(id);
+      });
+    } else {
+      snap.ForEachLiveId(
+          [&](uint32_t id) { scratch->live_ids.push_back(id); });
+    }
     st->output_size += core::kernels::VerifyCandidatesQuantized(
         *shard.index, *dataset_, mirror_.get(), query, scratch->live_ids,
         radius, out);
   }
 
+  /// Linear scan of one shard's snapshot under a metric override — the
+  /// index's buckets hash the engine's family, so a different metric can
+  /// only scan. Scores with the scalar reference kernels (the same ones
+  /// the fused score stage uses), appending (id, distance) pairs directly:
+  /// override clauses never need a rescore pass. Dense datasets only
+  /// (enforced by ValidateSpec).
+  void ExecuteOverrideScan(const typename ShardIndex::SegmentSnapshot& snap,
+                           Point query, const SubquerySpec& sub,
+                           const FilterContext& fctx,
+                           core::ScoredList* list) const {
+    auto scan = [&](uint32_t id) {
+      const double distance = ExactDistance(query, id, *sub.metric);
+      if (distance <= sub.radius) {
+        list->ids.push_back(id);
+        list->distances.push_back(distance);
+      }
+    };
+    if (fctx.filter != nullptr) {
+      snap.ForEachLiveIdFiltered(*fctx.filter, scan);
+    } else {
+      snap.ForEachLiveId(scan);
+    }
+  }
+
+  /// The score stage's distance: the scalar reference implementations of
+  /// data/metric.h, independent of the SIMD tier and of the quantized
+  /// screen, so fused scores compare bit-for-bit across machines.
+  double ExactDistance(Point query, uint32_t id, data::Metric metric) const {
+    if constexpr (std::is_same_v<Dataset, data::DenseDataset>) {
+      const float* point = dataset_->point(id);
+      const size_t dim = dataset_->dim();
+      switch (metric) {
+        case data::Metric::kL1:
+          return data::L1Distance(query, point, dim);
+        case data::Metric::kL2:
+          return data::L2Distance(query, point, dim);
+        case data::Metric::kCosine:
+          return data::CosineDistance(query, point, dim);
+        default:
+          HLSH_CHECK(false && "metric does not apply to dense points");
+          return 0.0;
+      }
+    } else if constexpr (std::is_same_v<Dataset, data::BinaryDataset>) {
+      return data::HammingDistance(query, dataset_->point(id),
+                                   dataset_->words_per_code());
+    } else {
+      return data::JaccardDistance(query, dataset_->point(id));
+    }
+  }
+
+  /// Validates a spec against this engine before anything executes: a
+  /// predicate needs an attached AttributeStore; attribute-only clauses
+  /// need a predicate (they report its survivors); metric overrides exist
+  /// for dense float data only, and only among the dense metrics. The
+  /// fused flag pins which result shape the caller asked for.
+  util::Status ValidateSpec(const QuerySpec& spec, bool fused) const {
+    if (spec.fused() != fused) {
+      return util::Status::InvalidArgument(
+          fused ? "QueryFused needs a spec with subqueries"
+                : "fused specs return scored hits: call QueryFused");
+    }
+    if (spec.predicate != nullptr && attributes_ == nullptr) {
+      return util::Status::FailedPrecondition(
+          "filtered spec without an attached AttributeStore "
+          "(AttachAttributes)");
+    }
+    for (const SubquerySpec& sub : spec.subqueries) {
+      if (sub.attribute_only && spec.predicate == nullptr) {
+        return util::Status::InvalidArgument(
+            "attribute-only subquery requires a predicate");
+      }
+      if (sub.metric.has_value() &&
+          *sub.metric != shards_[0].index->family().metric()) {
+        if constexpr (!std::is_same_v<Dataset, data::DenseDataset>) {
+          return util::Status::InvalidArgument(
+              "metric overrides require a dense float dataset");
+        }
+        if (*sub.metric != data::Metric::kL1 &&
+            *sub.metric != data::Metric::kL2 &&
+            *sub.metric != data::Metric::kCosine) {
+          return util::Status::InvalidArgument(
+              "metric override must be a dense metric (L1/L2/cosine)");
+        }
+      }
+    }
+    return util::Status::Ok();
+  }
+
+  /// Runs the filter stage for one query (BuildFilterContext) into
+  /// `storage` and records it in the stats. Pass-through (and free) for
+  /// unfiltered specs.
+  FilterContext BuildFilterStage(const QuerySpec& spec,
+                                 util::BitVector* storage,
+                                 ShardedQueryStats* s) const {
+    if (spec.predicate == nullptr) return FilterContext{};
+    util::WallTimer timer;
+    const FilterContext fctx =
+        BuildFilterContext(attributes_, spec.predicate, tombstones_.get(),
+                           dataset_->size(), live_size(), storage);
+    NoteFilterStats(fctx, s);
+    s->filter_seconds = timer.ElapsedSeconds();
+    return fctx;
+  }
+
+  void NoteFilterStats(const FilterContext& fctx, ShardedQueryStats* s) const {
+    if (fctx.filter == nullptr) return;
+    s->filtered = true;
+    s->filter_selectivity = fctx.selectivity;
+    s->filter_survivors = fctx.survivors;
+  }
+
+  /// Accumulates one subquery's shard stats into the per-shard slot (the
+  /// fused gather runs several QueryShard passes per shard).
+  static void AccumulateShardStats(const core::QueryStats& sub,
+                                   core::QueryStats* total) {
+    total->strategy = sub.strategy;
+    total->collisions += sub.collisions;
+    total->cand_estimate += sub.cand_estimate;
+    total->cand_actual += sub.cand_actual;
+    total->output_size += sub.output_size;
+    total->plan_reuse += sub.plan_reuse;
+    total->lsh_cost += sub.lsh_cost;
+    total->linear_cost += sub.linear_cost;
+    total->estimate_seconds += sub.estimate_seconds;
+    total->total_seconds += sub.total_seconds;
+  }
+
   Options options_;
   const Dataset* dataset_ = nullptr;
   Dataset* mutable_dataset_ = nullptr;
+  // Attribute table for the filter stage (row == global id); attached by
+  // the caller, read lock-free through acquire-published row counts.
+  const data::AttributeStore* attributes_ = nullptr;
   // Writer mutex (heap-stable across engine moves).
   std::unique_ptr<EngineSync> sync_;
   // Cumulative hash/plan counters (heap-stable across engine moves).
@@ -1172,6 +1549,10 @@ class ShardedEngine {
   // read by every fan-out worker).
   lsh::PlanScratch fanout_plan_scratch_;
   lsh::ProbePlan fanout_plan_;
+  // Filter-stage storage of the in-flight fan-out Query / QueryBatch
+  // (built once on the calling thread, read const by the workers).
+  util::BitVector fanout_filter_;
+  util::BitVector batch_filter_;
   // Batch scratch (one per pool worker), created on first QueryBatch, plus
   // the batched S1 buffers: materialized query points, one plan per query,
   // and the blocked-projection workspace.

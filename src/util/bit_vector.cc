@@ -1,5 +1,6 @@
 #include "util/bit_vector.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace hybridlsh {
@@ -9,6 +10,70 @@ size_t BitVector::Count() const {
   size_t total = 0;
   for (uint64_t word : words_.span()) {
     total += static_cast<size_t>(std::popcount(word));
+  }
+  return total;
+}
+
+namespace {
+
+// Number of 64-bit words holding `bits` bits.
+size_t WordCount(size_t bits) { return (bits + 63) / 64; }
+
+// Mask keeping only the bits of a word that lie below bit index `bits`
+// (all ones when `bits` is a multiple of 64).
+uint64_t TailMask(size_t bits) {
+  return (bits & 63) == 0 ? ~uint64_t{0} : ~uint64_t{0} >> (64 - (bits & 63));
+}
+
+}  // namespace
+
+void BitVector::AndWith(const BitVector& other) {
+  uint64_t* words = words_.mutable_data();
+  const size_t my_words = WordCount(size());
+  const size_t common = std::min(my_words, WordCount(other.size()));
+  for (size_t w = 0; w < common; ++w) {
+    words[w] &= other.LoadWord(w, std::memory_order_acquire);
+  }
+  // Positions >= other.size() intersect with an implicit zero. Within the
+  // last common word, other's own tail invariant (no bits past its size)
+  // already clears them; whole words past other's storage go to zero here.
+  for (size_t w = common; w < my_words; ++w) words[w] = 0;
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  uint64_t* words = words_.mutable_data();
+  const size_t my_words = WordCount(size());
+  const size_t common = std::min(my_words, WordCount(other.size()));
+  for (size_t w = 0; w < common; ++w) {
+    words[w] |= other.LoadWord(w, std::memory_order_acquire);
+  }
+  // A longer `other` may have set bits in our last word past size(); re-mask
+  // so the "no bits past size()" invariant survives.
+  if (my_words > 0 && common == my_words) {
+    words[my_words - 1] &= TailMask(size());
+  }
+}
+
+void BitVector::AndWithNot(const BitVector& other) {
+  uint64_t* words = words_.mutable_data();
+  const size_t common =
+      std::min(WordCount(size()), WordCount(other.size()));
+  for (size_t w = 0; w < common; ++w) {
+    words[w] &= ~other.LoadWord(w, std::memory_order_acquire);
+  }
+  // Words past other's coverage are untouched: a bit the operand never
+  // covered (e.g. an id inserted after the tombstone map was snapshotted)
+  // cannot be marked dead.
+}
+
+size_t BitVector::CountAnd(const BitVector& other) const {
+  const size_t common =
+      std::min(WordCount(size()), WordCount(other.size()));
+  size_t total = 0;
+  for (size_t w = 0; w < common; ++w) {
+    total += static_cast<size_t>(
+        std::popcount(LoadWord(w, std::memory_order_acquire) &
+                      other.LoadWord(w, std::memory_order_acquire)));
   }
   return total;
 }

@@ -141,6 +141,62 @@ class BitVector {
   /// Number of one bits. O(size/64).
   size_t Count() const;
 
+  /// Word-wise this &= other. Bits of *this at positions >= other.size()
+  /// are cleared (a bit the operand cannot vouch for does not survive an
+  /// intersection). *this must be thread-private; `other` may be shared
+  /// with concurrent SetConcurrent writers — its words are loaded with
+  /// acquire ordering, so sets published before the caller's
+  /// synchronization point are honored, and a torn view is impossible
+  /// (loads are word-atomic).
+  void AndWith(const BitVector& other);
+
+  /// Word-wise this |= other over the common prefix; bits of `other` at
+  /// positions >= size() are ignored (the final word is re-masked, so the
+  /// "no bits past size()" invariant Count/Grow rely on holds even when
+  /// `other` is longer). Same sharing contract as AndWith.
+  void OrWith(const BitVector& other);
+
+  /// Word-wise this &= ~other over the common prefix. Bits of *this past
+  /// other.size() are left unchanged — when `other` is a tombstone bitmap
+  /// that has not grown to cover an id yet, that id cannot be dead. This
+  /// is the filter∧¬tombstone composition of the predicate-pushdown query
+  /// path. Same sharing contract as AndWith.
+  void AndWithNot(const BitVector& other);
+
+  /// popcount(*this & other) over the common prefix, without modifying
+  /// either side. Same sharing contract as AndWith (both operands may be
+  /// concurrently written; each word is read once, atomically).
+  size_t CountAnd(const BitVector& other) const;
+
+  /// Calls fn(i) for every set bit i in [begin, min(end, size())), in
+  /// ascending order. Word-skipping: O(range/64 + #set bits in range), so
+  /// enumerating the survivors of a selective filter costs far less than
+  /// testing every id. *this must be quiescent (thread-private scratch or
+  /// externally synchronized) for the duration of the walk.
+  template <typename Fn>
+  void ForEachSetBitInRange(size_t begin, size_t end, Fn&& fn) const {
+    const size_t n = size();
+    if (end > n) end = n;
+    if (begin >= end) return;
+    const uint64_t* words = words_.data();
+    const size_t first_word = begin >> 6;
+    const size_t last_word = (end - 1) >> 6;
+    for (size_t w = first_word; w <= last_word; ++w) {
+      uint64_t word = words[w];
+      if (w == first_word && (begin & 63) != 0) {
+        word &= ~uint64_t{0} << (begin & 63);
+      }
+      if (w == last_word && (end & 63) != 0) {
+        word &= ~uint64_t{0} >> (64 - (end & 63));
+      }
+      while (word != 0) {
+        const size_t bit = static_cast<size_t>(__builtin_ctzll(word));
+        fn((w << 6) + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
   /// Heap bytes of the word storage, retired growth buffers included.
   size_t MemoryBytes() const { return words_.MemoryBytes(); }
 

@@ -2,6 +2,8 @@
 
 #include "util/bit_vector.h"
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -141,6 +143,151 @@ TEST(VisitedSetTest, BoundaryIds) {
   EXPECT_TRUE(set.Insert(63));
   EXPECT_FALSE(set.Insert(0));
   EXPECT_FALSE(set.Insert(63));
+}
+
+// --- Word-level bulk operations (the filter stage's primitives). -----------
+
+TEST(BitVectorBulkTest, AndWithIntersects) {
+  BitVector a(200), b(200);
+  for (size_t i = 0; i < 200; i += 2) a.Set(i);
+  for (size_t i = 0; i < 200; i += 3) b.Set(i);
+  a.AndWith(b);
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Get(i), i % 6 == 0) << "bit " << i;
+  }
+}
+
+TEST(BitVectorBulkTest, AndWithShorterOtherClearsTail) {
+  // Bits at or past the other's size have no counterpart: AND with an
+  // absent bit is 0.
+  BitVector a(200), b(70);
+  a.Set(5);
+  a.Set(69);
+  a.Set(70);   // past b: must clear
+  a.Set(199);  // past b: must clear
+  b.Set(5);
+  b.Set(69);
+  a.AndWith(b);
+  EXPECT_TRUE(a.Get(5));
+  EXPECT_TRUE(a.Get(69));
+  EXPECT_FALSE(a.Get(70));
+  EXPECT_FALSE(a.Get(199));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(BitVectorBulkTest, OrWithUnionAndTailMasking) {
+  BitVector a(100), b(130);
+  a.Set(1);
+  b.Set(2);
+  b.Set(99);
+  b.Set(120);  // beyond a's size: must NOT leak into a
+  a.OrWith(b);
+  EXPECT_TRUE(a.Get(1));
+  EXPECT_TRUE(a.Get(2));
+  EXPECT_TRUE(a.Get(99));
+  EXPECT_EQ(a.Count(), 3u);
+  // The tail word of `a` is shared with bits 100..127 of `b`; OrWith must
+  // re-mask so Count and iteration never see phantom bits.
+  size_t visited = 0;
+  a.ForEachSetBitInRange(0, a.size(), [&](size_t) { ++visited; });
+  EXPECT_EQ(visited, 3u);
+}
+
+TEST(BitVectorBulkTest, AndWithNotSubtracts) {
+  BitVector a(128), dead(128);
+  for (size_t i = 0; i < 128; ++i) a.Set(i);
+  dead.Set(0);
+  dead.Set(64);
+  dead.Set(127);
+  a.AndWithNot(dead);
+  EXPECT_FALSE(a.Get(0));
+  EXPECT_FALSE(a.Get(64));
+  EXPECT_FALSE(a.Get(127));
+  EXPECT_EQ(a.Count(), 125u);
+}
+
+TEST(BitVectorBulkTest, AndWithNotShorterOtherLeavesTail) {
+  // A tombstone map that hasn't grown to cover an id cannot have marked
+  // it dead: bits past other.size() stay set.
+  BitVector a(200), dead(70);
+  a.Set(10);
+  a.Set(100);
+  dead.Set(10);
+  a.AndWithNot(dead);
+  EXPECT_FALSE(a.Get(10));
+  EXPECT_TRUE(a.Get(100));
+}
+
+TEST(BitVectorBulkTest, CountAndMatchesManualIntersection) {
+  BitVector a(300), b(300);
+  for (size_t i = 0; i < 300; i += 5) a.Set(i);
+  for (size_t i = 0; i < 300; i += 7) b.Set(i);
+  size_t expected = 0;
+  for (size_t i = 0; i < 300; ++i) expected += a.Get(i) && b.Get(i);
+  EXPECT_EQ(a.CountAnd(b), expected);
+  EXPECT_EQ(b.CountAnd(a), expected);
+}
+
+TEST(BitVectorBulkTest, CountAndDifferentSizes) {
+  BitVector a(64), b(1000);
+  a.Set(63);
+  b.Set(63);
+  b.Set(999);
+  EXPECT_EQ(a.CountAnd(b), 1u);
+  EXPECT_EQ(b.CountAnd(a), 1u);
+}
+
+TEST(BitVectorBulkTest, ForEachSetBitInRangeBoundaries) {
+  BitVector bits(256);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(128);
+  bits.Set(255);
+  std::vector<size_t> seen;
+  bits.ForEachSetBitInRange(63, 129, [&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{63, 64, 128}));
+  seen.clear();
+  bits.ForEachSetBitInRange(0, 256, [&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{0, 63, 64, 128, 255}));
+  seen.clear();
+  bits.ForEachSetBitInRange(100, 1000, [&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{128, 255}));  // end clamps to size
+  seen.clear();
+  bits.ForEachSetBitInRange(50, 50, [&](size_t i) { seen.push_back(i); });
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST(BitVectorBulkTest, BulkOpsSafeWithConcurrentReaders) {
+  // AndWith/AndWithNot load the OTHER vector with acquire semantics while
+  // a writer marks bits via SetConcurrent — the composition the engine
+  // performs against the live tombstone bitmap. The result must be a
+  // subset of the predicate bits with no torn words; whether a racing
+  // tombstone is observed is timing, not correctness.
+  constexpr size_t kBits = 1 << 14;
+  BitVector tombstones(kBits);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    size_t i = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      tombstones.SetConcurrent((i * 2654435761u) % kBits);
+      i += 1;
+    }
+  });
+  for (int round = 0; round < 200; ++round) {
+    BitVector filter(kBits);
+    for (size_t i = 0; i < kBits; i += 3) filter.Set(i);
+    const size_t before = filter.Count();
+    filter.AndWithNot(tombstones);
+    // Never gains bits, never drops non-tombstoned ones spuriously: every
+    // cleared bit must be dead by now (tombstones only ever get set).
+    EXPECT_LE(filter.Count(), before);
+    filter.ForEachSetBitInRange(0, kBits, [&](size_t i) {
+      EXPECT_EQ(i % 3, 0u);
+    });
+  }
+  stop.store(true);
+  writer.join();
 }
 
 }  // namespace

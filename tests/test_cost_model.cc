@@ -61,6 +61,53 @@ TEST(CostModelTest, CorrectedLshCostFromLiveStatsMatchesFractionForm) {
             model.LshCost(500, 120.0));
 }
 
+TEST(CostModelTest, EffectiveLiveFractionIsClampedProduct) {
+  EXPECT_DOUBLE_EQ(CostModel::EffectiveLiveFraction(0.5, 0.5), 0.25);
+  EXPECT_DOUBLE_EQ(CostModel::EffectiveLiveFraction(1.0, 0.01), 0.01);
+  EXPECT_DOUBLE_EQ(CostModel::EffectiveLiveFraction(0.8, 1.0), 0.8);
+  // Out-of-range inputs (transient counter races, degenerate selectivity
+  // estimates) clamp instead of amplifying.
+  EXPECT_DOUBLE_EQ(CostModel::EffectiveLiveFraction(1.5, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(CostModel::EffectiveLiveFraction(-0.1, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(CostModel::EffectiveLiveFraction(0.5, -1.0), 0.0);
+}
+
+TEST(CostModelTest, SelectivityDiscountsLinearCost) {
+  const CostModel model{1.0, 10.0};
+  EXPECT_DOUBLE_EQ(model.LinearCost(1000, 0.01), 100.0);
+  EXPECT_DOUBLE_EQ(model.LinearCost(1000, 1.0), model.LinearCost(1000));
+  EXPECT_DOUBLE_EQ(model.LinearCost(1000, 2.0), model.LinearCost(1000));
+}
+
+TEST(CostModelTest, NoDoubleDiscountOfTombstonesAndSelectivity) {
+  // Selectivity is measured on the composed (predicate ∧ ¬tombstone)
+  // bitmap — conditioned on live — so the two discounts must combine as
+  // one product, not stack twice. With live fraction 0.5 and selectivity
+  // 0.5, the surviving share of candidates is 0.25: the correction
+  // removes beta * cand * (1 - 0.25), never beta * cand * more.
+  const CostModel model{1.0, 10.0};
+  const double corrected = model.CorrectedLshCost(100, 40.0, 0.5, 0.5);
+  const double expected = model.LshCost(100, 40.0) - 10.0 * 40.0 * 0.75;
+  EXPECT_DOUBLE_EQ(corrected, expected);
+}
+
+TEST(CostModelTest, OnePercentSelectivityMakesFilteredLinearWin) {
+  // The decision the pushdown exists for: a query whose unfiltered LSH
+  // path beats the unfiltered scan flips to the filtered linear scan at
+  // 1% selectivity, because only survivors pay exact distances.
+  const CostModel model = CostModel::FromRatio(10.0);
+  const size_t n = 100000;
+  const uint64_t collisions = 20000;
+  const double cand = 5000.0;
+  // Unfiltered: LSH 20000 + 50000 = 70000 < linear 1000000.
+  EXPECT_LT(model.CorrectedLshCost(collisions, cand, 1.0, 1.0),
+            model.LinearCost(n, 1.0));
+  // 1% selectivity: linear drops to 10000; LSH keeps paying alpha per
+  // collision (the bucket walk can't skip) = 20000 + 500 > 10000.
+  EXPECT_GT(model.CorrectedLshCost(collisions, cand, 1.0, 0.01),
+            model.LinearCost(n, 0.01));
+}
+
 TEST(CostCalibratorTest, AlphaIsPositiveAndSmall) {
   const auto alpha = CostCalibrator::MeasureAlpha(100000, 200000, 1);
   ASSERT_TRUE(alpha.ok());

@@ -1,0 +1,699 @@
+// Property suite for the composable query pipeline: pushed-down predicate
+// filters and multi-subquery fusion.
+//
+// The load-bearing property: a filtered query is BIT-IDENTICAL to running
+// the same query unfiltered and post-filtering its results — same ids, same
+// order — across the static searcher, the segmented searcher, and the
+// sharded engine, through churn (inserts + removes + compaction) and under
+// concurrent readers. Bit-identity is asserted under the forced strategies
+// (kAlwaysLsh / kAlwaysLinear), where both runs walk identical candidate
+// sets; auto mode is bracketed between them, exactly like the engine's
+// existing equivalence tests. Fusion tests pin the deterministic RRF /
+// LINEAR merge: the engine's fused output must equal what a caller gets by
+// composing single-subquery results and FuseScoredLists by hand.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/batch_query.h"
+#include "core/fusion.h"
+#include "core/hybridlsh.h"
+#include "data/attributes.h"
+#include "engine/query_pipeline.h"
+#include "engine/search_engine.h"
+#include "engine/sharded_engine.h"
+
+namespace hybridlsh {
+namespace engine {
+namespace {
+
+constexpr size_t kDim = 16;
+constexpr double kRadius = 0.4;
+constexpr size_t kCategories = 8;
+
+uint32_t CategoryOf(size_t id) {
+  return static_cast<uint32_t>((id * 2654435761u) >> 16) % kCategories;
+}
+uint32_t ScoreOf(size_t id) { return static_cast<uint32_t>((id * 97) % 1000); }
+
+/// Fills *store (fresh, not movable: it holds an atomic row count) with a
+/// "category" and a "score" column, rows for ids [0, n).
+void FillAttributes(data::AttributeStore* store, size_t n) {
+  store->AddColumn("category");
+  store->AddColumn("score");
+  for (size_t id = 0; id < n; ++id) {
+    const uint32_t row[2] = {CategoryOf(id), ScoreOf(id)};
+    store->AppendRow(row);
+  }
+}
+
+void AppendRowFor(data::AttributeStore* store, size_t id) {
+  const uint32_t row[2] = {CategoryOf(id), ScoreOf(id)};
+  store->AppendRow(row);
+}
+
+/// The reference semantics: keep ids whose predicate bit is set.
+std::vector<uint32_t> PostFilter(const std::vector<uint32_t>& ids,
+                                 const util::BitVector& filter) {
+  std::vector<uint32_t> kept;
+  for (const uint32_t id : ids) {
+    if (id < filter.size() && filter.Get(id)) kept.push_back(id);
+  }
+  return kept;
+}
+
+std::vector<uint32_t> Sorted(std::vector<uint32_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+class FilteredFusionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const data::DenseDataset full = data::MakeCorelLike(3001, kDim, 51);
+    const data::DenseSplit split = data::SplitQueries(full, 15, 52);
+    dataset_ = split.base;
+    queries_ = split.queries;
+    FillAttributes(&attributes_, dataset_.size());
+
+    index_options_.num_tables = 25;
+    index_options_.k = 7;
+    index_options_.seed = 53;
+    searcher_options_.cost_model = core::CostModel::FromRatio(6.0);
+  }
+
+  static lsh::PStableFamily Family() {
+    return lsh::PStableFamily::L2(kDim, 2 * kRadius);
+  }
+
+  using Engine = ShardedEngine<lsh::PStableFamily>;
+
+  Engine::Options ShardOptions(
+      size_t num_shards,
+      core::ForcedStrategy forced = core::ForcedStrategy::kAuto) const {
+    Engine::Options options;
+    options.num_shards = num_shards;
+    options.index = index_options_;
+    options.searcher = searcher_options_;
+    options.searcher.forced = forced;
+    return options;
+  }
+
+  Engine MakeEngine(size_t num_shards,
+                    core::ForcedStrategy forced = core::ForcedStrategy::kAuto) {
+    auto engine =
+        Engine::Build(Family(), dataset_, ShardOptions(num_shards, forced));
+    HLSH_CHECK(engine.ok());
+    engine->AttachAttributes(&attributes_);
+    return std::move(*engine);
+  }
+
+  /// Predicate bits only (the post-filter reference never composes
+  /// tombstones: query results are live by construction).
+  util::BitVector PredicateBits(const data::Predicate& pred,
+                                size_t id_limit) const {
+    util::BitVector bits;
+    data::EvaluateFilter(attributes_, pred, id_limit, &bits);
+    return bits;
+  }
+
+  double ScalarL2(const float* a, const float* b) const {
+    return data::L2Distance(a, b, kDim);
+  }
+
+  data::DenseDataset dataset_;
+  data::DenseDataset queries_;
+  data::AttributeStore attributes_;
+  L2Index::Options index_options_;
+  core::SearcherOptions searcher_options_;
+};
+
+// --- Filter evaluation. -----------------------------------------------------
+
+TEST_F(FilteredFusionTest, EvaluateFilterMatchesRowwiseReference) {
+  data::Predicate pred = data::Predicate::Equals(0, 3);
+  pred.And({1, 100, 700});
+  // id_limit past the store's rows: the overhang must stay clear.
+  const size_t id_limit = dataset_.size() + 77;
+  util::BitVector bits;
+  data::EvaluateFilter(attributes_, pred, id_limit, &bits);
+  ASSERT_EQ(bits.size(), id_limit);
+  for (size_t id = 0; id < id_limit; ++id) {
+    EXPECT_EQ(bits.Get(id), pred.Matches(attributes_, id)) << "id " << id;
+  }
+  // Empty conjunction: every visible row passes, overhang fails.
+  util::BitVector all;
+  data::EvaluateFilter(attributes_, data::Predicate{}, id_limit, &all);
+  EXPECT_EQ(all.Count(), attributes_.size());
+}
+
+// --- Pushdown bit-identity: static searcher. --------------------------------
+
+TEST_F(FilteredFusionTest, StaticSearcherPushdownBitIdentical) {
+  auto index = L2Index::Build(Family(), dataset_, index_options_);
+  ASSERT_TRUE(index.ok());
+  const data::Predicate pred = data::Predicate::Equals(0, 2);
+  const util::BitVector filter = PredicateBits(pred, dataset_.size());
+
+  for (const auto forced :
+       {core::ForcedStrategy::kAlwaysLsh, core::ForcedStrategy::kAlwaysLinear}) {
+    core::SearcherOptions options = searcher_options_;
+    options.forced = forced;
+    L2Searcher searcher(&*index, &dataset_, options);
+    std::vector<uint32_t> unfiltered, pushed;
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      unfiltered.clear();
+      pushed.clear();
+      searcher.Query(queries_.point(q), kRadius, &unfiltered);
+      core::QueryStats stats;
+      searcher.QueryFiltered(queries_.point(q), kRadius, &filter, &pushed,
+                             &stats);
+      EXPECT_EQ(pushed, PostFilter(unfiltered, filter))
+          << "forced=" << static_cast<int>(forced) << " query=" << q;
+    }
+  }
+}
+
+TEST_F(FilteredFusionTest, StaticSearcherAutoBracketsForcedStrategies) {
+  auto index = L2Index::Build(Family(), dataset_, index_options_);
+  ASSERT_TRUE(index.ok());
+  const data::Predicate pred = data::Predicate::Equals(0, 5);
+  const util::BitVector filter = PredicateBits(pred, dataset_.size());
+
+  auto run = [&](core::ForcedStrategy forced, size_t q) {
+    core::SearcherOptions options = searcher_options_;
+    options.forced = forced;
+    L2Searcher searcher(&*index, &dataset_, options);
+    std::vector<uint32_t> out;
+    searcher.QueryFiltered(queries_.point(q), kRadius, &filter, &out);
+    return Sorted(std::move(out));
+  };
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    const auto lsh = run(core::ForcedStrategy::kAlwaysLsh, q);
+    const auto linear = run(core::ForcedStrategy::kAlwaysLinear, q);
+    const auto aut = run(core::ForcedStrategy::kAuto, q);
+    // Linear is exact; LSH may miss. Auto picks one of the two.
+    EXPECT_TRUE(aut == lsh || aut == linear) << "query=" << q;
+    EXPECT_TRUE(std::includes(linear.begin(), linear.end(), lsh.begin(),
+                              lsh.end()))
+        << "query=" << q;
+  }
+}
+
+// --- Pushdown bit-identity: sharded engine. ---------------------------------
+
+TEST_F(FilteredFusionTest, ShardedEnginePushdownBitIdentical) {
+  const data::Predicate pred = data::Predicate::Equals(0, 1);
+  for (size_t num_shards : {1u, 3u, 8u}) {
+    for (const auto forced : {core::ForcedStrategy::kAlwaysLsh,
+                              core::ForcedStrategy::kAlwaysLinear}) {
+      auto engine = MakeEngine(num_shards, forced);
+      const util::BitVector filter = PredicateBits(pred, dataset_.size());
+      QuerySpec spec = QuerySpec::Radius(kRadius);
+      spec.predicate = &pred;
+      auto scratch = engine.MakeQueryScratch();
+      std::vector<uint32_t> unfiltered, pushed, pushed_concurrent;
+      for (size_t q = 0; q < queries_.size(); ++q) {
+        unfiltered.clear();
+        pushed.clear();
+        pushed_concurrent.clear();
+        engine.Query(queries_.point(q), kRadius, &unfiltered);
+        ShardedQueryStats stats;
+        ASSERT_TRUE(
+            engine.Query(queries_.point(q), spec, &pushed, &stats).ok());
+        ASSERT_TRUE(engine
+                        .QueryConcurrent(queries_.point(q), spec,
+                                         &pushed_concurrent, &scratch)
+                        .ok());
+        const auto expected = PostFilter(unfiltered, filter);
+        EXPECT_EQ(pushed, expected)
+            << "shards=" << num_shards << " forced=" << static_cast<int>(forced)
+            << " query=" << q;
+        EXPECT_EQ(pushed_concurrent, expected);
+        EXPECT_TRUE(stats.filtered);
+        EXPECT_EQ(stats.filter_survivors,
+                  filter.Count());  // no tombstones yet: composition is a no-op
+      }
+    }
+  }
+}
+
+TEST_F(FilteredFusionTest, ShardedEngineChurnPushdownStaysExact) {
+  data::DenseDataset mutable_dataset = dataset_;
+  const data::DenseDataset extra = data::MakeCorelLike(400, kDim, 99);
+  for (const auto forced : {core::ForcedStrategy::kAlwaysLsh,
+                            core::ForcedStrategy::kAlwaysLinear}) {
+    data::DenseDataset working = mutable_dataset;
+    data::AttributeStore attributes;
+    FillAttributes(&attributes, working.size());
+    auto built = Engine::Build(Family(), &working, ShardOptions(3, forced));
+    ASSERT_TRUE(built.ok());
+    Engine engine = std::move(*built);
+    engine.AttachAttributes(&attributes);
+
+    // Churn: append 400 points (attribute rows in lockstep), remove every
+    // 7th original id and every 5th inserted one, then quiesce.
+    for (size_t i = 0; i < extra.size(); ++i) {
+      auto id = engine.Insert(extra.point(i));
+      ASSERT_TRUE(id.ok());
+      AppendRowFor(&attributes, *id);
+    }
+    for (size_t id = 0; id < dataset_.size(); id += 7) {
+      ASSERT_TRUE(engine.Remove(static_cast<uint32_t>(id)).ok());
+    }
+    for (size_t i = 0; i < extra.size(); i += 5) {
+      ASSERT_TRUE(
+          engine.Remove(static_cast<uint32_t>(dataset_.size() + i)).ok());
+    }
+    engine.DrainMaintenance();
+    engine.CompactAll();
+
+    const data::Predicate pred = data::Predicate::Between(1, 0, 499);
+    util::BitVector filter;
+    data::EvaluateFilter(attributes, pred, working.size(), &filter);
+    QuerySpec spec = QuerySpec::Radius(kRadius);
+    spec.predicate = &pred;
+    std::vector<uint32_t> unfiltered, pushed;
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      unfiltered.clear();
+      pushed.clear();
+      engine.Query(queries_.point(q), kRadius, &unfiltered);
+      ASSERT_TRUE(engine.Query(queries_.point(q), spec, &pushed).ok());
+      EXPECT_EQ(pushed, PostFilter(unfiltered, filter))
+          << "forced=" << static_cast<int>(forced) << " query=" << q;
+    }
+  }
+}
+
+TEST_F(FilteredFusionTest, ConcurrentFilteredQueriesStaySound) {
+  data::DenseDataset working = dataset_;
+  data::AttributeStore attributes;
+  FillAttributes(&attributes, working.size());
+  auto built = Engine::Build(Family(), &working, ShardOptions(4));
+  ASSERT_TRUE(built.ok());
+  Engine engine = std::move(*built);
+  engine.AttachAttributes(&attributes);
+
+  const data::DenseDataset extra = data::MakeCorelLike(2000, kDim, 100);
+  const data::Predicate pred = data::Predicate::Equals(0, 4);
+  std::atomic<bool> stop{false};
+
+  // Writer: inserts (attribute rows in lockstep, same writer thread) and
+  // removes, racing the readers below.
+  std::thread writer([&] {
+    size_t next = 0;
+    while (!stop.load(std::memory_order_relaxed) && next < extra.size()) {
+      auto id = engine.Insert(extra.point(next));
+      ASSERT_TRUE(id.ok());
+      AppendRowFor(&attributes, *id);
+      if (next % 3 == 0) {
+        ASSERT_TRUE(engine.Remove(static_cast<uint32_t>(next)).ok());
+      }
+      ++next;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      auto scratch = engine.MakeQueryScratch();
+      QuerySpec spec = QuerySpec::Radius(kRadius);
+      spec.predicate = &pred;
+      std::vector<uint32_t> out;
+      std::vector<core::FusedHit> fused_out;
+      for (int iter = 0; iter < 60; ++iter) {
+        const size_t q = (static_cast<size_t>(r) + iter) % queries_.size();
+        out.clear();
+        ASSERT_TRUE(
+            engine.QueryConcurrent(queries_.point(q), spec, &out, &scratch)
+                .ok());
+        for (const uint32_t id : out) {
+          // Soundness under churn: every reported id was visible, passes
+          // the predicate, and is a true rNNR hit (rows are immutable
+          // once appended, so these checks cannot race the writer).
+          ASSERT_LT(id, working.size());
+          EXPECT_EQ(CategoryOf(id), 4u);
+          EXPECT_LE(data::L2Distance(queries_.point(q), working.point(id),
+                                     kDim),
+                    kRadius + 1e-6);
+        }
+        if (iter % 16 == 0) {
+          QuerySpec fused = spec;
+          fused.subqueries.push_back({kRadius, 1.0, std::nullopt, false});
+          fused.subqueries.push_back({kRadius * 1.5, 0.5, std::nullopt, false});
+          fused_out.clear();
+          ASSERT_TRUE(engine
+                          .QueryFusedConcurrent(queries_.point(q), fused,
+                                                &fused_out, &scratch)
+                          .ok());
+          for (const core::FusedHit& hit : fused_out) {
+            ASSERT_LT(hit.id, working.size());
+            EXPECT_EQ(CategoryOf(hit.id), 4u);
+            EXPECT_GT(hit.score, 0.0);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  writer.join();
+}
+
+// --- Selectivity edge cases. ------------------------------------------------
+
+TEST_F(FilteredFusionTest, EmptySelectivityReturnsNothing) {
+  auto engine = MakeEngine(3);
+  data::Predicate pred = data::Predicate::Equals(0, 2);
+  pred.And({0, 3, 3});  // category 2 AND 3: contradiction
+  QuerySpec spec = QuerySpec::Radius(kRadius);
+  spec.predicate = &pred;
+  std::vector<uint32_t> out;
+  ShardedQueryStats stats;
+  ASSERT_TRUE(engine.Query(queries_.point(0), spec, &out, &stats).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(stats.filtered);
+  EXPECT_EQ(stats.filter_survivors, 0u);
+  EXPECT_EQ(stats.filter_selectivity, 0.0);
+  // Zero survivors price the linear side at 0: every shard should scan.
+  EXPECT_EQ(stats.linear_shards, engine.num_shards());
+}
+
+TEST_F(FilteredFusionTest, TotalSelectivityMatchesUnfiltered) {
+  const data::Predicate pred = data::Predicate::Between(1, 0, 999);  // all
+  for (const auto forced : {core::ForcedStrategy::kAlwaysLsh,
+                            core::ForcedStrategy::kAlwaysLinear}) {
+    auto engine = MakeEngine(3, forced);
+    QuerySpec spec = QuerySpec::Radius(kRadius);
+    spec.predicate = &pred;
+    std::vector<uint32_t> unfiltered, pushed;
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      unfiltered.clear();
+      pushed.clear();
+      engine.Query(queries_.point(q), kRadius, &unfiltered);
+      ShardedQueryStats stats;
+      ASSERT_TRUE(engine.Query(queries_.point(q), spec, &pushed, &stats).ok());
+      EXPECT_EQ(pushed, unfiltered);
+      EXPECT_DOUBLE_EQ(stats.filter_selectivity, 1.0);
+    }
+  }
+}
+
+// --- Deterministic fusion: core merge. --------------------------------------
+
+TEST_F(FilteredFusionTest, RrfMergeHandComputedAndStable) {
+  std::vector<core::ScoredList> lists(2);
+  lists[0].weight = 1.0;
+  lists[0].ids = {10, 20, 30};
+  lists[0].distances = {0.1, 0.2, 0.3};
+  lists[1].weight = 2.0;
+  lists[1].ids = {20, 40};
+  lists[1].distances = {0.05, 0.05};  // tie: rank by id, 20 before 40
+  core::FusionOptions options;  // RRF, k = 60
+  std::vector<core::FusedHit> out;
+  ASSERT_TRUE(core::FuseScoredLists(lists, options, nullptr, &out).ok());
+  ASSERT_EQ(out.size(), 4u);
+  const double k = options.rrf_k;
+  // id 20: rank 2 in list 0, rank 1 in list 1 (tie broken by id).
+  EXPECT_EQ(out[0].id, 20u);
+  EXPECT_DOUBLE_EQ(out[0].score, 1.0 / (k + 2) + 2.0 / (k + 1));
+  EXPECT_EQ(out[1].id, 40u);
+  EXPECT_DOUBLE_EQ(out[1].score, 2.0 / (k + 2));
+  EXPECT_EQ(out[2].id, 10u);
+  EXPECT_DOUBLE_EQ(out[2].score, 1.0 / (k + 1));
+  EXPECT_EQ(out[3].id, 30u);
+  EXPECT_DOUBLE_EQ(out[3].score, 1.0 / (k + 3));
+
+  // Duplicate id within one list: rejected, not silently double-counted.
+  lists[1].ids = {40, 40};
+  EXPECT_EQ(core::FuseScoredLists(lists, options, nullptr, &out).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(FilteredFusionTest, LinearMergeHandComputedWithStableTieBreak) {
+  std::vector<core::ScoredList> lists(2);
+  lists[0].weight = 1.0;
+  lists[0].ids = {7, 3};
+  lists[0].distances = {1.0, 3.0};
+  lists[1].weight = 1.0;
+  lists[1].ids = {3};
+  lists[1].distances = {3.0};
+  core::FusionOptions options;
+  options.mode = core::FusionMode::kLinear;
+  std::vector<core::FusedHit> out;
+  ASSERT_TRUE(core::FuseScoredLists(lists, options, nullptr, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  // id 3: 1/(1+3) + 1/(1+3) = 0.5 == id 7's 1/(1+1) = 0.5 -> tie broken
+  // ascending by id.
+  EXPECT_DOUBLE_EQ(out[0].score, out[1].score);
+  EXPECT_EQ(out[0].id, 3u);
+  EXPECT_EQ(out[1].id, 7u);
+}
+
+// --- Deterministic fusion: engine path == hand-composed. --------------------
+
+TEST_F(FilteredFusionTest, EngineFusedTwoRadiiEqualsHandComposition) {
+  auto engine = MakeEngine(3);
+  const data::Predicate pred = data::Predicate::Between(1, 0, 599);
+  const double radii[2] = {kRadius, kRadius * 1.5};
+  const double weights[2] = {1.0, 0.5};
+
+  QuerySpec fused;
+  fused.predicate = &pred;
+  for (int j = 0; j < 2; ++j) {
+    fused.subqueries.push_back({radii[j], weights[j], std::nullopt, false});
+  }
+
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    // Hand composition: one single-subquery spec per clause, scalar L2
+    // distances, FuseScoredLists.
+    std::vector<core::ScoredList> lists(2);
+    for (int j = 0; j < 2; ++j) {
+      QuerySpec single = QuerySpec::Radius(radii[j]);
+      single.predicate = &pred;
+      lists[j].weight = weights[j];
+      ASSERT_TRUE(engine.Query(queries_.point(q), single, &lists[j].ids).ok());
+      for (const uint32_t id : lists[j].ids) {
+        lists[j].distances.push_back(
+            ScalarL2(queries_.point(q), dataset_.point(id)));
+      }
+    }
+    std::vector<core::FusedHit> expected;
+    ASSERT_TRUE(
+        core::FuseScoredLists(lists, fused.fusion, nullptr, &expected).ok());
+
+    std::vector<core::FusedHit> got, again;
+    ShardedQueryStats stats;
+    ASSERT_TRUE(engine.QueryFused(queries_.point(q), fused, &got, &stats).ok());
+    ASSERT_TRUE(engine.QueryFused(queries_.point(q), fused, &again).ok());
+    ASSERT_EQ(got.size(), expected.size()) << "query=" << q;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[i].id) << "query=" << q << " pos=" << i;
+      EXPECT_DOUBLE_EQ(got[i].score, expected[i].score);
+      // Determinism: the same spec twice is bit-identical.
+      EXPECT_EQ(got[i].id, again[i].id);
+      EXPECT_EQ(got[i].score, again[i].score);
+    }
+    EXPECT_EQ(stats.fusion_subqueries, 2u);
+  }
+}
+
+TEST_F(FilteredFusionTest, EngineFusedMetricOverrideScansExactly) {
+  auto engine = MakeEngine(2);
+  const double cosine_radius = 0.15;
+  QuerySpec fused;
+  fused.subqueries.push_back({kRadius, 1.0, std::nullopt, false});
+  fused.subqueries.push_back(
+      {cosine_radius, 1.0, data::Metric::kCosine, false});
+
+  const float* query = queries_.point(0);
+  std::vector<core::FusedHit> got;
+  ASSERT_TRUE(engine.QueryFused(query, fused, &got).ok());
+
+  // Hand composition: clause 0 is the engine's own L2 result; clause 1 is
+  // an exact cosine scan of every id.
+  std::vector<core::ScoredList> lists(2);
+  lists[0].weight = 1.0;
+  engine.Query(query, kRadius, &lists[0].ids);
+  for (const uint32_t id : lists[0].ids) {
+    lists[0].distances.push_back(ScalarL2(query, dataset_.point(id)));
+  }
+  lists[1].weight = 1.0;
+  for (uint32_t id = 0; id < dataset_.size(); ++id) {
+    const double d = data::CosineDistance(query, dataset_.point(id), kDim);
+    if (d <= cosine_radius) {
+      lists[1].ids.push_back(id);
+      lists[1].distances.push_back(d);
+    }
+  }
+  std::vector<core::FusedHit> expected;
+  ASSERT_TRUE(
+      core::FuseScoredLists(lists, fused.fusion, nullptr, &expected).ok());
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, expected[i].id) << "pos=" << i;
+    EXPECT_DOUBLE_EQ(got[i].score, expected[i].score);
+  }
+}
+
+TEST_F(FilteredFusionTest, EngineFusedAttributeOnlyClause) {
+  auto engine = MakeEngine(3);
+  const data::Predicate pred = data::Predicate::Equals(0, 6);
+  QuerySpec fused;
+  fused.predicate = &pred;
+  fused.subqueries.push_back({kRadius, 1.0, std::nullopt, false});
+  fused.subqueries.push_back({0.0, 0.25, std::nullopt, true});
+
+  const float* query = queries_.point(1);
+  std::vector<core::FusedHit> got;
+  ASSERT_TRUE(engine.QueryFused(query, fused, &got).ok());
+  ASSERT_FALSE(got.empty());
+
+  const util::BitVector filter = PredicateBits(pred, dataset_.size());
+  std::vector<core::ScoredList> lists(2);
+  lists[0].weight = 1.0;
+  QuerySpec single = QuerySpec::Radius(kRadius);
+  single.predicate = &pred;
+  ASSERT_TRUE(engine.Query(query, single, &lists[0].ids).ok());
+  for (const uint32_t id : lists[0].ids) {
+    lists[0].distances.push_back(ScalarL2(query, dataset_.point(id)));
+  }
+  lists[1].weight = 0.25;
+  filter.ForEachSetBitInRange(0, filter.size(), [&](size_t id) {
+    lists[1].ids.push_back(static_cast<uint32_t>(id));
+    lists[1].distances.push_back(0.0);
+  });
+  std::vector<core::FusedHit> expected;
+  ASSERT_TRUE(
+      core::FuseScoredLists(lists, fused.fusion, nullptr, &expected).ok());
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, expected[i].id) << "pos=" << i;
+    EXPECT_DOUBLE_EQ(got[i].score, expected[i].score);
+  }
+}
+
+// --- Spec validation. -------------------------------------------------------
+
+TEST_F(FilteredFusionTest, SpecValidationRejectsBadSpecs) {
+  auto engine = MakeEngine(2);
+  const data::Predicate pred = data::Predicate::Equals(0, 1);
+  std::vector<uint32_t> out;
+  std::vector<core::FusedHit> fused_out;
+
+  // Fused spec through the id-list entry point.
+  QuerySpec fused = QuerySpec::Radius(kRadius);
+  fused.subqueries.push_back({kRadius, 1.0, std::nullopt, false});
+  EXPECT_EQ(engine.Query(queries_.point(0), fused, &out).code(),
+            util::StatusCode::kInvalidArgument);
+  // Non-fused spec through QueryFused.
+  EXPECT_EQ(
+      engine.QueryFused(queries_.point(0), QuerySpec::Radius(kRadius),
+                        &fused_out)
+          .code(),
+      util::StatusCode::kInvalidArgument);
+  // attribute_only without a predicate.
+  QuerySpec attr_only;
+  attr_only.subqueries.push_back({0.0, 1.0, std::nullopt, true});
+  attr_only.subqueries.push_back({kRadius, 1.0, std::nullopt, false});
+  EXPECT_EQ(engine.QueryFused(queries_.point(0), attr_only, &fused_out).code(),
+            util::StatusCode::kInvalidArgument);
+  // Predicate without an attached store.
+  engine.AttachAttributes(nullptr);
+  QuerySpec filtered = QuerySpec::Radius(kRadius);
+  filtered.predicate = &pred;
+  EXPECT_EQ(engine.Query(queries_.point(0), filtered, &out).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+// --- Batch paths. -----------------------------------------------------------
+
+TEST_F(FilteredFusionTest, EngineBatchSharesOneFilter) {
+  auto engine = MakeEngine(3);
+  const data::Predicate pred = data::Predicate::Equals(0, 3);
+  QuerySpec spec = QuerySpec::Radius(kRadius);
+  spec.predicate = &pred;
+  auto batch = engine.QueryBatch(queries_, spec);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), queries_.size());
+  std::vector<uint32_t> single;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    single.clear();
+    ASSERT_TRUE(engine.Query(queries_.point(q), spec, &single).ok());
+    EXPECT_EQ((*batch)[q].neighbors, single) << "query=" << q;
+    EXPECT_TRUE((*batch)[q].stats.filtered);
+    EXPECT_EQ((*batch)[q].stats.filter_seconds, 0.0);  // prebuilt + shared
+  }
+}
+
+TEST_F(FilteredFusionTest, BatchRunnerFilteredMatchesSearcher) {
+  auto index = L2Index::Build(Family(), dataset_, index_options_);
+  ASSERT_TRUE(index.ok());
+  const data::Predicate pred = data::Predicate::Equals(0, 2);
+  const util::BitVector filter = PredicateBits(pred, dataset_.size());
+  util::ThreadPool pool(3);
+  core::BatchRunner<L2Index, data::DenseDataset> runner(
+      &*index, &dataset_, searcher_options_, &pool);
+  const auto results = runner.RunFiltered(queries_, kRadius, &filter);
+  ASSERT_EQ(results.size(), queries_.size());
+  L2Searcher searcher(&*index, &dataset_, searcher_options_);
+  std::vector<uint32_t> expected;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    expected.clear();
+    searcher.QueryFiltered(queries_.point(q), kRadius, &filter, &expected);
+    EXPECT_EQ(results[q].neighbors, expected) << "query=" << q;
+  }
+}
+
+// --- Facade. ----------------------------------------------------------------
+
+TEST_F(FilteredFusionTest, FacadeSpecQueriesRouteAndValidate) {
+  EngineOptions facade_options;
+  facade_options.num_shards = 2;
+  facade_options.num_tables = index_options_.num_tables;
+  facade_options.k = index_options_.k;
+  facade_options.seed = index_options_.seed;
+  facade_options.radius = kRadius;
+  facade_options.searcher = searcher_options_;
+  // Pin one strategy: bit-identity is only defined strategy-for-strategy
+  // (auto mode may legitimately flip to the filtered linear scan).
+  facade_options.searcher.forced = core::ForcedStrategy::kAlwaysLinear;
+  auto built =
+      BuildEngine(data::Metric::kL2, AnyDataset{&dataset_}, facade_options);
+  ASSERT_TRUE(built.ok());
+  SearchEngine& facade = **built;
+  ASSERT_TRUE(facade.AttachAttributes(&attributes_).ok());
+
+  const data::Predicate pred = data::Predicate::Equals(0, 2);
+  const util::BitVector filter = PredicateBits(pred, dataset_.size());
+  QuerySpec spec = QuerySpec::Radius(kRadius);
+  spec.predicate = &pred;
+  std::vector<uint32_t> unfiltered, pushed;
+  ASSERT_TRUE(
+      facade.Query(queries_.point(0), kRadius, &unfiltered).ok());
+  ASSERT_TRUE(facade.Query(queries_.point(0), spec, &pushed).ok());
+  EXPECT_EQ(pushed, PostFilter(unfiltered, filter));
+
+  QuerySpec fused = spec;
+  fused.subqueries.push_back({kRadius, 1.0, std::nullopt, false});
+  fused.subqueries.push_back({0.0, 0.5, std::nullopt, true});
+  std::vector<core::FusedHit> hits;
+  ASSERT_TRUE(facade.QueryFused(queries_.point(0), fused, &hits).ok());
+  EXPECT_FALSE(hits.empty());
+
+  // Wrong point representation is rejected, same as the radius overloads.
+  const uint64_t code[1] = {0};
+  EXPECT_EQ(facade.Query(code, spec, &pushed).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(facade.QueryFused(code, fused, &hits).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace hybridlsh

@@ -31,6 +31,7 @@ RATIO_METRICS = {
     "speedup_vs_per_id_scalar": "higher",
     "speedup_restore_vs_build": "higher",
     "speedup_vs_scalar_single": "higher",
+    "speedup_pushdown_vs_postfilter": "higher",
 }
 ABSOLUTE_METRICS = {
     "mcand_per_sec": "higher",
@@ -61,6 +62,10 @@ UNGATED = {
     "borderline_pct",
     "queries",
     "snapshot_bytes",
+    "qps_pushdown",
+    "qps_postfilter",
+    "avg_results_per_query",
+    "wall_vs_two_sequential",
 }
 
 
